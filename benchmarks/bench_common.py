@@ -1,0 +1,12 @@
+"""Shared artifact-printing helper for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited artifact block (collected into EXPERIMENTS.md)."""
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+    print(body)

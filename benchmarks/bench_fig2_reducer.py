@@ -1,0 +1,55 @@
+"""E7 -- Figure 2 and the Section 1 reducer claim: ceil(n / 2^h) + h + 1.
+
+Simulates the recursive binary reducer (and the k-way split reducer of
+Equation 2) update by update, sweeping the space budget, and checks the
+simulated completion times against the closed-form duration functions that
+the optimisation layer relies on.  The reproduced series is the space-time
+curve of the introduction: near-linear speedup in the extra space until the
+additive height term takes over.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import format_table
+from repro.races.reducer import (
+    binary_reducer_formula,
+    kway_reducer_formula,
+    simulate_binary_reducer,
+    simulate_kway_reducer,
+)
+
+from bench_common import emit
+
+
+def test_binary_reducer_curve(benchmark):
+    n = 4096
+    benchmark(lambda: simulate_binary_reducer(n, 6))
+
+    rows = []
+    for h in range(0, int(math.log2(n)) + 1):
+        sim = simulate_binary_reducer(n, h)
+        formula = binary_reducer_formula(n, h)
+        speedup = n / sim.completion_time if sim.completion_time else float("inf")
+        rows.append([h, 2 ** h if h else 0, sim.completion_time, formula, round(speedup, 2)])
+        assert sim.completion_time == formula
+    emit(f"E7 / Figure 2 -- recursive binary reducer, n = {n} updates",
+         format_table(["height h", "leaf cells 2^h", "simulated time",
+                       "formula ceil(n/2^h)+h+1", "speedup vs serial"], rows))
+
+
+def test_kway_reducer_curve(benchmark):
+    n = 3600
+    benchmark(lambda: simulate_kway_reducer(n, 60))
+
+    rows = []
+    for k in [1, 2, 4, 8, 15, 30, 60]:
+        sim = simulate_kway_reducer(n, k)
+        formula = kway_reducer_formula(n, k)
+        rows.append([k, sim.completion_time, formula, round(n / sim.completion_time, 2)])
+        assert sim.completion_time <= formula
+    emit(f"E7b / Equation 2 -- k-way split reducer, n = {n} updates",
+         format_table(["k", "simulated time", "formula ceil(n/k)+k", "speedup vs serial"], rows))

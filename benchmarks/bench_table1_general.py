@@ -1,0 +1,67 @@
+"""E1 -- Table 1, row "General non-increasing": the bi-criteria guarantee.
+
+Reproduces the (makespan, resource) bi-criteria behaviour of Theorem 3.4 on
+random general-step-duration workloads: for every rounding threshold alpha
+the measured makespan inflation (vs. the LP lower bound / the exact optimum)
+must stay within 1/alpha and the measured resource inflation within
+1/(1-alpha).  The benchmark times one full pipeline run and prints the
+measured worst-case factors next to the proven bounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.ratios import measure_ratios, summarize_measurements
+from repro.core.bicriteria import solve_min_makespan_bicriteria
+from repro.generators import get_workload
+
+from bench_common import emit
+
+GENERAL_WORKLOADS = ["small-layered-general", "medium-layered-general", "pipeline"]
+ALPHAS = [0.25, 0.5, 0.75]
+
+
+def _run_sweep():
+    rows = []
+    for alpha in ALPHAS:
+        measurements = []
+        for name in GENERAL_WORKLOADS:
+            workload = get_workload(name)
+            dag = workload.build()
+            measurements += measure_ratios(
+                dag, workload.budget, name,
+                {"bicriteria": lambda d, b, a=alpha: solve_min_makespan_bicriteria(d, b, a)},
+                compute_exact=(name.startswith("small")),
+            )
+        summary = summarize_measurements(measurements)["bicriteria"]
+        rows.append([
+            alpha,
+            f"{1 / alpha:.2f}",
+            summary["worst_ratio_vs_lp"],
+            summary["worst_ratio_vs_exact"] or "-",
+            f"{1 / (1 - alpha):.2f}",
+            summary["worst_budget_ratio"],
+        ])
+    return rows
+
+
+def test_table1_general_bicriteria(benchmark):
+    workload = get_workload("medium-layered-general")
+    dag = workload.build()
+    benchmark(lambda: solve_min_makespan_bicriteria(dag, workload.budget, 0.5))
+
+    rows = _run_sweep()
+    emit(
+        "E1 / Table 1 row 'General non-increasing' -- bi-criteria (Theorem 3.4)",
+        format_table(
+            ["alpha", "proven makespan factor (1/alpha)", "measured worst vs LP",
+             "measured worst vs exact", "proven resource factor (1/(1-alpha))",
+             "measured worst budget factor"],
+            rows,
+        ),
+    )
+    for alpha, row in zip(ALPHAS, rows):
+        assert row[2] <= 1 / alpha + 1e-6          # makespan factor within the bound
+        assert row[5] <= 1 / (1 - alpha) + 1e-6    # resource factor within the bound

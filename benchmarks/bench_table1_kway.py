@@ -1,0 +1,54 @@
+"""E3 -- Table 1, row "Multiway splitting": the 5-approximation (Theorem 3.9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.exact import ExactSearchLimit, exact_min_makespan
+from repro.core.kway_approx import solve_min_makespan_kway
+from repro.core.series_parallel import decompose_series_parallel, sp_exact_min_makespan
+from repro.generators import get_workload
+
+from bench_common import emit
+
+WORKLOADS = ["small-layered-kway", "deep-chain-kway", "medium-layered-kway"]
+
+
+def _exact(dag, budget):
+    tree = decompose_series_parallel(dag)
+    if tree is not None:
+        return sp_exact_min_makespan(tree, int(budget)).makespan
+    try:
+        return exact_min_makespan(dag, budget, max_combinations=40_000).makespan
+    except ExactSearchLimit:
+        return None
+
+
+def test_table1_kway_five_approximation(benchmark):
+    workload = get_workload("medium-layered-kway")
+    dag = workload.build()
+    benchmark(lambda: solve_min_makespan_kway(dag, workload.budget))
+
+    rows = []
+    worst = 0.0
+    for name in WORKLOADS:
+        workload = get_workload(name)
+        dag = workload.build()
+        solution = solve_min_makespan_kway(dag, workload.budget)
+        exact = _exact(dag, workload.budget)
+        reference = exact if exact else solution.lower_bound
+        ratio = solution.makespan / reference if reference else 1.0
+        worst = max(worst, ratio)
+        rows.append([name, workload.budget, exact if exact is not None else "-",
+                     solution.lower_bound, solution.makespan, solution.budget_used, ratio])
+
+    emit(
+        "E3 / Table 1 row 'Multiway splitting' -- 5-approximation (Theorem 3.9)",
+        format_table(
+            ["workload", "budget", "exact OPT", "LP lower bound", "5-approx makespan",
+             "budget used", "measured ratio (bound 5)"],
+            rows,
+        ),
+    )
+    assert worst <= 5 + 1e-6

@@ -1,0 +1,34 @@
+"""E5 / E6 -- regenerate Table 2 and Table 3 from the gadget constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import render_table2, render_table3
+from repro.hardness.gadgets_general import table2_rows
+from repro.hardness.gadgets_splitting import section42_parameters, table3_rows
+
+from bench_common import emit
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(table2_rows)
+    emit("E5 / Table 2 -- earliest start times of C(5), C(6), C(7) (Theorem 4.1 gadget)",
+         render_table2())
+    assert len(rows) == 8
+    # exactly the 1-in-3 rows have a zero column
+    one_in_three = [r for r in rows if [r[0], r[1], r[2]].count("True") == 1]
+    assert all(0 in r[3:] for r in one_in_three)
+
+
+def test_table3_regeneration(benchmark):
+    params = section42_parameters(3, 2)
+    x = int(params["x"])
+    rows = benchmark(lambda: table3_rows(x))
+    emit(f"E6 / Table 3 -- earliest finish times of C(5), C(6), C(7) (Section 4.2 gadget, x={x})",
+         render_table3(x) + f"\n(a = 6x+4 = {6 * x + 4}, b = 5x+6 = {5 * x + 6})")
+    assert len(rows) == 8
+    b_plus_2 = 5 * x + 6 + 2
+    early_rows = [r for r in rows if b_plus_2 in r[3:]]
+    # exactly the three 1-in-3 satisfying assignments finish one branch early
+    assert len(early_rows) == 3

@@ -1,0 +1,19 @@
+"""Pytest configuration for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Benchmarks use ``pytest-benchmark`` for
+timing and additionally *print* the reproduced rows/series, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+regenerates the artifacts recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Make the sibling bench_common helper importable regardless of how pytest
+# inserts rootdir paths.
+sys.path.insert(0, os.path.dirname(__file__))

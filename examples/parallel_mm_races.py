@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Parallel-MM end to end: races -> race DAG -> reducers -> space/time curve.
+
+Reproduces the Section 1 narrative around Figures 1-5:
+
+1. build the racy Parallel-MM program (Figure 3) and detect its data races;
+2. extract the race DAG ``D(P)`` (every output cell receives ``n`` updates);
+3. sweep the reducer height ``h`` and show the running time dropping from
+   ``Theta(n)`` to ``Theta(log n)`` as the extra space grows to
+   ``Theta(n^3)`` -- the space/time tradeoff that motivates the whole paper;
+4. cross-check the simulated reducers against the closed-form duration.
+
+Run with:  python examples/parallel_mm_races.py [n]
+"""
+
+import math
+import sys
+
+from repro.analysis import format_table
+from repro.races import (
+    find_data_races,
+    makespan_upper_bound,
+    parallel_mm_program,
+    parallel_mm_race_dag,
+    parallel_mm_running_time,
+    parallel_mm_space_used,
+    simulate_binary_reducer,
+    simulate_race_dag,
+)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+
+    # 1. races in the program (kept tiny: the program has n^3 update operations)
+    program_n = min(n, 4)
+    program = parallel_mm_program(program_n)
+    races = find_data_races(program)
+    print(f"Parallel-MM(n={program_n}): {program.num_operations()} operations, "
+          f"{len(races)} data races detected "
+          f"({program_n ** 2} racy output cells x C({program_n},2) conflicting pairs each)")
+
+    # 2. the race DAG for the full n
+    race_dag = parallel_mm_race_dag(n)
+    serial = simulate_race_dag(race_dag)
+    print(f"\nRace DAG for n={n}: {len(race_dag.cells)} cells; lock-serialised makespan = "
+          f"{serial.completion_time:.0f} (= n, as the paper's introduction states)")
+
+    # 3. space/time tradeoff sweep over reducer heights
+    rows = []
+    for h in range(0, int(math.log2(n)) + 1):
+        reducers = {("Z", i, j): ("binary", h) for i in range(n) for j in range(n)} if h else None
+        simulated = simulate_race_dag(race_dag, reducers).completion_time
+        bound = makespan_upper_bound(race_dag, reducers)
+        rows.append([h, parallel_mm_space_used(n, h), parallel_mm_running_time(n, h),
+                     simulated, bound])
+    print()
+    print(format_table(
+        ["reducer height h", "extra space n^2*2^h", "closed form ceil(n/2^h)+h+1",
+         "simulated", "Observation 1.1 bound"], rows))
+
+    # 4. reducer simulation vs formula for the per-cell reduction
+    print("\nPer-cell reducer check (n updates through one binary reducer):")
+    check_rows = []
+    for h in range(0, int(math.log2(n)) + 1):
+        sim = simulate_binary_reducer(n, h)
+        check_rows.append([h, sim.completion_time, parallel_mm_running_time(n, h)])
+    print(format_table(["height", "simulated", "formula"], check_rows))
+
+
+if __name__ == "__main__":
+    main()

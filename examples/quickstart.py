@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: model a tradeoff DAG and compare every solver on it.
+
+The instance is the paper's setting in miniature: a small DAG of jobs whose
+durations shrink when extra resource (space for reducers) flows through
+them, with a total budget that can be *reused along source-to-sink paths*.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    KWaySplitDuration,
+    RecursiveBinarySplitDuration,
+    TradeoffDAG,
+    exact_min_makespan,
+    greedy_no_reuse,
+    greedy_path_reuse,
+    no_resource_solution,
+    solve_min_makespan_bicriteria,
+    solve_min_makespan_binary,
+    solve_min_makespan_kway,
+)
+from repro.analysis import format_table
+
+
+def build_instance() -> TradeoffDAG:
+    """A diamond of racy accumulations: two parallel stages between fork and join."""
+    dag = TradeoffDAG()
+    dag.add_job("fork")
+    dag.add_job("left_a", RecursiveBinarySplitDuration(64))
+    dag.add_job("left_b", KWaySplitDuration(36))
+    dag.add_job("right_a", RecursiveBinarySplitDuration(48))
+    dag.add_job("right_b", KWaySplitDuration(25))
+    dag.add_job("join")
+    dag.add_edge("fork", "left_a")
+    dag.add_edge("left_a", "left_b")
+    dag.add_edge("fork", "right_a")
+    dag.add_edge("right_a", "right_b")
+    dag.add_edge("left_b", "join")
+    dag.add_edge("right_b", "join")
+    return dag
+
+
+def main() -> None:
+    dag = build_instance()
+    budget = 12
+
+    solvers = {
+        "no extra resource": lambda d, b: no_resource_solution(d),
+        "greedy (no reuse, Q1.1)": greedy_no_reuse,
+        "greedy (path reuse, Q1.3)": greedy_path_reuse,
+        "bi-criteria LP (Thm 3.4, alpha=0.5)": lambda d, b: solve_min_makespan_bicriteria(d, b, 0.5),
+        "binary 4-approx (Thm 3.10)": solve_min_makespan_binary,
+        "k-way 5-approx (Thm 3.9)": solve_min_makespan_kway,
+        "exact (enumeration)": lambda d, b: exact_min_makespan(d, b),
+    }
+
+    rows = []
+    for name, solver in solvers.items():
+        solution = solver(dag, budget)
+        rows.append([name, solution.makespan, solution.budget_used,
+                     solution.lower_bound if solution.lower_bound is not None else "-"])
+
+    print(f"Instance: {dag.num_jobs} jobs, {dag.num_edges} precedence edges, budget B = {budget}")
+    print()
+    print(format_table(["algorithm", "makespan", "budget used", "LP lower bound"], rows))
+    print()
+    print("Reading the table: the bi-criteria algorithm may exceed the budget by the")
+    print("proven 1/(1-alpha) factor but never exceeds 1/alpha times the LP bound on")
+    print("the makespan; the exact row is the true optimum for this budget.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+The canonical configuration lives in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-use-pep517` or
+`python setup.py develop`) on machines where PEP 660 builds are unavailable.
+"""
+from setuptools import setup
+
+setup()

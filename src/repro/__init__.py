@@ -1,0 +1,38 @@
+"""repro -- reproduction of Das et al., "Data Races and the Discrete
+Resource-time Tradeoff Problem with Resource Reuse over Paths" (SPAA 2019).
+
+The package is organised as:
+
+* :mod:`repro.core` -- the resource-time tradeoff problem itself: modelling,
+  LP-rounding bi-criteria approximation (Theorem 3.4), single-criteria
+  approximations for k-way and recursive-binary splitting (Theorems 3.9,
+  3.10, 3.16), the exact series-parallel dynamic program (Section 3.4),
+  exact solvers and baselines.
+* :mod:`repro.races` -- the data-race motivation: fork-join program model,
+  determinacy-race detection, race DAG construction (Section 1), reducer
+  simulators validating the duration functions, and the Parallel-MM example.
+* :mod:`repro.hardness` -- executable NP-hardness constructions of Section 4
+  and Appendix A, with verifiers based on the exact solvers.
+* :mod:`repro.generators` -- random instance generators used by the tests
+  and benchmarks.
+* :mod:`repro.analysis` -- approximation-ratio measurement and regeneration
+  of the paper's tables.
+
+Quickstart
+----------
+>>> from repro import TradeoffDAG, RecursiveBinarySplitDuration
+>>> from repro import solve_min_makespan_bicriteria
+>>> dag = TradeoffDAG()
+>>> _ = dag.add_job("s"); _ = dag.add_job("x", RecursiveBinarySplitDuration(64))
+>>> _ = dag.add_job("t"); dag.add_edge("s", "x"); dag.add_edge("x", "t")
+>>> solution = solve_min_makespan_bicriteria(dag, budget=8, alpha=0.5)
+>>> solution.makespan <= 64
+True
+"""
+
+from repro.core import *  # noqa: F401,F403 -- re-export the public core API
+from repro.core import __all__ as _core_all
+
+__version__ = "1.0.0"
+
+__all__ = list(_core_all) + ["__version__"]

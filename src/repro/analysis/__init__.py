@@ -1,0 +1,17 @@
+"""Analysis helpers: empirical ratios and regeneration of the paper's tables."""
+
+from repro.analysis.ratios import RatioMeasurement, measure_ratios, summarize_measurements
+from repro.analysis.report import format_float, format_table
+from repro.analysis.tables import (
+    TABLE1_ROWS,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_summary,
+)
+
+__all__ = [
+    "RatioMeasurement", "measure_ratios", "summarize_measurements",
+    "format_table", "format_float",
+    "TABLE1_ROWS", "table1_summary", "render_table1", "render_table2", "render_table3",
+]

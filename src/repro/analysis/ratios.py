@@ -1,0 +1,125 @@
+"""Empirical approximation-ratio measurement (the Table 1 experiments).
+
+Table 1 of the paper states worst-case guarantees; the reproduction measures
+the corresponding *empirical* ratios on synthetic workloads.  Two reference
+points are used:
+
+* the **LP optimum** of the relaxation (a valid lower bound on OPT for every
+  instance -- every algorithm in this library stores it in
+  ``solution.lower_bound``), giving a ratio that is always an upper bound on
+  the true approximation ratio;
+* the **exact optimum** computed by exhaustive enumeration on instances
+  small enough for it (``ratio_vs_exact``), giving the true ratio.
+
+A measurement never exceeding the proven bound is the reproduction criterion
+for the approximation rows of Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.dag import TradeoffDAG
+from repro.core.exact import ExactSearchLimit, exact_min_makespan
+from repro.core.problem import TradeoffSolution
+from repro.utils.validation import require
+
+__all__ = ["RatioMeasurement", "measure_ratios", "summarize_measurements"]
+
+
+@dataclass
+class RatioMeasurement:
+    """One (workload, algorithm) measurement."""
+
+    workload: str
+    algorithm: str
+    budget: float
+    makespan: float
+    budget_used: float
+    lp_lower_bound: Optional[float]
+    exact_optimum: Optional[float]
+
+    @property
+    def ratio_vs_lp(self) -> Optional[float]:
+        """Makespan / LP lower bound (an upper bound on the true ratio)."""
+        if not self.lp_lower_bound:
+            return None
+        return self.makespan / self.lp_lower_bound if self.lp_lower_bound > 0 else (
+            1.0 if self.makespan == 0 else math.inf)
+
+    @property
+    def ratio_vs_exact(self) -> Optional[float]:
+        """Makespan / exact optimum (the true approximation ratio)."""
+        if self.exact_optimum is None:
+            return None
+        if self.exact_optimum == 0:
+            return 1.0 if self.makespan == 0 else math.inf
+        return self.makespan / self.exact_optimum
+
+    @property
+    def budget_ratio(self) -> float:
+        """Resource used / stated budget (the bi-criteria resource factor)."""
+        if self.budget == 0:
+            return 1.0 if self.budget_used == 0 else math.inf
+        return self.budget_used / self.budget
+
+
+def measure_ratios(dag: TradeoffDAG, budget: float, workload_name: str,
+                   algorithms: Dict[str, Callable[[TradeoffDAG, float], TradeoffSolution]],
+                   compute_exact: bool = True,
+                   exact_limit: int = 50_000) -> List[RatioMeasurement]:
+    """Run every algorithm on one instance and collect ratio measurements.
+
+    Parameters
+    ----------
+    dag, budget:
+        The instance.
+    workload_name:
+        Label recorded in the measurements.
+    algorithms:
+        ``name -> callable(dag, budget) -> TradeoffSolution``.
+    compute_exact:
+        Whether to attempt the exhaustive exact solver (skipped silently when
+        the instance exceeds ``exact_limit`` combinations).
+    """
+    exact_optimum: Optional[float] = None
+    if compute_exact:
+        try:
+            exact_optimum = exact_min_makespan(dag, budget, max_combinations=exact_limit).makespan
+        except ExactSearchLimit:
+            exact_optimum = None
+
+    measurements: List[RatioMeasurement] = []
+    for name, solver in algorithms.items():
+        solution = solver(dag, budget)
+        measurements.append(RatioMeasurement(
+            workload=workload_name,
+            algorithm=name,
+            budget=budget,
+            makespan=solution.makespan,
+            budget_used=solution.budget_used,
+            lp_lower_bound=solution.lower_bound,
+            exact_optimum=exact_optimum,
+        ))
+    return measurements
+
+
+def summarize_measurements(measurements: Sequence[RatioMeasurement]) -> Dict[str, Dict[str, float]]:
+    """Aggregate per-algorithm worst-case ratios over a set of measurements."""
+    summary: Dict[str, Dict[str, float]] = {}
+    for m in measurements:
+        entry = summary.setdefault(m.algorithm, {
+            "worst_ratio_vs_lp": 0.0,
+            "worst_ratio_vs_exact": 0.0,
+            "worst_budget_ratio": 0.0,
+            "count": 0.0,
+        })
+        entry["count"] += 1
+        if m.ratio_vs_lp is not None:
+            entry["worst_ratio_vs_lp"] = max(entry["worst_ratio_vs_lp"], m.ratio_vs_lp)
+        if m.ratio_vs_exact is not None:
+            entry["worst_ratio_vs_exact"] = max(entry["worst_ratio_vs_exact"], m.ratio_vs_exact)
+        entry["worst_budget_ratio"] = max(entry["worst_budget_ratio"], m.budget_ratio)
+    return summary

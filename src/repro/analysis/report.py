@@ -1,0 +1,37 @@
+"""Plain-text table formatting shared by examples, benchmarks and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "format_float"]
+
+
+def format_float(value, digits: int = 3) -> str:
+    """Render numbers compactly (integers without trailing zeros)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int,)) or (isinstance(value, float) and value == int(value)):
+        return str(int(value))
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], digits: int = 3) -> str:
+    """Render a simple aligned ASCII table (used for stdout reproduction of
+    the paper's tables)."""
+    str_rows: List[List[str]] = [[format_float(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Baseline allocation strategies and the reuse-model ablation (Questions 1.1-1.3).
+
+The paper's central modelling choice is *where* resources may be reused:
+
+* **Question 1.1 -- no reuse**: every unit of space is dedicated to a single
+  reducer; the sum of all allocations must fit the budget.
+* **Question 1.2 -- global reuse**: a global memory manager recycles space
+  as soon as a reducer finishes; only the *peak concurrent* usage must fit
+  the budget.
+* **Question 1.3 -- reuse over paths** (the paper's problem): units flow
+  from source to sink and can serve every job on their path; the budget
+  bounds the source outflow.
+
+This module provides simple greedy critical-path heuristics under all three
+models (so that the ablation benchmark can compare them on identical
+instances) plus trivial reference points (no resource, uniform split).
+None of these carries a worst-case guarantee -- they are baselines, not the
+paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.core.dag import TradeoffDAG
+from repro.core.minflow import InfeasibleFlowError, allocation_min_budget
+from repro.core.problem import TradeoffSolution
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "no_resource_solution",
+    "uniform_split_solution",
+    "greedy_path_reuse",
+    "greedy_no_reuse",
+    "greedy_global_reuse",
+    "peak_resource_usage",
+]
+
+
+def no_resource_solution(dag: TradeoffDAG) -> TradeoffSolution:
+    """The trivial solution that uses no extra resource anywhere."""
+    makespan = dag.makespan_value({})
+    return TradeoffSolution(makespan=makespan, budget_used=0.0, allocation={},
+                            algorithm="no-resource")
+
+
+def uniform_split_solution(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+    """Split the budget evenly across the improvable jobs (no-reuse accounting).
+
+    Each job whose duration function has more than one breakpoint receives
+    ``floor(budget / #improvable)`` units, snapped down to a breakpoint.  The
+    reported ``budget_used`` is the *sum* of allocations (the conservative,
+    no-reuse accounting), so this baseline never overstates its efficiency.
+    """
+    check_non_negative(budget, "budget")
+    improvable = [j for j in dag.jobs if dag.duration_function(j).num_tuples() > 1]
+    allocation: Dict[Hashable, float] = {}
+    if improvable:
+        share = math.floor(budget / len(improvable))
+        for job in improvable:
+            fn = dag.duration_function(job)
+            snapped = 0.0
+            for level, _t in fn.tuples():
+                if level <= share:
+                    snapped = level
+            if snapped > 0:
+                allocation[job] = snapped
+    makespan = dag.makespan_value(allocation)
+    return TradeoffSolution(makespan=makespan, budget_used=float(sum(allocation.values())),
+                            allocation=allocation, algorithm="uniform-split",
+                            metadata={"budget": budget})
+
+
+def peak_resource_usage(dag: TradeoffDAG, allocation: Mapping[Hashable, float]) -> float:
+    """Peak concurrent resource usage of an allocation (global-reuse accounting).
+
+    Under the unbounded-processor schedule (every job starts as soon as its
+    predecessors finish), a job holds its allocated resource for exactly its
+    duration; the peak is the maximum total held at any instant.
+    """
+    result = dag.makespan(allocation)
+    events: List[Tuple[float, float]] = []  # (time, delta)
+    for job, finish in result.completion_times.items():
+        amount = allocation.get(job, 0.0)
+        if amount <= 0:
+            continue
+        duration = dag.duration_function(job).duration(amount)
+        start = finish - duration
+        events.append((start, amount))
+        events.append((finish, -amount))
+    # releases are processed before acquisitions at the same instant, matching
+    # the "deallocate right after the last update" semantics of Question 1.2
+    events.sort(key=lambda e: (e[0], e[1]))
+    peak = current = 0.0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak
+
+
+def _greedy(dag: TradeoffDAG, budget: float, cost_of: Callable[[Dict[Hashable, float]], float],
+            algorithm: str) -> TradeoffSolution:
+    """Generic greedy critical-path allocator.
+
+    Repeatedly considers the jobs on the current critical path; bumps the
+    one whose next breakpoint yields the largest makespan reduction per unit
+    of *additional feasibility cost* (as measured by ``cost_of``), as long
+    as the cost stays within the budget.  Stops when no bump improves the
+    makespan or fits the budget.
+    """
+    check_non_negative(budget, "budget")
+    dag = dag.ensure_single_source_sink()
+    allocation: Dict[Hashable, float] = {}
+
+    def makespan_of(alloc: Mapping[Hashable, float]) -> float:
+        return dag.makespan_value(alloc)
+
+    while True:
+        result = dag.makespan(allocation)
+        current = result.makespan
+        best_gain = -1.0
+        best_job: Optional[Hashable] = None
+        best_level: Optional[float] = None
+        for job in result.critical_path:
+            fn = dag.duration_function(job)
+            levels = [r for r, _t in fn.tuples()]
+            have = allocation.get(job, 0.0)
+            next_levels = [r for r in levels if r > have]
+            if not next_levels:
+                continue
+            level = next_levels[0]
+            trial = dict(allocation)
+            trial[job] = level
+            cost = cost_of(trial)
+            if cost > budget + 1e-9:
+                continue
+            gain = current - makespan_of(trial)
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                best_job = job
+                best_level = level
+        if best_job is None:
+            break
+        # Zero-gain bumps are accepted too: on wide fork-joins the makespan only
+        # drops once *every* critical job is bumped, so plateaus must be crossed.
+        allocation[best_job] = float(best_level)
+
+    final_cost = cost_of(allocation) if allocation else 0.0
+    return TradeoffSolution(
+        makespan=makespan_of(allocation),
+        budget_used=final_cost,
+        allocation=allocation,
+        algorithm=algorithm,
+        metadata={"budget": budget},
+    )
+
+
+def greedy_path_reuse(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+    """Greedy critical-path heuristic under the paper's path-reuse model (Question 1.3).
+
+    Feasibility of a candidate allocation is its minimum routing flow
+    (:func:`repro.core.minflow.allocation_min_budget`).
+    """
+    def cost(alloc: Dict[Hashable, float]) -> float:
+        if not alloc:
+            return 0.0
+        try:
+            value, _ = allocation_min_budget(dag, alloc)
+        except InfeasibleFlowError:  # pragma: no cover - defensive
+            return math.inf
+        return value
+
+    return _greedy(dag, budget, cost, "greedy-path-reuse")
+
+
+def greedy_no_reuse(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+    """Greedy critical-path heuristic when resources cannot be reused (Question 1.1)."""
+    return _greedy(dag, budget, lambda alloc: float(sum(alloc.values())), "greedy-no-reuse")
+
+
+def greedy_global_reuse(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+    """Greedy critical-path heuristic with global reuse (Question 1.2).
+
+    Feasibility of a candidate allocation is its peak concurrent usage under
+    the unbounded-processor schedule.
+    """
+    return _greedy(dag, budget, lambda alloc: peak_resource_usage(dag, alloc),
+                   "greedy-global-reuse")

@@ -1,0 +1,160 @@
+"""Approximation algorithms for recursive binary splitting durations.
+
+Two results from the paper are implemented:
+
+* **Theorem 3.10** -- a single-criteria 4-approximation for the
+  minimum-makespan problem: run the ``alpha = 1/2`` bi-criteria pipeline and
+  then halve every job's committed allocation (snapping down to a power-of-
+  two breakpoint).  Halving a recursive-binary allocation at most doubles
+  the duration, and the (2, 2) bi-criteria already pays a factor 2, giving
+  4 on makespan while the routed resource no longer exceeds the budget-
+  feasible optimum.
+
+* **Theorem 3.16 (Section 3.3)** -- an improved ``(4/3, 14/5)`` bi-criteria
+  algorithm: solve the LP, sum the fractional resource each job received
+  over its parallel chains, and round that sum to a power of two using the
+  asymmetric ``3 * 2^{i-1}`` threshold of Lemmas 3.11-3.15.  The rounded
+  requirements are then routed with a min-flow.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable
+
+from repro.core.arcdag import expand_to_two_tuples, node_to_arc_dag
+from repro.core.dag import TradeoffDAG
+from repro.core.flow import ResourceFlow
+from repro.core.lp import solve_min_makespan_lp
+from repro.core.minflow import min_flow_with_lower_bounds
+from repro.core.problem import TradeoffSolution
+from repro.core.rounding import round_lp_solution
+from repro.utils.validation import check_non_negative
+
+__all__ = [
+    "solve_min_makespan_binary",
+    "solve_min_makespan_binary_improved",
+    "round_binary_resource_section33",
+    "halve_binary_allocation",
+]
+
+
+def halve_binary_allocation(rounded_resource: float, duration) -> float:
+    """Theorem 3.10's repair step: halve and snap down to a breakpoint."""
+    target = rounded_resource / 2.0
+    snapped = 0.0
+    for level, _t in duration.tuples():
+        if level <= target:
+            snapped = level
+    return snapped
+
+
+def round_binary_resource_section33(fractional_resource: float, duration) -> float:
+    """Section 3.3 rounding of a job's summed fractional LP resource.
+
+    The rule (applied to ``r`` = the summed fractional resource):
+
+    * ``r < 1``                     -> 0
+    * ``2^i <= r < 3 * 2^(i-1)``     -> ``2^i``   (round down)
+    * ``3 * 2^(i-1) <= r < 2^(i+1)`` -> ``2^(i+1)`` (round up)
+
+    and the result never exceeds the largest useful breakpoint ``2^k`` of the
+    job's recursive-binary duration function (Lemma 3.15 guarantees the
+    rounded value is at most ``4/3`` times the fractional one).
+    """
+    levels = [r for r, _ in duration.tuples()]
+    max_useful = levels[-1]
+    r = fractional_resource
+    if r < 1.0:
+        return 0.0
+    i = int(math.floor(math.log2(r)))
+    low = float(2 ** i)
+    high = float(2 ** (i + 1))
+    threshold = 1.5 * low
+    rounded = low if r < threshold else high
+    rounded = min(rounded, max_useful)
+    snapped = 0.0
+    for level in levels:
+        if level <= rounded:
+            snapped = level
+    return snapped
+
+
+def _finalise(dag: TradeoffDAG, arc_dag, node_map, allocation, lp, algorithm, budget, guarantee,
+              extra=None) -> TradeoffSolution:
+    lower = {node_map.job_arc[job]: amount for job, amount in allocation.items() if amount > 0}
+    result = min_flow_with_lower_bounds(arc_dag, lower)
+    flow = ResourceFlow(arc_dag, result.flow)
+    flow.validate()
+    metadata = {
+        "lp_makespan": lp.makespan,
+        "lp_budget_used": lp.budget_used,
+        "budget": budget,
+        "guarantee": guarantee,
+    }
+    if extra:
+        metadata.update(extra)
+    return TradeoffSolution(
+        makespan=flow.makespan(),
+        budget_used=result.value,
+        allocation=allocation,
+        algorithm=algorithm,
+        lower_bound=lp.makespan,
+        metadata=metadata,
+    )
+
+
+def solve_min_makespan_binary(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+    """4-approximation for min-makespan with recursive binary splitting (Theorem 3.10)."""
+    check_non_negative(budget, "budget")
+    arc_dag, node_map = node_to_arc_dag(dag)
+    expansion = expand_to_two_tuples(arc_dag)
+    expanded = expansion.arc_dag
+
+    lp = solve_min_makespan_lp(expanded, budget)
+    if lp.status != "optimal":
+        return TradeoffSolution(makespan=math.inf, budget_used=math.inf,
+                                algorithm="binary-4approx",
+                                metadata={"status": "infeasible"})
+    rounded = round_lp_solution(expanded, lp, alpha=0.5)
+
+    normalized = dag.ensure_single_source_sink()
+    allocation: Dict[Hashable, float] = {}
+    for job, orig_arc_id in node_map.job_arc.items():
+        fn = normalized.duration_function(job)
+        rounded_resource = expansion.original_resource(orig_arc_id, rounded.lower_bounds)
+        allocation[job] = halve_binary_allocation(rounded_resource, fn)
+
+    return _finalise(dag, arc_dag, node_map, allocation, lp,
+                     algorithm="binary-4approx", budget=budget, guarantee=4.0)
+
+
+def solve_min_makespan_binary_improved(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+    """(4/3, 14/5) bi-criteria algorithm for recursive binary splitting (Theorem 3.16).
+
+    Returns a solution whose makespan is at most ``14/5`` times the LP lower
+    bound while the routed resource is at most ``4/3`` times the LP's
+    (budget-feasible) resource usage.
+    """
+    check_non_negative(budget, "budget")
+    arc_dag, node_map = node_to_arc_dag(dag)
+    expansion = expand_to_two_tuples(arc_dag)
+    expanded = expansion.arc_dag
+
+    lp = solve_min_makespan_lp(expanded, budget)
+    if lp.status != "optimal":
+        return TradeoffSolution(makespan=math.inf, budget_used=math.inf,
+                                algorithm="binary-improved-bicriteria",
+                                metadata={"status": "infeasible"})
+
+    normalized = dag.ensure_single_source_sink()
+    allocation: Dict[Hashable, float] = {}
+    for job, orig_arc_id in node_map.job_arc.items():
+        fn = normalized.duration_function(job)
+        fractional = expansion.original_resource(orig_arc_id, lp.flows)
+        allocation[job] = round_binary_resource_section33(fractional, fn)
+
+    return _finalise(dag, arc_dag, node_map, allocation, lp,
+                     algorithm="binary-improved-bicriteria", budget=budget,
+                     guarantee=(4.0 / 3.0, 14.0 / 5.0),
+                     extra={"resource_guarantee": 4.0 / 3.0, "makespan_guarantee": 14.0 / 5.0})

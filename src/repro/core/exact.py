@@ -1,0 +1,340 @@
+"""Exact solvers for small instances.
+
+The paper proves the problems strongly NP-hard (Section 4), so no exact
+polynomial algorithm exists in general.  This module provides exact solvers
+that are practical for the *small* instances used to (a) measure empirical
+approximation ratios against the true optimum and (b) verify the hardness
+reductions end to end:
+
+* :func:`exact_min_makespan` / :func:`exact_min_resource` -- exhaustive
+  enumeration over per-job breakpoint allocations of an activity-on-node
+  DAG, with a min-flow feasibility check for each candidate allocation
+  (resources are reused over paths, so an allocation is feasible for budget
+  ``B`` iff its minimum routing flow is at most ``B``).
+* :func:`exact_min_resource_arcs` / :func:`exact_min_makespan_arcs` --
+  branch-and-bound over the expedite/not-expedite decisions of the arcs of
+  an activity-on-arc DAG whose arcs carry at most two resource-time tuples
+  (the natural form of the hardness gadgets).  The search prunes with
+  optimistic longest paths and monotone min-flow lower bounds, making the
+  1-in-3SAT and Partition constructions of Section 4 tractable for small
+  formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.arcdag import Arc, ArcDAG, node_to_arc_dag
+from repro.core.dag import TradeoffDAG
+from repro.core.flow import ResourceFlow
+from repro.core.minflow import InfeasibleFlowError, min_flow_with_lower_bounds
+from repro.core.problem import TradeoffSolution
+from repro.utils.ordering import topological_order
+from repro.utils.validation import check_non_negative, require
+
+__all__ = [
+    "exact_min_makespan",
+    "exact_min_resource",
+    "exact_min_resource_arcs",
+    "exact_min_makespan_arcs",
+    "ExactSearchLimit",
+]
+
+
+class ExactSearchLimit(RuntimeError):
+    """Raised when an exhaustive search would exceed its combination limit."""
+
+
+# ----------------------------------------------------------------------
+# activity-on-node exhaustive solvers
+# ----------------------------------------------------------------------
+def _candidate_levels(dag: TradeoffDAG, budget: Optional[float]) -> Dict[Hashable, List[float]]:
+    levels: Dict[Hashable, List[float]] = {}
+    for job in dag.jobs:
+        fn = dag.duration_function(job)
+        opts = [r for r, _t in fn.tuples()]
+        if budget is not None:
+            opts = [r for r in opts if r <= budget]
+            if not opts:
+                opts = [0.0]
+        levels[job] = opts
+    return levels
+
+
+def _combination_count(levels: Mapping[Hashable, Sequence[float]]) -> int:
+    count = 1
+    for opts in levels.values():
+        count *= len(opts)
+        if count > 10 ** 12:
+            break
+    return count
+
+
+def exact_min_makespan(dag: TradeoffDAG, budget: float,
+                       max_combinations: int = 200_000) -> TradeoffSolution:
+    """Exact minimum makespan under budget ``budget`` (reuse over paths).
+
+    Enumerates every combination of per-job breakpoint allocations, keeps
+    those whose minimum routing flow fits in the budget, and returns the
+    best makespan.  Raises :class:`ExactSearchLimit` if the number of
+    combinations exceeds ``max_combinations``.
+    """
+    check_non_negative(budget, "budget")
+    dag = dag.ensure_single_source_sink()
+    dag.validate()
+    levels = _candidate_levels(dag, budget)
+    count = _combination_count(levels)
+    if count > max_combinations:
+        raise ExactSearchLimit(
+            f"{count} allocation combinations exceed the limit of {max_combinations}")
+
+    arc_dag, mapping = node_to_arc_dag(dag)
+    jobs = list(levels)
+    best: Optional[TradeoffSolution] = None
+    for combo in itertools.product(*(levels[j] for j in jobs)):
+        allocation = dict(zip(jobs, combo))
+        makespan = dag.makespan_value(allocation)
+        if best is not None and makespan >= best.makespan:
+            continue
+        lower = {mapping.job_arc[j]: allocation[j] for j in jobs if allocation[j] > 0}
+        try:
+            result = min_flow_with_lower_bounds(arc_dag, lower)
+        except InfeasibleFlowError:
+            continue
+        if result.value > budget + 1e-9:
+            continue
+        best = TradeoffSolution(
+            makespan=makespan,
+            budget_used=result.value,
+            allocation=dict(allocation),
+            algorithm="exact-enumeration",
+            lower_bound=makespan,
+            metadata={"budget": budget, "combinations": count},
+        )
+    if best is None:
+        # budget 0 / no feasible routing: the empty allocation is always feasible
+        makespan = dag.makespan_value({})
+        best = TradeoffSolution(makespan=makespan, budget_used=0.0, allocation={},
+                                algorithm="exact-enumeration", lower_bound=makespan,
+                                metadata={"budget": budget, "combinations": count})
+    return best
+
+
+def exact_min_resource(dag: TradeoffDAG, target_makespan: float,
+                       max_combinations: int = 200_000) -> TradeoffSolution:
+    """Exact minimum budget achieving ``makespan <= target_makespan``."""
+    check_non_negative(target_makespan, "target_makespan")
+    dag = dag.ensure_single_source_sink()
+    dag.validate()
+    levels = _candidate_levels(dag, None)
+    count = _combination_count(levels)
+    if count > max_combinations:
+        raise ExactSearchLimit(
+            f"{count} allocation combinations exceed the limit of {max_combinations}")
+
+    arc_dag, mapping = node_to_arc_dag(dag)
+    jobs = list(levels)
+    best: Optional[TradeoffSolution] = None
+    for combo in itertools.product(*(levels[j] for j in jobs)):
+        allocation = dict(zip(jobs, combo))
+        makespan = dag.makespan_value(allocation)
+        if makespan > target_makespan + 1e-9:
+            continue
+        lower = {mapping.job_arc[j]: allocation[j] for j in jobs if allocation[j] > 0}
+        try:
+            result = min_flow_with_lower_bounds(arc_dag, lower)
+        except InfeasibleFlowError:
+            continue
+        if best is None or result.value < best.budget_used:
+            best = TradeoffSolution(
+                makespan=makespan,
+                budget_used=result.value,
+                allocation=dict(allocation),
+                algorithm="exact-enumeration-minresource",
+                resource_lower_bound=result.value,
+                metadata={"target_makespan": target_makespan, "combinations": count},
+            )
+    if best is None:
+        return TradeoffSolution(makespan=math.inf, budget_used=math.inf, allocation={},
+                                algorithm="exact-enumeration-minresource",
+                                metadata={"status": "infeasible",
+                                          "target_makespan": target_makespan})
+    return best
+
+
+# ----------------------------------------------------------------------
+# activity-on-arc branch and bound
+# ----------------------------------------------------------------------
+@dataclass
+class _ArcChoice:
+    arc: Arc
+    base_time: float
+    improved_time: float
+    requirement: float
+
+
+def _arc_choices(arc_dag: ArcDAG) -> List[_ArcChoice]:
+    choices: List[_ArcChoice] = []
+    for arc in arc_dag.arcs:
+        tuples = arc.duration.tuples()
+        require(len(tuples) <= 2,
+                f"arc {arc.arc_id} has more than two tuples; expand_to_two_tuples first")
+        if len(tuples) == 2 and tuples[0][1] > tuples[1][1]:
+            choices.append(_ArcChoice(arc, tuples[0][1], tuples[1][1], tuples[1][0]))
+    return choices
+
+
+def _longest_path(arc_dag: ArcDAG, durations: Mapping[str, float]) -> float:
+    times: Dict[Hashable, float] = {}
+    for v in arc_dag.topological_vertices():
+        in_arcs = arc_dag.in_arcs(v)
+        if not in_arcs:
+            times[v] = 0.0
+            continue
+        times[v] = max(times[a.tail] + durations.get(a.arc_id, a.base_time) for a in in_arcs)
+    return times.get(arc_dag.sink, 0.0)
+
+
+def exact_min_resource_arcs(arc_dag: ArcDAG, target_makespan: float,
+                            node_limit: int = 2_000_000) -> Tuple[float, Dict[str, float]]:
+    """Exact minimum budget for an activity-on-arc DAG with <=2-tuple arcs.
+
+    Performs branch and bound over the expedite decisions of the improvable
+    arcs; returns ``(budget, flow)`` where ``flow`` realises the optimum, or
+    ``(inf, {})`` when the target makespan is unachievable even with every
+    arc expedited.
+
+    ``node_limit`` bounds the number of search nodes explored (a
+    :class:`ExactSearchLimit` is raised beyond it).
+    """
+    check_non_negative(target_makespan, "target_makespan")
+    arc_dag.validate()
+    choices = _arc_choices(arc_dag)
+    base_durations = {arc.arc_id: arc.base_time for arc in arc_dag.arcs}
+
+    # Optimistic check: all improvable arcs expedited.
+    optimistic = dict(base_durations)
+    for choice in choices:
+        optimistic[choice.arc.arc_id] = choice.improved_time
+    if _longest_path(arc_dag, optimistic) > target_makespan + 1e-9:
+        return math.inf, {}
+
+    # Order arcs by decreasing potential duration saving: deciding the most
+    # influential arcs first tightens the bounds quickly.
+    choices.sort(key=lambda c: c.base_time - c.improved_time, reverse=True)
+
+    best_value = math.inf
+    best_flow: Dict[str, float] = {}
+    explored = 0
+
+    def search(index: int, expedited: Dict[str, float], durations: Dict[str, float]) -> None:
+        nonlocal best_value, best_flow, explored
+        explored += 1
+        if explored > node_limit:
+            raise ExactSearchLimit(f"branch-and-bound exceeded {node_limit} nodes")
+
+        # Bound 1: optimistic makespan (undecided arcs expedited) must meet target.
+        optimistic_durations = dict(durations)
+        for choice in choices[index:]:
+            optimistic_durations[choice.arc.arc_id] = choice.improved_time
+        if _longest_path(arc_dag, optimistic_durations) > target_makespan + 1e-9:
+            return
+
+        # Bound 2: the min-flow of the already-committed requirements can only
+        # grow as more arcs are expedited.
+        try:
+            partial = min_flow_with_lower_bounds(arc_dag, expedited)
+        except InfeasibleFlowError:
+            return
+        if partial.value >= best_value - 1e-9:
+            return
+
+        if index == len(choices):
+            makespan = _longest_path(arc_dag, durations)
+            if makespan <= target_makespan + 1e-9 and partial.value < best_value:
+                best_value = partial.value
+                best_flow = partial.flow
+            return
+
+        choice = choices[index]
+        # Branch A: do not expedite (cheaper in resources, tried first).
+        durations_no = dict(durations)
+        durations_no[choice.arc.arc_id] = choice.base_time
+        search(index + 1, expedited, durations_no)
+        # Branch B: expedite.
+        durations_yes = dict(durations)
+        durations_yes[choice.arc.arc_id] = choice.improved_time
+        expedited_yes = dict(expedited)
+        expedited_yes[choice.arc.arc_id] = choice.requirement
+        search(index + 1, expedited_yes, durations_yes)
+
+    search(0, {}, dict(base_durations))
+    return best_value, best_flow
+
+
+def exact_min_makespan_arcs(arc_dag: ArcDAG, budget: float,
+                            node_limit: int = 2_000_000) -> Tuple[float, Dict[str, float]]:
+    """Exact minimum makespan for an activity-on-arc DAG with <=2-tuple arcs.
+
+    Branch and bound over expedite decisions, pruning with (a) the
+    optimistic longest path, which lower-bounds every completion of the
+    current partial assignment, and (b) the monotone min-flow of the
+    committed requirements, which must stay within the budget.
+    Returns ``(makespan, flow)``.
+    """
+    check_non_negative(budget, "budget")
+    arc_dag.validate()
+    choices = _arc_choices(arc_dag)
+    base_durations = {arc.arc_id: arc.base_time for arc in arc_dag.arcs}
+    choices.sort(key=lambda c: c.base_time - c.improved_time, reverse=True)
+
+    best_value = math.inf
+    best_flow: Dict[str, float] = {}
+    explored = 0
+
+    def search(index: int, expedited: Dict[str, float], durations: Dict[str, float]) -> None:
+        nonlocal best_value, best_flow, explored
+        explored += 1
+        if explored > node_limit:
+            raise ExactSearchLimit(f"branch-and-bound exceeded {node_limit} nodes")
+
+        optimistic_durations = dict(durations)
+        for choice in choices[index:]:
+            optimistic_durations[choice.arc.arc_id] = choice.improved_time
+        if _longest_path(arc_dag, optimistic_durations) >= best_value - 1e-9:
+            return
+
+        try:
+            partial = min_flow_with_lower_bounds(arc_dag, expedited)
+        except InfeasibleFlowError:
+            return
+        if partial.value > budget + 1e-9:
+            return
+
+        if index == len(choices):
+            makespan = _longest_path(arc_dag, durations)
+            if makespan < best_value:
+                best_value = makespan
+                best_flow = partial.flow
+            return
+
+        choice = choices[index]
+        durations_yes = dict(durations)
+        durations_yes[choice.arc.arc_id] = choice.improved_time
+        expedited_yes = dict(expedited)
+        expedited_yes[choice.arc.arc_id] = choice.requirement
+        search(index + 1, expedited_yes, durations_yes)
+
+        durations_no = dict(durations)
+        durations_no[choice.arc.arc_id] = choice.base_time
+        search(index + 1, expedited, durations_no)
+
+    search(0, {}, dict(base_durations))
+    if math.isinf(best_value):
+        # No allocation at all is always feasible for budget >= 0.
+        best_value = _longest_path(arc_dag, base_durations)
+        best_flow = {}
+    return best_value, best_flow

@@ -1,0 +1,162 @@
+"""Resource flows over activity-on-arc DAGs.
+
+A *solution* to the resource-time tradeoff problem with reuse over paths
+(Question 1.3) is a flow of resource units from the source to the sink of
+the DAG: conservation holds at every internal event vertex, the amount
+leaving the source is the budget actually consumed, and the duration of
+every arc is its duration function evaluated at the flow it carries.
+
+:class:`ResourceFlow` packages a flow assignment together with the derived
+quantities the paper reasons about -- event times, makespan and the critical
+path -- and validates conservation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.core.arcdag import Arc, ArcDAG
+from repro.utils.validation import check_non_negative, require
+
+__all__ = ["ResourceFlow", "FlowValidationError"]
+
+
+class FlowValidationError(ValueError):
+    """Raised when a flow assignment violates conservation or non-negativity."""
+
+
+@dataclass
+class ResourceFlow:
+    """A source-to-sink resource flow on an :class:`ArcDAG`.
+
+    Parameters
+    ----------
+    arc_dag:
+        The DAG the flow lives on.
+    flow:
+        ``arc id -> flow value``; arcs absent from the mapping carry 0.
+    tolerance:
+        Numerical slack used when validating conservation (flows produced by
+        the LP relaxation are floating point).
+    """
+
+    arc_dag: ArcDAG
+    flow: Dict[str, float] = field(default_factory=dict)
+    tolerance: float = 1e-7
+
+    # ------------------------------------------------------------------
+    # validation and bookkeeping
+    # ------------------------------------------------------------------
+    def flow_on(self, arc_id: str) -> float:
+        """Flow carried by arc ``arc_id`` (0 if unassigned)."""
+        return self.flow.get(arc_id, 0.0)
+
+    def budget_used(self) -> float:
+        """Total resource leaving the source (the consumed budget)."""
+        return sum(self.flow_on(a.arc_id) for a in self.arc_dag.out_arcs(self.arc_dag.source))
+
+    def validate(self) -> None:
+        """Check non-negativity and flow conservation at internal vertices.
+
+        Raises
+        ------
+        FlowValidationError
+            If any flow is negative or conservation fails beyond
+            :attr:`tolerance`.
+        """
+        for arc_id, value in self.flow.items():
+            if value < -self.tolerance:
+                raise FlowValidationError(f"negative flow {value} on arc {arc_id}")
+        for v in self.arc_dag.vertices:
+            if v in (self.arc_dag.source, self.arc_dag.sink):
+                continue
+            inflow = sum(self.flow_on(a.arc_id) for a in self.arc_dag.in_arcs(v))
+            outflow = sum(self.flow_on(a.arc_id) for a in self.arc_dag.out_arcs(v))
+            if abs(inflow - outflow) > self.tolerance * max(1.0, inflow, outflow):
+                raise FlowValidationError(
+                    f"flow conservation violated at vertex {v!r}: in={inflow} out={outflow}"
+                )
+        src_out = self.budget_used()
+        sink_in = sum(self.flow_on(a.arc_id) for a in self.arc_dag.in_arcs(self.arc_dag.sink))
+        if abs(src_out - sink_in) > self.tolerance * max(1.0, src_out, sink_in):
+            raise FlowValidationError(
+                f"source outflow {src_out} does not match sink inflow {sink_in}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived schedule quantities
+    # ------------------------------------------------------------------
+    def arc_duration(self, arc: Arc) -> float:
+        """Duration of ``arc`` given the flow it carries."""
+        return arc.duration.duration(self.flow_on(arc.arc_id))
+
+    def arc_durations(self) -> Dict[str, float]:
+        """``arc id -> realised duration`` for every arc."""
+        return {a.arc_id: self.arc_duration(a) for a in self.arc_dag.arcs}
+
+    def event_times(self) -> Dict[Hashable, float]:
+        """Earliest event time of every vertex (longest path by realised durations).
+
+        The source occurs at time 0; an event occurs when all arcs entering
+        it have completed (constraint 7 of the LP, taken with equality).
+        """
+        order = self.arc_dag.topological_vertices()
+        times: Dict[Hashable, float] = {}
+        for v in order:
+            in_arcs = self.arc_dag.in_arcs(v)
+            if not in_arcs:
+                times[v] = 0.0
+                continue
+            best = 0.0
+            for arc in in_arcs:
+                tail_time = times.get(arc.tail, 0.0)
+                cand = tail_time + self.arc_duration(arc)
+                if cand > best:
+                    best = cand
+            times[v] = best
+        return times
+
+    def makespan(self) -> float:
+        """Time at which the sink event occurs."""
+        return self.event_times().get(self.arc_dag.sink, 0.0)
+
+    def critical_path(self) -> List[Arc]:
+        """One maximising source-to-sink path (list of arcs)."""
+        times = self.event_times()
+        path: List[Arc] = []
+        v = self.arc_dag.sink
+        while v != self.arc_dag.source:
+            in_arcs = self.arc_dag.in_arcs(v)
+            if not in_arcs:
+                break
+            best_arc = None
+            for arc in in_arcs:
+                if abs(times[arc.tail] + self.arc_duration(arc) - times[v]) <= 1e-9 + self.tolerance:
+                    best_arc = arc
+                    break
+            if best_arc is None:
+                best_arc = max(in_arcs, key=lambda a: times[a.tail] + self.arc_duration(a))
+            path.append(best_arc)
+            v = best_arc.tail
+        path.reverse()
+        return path
+
+    def job_resources(self, job_arc_ids: Mapping[Hashable, str]) -> Dict[Hashable, float]:
+        """Resource received by each job given the ``job -> arc id`` mapping."""
+        return {job: self.flow_on(arc_id) for job, arc_id in job_arc_ids.items()}
+
+    def rounded(self, digits: int = 9) -> "ResourceFlow":
+        """Return a copy with flows rounded to ``digits`` decimals (for reporting)."""
+        return ResourceFlow(self.arc_dag, {k: round(v, digits) for k, v in self.flow.items()},
+                            self.tolerance)
+
+    def is_integral(self, tol: float = 1e-6) -> bool:
+        """Whether every flow value is (numerically) an integer."""
+        return all(abs(v - round(v)) <= tol for v in self.flow.values())
+
+    def summary(self) -> str:
+        """Short human-readable summary used by examples and benchmarks."""
+        return (f"ResourceFlow(budget_used={self.budget_used():.3f}, "
+                f"makespan={self.makespan():.3f}, arcs={len(self.flow)})")

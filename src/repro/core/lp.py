@@ -1,0 +1,258 @@
+"""Linear-programming relaxation of the resource-time tradeoff problem.
+
+This module implements LP (6)-(10) of Section 3.1: after the activity-on-arc
+and two-tuple transformations, every job arc either has two resource-time
+tuples ``{<0, t(0)>, <r_e, 0>}`` or a single tuple ``{<0, t(0)>}``.  The LP
+relaxes the two-tuple arcs to the linear duration
+
+    ``t_e(f) = t_e(0) * (1 - f / r_e)``   for ``f in [0, r_e]``
+
+(the straight line through the two tuples), keeps single-tuple arcs at their
+constant duration, models resource reuse over paths as a source-to-sink flow
+with conservation at every internal vertex, and bounds the source outflow by
+the budget ``B``.
+
+Two objectives are supported, matching the two problems of Section 2:
+
+* **min-makespan** -- minimise ``T_t`` subject to the budget (LP 6-10);
+* **min-resource** -- minimise the source outflow subject to ``T_t <= T``.
+
+The solver is ``scipy.optimize.linprog`` (HiGHS).  Infinite base durations
+(used by the hardness gadgets) are replaced by a "big M" exceeding the sum
+of all finite durations, which preserves optima for every instance in which
+a finite-makespan solution exists.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.core.arcdag import Arc, ArcDAG
+from repro.utils.validation import check_non_negative, require
+
+__all__ = ["LPSolution", "RelaxedArc", "build_relaxed_arcs", "solve_min_makespan_lp",
+           "solve_min_resource_lp", "linear_relaxed_duration"]
+
+
+@dataclass(frozen=True)
+class RelaxedArc:
+    """Per-arc data used by the LP: base time, full resource and big-M substitution."""
+
+    arc: Arc
+    base_time: float
+    full_resource: float
+    capped: bool  # True when f_e is bounded above by full_resource (two-tuple arcs)
+
+
+def _big_m(arc_dag: ArcDAG) -> float:
+    finite = arc_dag.total_finite_base_time()
+    return max(finite * 4.0 + 16.0, 1024.0)
+
+
+def build_relaxed_arcs(arc_dag: ArcDAG, big_m: Optional[float] = None) -> Dict[str, RelaxedArc]:
+    """Compute the relaxed (linearised) view of every arc.
+
+    Arcs must carry at most two resource-time tuples (run
+    :func:`repro.core.arcdag.expand_to_two_tuples` first); a ``ValueError``
+    is raised otherwise.
+    """
+    if big_m is None:
+        big_m = _big_m(arc_dag)
+    relaxed: Dict[str, RelaxedArc] = {}
+    for arc in arc_dag.arcs:
+        tuples = arc.duration.tuples()
+        require(len(tuples) <= 2,
+                f"arc {arc.arc_id} has {len(tuples)} tuples; expand_to_two_tuples first")
+        t0 = tuples[0][1]
+        if math.isinf(t0):
+            t0 = big_m
+        if len(tuples) == 2:
+            # Relaxation interpolates linearly between <0, t(0)> and
+            # <r_full, t(r_full)>; the canonical two-tuple form has
+            # t(r_full) == 0 but a non-zero improved duration is supported.
+            r_full = tuples[1][0]
+            relaxed[arc.arc_id] = RelaxedArc(arc, t0, r_full, True)
+        else:
+            relaxed[arc.arc_id] = RelaxedArc(arc, t0, 0.0, False)
+    return relaxed
+
+
+def linear_relaxed_duration(relaxed: RelaxedArc, flow: float) -> float:
+    """The LP's linearised duration of an arc carrying ``flow`` resource.
+
+    Two-tuple arcs interpolate linearly between ``<0, t(0)>`` and
+    ``<r_e, t(r_e)>``; other arcs are constant.
+    """
+    arc = relaxed.arc
+    t0 = relaxed.base_time
+    if not relaxed.capped or relaxed.full_resource <= 0:
+        return t0
+    t_full = arc.duration.tuples()[1][1]
+    frac = min(max(flow / relaxed.full_resource, 0.0), 1.0)
+    return t0 + (t_full - t0) * frac
+
+
+@dataclass
+class LPSolution:
+    """Solution of the relaxed problem.
+
+    Attributes
+    ----------
+    status:
+        ``"optimal"`` or ``"infeasible"`` (other scipy statuses raise).
+    objective:
+        Objective value (makespan for min-makespan, budget for min-resource).
+    flows:
+        ``arc id -> fractional flow``.
+    times:
+        ``vertex -> event time`` in the relaxed schedule.
+    makespan:
+        Event time of the sink vertex.
+    budget_used:
+        Source outflow in the relaxed solution.
+    relaxed_arcs:
+        The per-arc relaxation data (handy for rounding).
+    """
+
+    status: str
+    objective: float
+    flows: Dict[str, float] = field(default_factory=dict)
+    times: Dict[Hashable, float] = field(default_factory=dict)
+    makespan: float = 0.0
+    budget_used: float = 0.0
+    relaxed_arcs: Dict[str, RelaxedArc] = field(default_factory=dict)
+
+    def relaxed_duration(self, arc_id: str) -> float:
+        """Linearised duration of ``arc_id`` under this solution's flow."""
+        return linear_relaxed_duration(self.relaxed_arcs[arc_id], self.flows.get(arc_id, 0.0))
+
+
+def _solve(arc_dag: ArcDAG, budget: Optional[float], makespan_cap: Optional[float],
+           objective: str, big_m: Optional[float]) -> LPSolution:
+    arc_dag.validate()
+    relaxed = build_relaxed_arcs(arc_dag, big_m)
+    arcs = arc_dag.arcs
+    vertices = arc_dag.vertices
+    arc_index = {a.arc_id: i for i, a in enumerate(arcs)}
+    vertex_index = {v: len(arcs) + j for j, v in enumerate(vertices)}
+    n_vars = len(arcs) + len(vertices)
+
+    rows_ub: List[Tuple[Dict[int, float], float]] = []
+    rows_eq: List[Tuple[Dict[int, float], float]] = []
+
+    # Precedence constraints (constraint 7): the relaxed duration of arc e is
+    # t0 - slope * f_e, so  T_tail + t0 - slope * f_e <= T_head, i.e.
+    #   T_tail - T_head - slope * f_e <= -t0 .
+    for arc in arcs:
+        rel = relaxed[arc.arc_id]
+        row: Dict[int, float] = {
+            vertex_index[arc.tail]: 1.0,
+            vertex_index[arc.head]: -1.0,
+        }
+        t0 = rel.base_time
+        if rel.capped and rel.full_resource > 0:
+            t_full = arc.duration.tuples()[1][1]
+            slope = (t0 - t_full) / rel.full_resource
+            row[arc_index[arc.arc_id]] = -slope
+            rows_ub.append((row, -t0))
+        else:
+            rows_ub.append((row, -t0))
+
+    # Flow conservation at internal vertices.
+    for v in vertices:
+        if v in (arc_dag.source, arc_dag.sink):
+            continue
+        row = {}
+        for a in arc_dag.out_arcs(v):
+            row[arc_index[a.arc_id]] = row.get(arc_index[a.arc_id], 0.0) + 1.0
+        for a in arc_dag.in_arcs(v):
+            row[arc_index[a.arc_id]] = row.get(arc_index[a.arc_id], 0.0) - 1.0
+        rows_eq.append((row, 0.0))
+
+    # Budget constraint on source outflow.
+    source_arcs = [arc_index[a.arc_id] for a in arc_dag.out_arcs(arc_dag.source)]
+    if budget is not None:
+        row = {i: 1.0 for i in source_arcs}
+        rows_ub.append((row, float(budget)))
+
+    # Bounds.
+    bounds: List[Tuple[float, Optional[float]]] = []
+    for arc in arcs:
+        rel = relaxed[arc.arc_id]
+        if rel.capped:
+            bounds.append((0.0, rel.full_resource))
+        else:
+            bounds.append((0.0, None))
+    for v in vertices:
+        if v == arc_dag.source:
+            bounds.append((0.0, 0.0))
+        elif v == arc_dag.sink and makespan_cap is not None:
+            bounds.append((0.0, float(makespan_cap)))
+        else:
+            bounds.append((0.0, None))
+
+    c = np.zeros(n_vars)
+    if objective == "makespan":
+        c[vertex_index[arc_dag.sink]] = 1.0
+    elif objective == "resource":
+        for i in source_arcs:
+            c[i] = 1.0
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown objective {objective!r}")
+
+    def to_sparse(rows):
+        if not rows:
+            return None, None
+        data, indices, indptr, rhs = [], [], [0], []
+        for row, b in rows:
+            for idx, coeff in row.items():
+                data.append(coeff)
+                indices.append(idx)
+            indptr.append(len(data))
+            rhs.append(b)
+        mat = csr_matrix((data, indices, indptr), shape=(len(rows), n_vars))
+        return mat, np.array(rhs)
+
+    A_ub, b_ub = to_sparse(rows_ub)
+    A_eq, b_eq = to_sparse(rows_eq)
+
+    res = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds,
+                  method="highs")
+    if res.status == 2:
+        return LPSolution(status="infeasible", objective=math.inf, relaxed_arcs=relaxed)
+    if not res.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"LP solver failed: {res.message}")
+
+    x = res.x
+    flows = {a.arc_id: float(max(x[arc_index[a.arc_id]], 0.0)) for a in arcs}
+    times = {v: float(x[vertex_index[v]]) for v in vertices}
+    budget_used = float(sum(flows[a.arc_id] for a in arc_dag.out_arcs(arc_dag.source)))
+    return LPSolution(
+        status="optimal",
+        objective=float(res.fun),
+        flows=flows,
+        times=times,
+        makespan=times[arc_dag.sink],
+        budget_used=budget_used,
+        relaxed_arcs=relaxed,
+    )
+
+
+def solve_min_makespan_lp(arc_dag: ArcDAG, budget: float, big_m: Optional[float] = None) -> LPSolution:
+    """Solve LP (6)-(10): minimise the sink event time under a resource budget."""
+    check_non_negative(budget, "budget")
+    return _solve(arc_dag, budget=budget, makespan_cap=None, objective="makespan", big_m=big_m)
+
+
+def solve_min_resource_lp(arc_dag: ArcDAG, target_makespan: float,
+                          big_m: Optional[float] = None) -> LPSolution:
+    """Solve the min-resource variant: minimise source outflow with ``T_t <= target``."""
+    check_non_negative(target_makespan, "target_makespan")
+    return _solve(arc_dag, budget=None, makespan_cap=target_makespan,
+                  objective="resource", big_m=big_m)

@@ -1,0 +1,100 @@
+"""Problem statements and solution records.
+
+The paper distinguishes two optimisation problems on the same input
+(Section 2):
+
+* **Minimum-Makespan** -- given a resource budget ``B``, route resources
+  along source-to-sink paths so that the makespan is minimised.
+* **Minimum-Resource** -- given a target makespan ``T``, minimise the amount
+  of resource flowing out of the source.
+
+The dataclasses below are used uniformly by the exact solvers, the
+approximation algorithms and the baselines, so that experiments can compare
+them without caring which algorithm produced a solution.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Mapping, Optional
+
+from repro.core.dag import TradeoffDAG
+from repro.utils.validation import check_non_negative, require
+
+__all__ = ["MinMakespanProblem", "MinResourceProblem", "TradeoffSolution"]
+
+
+@dataclass(frozen=True)
+class MinMakespanProblem:
+    """Minimise the makespan of ``dag`` under resource budget ``budget``."""
+
+    dag: TradeoffDAG
+    budget: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.budget, "budget")
+        self.dag.validate()
+
+
+@dataclass(frozen=True)
+class MinResourceProblem:
+    """Minimise the routed resource subject to ``makespan <= target_makespan``."""
+
+    dag: TradeoffDAG
+    target_makespan: float
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.target_makespan, "target_makespan")
+        self.dag.validate()
+
+
+@dataclass
+class TradeoffSolution:
+    """A solution to either problem, in the allocation view.
+
+    Attributes
+    ----------
+    makespan:
+        Realised makespan of the DAG under :attr:`allocation`.
+    budget_used:
+        Total resource leaving the source in the realising flow.
+    allocation:
+        ``job -> resource units available to that job`` (the amount of flow
+        routed through its vertex).
+    algorithm:
+        Name of the algorithm that produced the solution.
+    lower_bound:
+        A valid lower bound on the optimal makespan (e.g. the LP optimum)
+        when the producing algorithm knows one; ``None`` otherwise.
+    resource_lower_bound:
+        A valid lower bound on the optimal budget for min-resource runs.
+    metadata:
+        Free-form extra data (LP values, rounding threshold, timings, ...).
+    """
+
+    makespan: float
+    budget_used: float
+    allocation: Dict[Hashable, float] = field(default_factory=dict)
+    algorithm: str = ""
+    lower_bound: Optional[float] = None
+    resource_lower_bound: Optional[float] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def approximation_ratio(self, optimum: float) -> float:
+        """Makespan ratio against a known optimum (inf if optimum is 0 and we are not)."""
+        if optimum == 0:
+            return 1.0 if self.makespan == 0 else math.inf
+        return self.makespan / optimum
+
+    def budget_ratio(self, budget: float) -> float:
+        """Resource blow-up relative to the stated budget (bi-criteria view)."""
+        if budget == 0:
+            return 1.0 if self.budget_used == 0 else math.inf
+        return self.budget_used / budget
+
+    def summary(self) -> str:
+        """One-line human-readable description used by examples."""
+        lb = f", lower_bound={self.lower_bound:.3f}" if self.lower_bound is not None else ""
+        return (f"{self.algorithm or 'solution'}: makespan={self.makespan:.3f}, "
+                f"budget_used={self.budget_used:.3f}{lb}")

@@ -1,0 +1,99 @@
+"""α-threshold rounding of the fractional LP solution (Section 3.1).
+
+After solving LP (6)-(10), every two-tuple arc ``e`` carries a fractional
+flow ``f*_e`` and hence a fractional relaxed duration ``t_e(f*_e)`` in
+``[0, t_e(0)]``.  The rounding rule splits this range at ``α * t_e(0)``:
+
+* if ``t_e(f*_e) < α * t_e(0)`` the duration is rounded **down to 0**, which
+  commits the arc to receiving its full resource requirement ``r_e``
+  (resource inflated by at most ``1 / (1 - α)``);
+* otherwise the duration is rounded **up to** ``t_e(0)`` and the arc needs no
+  resource (duration inflated by at most ``1 / α``).
+
+The resulting integral requirements ``f'_e ∈ {0, r_e}`` become the lower
+bounds of the min-flow problem (LP 11-13), whose integral optimum is the
+final bi-criteria solution (Lemmas 3.2-3.3, Theorem 3.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.core.arcdag import ArcDAG
+from repro.core.lp import LPSolution, linear_relaxed_duration
+from repro.utils.validation import check_non_negative, require
+from repro.utils.validation import check_open_unit_interval
+
+__all__ = ["RoundedRequirements", "round_lp_solution"]
+
+
+@dataclass
+class RoundedRequirements:
+    """Integral per-arc resource requirements produced by the α-rounding.
+
+    Attributes
+    ----------
+    alpha:
+        The threshold used.
+    lower_bounds:
+        ``arc id -> required resource`` (0 for arcs rounded up; ``r_e`` for
+        arcs rounded down to duration 0).
+    rounded_durations:
+        ``arc id -> duration after rounding`` (``0`` or ``t_e(0)``), for all
+        non-dummy arcs.
+    """
+
+    alpha: float
+    lower_bounds: Dict[str, float] = field(default_factory=dict)
+    rounded_durations: Dict[str, float] = field(default_factory=dict)
+
+    def expedited_arcs(self) -> Dict[str, float]:
+        """Arcs committed to full resource (requirement > 0)."""
+        return {a: r for a, r in self.lower_bounds.items() if r > 0}
+
+    def total_requirement(self) -> float:
+        """Sum of all lower bounds (an upper bound on the min-flow value is
+        not implied -- reuse over paths can satisfy several requirements with
+        the same units -- but this is a useful diagnostic)."""
+        return sum(self.lower_bounds.values())
+
+
+def round_lp_solution(arc_dag: ArcDAG, lp_solution: LPSolution, alpha: float) -> RoundedRequirements:
+    """Apply the α-threshold rounding of Section 3.1 to an LP solution.
+
+    Parameters
+    ----------
+    arc_dag:
+        The expanded DAG the LP was solved on (every job arc has <= 2 tuples).
+    lp_solution:
+        Result of :func:`repro.core.lp.solve_min_makespan_lp` (or the
+        min-resource variant).
+    alpha:
+        Rounding threshold, strictly between 0 and 1.
+
+    Returns
+    -------
+    RoundedRequirements
+    """
+    check_open_unit_interval(alpha, "alpha")
+    require(lp_solution.status == "optimal", "cannot round an infeasible LP solution")
+    result = RoundedRequirements(alpha=alpha)
+    for arc in arc_dag.arcs:
+        if arc.is_dummy:
+            continue
+        rel = lp_solution.relaxed_arcs[arc.arc_id]
+        t0 = rel.base_time
+        if not rel.capped or rel.full_resource <= 0 or t0 <= 0:
+            result.lower_bounds[arc.arc_id] = 0.0
+            result.rounded_durations[arc.arc_id] = t0
+            continue
+        t_lp = linear_relaxed_duration(rel, lp_solution.flows.get(arc.arc_id, 0.0))
+        if t_lp < alpha * t0:
+            result.lower_bounds[arc.arc_id] = rel.full_resource
+            result.rounded_durations[arc.arc_id] = arc.duration.tuples()[1][1]
+        else:
+            result.lower_bounds[arc.arc_id] = 0.0
+            result.rounded_durations[arc.arc_id] = t0
+    return result

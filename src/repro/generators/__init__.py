@@ -1,0 +1,18 @@
+"""Instance generators used by tests, examples and benchmarks."""
+
+from repro.generators.random_dag import (
+    chain_dag,
+    layered_random_dag,
+    random_duration,
+    random_step_duration,
+)
+from repro.generators.series_parallel_gen import balanced_sp_tree, random_sp_tree
+from repro.generators.fork_join import fork_join_dag, staged_fork_join_dag
+from repro.generators.workloads import WORKLOADS, Workload, get_workload, workload_names
+
+__all__ = [
+    "random_step_duration", "random_duration", "layered_random_dag", "chain_dag",
+    "random_sp_tree", "balanced_sp_tree",
+    "fork_join_dag", "staged_fork_join_dag",
+    "Workload", "WORKLOADS", "get_workload", "workload_names",
+]

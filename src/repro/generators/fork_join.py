@@ -1,0 +1,78 @@
+"""Fork-join style tradeoff DAGs (the shape produced by racy parallel loops).
+
+These mirror the DAG shapes the race substrate produces (wide fans of
+independent accumulations between a fork and a join, optionally staged), so
+the optimisation experiments can be run on workloads that look like the
+paper's motivating programs without going through the program model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import ConstantDuration, KWaySplitDuration, RecursiveBinarySplitDuration
+from repro.generators.random_dag import random_duration
+from repro.utils.validation import check_positive, require
+
+__all__ = ["fork_join_dag", "staged_fork_join_dag"]
+
+
+def fork_join_dag(width: int, work: int, family: str = "binary") -> TradeoffDAG:
+    """A single fork-join: ``width`` independent jobs of equal ``work``.
+
+    This is exactly the shape of Parallel-MM's output cells (Figure 3): the
+    makespan is decided by the per-job duration only, so every unit of
+    budget has to be split across the parallel jobs.
+    """
+    check_positive(width, "width")
+    check_positive(work, "work")
+    dag = TradeoffDAG()
+    dag.add_job("fork", ConstantDuration(0.0))
+    dag.add_job("join", ConstantDuration(0.0))
+    for i in range(width):
+        name = f"task_{i}"
+        if family == "kway":
+            dag.add_job(name, KWaySplitDuration(work))
+        else:
+            dag.add_job(name, RecursiveBinarySplitDuration(work))
+        dag.add_edge("fork", name)
+        dag.add_edge(name, "join")
+    dag.validate()
+    return dag
+
+
+def staged_fork_join_dag(stage_widths: Sequence[int], work: int, family: str = "binary",
+                         seed: int = 0) -> TradeoffDAG:
+    """Several fork-join stages in series (pipelined parallel loops).
+
+    Resources can be reused across stages (they lie on the same source-to-
+    sink paths) but must be split within a stage -- the combination that
+    separates the paper's path-reuse model from both the no-reuse and the
+    global-reuse models.
+    """
+    require(len(stage_widths) >= 1, "need at least one stage")
+    rng = np.random.default_rng(seed)
+    dag = TradeoffDAG()
+    dag.add_job("stage0_join", ConstantDuration(0.0))
+    previous_join = "stage0_join"
+    for s, width in enumerate(stage_widths, start=1):
+        check_positive(width, "stage width")
+        join = f"stage{s}_join"
+        dag.add_job(join, ConstantDuration(0.0))
+        for i in range(width):
+            name = f"stage{s}_task_{i}"
+            jitter = int(rng.integers(0, max(2, work // 4)))
+            if family == "kway":
+                dag.add_job(name, KWaySplitDuration(work + jitter))
+            elif family == "general":
+                dag.add_job(name, random_duration(rng, "general", max_base=work))
+            else:
+                dag.add_job(name, RecursiveBinarySplitDuration(work + jitter))
+            dag.add_edge(previous_join, name)
+            dag.add_edge(name, join)
+        previous_join = join
+    dag.validate()
+    return dag

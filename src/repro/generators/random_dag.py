@@ -1,0 +1,135 @@
+"""Random tradeoff-DAG generators.
+
+The paper has no benchmark suite of its own (it is a theory paper), so the
+empirical approximation-ratio experiments of this reproduction run on
+synthetic instances.  Three families are provided, chosen to stress the
+algorithms in different ways:
+
+* **layered DAGs** -- jobs arranged in layers with forward edges between
+  consecutive layers; parallelism is wide and paths are short (LP rounding
+  shines, min-flow reuse matters);
+* **random step-function durations** -- arbitrary non-increasing step
+  functions (the "general" duration class of Table 1, row 1);
+* **reducer-style durations** -- recursive binary / k-way durations drawn
+  from random work values (rows 2-3 of Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import (
+    ConstantDuration,
+    DurationFunction,
+    GeneralStepDuration,
+    KWaySplitDuration,
+    RecursiveBinarySplitDuration,
+)
+from repro.utils.validation import check_positive, require
+
+__all__ = ["random_step_duration", "random_duration", "layered_random_dag", "chain_dag"]
+
+
+def random_step_duration(rng: np.random.Generator, max_base: int = 40,
+                         max_tuples: int = 4) -> GeneralStepDuration:
+    """A random non-increasing step function with at most ``max_tuples`` breakpoints."""
+    base = int(rng.integers(2, max_base + 1))
+    n_tuples = int(rng.integers(1, max_tuples + 1))
+    pairs = [(0.0, float(base))]
+    resource = 0.0
+    time = float(base)
+    for _ in range(n_tuples - 1):
+        resource += float(rng.integers(1, 5))
+        time = max(0.0, time - float(rng.integers(1, max(2, base // 2))))
+        pairs.append((resource, time))
+        if time == 0:
+            break
+    return GeneralStepDuration(pairs)
+
+
+def random_duration(rng: np.random.Generator, family: str, max_base: int = 40) -> DurationFunction:
+    """Draw a duration function from the requested family."""
+    require(family in ("general", "binary", "kway"), f"unknown duration family {family!r}")
+    if family == "general":
+        return random_step_duration(rng, max_base=max_base)
+    work = int(rng.integers(2, max_base + 1))
+    if family == "binary":
+        return RecursiveBinarySplitDuration(work)
+    return KWaySplitDuration(work)
+
+
+def layered_random_dag(num_layers: int, jobs_per_layer: int, family: str = "general",
+                       edge_probability: float = 0.5, max_base: int = 40,
+                       seed: int = 0) -> TradeoffDAG:
+    """A layered random DAG with a unique source and sink.
+
+    Layers are fully ordered; each job in layer ``l`` gets an edge from a
+    random subset of layer ``l - 1`` (at least one, so the DAG stays
+    connected).  Duration functions are drawn from ``family``.
+    """
+    check_positive(num_layers, "num_layers")
+    check_positive(jobs_per_layer, "jobs_per_layer")
+    require(0 < edge_probability <= 1, "edge_probability must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    dag = TradeoffDAG()
+    dag.add_job("source", ConstantDuration(0.0))
+    dag.add_job("sink", ConstantDuration(0.0))
+    layers: List[List[str]] = []
+    for layer in range(num_layers):
+        names = []
+        for j in range(jobs_per_layer):
+            name = f"job_{layer}_{j}"
+            dag.add_job(name, random_duration(rng, family, max_base=max_base))
+            names.append(name)
+        layers.append(names)
+    for name in layers[0]:
+        dag.add_edge("source", name)
+    for prev, curr in zip(layers, layers[1:]):
+        for name in curr:
+            parents = [p for p in prev if rng.random() < edge_probability]
+            if not parents:
+                parents = [prev[int(rng.integers(0, len(prev)))]]
+            for p in parents:
+                dag.add_edge(p, name)
+        # jobs the next layer did not pick as parents would become spurious
+        # sinks; give each of them one forward edge to keep the terminals unique
+        for name in prev:
+            if not dag.successors(name):
+                dag.add_edge(name, curr[int(rng.integers(0, len(curr)))])
+    for name in layers[-1]:
+        dag.add_edge(name, "sink")
+    dag.validate()
+    return dag
+
+
+def chain_dag(lengths: Sequence[int], family: str = "binary", seed: int = 0) -> TradeoffDAG:
+    """A single chain of jobs whose works are given by ``lengths``.
+
+    Chains are the extreme case for resource reuse over paths: one unit of
+    resource can serve every job, so the path-reuse model dominates the
+    no-reuse model by the largest possible margin.
+    """
+    require(len(lengths) >= 1, "need at least one job")
+    rng = np.random.default_rng(seed)
+    dag = TradeoffDAG()
+    dag.add_job("source", ConstantDuration(0.0))
+    previous = "source"
+    for idx, work in enumerate(lengths):
+        check_positive(work, "chain job work")
+        name = f"chain_{idx}"
+        if family == "general":
+            duration: DurationFunction = random_step_duration(rng, max_base=int(work))
+        elif family == "kway":
+            duration = KWaySplitDuration(int(work))
+        else:
+            duration = RecursiveBinarySplitDuration(int(work))
+        dag.add_job(name, duration)
+        dag.add_edge(previous, name)
+        previous = name
+    dag.add_job("sink", ConstantDuration(0.0))
+    dag.add_edge(previous, "sink")
+    dag.validate()
+    return dag

@@ -1,0 +1,67 @@
+"""Random series-parallel instance generators (for the Section 3.4 experiments)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.series_parallel import SPLeaf, SPNode, SPParallel, SPSeries
+from repro.generators.random_dag import random_duration
+from repro.utils.validation import check_positive, require
+
+__all__ = ["random_sp_tree", "balanced_sp_tree"]
+
+
+def random_sp_tree(num_jobs: int, family: str = "binary", series_probability: float = 0.5,
+                   max_base: int = 40, seed: int = 0) -> SPNode:
+    """A random series-parallel decomposition tree with ``num_jobs`` leaves.
+
+    The tree is built top-down: each internal node is a series composition
+    with probability ``series_probability`` and a parallel composition
+    otherwise; leaf duration functions are drawn from ``family``.
+    """
+    check_positive(num_jobs, "num_jobs")
+    require(0 <= series_probability <= 1, "series_probability must lie in [0, 1]")
+    rng = np.random.default_rng(seed)
+    counter = iter(range(num_jobs))
+
+    def build(count: int) -> SPNode:
+        if count == 1:
+            idx = next(counter)
+            return SPLeaf(f"job_{idx}", random_duration(rng, family, max_base=max_base))
+        left = int(rng.integers(1, count))
+        left_tree = build(left)
+        right_tree = build(count - left)
+        if rng.random() < series_probability:
+            return SPSeries(left_tree, right_tree)
+        return SPParallel(left_tree, right_tree)
+
+    return build(num_jobs)
+
+
+def balanced_sp_tree(depth: int, family: str = "binary", max_base: int = 40,
+                     seed: int = 0, alternate: bool = True) -> SPNode:
+    """A perfectly balanced tree of depth ``depth`` (2^depth leaves).
+
+    With ``alternate=True`` the composition kind alternates by level
+    (series at even depths, parallel at odd), giving the classic
+    fork-join / pipeline mix used by the scaling benchmark.
+    """
+    require(depth >= 0, "depth must be non-negative")
+    rng = np.random.default_rng(seed)
+    counter = iter(range(2 ** depth))
+
+    def build(level: int) -> SPNode:
+        if level == depth:
+            idx = next(counter)
+            return SPLeaf(f"job_{idx}", random_duration(rng, family, max_base=max_base))
+        left = build(level + 1)
+        right = build(level + 1)
+        if alternate and level % 2 == 1:
+            return SPParallel(left, right)
+        if alternate:
+            return SPSeries(left, right)
+        return SPParallel(left, right) if rng.random() < 0.5 else SPSeries(left, right)
+
+    return build(0)

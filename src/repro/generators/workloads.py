@@ -1,0 +1,105 @@
+"""Named workload suite used by the benchmarks and EXPERIMENTS.md.
+
+Each workload is a small factory returning ``(dag, budget)`` pairs; keeping
+them named and centralised makes every benchmark row reproducible from a
+single identifier (the experiment index in DESIGN.md references these
+names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.dag import TradeoffDAG
+from repro.generators.fork_join import fork_join_dag, staged_fork_join_dag
+from repro.generators.random_dag import chain_dag, layered_random_dag
+from repro.utils.validation import require
+
+__all__ = ["Workload", "WORKLOADS", "get_workload", "workload_names"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named instance family: a builder plus the budget used in experiments."""
+
+    name: str
+    description: str
+    build: Callable[[], TradeoffDAG]
+    budget: float
+
+
+def _small_layered_general() -> TradeoffDAG:
+    return layered_random_dag(3, 3, family="general", seed=11)
+
+
+def _small_layered_binary() -> TradeoffDAG:
+    return layered_random_dag(3, 3, family="binary", seed=12)
+
+
+def _small_layered_kway() -> TradeoffDAG:
+    return layered_random_dag(3, 3, family="kway", seed=13)
+
+
+def _medium_layered_general() -> TradeoffDAG:
+    return layered_random_dag(5, 6, family="general", seed=21)
+
+
+def _medium_layered_binary() -> TradeoffDAG:
+    return layered_random_dag(5, 6, family="binary", seed=22)
+
+
+def _medium_layered_kway() -> TradeoffDAG:
+    return layered_random_dag(5, 6, family="kway", seed=23)
+
+
+def _deep_chain_binary() -> TradeoffDAG:
+    return chain_dag([32, 16, 48, 24, 40, 56, 20, 36], family="binary")
+
+
+def _deep_chain_kway() -> TradeoffDAG:
+    return chain_dag([36, 25, 49, 16, 64, 30, 42, 20], family="kway")
+
+
+def _matmul_like() -> TradeoffDAG:
+    return fork_join_dag(width=16, work=64, family="binary")
+
+
+def _pipeline() -> TradeoffDAG:
+    return staged_fork_join_dag([4, 8, 4], work=32, family="binary", seed=7)
+
+
+WORKLOADS: Dict[str, Workload] = {
+    w.name: w
+    for w in [
+        Workload("small-layered-general", "3x3 layered DAG, general step durations",
+                 _small_layered_general, budget=6),
+        Workload("small-layered-binary", "3x3 layered DAG, recursive binary durations",
+                 _small_layered_binary, budget=8),
+        Workload("small-layered-kway", "3x3 layered DAG, k-way durations",
+                 _small_layered_kway, budget=8),
+        Workload("medium-layered-general", "5x6 layered DAG, general step durations",
+                 _medium_layered_general, budget=12),
+        Workload("medium-layered-binary", "5x6 layered DAG, recursive binary durations",
+                 _medium_layered_binary, budget=16),
+        Workload("medium-layered-kway", "5x6 layered DAG, k-way durations",
+                 _medium_layered_kway, budget=16),
+        Workload("deep-chain-binary", "8-job chain, binary durations (max path reuse)",
+                 _deep_chain_binary, budget=8),
+        Workload("deep-chain-kway", "8-job chain, k-way durations (max path reuse)",
+                 _deep_chain_kway, budget=8),
+        Workload("matmul-like", "16-way fork-join of work-64 jobs (Parallel-MM shape)",
+                 _matmul_like, budget=32),
+        Workload("pipeline", "3-stage fork-join pipeline (stages reuse the budget)",
+                 _pipeline, budget=16),
+    ]
+}
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS)
+
+
+def get_workload(name: str) -> Workload:
+    require(name in WORKLOADS, f"unknown workload {name!r}; known: {sorted(WORKLOADS)}")
+    return WORKLOADS[name]

@@ -1,0 +1,91 @@
+"""Executable NP-hardness constructions (Section 4 and Appendix A).
+
+Every reduction of the paper is implemented as a constructive builder
+producing an activity-on-arc or activity-on-node tradeoff instance, plus a
+witness-flow constructor for the forward direction and a verifier that
+checks the reduction lemma against the exact solvers on small source
+instances:
+
+* :mod:`~repro.hardness.sat` -- 1-in-3SAT instances and oracle;
+* :mod:`~repro.hardness.gadgets_general` -- Theorem 4.1 / Lemma 4.2 /
+  Theorem 4.3 (general non-increasing durations) and Table 2;
+* :mod:`~repro.hardness.gadgets_splitting` -- Section 4.2 (recursive binary
+  and k-way durations), composite nodes and Table 3;
+* :mod:`~repro.hardness.minresource_chain` -- the Theorem 4.4 chained
+  variable gadgets and the 3/2 min-resource gap;
+* :mod:`~repro.hardness.partition` / :mod:`~repro.hardness.treewidth` --
+  Section 4.3 (bounded treewidth, weak NP-hardness via Partition);
+* :mod:`~repro.hardness.matching3d` -- Appendix A (numerical 3D matching);
+* :mod:`~repro.hardness.verify` -- end-to-end verification reports.
+"""
+
+from repro.hardness.sat import (
+    OneInThreeSatInstance,
+    figure9_formula,
+    random_one_in_three_sat,
+    satisfiable_one_in_three_sat,
+)
+from repro.hardness.gadgets_general import (
+    TABLE2_HEADER,
+    Theorem41Construction,
+    build_theorem41_dag,
+    construct_satisfying_flow,
+    table2_rows,
+)
+from repro.hardness.gadgets_splitting import (
+    TABLE3_HEADER,
+    Section42Construction,
+    build_section42_dag,
+    composite_node_duration,
+    section42_parameters,
+    table3_rows,
+    variable_branch_finish_times,
+)
+from repro.hardness.minresource_chain import (
+    VariableChainConstruction,
+    build_variable_chain,
+    construct_chain_flow,
+    minresource_gap,
+)
+from repro.hardness.partition import (
+    PartitionConstruction,
+    PartitionInstance,
+    build_partition_dag,
+    construct_partition_flow,
+)
+from repro.hardness.treewidth import (
+    decomposition_width,
+    partition_construction_decomposition,
+    tree_decomposition_is_valid,
+)
+from repro.hardness.matching3d import (
+    Matching3DConstruction,
+    Numerical3DMInstance,
+    best_achievable_makespan,
+    build_matching3d_dag,
+    construct_matching_flow,
+)
+from repro.hardness.verify import (
+    ReductionReport,
+    verify_matching3d_reduction,
+    verify_partition_reduction,
+    verify_theorem41,
+)
+
+__all__ = [
+    "OneInThreeSatInstance", "figure9_formula", "random_one_in_three_sat",
+    "satisfiable_one_in_three_sat",
+    "Theorem41Construction", "build_theorem41_dag", "construct_satisfying_flow",
+    "table2_rows", "TABLE2_HEADER",
+    "Section42Construction", "build_section42_dag", "composite_node_duration",
+    "section42_parameters", "table3_rows", "variable_branch_finish_times", "TABLE3_HEADER",
+    "VariableChainConstruction", "build_variable_chain", "construct_chain_flow",
+    "minresource_gap",
+    "PartitionInstance", "PartitionConstruction", "build_partition_dag",
+    "construct_partition_flow",
+    "tree_decomposition_is_valid", "decomposition_width", "partition_construction_decomposition",
+    "Numerical3DMInstance", "Matching3DConstruction", "build_matching3d_dag",
+    "construct_matching_flow", "best_achievable_makespan",
+    "ReductionReport", "verify_theorem41", "verify_partition_reduction",
+    "verify_matching3d_reduction",
+]

@@ -1,0 +1,251 @@
+"""Theorem 4.1 reduction: 1-in-3SAT -> resource-time tradeoff with reuse over paths.
+
+The reduction (Section 4.1, Figures 8-9) maps a 1-in-3SAT formula with ``n``
+variables and ``m`` clauses to an activity-on-arc DAG such that a makespan
+of 1 is achievable with budget ``B = n + 2m`` **iff** the formula is 1-in-3
+satisfiable (Lemma 4.2).  The same construction yields the factor-2
+inapproximability of the minimum-makespan problem (Theorem 4.3): the optimal
+makespan is 1 for yes-instances and at least 2 for no-instances.
+
+Gadget layout (reconstructed from the prose of Section 4.1; the figure
+artwork is not included in the paper text, so vertex wiring follows the
+properties the proof relies on):
+
+* **Variable gadget** for ``V`` -- vertices ``V(1) .. V(6)``; the two arcs
+  ``(V(1), V(2))`` (TRUE branch) and ``(V(1), V(3))`` (FALSE branch) and the
+  tail arcs ``(V(4), V(5))``, ``(V(5), V(6))`` all carry tuples
+  ``{<0,1>, <1,0>}``.  One unit of resource must traverse the gadget (else
+  the tail arcs alone cost 2); whichever branch it takes encodes the truth
+  value, and the other branch's arc keeps duration 1 so the corresponding
+  literal vertex "occurs" at time 1.
+* **Clause gadget** for ``C`` -- vertices ``C(1) .. C(10)``; the diamond
+  ``C(1)-C(2)/C(3)-C(4)`` forces two units in, which then expedite two of
+  the three literal check arcs ``(C(5), C(8))``, ``(C(6), C(9))``,
+  ``(C(7), C(10))``.  Vertex ``C(5)`` has precedence arcs from the variable
+  vertices encoding ``(not l1, not l2, l3)``, ``C(6)`` from
+  ``(not l1, l2, not l3)`` and ``C(7)`` from ``(l1, not l2, not l3)``
+  (Table 2), so exactly one of them occurs at time 0 iff exactly one literal
+  of the clause is true.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.arcdag import ArcDAG
+from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.flow import ResourceFlow
+from repro.hardness.sat import Assignment, OneInThreeSatInstance
+from repro.utils.validation import require
+
+__all__ = ["Theorem41Construction", "build_theorem41_dag", "construct_satisfying_flow",
+           "table2_rows", "TABLE2_HEADER"]
+
+
+def _unit_tuple() -> GeneralStepDuration:
+    """The ``{<0,1>, <1,0>}`` resource-time pair used throughout the gadgets."""
+    return GeneralStepDuration([(0, 1.0), (1, 0.0)])
+
+
+@dataclass
+class Theorem41Construction:
+    """The reduced DAG plus the bookkeeping needed by the verifiers.
+
+    Attributes
+    ----------
+    instance:
+        The source 1-in-3SAT formula.
+    arc_dag:
+        The reduced activity-on-arc DAG.
+    budget:
+        The resource bound of Lemma 4.2, ``n + 2m``.
+    target_makespan:
+        The makespan bound of Lemma 4.2 (always 1).
+    variable_vertices:
+        ``variable -> dict`` with the six gadget vertices ``V1 .. V6``.
+    clause_vertices:
+        ``clause index -> dict`` with the ten gadget vertices ``C1 .. C10``.
+    arc_ids:
+        Named arcs used when constructing witness flows.
+    """
+
+    instance: OneInThreeSatInstance
+    arc_dag: ArcDAG
+    budget: float
+    target_makespan: float
+    variable_vertices: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    clause_vertices: Dict[int, Dict[str, str]] = field(default_factory=dict)
+    arc_ids: Dict[Tuple, str] = field(default_factory=dict)
+
+    def literal_vertex(self, literal: int) -> str:
+        """The variable vertex whose event time is 0 iff ``literal`` is true.
+
+        The TRUE branch vertex ``V(2)`` occurs at time 0 when the variable is
+        set true; the FALSE branch vertex ``V(3)`` occurs at time 0 when it
+        is set false.  Hence literal ``+v`` maps to ``V(2)`` and ``-v`` to
+        ``V(3)``.
+        """
+        v = abs(literal)
+        return self.variable_vertices[v]["V2" if literal > 0 else "V3"]
+
+    def negated_literal_vertex(self, literal: int) -> str:
+        """The vertex whose event time is 0 iff ``literal`` is FALSE."""
+        return self.literal_vertex(-literal)
+
+
+def build_theorem41_dag(instance: OneInThreeSatInstance) -> Theorem41Construction:
+    """Build the Theorem 4.1 / Lemma 4.2 reduction for ``instance``."""
+    dag = ArcDAG(source="S", sink="T")
+    construction = Theorem41Construction(
+        instance=instance,
+        arc_dag=dag,
+        budget=float(instance.num_variables + 2 * instance.num_clauses),
+        target_makespan=1.0,
+    )
+
+    def add(key: Tuple, tail, head, duration, dummy=False) -> str:
+        arc = dag.add_arc(tail, head, duration, is_dummy=dummy, arc_id="::".join(map(str, key)))
+        construction.arc_ids[key] = arc.arc_id
+        return arc.arc_id
+
+    # Variable gadgets.
+    for v in range(1, instance.num_variables + 1):
+        names = {f"V{i}": f"x{v}.V{i}" for i in range(1, 7)}
+        construction.variable_vertices[v] = names
+        add(("var", v, "in"), "S", names["V1"], ConstantDuration(0.0), dummy=True)
+        add(("var", v, "true"), names["V1"], names["V2"], _unit_tuple())
+        add(("var", v, "false"), names["V1"], names["V3"], _unit_tuple())
+        add(("var", v, "join_true"), names["V2"], names["V4"], ConstantDuration(0.0), dummy=True)
+        add(("var", v, "join_false"), names["V3"], names["V4"], ConstantDuration(0.0), dummy=True)
+        add(("var", v, "tail1"), names["V4"], names["V5"], _unit_tuple())
+        add(("var", v, "tail2"), names["V5"], names["V6"], _unit_tuple())
+        add(("var", v, "out"), names["V6"], "T", ConstantDuration(0.0), dummy=True)
+
+    # Clause gadgets.
+    for c, clause in enumerate(instance.clauses):
+        names = {f"C{i}": f"c{c}.C{i}" for i in range(1, 11)}
+        construction.clause_vertices[c] = names
+        add(("clause", c, "in"), "S", names["C1"], ConstantDuration(0.0), dummy=True)
+        add(("clause", c, "d12"), names["C1"], names["C2"], _unit_tuple())
+        add(("clause", c, "d24"), names["C2"], names["C4"], _unit_tuple())
+        add(("clause", c, "d13"), names["C1"], names["C3"], _unit_tuple())
+        add(("clause", c, "d34"), names["C3"], names["C4"], _unit_tuple())
+        for branch, check in (("C5", "C8"), ("C6", "C9"), ("C7", "C10")):
+            add(("clause", c, "fan", branch), names["C4"], names[branch],
+                ConstantDuration(0.0), dummy=True)
+            add(("clause", c, "check", branch), names[branch], names[check], _unit_tuple())
+            add(("clause", c, "out", check), names[check], "T", ConstantDuration(0.0), dummy=True)
+
+        l1, l2, l3 = clause
+        # C(5) <- (not l1, not l2, l3); C(6) <- (not l1, l2, not l3); C(7) <- (l1, not l2, not l3)
+        patterns = {
+            "C5": (-l1, -l2, l3),
+            "C6": (-l1, l2, -l3),
+            "C7": (l1, -l2, -l3),
+        }
+        for branch, lits in patterns.items():
+            for pos, lit in enumerate(lits):
+                source_vertex = construction.literal_vertex(lit)
+                add(("clause", c, "literal", branch, pos), source_vertex, names[branch],
+                    ConstantDuration(0.0), dummy=True)
+
+    dag.validate()
+    return construction
+
+
+def construct_satisfying_flow(construction: Theorem41Construction,
+                              assignment: Assignment) -> ResourceFlow:
+    """The witness flow of Lemma 4.2's forward direction.
+
+    Given a 1-in-3 satisfying ``assignment``, one unit of resource traverses
+    every variable gadget along its chosen branch and two units traverse
+    every clause gadget, expediting the diamond and the two literal-check
+    arcs whose branch vertex occurs at time 1.  The returned flow uses
+    exactly ``n + 2m`` units and achieves makespan 1.
+    """
+    instance = construction.instance
+    require(instance.is_one_in_three_satisfying(assignment),
+            "assignment is not 1-in-3 satisfying; the witness flow only exists for yes-instances")
+    flow: Dict[str, float] = {}
+
+    def push(key: Tuple, amount: float = 1.0) -> None:
+        arc_id = construction.arc_ids[key]
+        flow[arc_id] = flow.get(arc_id, 0.0) + amount
+
+    for v in range(1, instance.num_variables + 1):
+        branch = "true" if assignment[v] else "false"
+        push(("var", v, "in"))
+        push(("var", v, branch))
+        push(("var", v, "join_true" if assignment[v] else "join_false"))
+        push(("var", v, "tail1"))
+        push(("var", v, "tail2"))
+        push(("var", v, "out"))
+
+    for c, clause in enumerate(instance.clauses):
+        l1, l2, l3 = clause
+        patterns = {
+            "C5": (-l1, -l2, l3),
+            "C6": (-l1, l2, -l3),
+            "C7": (l1, -l2, -l3),
+        }
+        # The branch whose three encoded literals are all true occurs at time 0
+        # and needs no resource; the other two need one unit each.
+        needy = [branch for branch, lits in patterns.items()
+                 if not all(instance.literal_true(lit, assignment) for lit in lits)]
+        require(len(needy) == 2, "a 1-in-3 satisfying assignment leaves exactly two needy branches")
+        check_of = {"C5": "C8", "C6": "C9", "C7": "C10"}
+        push(("clause", c, "in"), 2.0)
+        push(("clause", c, "d12"))
+        push(("clause", c, "d24"))
+        push(("clause", c, "d13"))
+        push(("clause", c, "d34"))
+        for branch in needy:
+            push(("clause", c, "fan", branch))
+            push(("clause", c, "check", branch))
+            push(("clause", c, "out", check_of[branch]))
+
+    resource_flow = ResourceFlow(construction.arc_dag, flow)
+    resource_flow.validate()
+    return resource_flow
+
+
+#: Column header of Table 2.
+TABLE2_HEADER = ("Vi", "Vj", "Vk", "C(5)", "C(6)", "C(7)")
+
+
+def table2_rows() -> List[Tuple[str, str, str, int, int, int]]:
+    """Regenerate Table 2: earliest start times of C(5), C(6), C(7).
+
+    For a clause ``(Vi or Vj or Vk)`` (all positive literals, as in the
+    paper's table) the branch vertices' earliest start times are the maxima
+    of their three incoming literal vertices, where a literal vertex occurs
+    at time 1 iff its literal is false under the row's assignment.
+    """
+    rows: List[Tuple[str, str, str, int, int, int]] = []
+    patterns = {
+        "C5": (False, False, True),   # (not Vi, not Vj, Vk)
+        "C6": (False, True, False),
+        "C7": (True, False, False),
+    }
+    for vi in (True, False):
+        for vj in (True, False):
+            for vk in (True, False):
+                assignment = (vi, vj, vk)
+                times = []
+                for branch in ("C5", "C6", "C7"):
+                    wanted = patterns[branch]
+                    literal_times = [0 if assignment[i] == wanted[i] else 1 for i in range(3)]
+                    times.append(max(literal_times))
+                rows.append((
+                    "True" if vi else "False",
+                    "True" if vj else "False",
+                    "True" if vk else "False",
+                    times[0], times[1], times[2],
+                ))
+    # Order rows as in the paper: TTT, FTT, TFT, TTF, FFT, FTF, TFF, FFF.
+    order = ["TrueTrueTrue", "FalseTrueTrue", "TrueFalseTrue", "TrueTrueFalse",
+             "FalseFalseTrue", "FalseTrueFalse", "TrueFalseFalse", "FalseFalseFalse"]
+    rows.sort(key=lambda r: order.index(r[0] + r[1] + r[2]))
+    return rows

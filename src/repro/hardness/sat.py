@@ -1,0 +1,142 @@
+"""1-in-3SAT instances (the source problem of the Section 4 reductions).
+
+An instance has ``n`` boolean variables and ``m`` clauses of exactly three
+literals; it is a *yes* instance iff some assignment makes **exactly one**
+literal true in every clause (Schaefer's 1-in-3SAT, strongly NP-hard).
+
+Literals are integers: ``+i`` for variable ``i`` (1-based), ``-i`` for its
+negation.  The module provides a brute-force satisfiability oracle (used to
+verify the reductions on small formulas), generators for random and
+structured instances, and the running example of Figure 9,
+``(V1 or not V2 or V3) and (not V1 or V2 or V3)``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive, require
+
+__all__ = ["OneInThreeSatInstance", "figure9_formula", "random_one_in_three_sat",
+           "satisfiable_one_in_three_sat"]
+
+Clause = Tuple[int, int, int]
+Assignment = Dict[int, bool]
+
+
+@dataclass(frozen=True)
+class OneInThreeSatInstance:
+    """A 1-in-3SAT formula.
+
+    Attributes
+    ----------
+    num_variables:
+        Number of boolean variables (named ``1 .. num_variables``).
+    clauses:
+        Tuples of three non-zero literals.
+    """
+
+    num_variables: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_variables, "num_variables")
+        for clause in self.clauses:
+            require(len(clause) == 3, f"clause {clause!r} must have exactly three literals")
+            for lit in clause:
+                require(lit != 0, "literal 0 is not allowed")
+                require(abs(lit) <= self.num_variables,
+                        f"literal {lit} references an unknown variable")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_clauses(self) -> int:
+        return len(self.clauses)
+
+    def literal_true(self, literal: int, assignment: Assignment) -> bool:
+        value = assignment[abs(literal)]
+        return value if literal > 0 else not value
+
+    def clause_true_count(self, clause: Clause, assignment: Assignment) -> int:
+        """Number of true literals of ``clause`` under ``assignment``."""
+        return sum(1 for lit in clause if self.literal_true(lit, assignment))
+
+    def is_one_in_three_satisfying(self, assignment: Assignment) -> bool:
+        """Whether every clause has exactly one true literal."""
+        return all(self.clause_true_count(c, assignment) == 1 for c in self.clauses)
+
+    def all_assignments(self) -> Iterable[Assignment]:
+        """Iterate over all ``2^n`` assignments (small ``n`` only)."""
+        for bits in itertools.product([False, True], repeat=self.num_variables):
+            yield {i + 1: bits[i] for i in range(self.num_variables)}
+
+    def solve_brute_force(self) -> Optional[Assignment]:
+        """Return a 1-in-3 satisfying assignment, or ``None`` if none exists."""
+        for assignment in self.all_assignments():
+            if self.is_one_in_three_satisfying(assignment):
+                return assignment
+        return None
+
+    def is_satisfiable(self) -> bool:
+        return self.solve_brute_force() is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"OneInThreeSatInstance(n={self.num_variables}, "
+                f"m={self.num_clauses})")
+
+
+def figure9_formula() -> OneInThreeSatInstance:
+    """The Figure 9 running example ``(V1 ∨ ¬V2 ∨ V3) ∧ (¬V1 ∨ V2 ∨ V3)``.
+
+    The paper states it is 1-in-3 satisfiable with
+    ``V1 = TRUE, V2 = TRUE, V3 = FALSE``.
+    """
+    return OneInThreeSatInstance(3, ((1, -2, 3), (-1, 2, 3)))
+
+
+def random_one_in_three_sat(num_variables: int, num_clauses: int,
+                            seed: int = 0) -> OneInThreeSatInstance:
+    """A uniformly random 1-in-3SAT formula (may or may not be satisfiable)."""
+    check_positive(num_variables, "num_variables")
+    check_positive(num_clauses, "num_clauses")
+    require(num_variables >= 3, "need at least three variables to build 3-literal clauses")
+    rng = np.random.default_rng(seed)
+    clauses: List[Clause] = []
+    for _ in range(num_clauses):
+        vars_ = rng.choice(np.arange(1, num_variables + 1), size=3, replace=False)
+        signs = rng.choice([-1, 1], size=3)
+        clauses.append(tuple(int(v) * int(s) for v, s in zip(vars_, signs)))
+    return OneInThreeSatInstance(num_variables, tuple(clauses))
+
+
+def satisfiable_one_in_three_sat(num_variables: int, num_clauses: int,
+                                 seed: int = 0) -> Tuple[OneInThreeSatInstance, Assignment]:
+    """A random formula *planted* to be 1-in-3 satisfiable, with its witness.
+
+    A random assignment is drawn first and every clause is built so that
+    exactly one of its literals is true under it.
+    """
+    check_positive(num_variables, "num_variables")
+    check_positive(num_clauses, "num_clauses")
+    require(num_variables >= 3, "need at least three variables to build 3-literal clauses")
+    rng = np.random.default_rng(seed)
+    assignment = {i + 1: bool(rng.integers(0, 2)) for i in range(num_variables)}
+    clauses: List[Clause] = []
+    for _ in range(num_clauses):
+        vars_ = [int(v) for v in rng.choice(np.arange(1, num_variables + 1), size=3, replace=False)]
+        true_pos = int(rng.integers(0, 3))
+        clause: List[int] = []
+        for pos, var in enumerate(vars_):
+            value = assignment[var]
+            if pos == true_pos:
+                clause.append(var if value else -var)      # literal true
+            else:
+                clause.append(-var if value else var)       # literal false
+        clauses.append(tuple(clause))
+    instance = OneInThreeSatInstance(num_variables, tuple(clauses))
+    assert instance.is_one_in_three_satisfying(assignment)
+    return instance, assignment

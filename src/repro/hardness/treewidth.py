@@ -1,0 +1,134 @@
+"""Tree decompositions for the Section 4.3 construction (Figure 16).
+
+Theorem 4.6 only yields *weak* NP-hardness because the underlying
+undirected graph of the Partition construction has bounded treewidth; the
+paper exhibits an explicit tree decomposition of width 15 (Figure 16), a
+path of bags each holding two consecutive element gadgets plus the two
+global vertices.
+
+This module provides:
+
+* :func:`tree_decomposition_is_valid` -- a checker for the three tree-
+  decomposition axioms (vertex coverage, edge coverage, connectivity of the
+  bags containing each vertex);
+* :func:`partition_construction_decomposition` -- the explicit path
+  decomposition of our reconstruction of Figure 15, mirroring Figure 16;
+* :func:`decomposition_width` -- ``max |bag| - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from repro.hardness.partition import PartitionConstruction
+from repro.utils.validation import require
+
+__all__ = ["tree_decomposition_is_valid", "decomposition_width",
+           "partition_construction_decomposition"]
+
+Bag = Set[Hashable]
+
+
+def decomposition_width(bags: Sequence[Bag]) -> int:
+    """Width of a decomposition: ``max |bag| - 1``."""
+    require(len(bags) >= 1, "a tree decomposition needs at least one bag")
+    return max(len(bag) for bag in bags) - 1
+
+
+def tree_decomposition_is_valid(vertices: Iterable[Hashable],
+                                edges: Iterable[Tuple[Hashable, Hashable]],
+                                bags: Sequence[Bag],
+                                tree_edges: Sequence[Tuple[int, int]]) -> bool:
+    """Check the three tree-decomposition axioms.
+
+    Parameters
+    ----------
+    vertices, edges:
+        The (undirected) graph being decomposed.
+    bags:
+        The bags, indexed ``0 .. len(bags) - 1``.
+    tree_edges:
+        Edges of the decomposition tree over bag indices (must form a tree).
+
+    Returns
+    -------
+    bool
+        ``True`` iff (1) every vertex appears in some bag, (2) every edge has
+        both endpoints together in some bag, and (3) for every vertex the
+        bags containing it induce a connected subtree.
+    """
+    vertices = list(vertices)
+    edges = [tuple(e) for e in edges]
+    n_bags = len(bags)
+    # the tree must be connected and acyclic over the bags
+    if n_bags == 0:
+        return False
+    if len(tree_edges) != n_bags - 1:
+        return False
+    adjacency: Dict[int, List[int]] = {i: [] for i in range(n_bags)}
+    for a, b in tree_edges:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for w in adjacency[u]:
+            if w not in seen:
+                seen.add(w)
+                stack.append(w)
+    if len(seen) != n_bags:
+        return False
+
+    # axiom 1: vertex coverage
+    covered = set().union(*bags) if bags else set()
+    if not set(vertices) <= covered:
+        return False
+    # axiom 2: edge coverage
+    for u, v in edges:
+        if not any(u in bag and v in bag for bag in bags):
+            return False
+    # axiom 3: connectivity of the bags containing each vertex
+    for vertex in vertices:
+        containing = [i for i, bag in enumerate(bags) if vertex in bag]
+        if not containing:
+            return False
+        reached = {containing[0]}
+        stack = [containing[0]]
+        containing_set = set(containing)
+        while stack:
+            u = stack.pop()
+            for w in adjacency[u]:
+                if w in containing_set and w not in reached:
+                    reached.add(w)
+                    stack.append(w)
+        if reached != containing_set:
+            return False
+    return True
+
+
+def partition_construction_decomposition(construction: PartitionConstruction):
+    """Explicit path decomposition of the Partition construction.
+
+    Bag ``i`` (1-based over elements) holds the global vertices
+    ``{s, t, v0}`` together with the vertices of element gadgets ``i-1`` and
+    ``i`` (chain vertices ``TP/BT`` at positions ``i-1`` and ``i``, the
+    supply vertex ``A_i`` and the drain vertex ``F_i``) -- the direct
+    analogue of Figure 16.  Returns ``(vertices, undirected_edges, bags,
+    tree_edges)`` ready for :func:`tree_decomposition_is_valid`.
+    """
+    dag = construction.arc_dag
+    n = len(construction.instance.values)
+    vertices = list(dag.vertices)
+    edges = [(a.tail, a.head) for a in dag.arcs]
+
+    bags: List[Bag] = []
+    for i in range(1, n + 1):
+        bag: Bag = {"s", "t", "v0",
+                    ("TP", i - 1), ("TP", i), ("BT", i - 1), ("BT", i),
+                    ("A", i), ("F", i)}
+        if i > 1:
+            bag |= {("A", i - 1), ("F", i - 1)}
+        bags.append(bag)
+    tree_edges = [(i, i + 1) for i in range(len(bags) - 1)]
+    return vertices, edges, bags, tree_edges

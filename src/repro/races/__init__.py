@@ -1,0 +1,65 @@
+"""Data-race substrate: programs, races, race DAGs, reducers and simulators.
+
+This subpackage makes the paper's motivation (Section 1) executable:
+
+* :mod:`~repro.races.program` -- fork-join program model with read / write /
+  commutative-update operations;
+* :mod:`~repro.races.detector` -- determinacy- and data-race detection;
+* :mod:`~repro.races.racedag` -- construction of the race DAG ``D(P)`` and
+  its conversion to a tradeoff DAG;
+* :mod:`~repro.races.reducer` -- executable recursive-binary and k-way
+  reducers validating the duration functions of Section 2;
+* :mod:`~repro.races.simulator` -- discrete-event execution backing
+  Observation 1.1;
+* :mod:`~repro.races.matmul` / :mod:`~repro.races.programs` -- Parallel-MM
+  (Figure 3) and further racy kernels.
+"""
+
+from repro.races.program import (
+    ParallelBlock,
+    Program,
+    Read,
+    SerialBlock,
+    Update,
+    Write,
+    logically_parallel,
+)
+from repro.races.detector import Race, find_data_races, find_determinacy_races, racy_cells
+from repro.races.racedag import DURATION_FAMILIES, RaceDAG, race_dag_from_program, to_tradeoff_dag
+from repro.races.reducer import (
+    ReducerSimulationResult,
+    binary_reducer_formula,
+    distribute_updates,
+    kway_reducer_formula,
+    simulate_binary_reducer,
+    simulate_kway_reducer,
+    simulate_serialized_updates,
+)
+from repro.races.simulator import SimulationResult, makespan_upper_bound, simulate_race_dag
+from repro.races.matmul import (
+    parallel_mm_program,
+    parallel_mm_race_dag,
+    parallel_mm_running_time,
+    parallel_mm_space_used,
+    parallel_mm_tradeoff_dag,
+)
+from repro.races.programs import (
+    figure1_counter_program,
+    global_sum_program,
+    histogram_program,
+    sparse_accumulate_program,
+)
+
+__all__ = [
+    "Program", "SerialBlock", "ParallelBlock", "Read", "Write", "Update", "logically_parallel",
+    "Race", "find_determinacy_races", "find_data_races", "racy_cells",
+    "RaceDAG", "race_dag_from_program", "to_tradeoff_dag", "DURATION_FAMILIES",
+    "ReducerSimulationResult", "simulate_binary_reducer", "simulate_kway_reducer",
+    "simulate_serialized_updates", "distribute_updates",
+    "binary_reducer_formula", "kway_reducer_formula",
+    "SimulationResult", "simulate_race_dag", "makespan_upper_bound",
+    "parallel_mm_program", "parallel_mm_race_dag", "parallel_mm_tradeoff_dag",
+    "parallel_mm_running_time", "parallel_mm_space_used",
+    "figure1_counter_program", "histogram_program", "global_sum_program",
+    "sparse_accumulate_program",
+]

@@ -1,0 +1,85 @@
+"""Determinacy-race and data-race detection (Section 1).
+
+A *determinacy race* occurs when two logically parallel operations access
+the same memory cell and at least one of them modifies it.  A *data race*
+is the special case in which both conflicting accesses modify the cell (the
+case a lock or atomic access can serialise, and a reducer can parallelise
+when the updates commute).
+
+The detector below works on the structural fork-join model of
+:mod:`repro.races.program`: logical parallelism is read straight off the
+block tree, so detection is exact (no scheduling enumeration needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.races.program import LabelledOperation, Program, logically_parallel
+
+__all__ = ["Race", "find_determinacy_races", "find_data_races", "racy_cells"]
+
+
+@dataclass(frozen=True)
+class Race:
+    """A single race: two logically parallel conflicting accesses to ``cell``.
+
+    ``kind`` is ``"data"`` when both accesses are writes/updates and
+    ``"determinacy"`` when only one of them writes.
+    ``reducible`` records whether a reducer could eliminate the race
+    (both accesses are commutative updates of the cell).
+    """
+
+    cell: Hashable
+    first: LabelledOperation
+    second: LabelledOperation
+    kind: str
+    reducible: bool
+
+
+def _accesses_by_cell(program: Program) -> Dict[Hashable, List[Tuple[LabelledOperation, bool]]]:
+    accesses: Dict[Hashable, List[Tuple[LabelledOperation, bool]]] = {}
+    for op in program.operations():
+        target = op.operation.target
+        accesses.setdefault(target, []).append((op, op.operation.writes_target))
+        for cell in op.operation.reads:
+            accesses.setdefault(cell, []).append((op, False))
+    return accesses
+
+
+def find_determinacy_races(program: Program) -> List[Race]:
+    """All determinacy races of ``program`` (data races included)."""
+    races: List[Race] = []
+    for cell, accesses in _accesses_by_cell(program).items():
+        for i in range(len(accesses)):
+            op_a, writes_a = accesses[i]
+            for j in range(i + 1, len(accesses)):
+                op_b, writes_b = accesses[j]
+                if not (writes_a or writes_b):
+                    continue
+                if not logically_parallel(op_a, op_b):
+                    continue
+                kind = "data" if (writes_a and writes_b) else "determinacy"
+                reducible = (
+                    writes_a and writes_b
+                    and getattr(op_a.operation, "is_commutative", False)
+                    and getattr(op_b.operation, "is_commutative", False)
+                    and op_a.operation.target == cell
+                    and op_b.operation.target == cell
+                )
+                races.append(Race(cell, op_a, op_b, kind, reducible))
+    return races
+
+
+def find_data_races(program: Program) -> List[Race]:
+    """Only the data races (both conflicting accesses modify the cell)."""
+    return [r for r in find_determinacy_races(program) if r.kind == "data"]
+
+
+def racy_cells(program: Program) -> List[Hashable]:
+    """The cells involved in at least one data race, in deterministic order."""
+    seen: Dict[Hashable, None] = {}
+    for race in find_data_races(program):
+        seen.setdefault(race.cell, None)
+    return list(seen)

@@ -1,0 +1,103 @@
+"""Parallel-MM: the iterative matrix-multiplication example (Figure 3).
+
+``Parallel-MM`` multiplies two ``n x n`` matrices with the two outer loops
+parallel and the inner ``k`` loop racy: all ``n`` iterations update the same
+output cell ``Z[i][j]``.  The paper uses it to show how extra space buys
+time: a recursive binary reducer of height ``h`` on every ``Z[i][j]`` brings
+the completion time of each cell from ``Theta(n)`` down to
+``Theta(n / 2^h + h)`` at a cost of ``n^2 * 2^h`` extra cells.
+
+This module builds the program (for race detection), its race DAG, the
+corresponding tradeoff DAG and the closed-form running-time curve, so the
+Figure 3-5 experiment can sweep ``h`` and compare against the formula.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.core.dag import TradeoffDAG
+from repro.races.program import ParallelBlock, Program, SerialBlock, Update, Write
+from repro.races.racedag import RaceDAG, race_dag_from_program, to_tradeoff_dag
+from repro.races.reducer import binary_reducer_formula
+from repro.utils.validation import check_positive, require
+
+__all__ = [
+    "parallel_mm_program",
+    "parallel_mm_race_dag",
+    "parallel_mm_tradeoff_dag",
+    "parallel_mm_running_time",
+    "parallel_mm_space_used",
+]
+
+
+def parallel_mm_program(n: int) -> Program:
+    """Build the Figure 3 program for ``n x n`` matrices.
+
+    The outer ``i`` and ``j`` loops are parallel blocks; the inner ``k``
+    loop is a serial block of :class:`~repro.races.program.Update`
+    operations on ``Z[i][j]`` -- which is exactly why parallelising it (as a
+    nested parallel block) would introduce data races.  To expose the races
+    the paper talks about, the inner loop *is* modelled as parallel here:
+    the program is the racy variant whose races the reducers remove.
+    """
+    check_positive(n, "n")
+    i_children = []
+    for i in range(n):
+        j_children = []
+        for j in range(n):
+            body = [Write(("Z", i, j), ())]
+            inner = [
+                Update(("Z", i, j), (("X", i, k), ("Y", k, j)))
+                for k in range(n)
+            ]
+            body.append(ParallelBlock(inner))
+            j_children.append(SerialBlock(body))
+        i_children.append(ParallelBlock(j_children))
+    root = ParallelBlock(i_children)
+    return Program(root, name=f"Parallel-MM(n={n})")
+
+
+def parallel_mm_race_dag(n: int) -> RaceDAG:
+    """The race DAG of Parallel-MM: every ``Z[i][j]`` receives ``n`` updates.
+
+    Input cells ``X[i][k]`` / ``Y[k][j]`` appear as zero-work sources; every
+    output cell has work ``n`` (plus the initialising write, which the paper
+    ignores -- we ignore it too by modelling it as work-free).
+    """
+    check_positive(n, "n")
+    dag = RaceDAG()
+    for i in range(n):
+        for j in range(n):
+            target = ("Z", i, j)
+            dag.add_cell(target)
+            for k in range(n):
+                dag.add_dependency(("X", i, k), target)
+                dag.add_cell(("Y", k, j))
+    return dag
+
+
+def parallel_mm_tradeoff_dag(n: int, family: str = "binary") -> TradeoffDAG:
+    """The tradeoff DAG with one reducer-capable job per output cell."""
+    return to_tradeoff_dag(parallel_mm_race_dag(n), family=family)
+
+
+def parallel_mm_running_time(n: int, height: int) -> float:
+    """Running time of Parallel-MM with a height-``h`` reducer on every output cell.
+
+    With unbounded processors all ``n^2`` output cells proceed in parallel,
+    so the running time is the per-cell reduction time
+    ``ceil(n / 2^h) + h + 1`` (``h = 0`` degenerates to the lock-serialised
+    ``n``).
+    """
+    check_positive(n, "n")
+    return binary_reducer_formula(n, height)
+
+
+def parallel_mm_space_used(n: int, height: int) -> int:
+    """Extra space used: ``n^2 * 2^h`` cells (one reducer per output cell)."""
+    check_positive(n, "n")
+    if height == 0:
+        return 0
+    return n * n * (2 ** height)

@@ -1,0 +1,204 @@
+"""Fork-join parallel program model (Section 1).
+
+The paper motivates the resource-time tradeoff problem with shared-memory
+parallel programs whose data races are mitigated by reducers.  To make that
+motivation executable we model a small fork-join language:
+
+* a program is a tree of :class:`SerialBlock` / :class:`ParallelBlock`
+  nodes whose leaves are memory operations;
+* operations are :class:`Read`, :class:`Write` (overwrite with a value
+  computed from other cells) and :class:`Update` (commutative/associative
+  accumulation into a cell, e.g. ``Z[i][j] += X[i][k] * Y[k][j]``);
+* logical parallelism is purely structural: two operations may run in
+  parallel iff their lowest common ancestor block is a
+  :class:`ParallelBlock` and they live in different children of it.
+
+The model intentionally charges one unit of time per update and zero for
+everything else, matching the cost model the paper uses to derive the
+duration functions of Section 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.utils.validation import require
+
+__all__ = [
+    "Cell",
+    "Operation",
+    "Read",
+    "Write",
+    "Update",
+    "SerialBlock",
+    "ParallelBlock",
+    "Program",
+]
+
+Cell = Hashable
+
+
+@dataclass(frozen=True)
+class Operation:
+    """Base class for memory operations.
+
+    Attributes
+    ----------
+    target:
+        The memory cell the operation primarily refers to.
+    reads:
+        Cells read by the operation (empty for plain reads of ``target``).
+    """
+
+    target: Cell
+    reads: Tuple[Cell, ...] = ()
+
+    @property
+    def writes_target(self) -> bool:
+        """Whether the operation modifies ``target``."""
+        return False
+
+    def cells_touched(self) -> Tuple[Cell, ...]:
+        """All cells read or written by the operation."""
+        return (self.target,) + tuple(self.reads)
+
+
+@dataclass(frozen=True)
+class Read(Operation):
+    """A read of ``target`` (no modification)."""
+
+
+@dataclass(frozen=True)
+class Write(Operation):
+    """An overwriting write of ``target`` using the values of ``reads``."""
+
+    @property
+    def writes_target(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Update(Operation):
+    """A commutative, associative update of ``target`` using ``reads``.
+
+    Updates are the operations that reducers can make race-free: they can be
+    applied in any order without changing the final value, so distributing
+    them over extra cells is safe.
+    """
+
+    @property
+    def writes_target(self) -> bool:
+        return True
+
+    @property
+    def is_commutative(self) -> bool:
+        return True
+
+
+Block = Union["SerialBlock", "ParallelBlock", Operation]
+
+
+@dataclass(frozen=True)
+class SerialBlock:
+    """Children execute one after the other, in order."""
+
+    children: Tuple[Block, ...]
+
+    def __init__(self, children: Sequence[Block]):
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class ParallelBlock:
+    """Children are logically parallel with each other."""
+
+    children: Tuple[Block, ...]
+
+    def __init__(self, children: Sequence[Block]):
+        object.__setattr__(self, "children", tuple(children))
+
+
+@dataclass(frozen=True)
+class LabelledOperation:
+    """An operation together with its position in the block tree.
+
+    ``label`` is the sequence of (block kind, child index) pairs from the
+    root to the operation; it is what the race detector uses to decide
+    logical parallelism.
+    """
+
+    index: int
+    operation: Operation
+    label: Tuple[Tuple[str, int], ...]
+
+
+class Program:
+    """A fork-join program: a root block plus convenience accessors."""
+
+    def __init__(self, root: Block, name: str = "program"):
+        self.root = root
+        self.name = name
+
+    # ------------------------------------------------------------------
+    def operations(self) -> List[LabelledOperation]:
+        """All operations in program (serial-elision) order, with labels."""
+        result: List[LabelledOperation] = []
+        counter = itertools.count()
+
+        def walk(node: Block, label: Tuple[Tuple[str, int], ...]) -> None:
+            if isinstance(node, Operation):
+                result.append(LabelledOperation(next(counter), node, label))
+                return
+            if isinstance(node, SerialBlock):
+                kind = "S"
+            elif isinstance(node, ParallelBlock):
+                kind = "P"
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected program node {node!r}")
+            for i, child in enumerate(node.children):
+                walk(child, label + ((kind, i),))
+
+        walk(self.root, ())
+        return result
+
+    def num_operations(self) -> int:
+        return len(self.operations())
+
+    def cells(self) -> List[Cell]:
+        """All memory cells touched by the program (deterministic order)."""
+        seen: dict = {}
+        for op in self.operations():
+            for cell in op.operation.cells_touched():
+                seen.setdefault(cell, None)
+        return list(seen)
+
+    def updates_per_cell(self) -> dict:
+        """``cell -> number of Write/Update operations targeting it``."""
+        counts: dict = {}
+        for op in self.operations():
+            if op.operation.writes_target:
+                counts[op.operation.target] = counts.get(op.operation.target, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Program({self.name!r}, operations={self.num_operations()})"
+
+
+def logically_parallel(a: LabelledOperation, b: LabelledOperation) -> bool:
+    """Whether two labelled operations may execute in parallel.
+
+    This is decided by the lowest common ancestor of their labels: the
+    operations are parallel iff the first position where the labels differ
+    is inside a :class:`ParallelBlock`.
+    """
+    if a.index == b.index:
+        return False
+    for (kind_a, idx_a), (kind_b, idx_b) in zip(a.label, b.label):
+        require(kind_a == kind_b, "labels disagree on block structure")
+        if idx_a != idx_b:
+            return kind_a == "P"
+    # One label is a prefix of the other: same serial chain (an operation and
+    # a block containing it) -- never parallel.
+    return False

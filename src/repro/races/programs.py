@@ -1,0 +1,86 @@
+"""Additional motivating racy programs.
+
+Besides Parallel-MM (Figure 3) the introduction's argument applies to any
+kernel whose parallel iterations accumulate into shared cells.  The
+generators below produce three such kernels as fork-join programs; they are
+used by the examples, the race-detector tests and the Observation-1.1
+benchmark:
+
+* **histogram** -- ``n`` items scattered into ``b`` buckets (each bucket is
+  a shared counter receiving many commutative updates);
+* **global sum** -- the textbook parallel reduction of ``n`` values into a
+  single accumulator (the Figure 1 race, at scale);
+* **sparse accumulate** -- a CSR-style sparse matrix-vector multiply where
+  output entries are updated once per stored non-zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.races.program import ParallelBlock, Program, SerialBlock, Update, Write
+from repro.utils.validation import check_positive, require
+
+__all__ = ["histogram_program", "global_sum_program", "sparse_accumulate_program",
+           "figure1_counter_program"]
+
+
+def figure1_counter_program() -> Program:
+    """The two-thread counter increment of Figure 1 (a single data race)."""
+    thread1 = Update(("x",), (("x",),))
+    thread2 = Update(("x",), (("x",),))
+    root = SerialBlock([
+        Write(("x",), ()),
+        ParallelBlock([thread1, thread2]),
+    ])
+    return Program(root, name="figure1-counter")
+
+
+def histogram_program(n_items: int, n_buckets: int, seed: int = 0) -> Program:
+    """Parallel histogram: each item updates its bucket counter.
+
+    All items are logically parallel; items mapping to the same bucket race
+    with each other (commutative updates, hence reducible).
+    """
+    check_positive(n_items, "n_items")
+    check_positive(n_buckets, "n_buckets")
+    rng = np.random.default_rng(seed)
+    buckets = rng.integers(0, n_buckets, size=n_items)
+    init = [Write(("hist", int(b)), ()) for b in range(n_buckets)]
+    body = [Update(("hist", int(buckets[i])), (("item", i),)) for i in range(n_items)]
+    root = SerialBlock([SerialBlock(init), ParallelBlock(body)])
+    return Program(root, name=f"histogram(n={n_items}, b={n_buckets})")
+
+
+def global_sum_program(n_values: int) -> Program:
+    """Parallel global sum: every value is added to one shared accumulator."""
+    check_positive(n_values, "n_values")
+    init = Write(("total",), ())
+    body = [Update(("total",), (("value", i),)) for i in range(n_values)]
+    root = SerialBlock([init, ParallelBlock(body)])
+    return Program(root, name=f"global-sum(n={n_values})")
+
+
+def sparse_accumulate_program(rows: int, cols: int, density: float = 0.3,
+                              seed: int = 0) -> Program:
+    """Sparse matrix-vector accumulation ``y[i] += A[i, j] * x[j]``.
+
+    Rows are parallel with each other and, inside a row, the stored
+    non-zeros update the same output cell ``y[i]`` in parallel -- the same
+    race pattern as Parallel-MM but with irregular work per cell.
+    """
+    check_positive(rows, "rows")
+    check_positive(cols, "cols")
+    require(0 < density <= 1, "density must lie in (0, 1]")
+    rng = np.random.default_rng(seed)
+    row_blocks = []
+    for i in range(rows):
+        nonzeros = [j for j in range(cols) if rng.random() < density]
+        if not nonzeros:
+            nonzeros = [int(rng.integers(0, cols))]
+        body = [Update(("y", i), (("A", i, j), ("x", j))) for j in nonzeros]
+        row_blocks.append(SerialBlock([Write(("y", i), ()), ParallelBlock(body)]))
+    root = ParallelBlock(row_blocks)
+    return Program(root, name=f"sparse-accumulate({rows}x{cols}, density={density})")

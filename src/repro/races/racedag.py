@@ -1,0 +1,180 @@
+"""Race DAG construction, ``D(P)`` (Section 1).
+
+Under the paper's assumptions (no cyclic read-write dependencies, O(1)
+non-update work between successive updates, updates dominating every other
+cost) the races of a program are captured by a DAG whose nodes are memory
+cells and whose arcs are read-write dependencies: an arc ``x -> y`` means
+"``y`` is updated using the value stored at ``x``".  The *work* of a cell is
+its in-degree counted with multiplicity -- the number of updates it
+receives -- which is also the time needed to apply them serially behind a
+lock (Observation 1.1).
+
+:class:`RaceDAG` keeps the multi-arc structure; :func:`race_dag_from_program`
+builds it from a fork-join program; :func:`to_tradeoff_dag` converts it into
+an activity-on-node :class:`~repro.core.dag.TradeoffDAG` by attaching one of
+the paper's duration-function families to every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import (
+    ConstantDuration,
+    GeneralStepDuration,
+    KWaySplitDuration,
+    RecursiveBinarySplitDuration,
+)
+from repro.races.program import Program
+from repro.utils.ordering import is_acyclic, topological_order
+from repro.utils.validation import require
+
+__all__ = ["RaceDAG", "race_dag_from_program", "to_tradeoff_dag", "DURATION_FAMILIES"]
+
+Cell = Hashable
+
+
+@dataclass
+class RaceDAG:
+    """A DAG over memory cells with multi-arc read-write dependencies.
+
+    Attributes
+    ----------
+    cells:
+        All memory cells, in insertion order.
+    arcs:
+        List of ``(source cell, target cell)`` pairs; repeated pairs
+        represent repeated updates (the multiplicity contributes to the
+        target's work).
+    extra_work:
+        Additional updates per cell that do not come from another tracked
+        cell (e.g. updates using program constants or read-only inputs);
+        they count toward the cell's work but add no precedence arc.
+    """
+
+    cells: List[Cell] = field(default_factory=list)
+    arcs: List[Tuple[Cell, Cell]] = field(default_factory=list)
+    extra_work: Dict[Cell, int] = field(default_factory=dict)
+
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell not in self._cell_set():
+            self.cells.append(cell)
+        return cell
+
+    def _cell_set(self) -> set:
+        return set(self.cells)
+
+    def add_dependency(self, source: Cell, target: Cell) -> None:
+        """Record one update of ``target`` that reads ``source``."""
+        require(source != target, "cyclic self-dependency is not allowed in a race DAG")
+        self.add_cell(source)
+        self.add_cell(target)
+        self.arcs.append((source, target))
+
+    def add_external_update(self, target: Cell, count: int = 1) -> None:
+        """Record ``count`` updates of ``target`` from untracked inputs."""
+        require(count >= 0, "count must be non-negative")
+        self.add_cell(target)
+        self.extra_work[target] = self.extra_work.get(target, 0) + count
+
+    # ------------------------------------------------------------------
+    def work(self, cell: Cell) -> int:
+        """Number of updates received by ``cell`` (its work value ``w_x``)."""
+        return sum(1 for _, t in self.arcs if t == cell) + self.extra_work.get(cell, 0)
+
+    def works(self) -> Dict[Cell, int]:
+        result = {cell: self.extra_work.get(cell, 0) for cell in self.cells}
+        for _, target in self.arcs:
+            result[target] += 1
+        return result
+
+    def simple_edges(self) -> List[Tuple[Cell, Cell]]:
+        """The arc set without multiplicities (used for precedence)."""
+        seen: Dict[Tuple[Cell, Cell], None] = {}
+        for edge in self.arcs:
+            seen.setdefault(edge, None)
+        return list(seen)
+
+    def validate(self) -> None:
+        require(is_acyclic(self.cells, self.simple_edges()),
+                "read-write dependencies form a cycle; the paper's model requires a DAG")
+
+    def makespan_serialized(self) -> float:
+        """Makespan when every cell serialises its updates (no reducers).
+
+        This is the longest path where each cell contributes its work, i.e.
+        the bound of Observation 1.1 with all durations at ``t(0)``.
+        """
+        return to_tradeoff_dag(self, family="constant").makespan_value({})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RaceDAG(cells={len(self.cells)}, updates={len(self.arcs)})"
+
+
+def race_dag_from_program(program: Program) -> RaceDAG:
+    """Build ``D(P)`` from a fork-join program.
+
+    Every :class:`~repro.races.program.Write` / ``Update`` of a cell ``y``
+    contributes one unit of work to ``y`` and one arc from every cell it
+    reads.  Reads of untracked constants contribute work but no arc.
+    """
+    dag = RaceDAG()
+    for labelled in program.operations():
+        op = labelled.operation
+        if not op.writes_target:
+            dag.add_cell(op.target)
+            continue
+        target = op.target
+        dag.add_cell(target)
+        if op.reads:
+            tracked = [c for c in op.reads if c != target]
+            if tracked:
+                # one update of `target`: count the work once, attach arcs from
+                # every operand; use the first operand for the work-carrying arc
+                # and the rest as zero-work precedence-only arcs.
+                dag.add_dependency(tracked[0], target)
+                for extra in tracked[1:]:
+                    dag.add_cell(extra)
+                    if (extra, target) not in dag.arcs:
+                        # precedence without double-counting work: record via
+                        # simple_edges only when absent, contributing one unit.
+                        dag.arcs.append((extra, target))
+                        dag.extra_work[target] = dag.extra_work.get(target, 0) - 1
+            else:
+                dag.add_external_update(target)
+        else:
+            dag.add_external_update(target)
+    dag.validate()
+    return dag
+
+
+#: Mapping from family name to a constructor ``work -> DurationFunction``.
+DURATION_FAMILIES = {
+    "binary": lambda w: RecursiveBinarySplitDuration(int(w)),
+    "kway": lambda w: KWaySplitDuration(int(w)),
+    "constant": lambda w: GeneralStepDuration([(0, float(w))]),
+}
+
+
+def to_tradeoff_dag(race_dag: RaceDAG, family: str = "binary") -> TradeoffDAG:
+    """Convert a race DAG into an activity-on-node tradeoff DAG.
+
+    Every cell becomes a job whose duration function comes from ``family``
+    applied to the cell's work (``"binary"`` for recursive binary reducers,
+    ``"kway"`` for k-way split reducers, ``"constant"`` for lock-serialised
+    updates with no reducer).  A virtual source/sink is added when needed so
+    the result always has unique terminals.
+    """
+    require(family in DURATION_FAMILIES, f"unknown duration family {family!r}")
+    build = DURATION_FAMILIES[family]
+    dag = TradeoffDAG()
+    works = race_dag.works()
+    for cell in race_dag.cells:
+        w = works.get(cell, 0)
+        duration = build(w) if w > 0 else ConstantDuration(0.0)
+        dag.add_job(cell, duration)
+    for u, v in race_dag.simple_edges():
+        dag.add_edge(u, v)
+    return dag.ensure_single_source_sink()

@@ -1,0 +1,205 @@
+"""Reducer simulators (Figure 2 and the duration functions of Section 2).
+
+The paper derives its two space-time duration functions from explicit
+reducer constructions:
+
+* a **recursive binary reducer** of height ``h`` distributes the ``n``
+  updates of a shared variable over ``2^h`` leaf cells; when a cell
+  finishes it folds into its sibling's survivor (the "become your own
+  parent" trick that needs only ``2h`` cells live at a time), and the last
+  survivor applies one final update to the shared variable.  With at least
+  ``2^h`` processors the total time is ``ceil(n / 2^h) + h + 1``;
+* a **k-way split reducer** distributes the ``n`` updates over ``k`` cells
+  (time ``ceil(n / k)`` in parallel) and then folds the ``k`` partial values
+  into the shared variable serially (time ``k``), for a total of
+  ``ceil(n / k) + k``.
+
+The simulators below execute those constructions update by update under the
+paper's cost model (one unit per update, everything else free) with an
+optional processor limit, so the closed-form duration functions used by the
+optimisation layer can be validated against an executable model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.utils.validation import check_non_negative, check_positive, require
+
+__all__ = [
+    "ReducerSimulationResult",
+    "distribute_updates",
+    "simulate_binary_reducer",
+    "simulate_kway_reducer",
+    "simulate_serialized_updates",
+    "binary_reducer_formula",
+    "kway_reducer_formula",
+]
+
+
+@dataclass(frozen=True)
+class ReducerSimulationResult:
+    """Outcome of a reducer simulation.
+
+    Attributes
+    ----------
+    completion_time:
+        Time at which the shared variable holds its final value.
+    updates_applied:
+        Total number of unit-cost update operations executed (including the
+        folding updates between cells).
+    space_used:
+        Number of extra cells the construction used.
+    processors_used:
+        Peak number of simultaneously busy processors.
+    """
+
+    completion_time: float
+    updates_applied: int
+    space_used: int
+    processors_used: int
+
+
+def distribute_updates(n_updates: int, buckets: int) -> List[int]:
+    """Split ``n_updates`` as evenly as possible over ``buckets`` cells."""
+    require(buckets >= 1, "buckets must be at least 1")
+    check_non_negative(n_updates, "n_updates")
+    base, extra = divmod(int(n_updates), buckets)
+    return [base + (1 if i < extra else 0) for i in range(buckets)]
+
+
+def simulate_serialized_updates(n_updates: int) -> ReducerSimulationResult:
+    """No reducer: the shared variable's lock serialises every update."""
+    check_non_negative(n_updates, "n_updates")
+    return ReducerSimulationResult(float(n_updates), int(n_updates), 0, 1 if n_updates else 0)
+
+
+def _parallel_prefix_finish(loads: Sequence[int], processors: Optional[int]) -> List[float]:
+    """Finish time of each bucket's local work under a processor limit.
+
+    With unlimited processors every bucket finishes after its own load.
+    With ``p`` processors the buckets are list-scheduled greedily (longest
+    first), which matches the paper's "at least 2^h processors" assumption
+    when ``p`` is large and degrades gracefully otherwise.
+    """
+    if processors is None or processors >= len(loads):
+        return [float(load) for load in loads]
+    p = max(1, int(processors))
+    heap = [0.0] * p
+    heapq.heapify(heap)
+    finish = [0.0] * len(loads)
+    order = sorted(range(len(loads)), key=lambda i: -loads[i])
+    for idx in order:
+        if loads[idx] == 0:
+            continue
+        start = heapq.heappop(heap)
+        end = start + float(loads[idx])
+        finish[idx] = end
+        heapq.heappush(heap, end)
+    return finish
+
+
+def simulate_binary_reducer(n_updates: int, height: int,
+                            processors: Optional[int] = None) -> ReducerSimulationResult:
+    """Simulate a recursive binary reducer of the given height.
+
+    Parameters
+    ----------
+    n_updates:
+        Number of parallel updates destined for the shared variable.
+    height:
+        Reducer height ``h``; ``h = 0`` degenerates to lock serialisation.
+    processors:
+        Optional processor limit; ``None`` means "enough" (>= ``2^h``).
+
+    Returns
+    -------
+    ReducerSimulationResult
+        With enough processors the completion time equals
+        ``ceil(n / 2^h) + h + 1`` for ``n >= 1`` (and 0 for ``n = 0``),
+        matching Equation 3.
+    """
+    check_non_negative(n_updates, "n_updates")
+    check_non_negative(height, "height")
+    if n_updates == 0:
+        return ReducerSimulationResult(0.0, 0, 0, 0)
+    if height == 0:
+        return simulate_serialized_updates(n_updates)
+
+    leaves = 2 ** int(height)
+    loads = distribute_updates(n_updates, leaves)
+    finish = _parallel_prefix_finish(loads, processors)
+    updates = int(n_updates)
+
+    # Fold level by level: the later sibling applies one update into the
+    # earlier sibling's survivor (cost 1).  Empty cells (load 0) merge for free.
+    while len(finish) > 1:
+        merged: List[float] = []
+        for i in range(0, len(finish), 2):
+            a, b = finish[i], finish[i + 1]
+            if loads_nonzero(a) or loads_nonzero(b):
+                merged.append(max(a, b) + 1.0)
+                updates += 1
+            else:
+                merged.append(0.0)
+        finish = merged
+    # Final update of the shared variable by the last survivor.
+    completion = finish[0] + 1.0
+    updates += 1
+    peak = min(leaves, processors) if processors is not None else leaves
+    return ReducerSimulationResult(completion, updates, 2 * int(height), int(peak))
+
+
+def loads_nonzero(finish_time: float) -> bool:
+    """A cell participated in the reduction iff it finished after time 0."""
+    return finish_time > 0.0
+
+
+def simulate_kway_reducer(n_updates: int, k: int,
+                          processors: Optional[int] = None) -> ReducerSimulationResult:
+    """Simulate a k-way split reducer.
+
+    The ``n`` updates are distributed over ``k`` extra cells and applied in
+    parallel; the ``k`` partial results are then folded into the shared
+    variable one by one (the variable's lock serialises them).  With enough
+    processors the completion time is ``ceil(n / k) + k`` for ``k >= 2``,
+    matching Equation 2.
+    """
+    check_non_negative(n_updates, "n_updates")
+    check_positive(k, "k")
+    if n_updates == 0:
+        return ReducerSimulationResult(0.0, 0, 0, 0)
+    if k == 1:
+        return simulate_serialized_updates(n_updates)
+    loads = distribute_updates(n_updates, int(k))
+    finish = _parallel_prefix_finish(loads, processors)
+    active = [f for f, load in zip(finish, loads) if load > 0]
+    # Fold the partial values serially into the shared variable, earliest first.
+    clock = 0.0
+    updates = int(n_updates)
+    for f in sorted(active):
+        clock = max(clock, f) + 1.0
+        updates += 1
+    peak = min(int(k), processors) if processors is not None else int(k)
+    return ReducerSimulationResult(clock, updates, int(k), int(peak))
+
+
+def binary_reducer_formula(n_updates: int, height: int) -> float:
+    """Closed form ``ceil(n / 2^h) + h + 1`` (Section 1 / Equation 3)."""
+    if n_updates == 0:
+        return 0.0
+    if height == 0:
+        return float(n_updates)
+    return float(math.ceil(n_updates / 2 ** height) + height + 1)
+
+
+def kway_reducer_formula(n_updates: int, k: int) -> float:
+    """Closed form ``ceil(n / k) + k`` (Equation 2)."""
+    if n_updates == 0:
+        return 0.0
+    if k <= 1:
+        return float(n_updates)
+    return float(math.ceil(n_updates / k) + k)

@@ -1,0 +1,38 @@
+"""Shared utilities for the resource-time tradeoff library.
+
+This subpackage holds small, dependency-free helpers used across the core
+algorithms, the data-race substrate and the hardness constructions:
+
+* :mod:`repro.utils.validation` -- argument checking helpers that raise
+  uniform, descriptive errors.
+* :mod:`repro.utils.ordering` -- topological ordering and longest-path
+  helpers over plain adjacency dictionaries.
+"""
+
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+    require,
+)
+from repro.utils.ordering import (
+    topological_order,
+    longest_path_lengths,
+    all_ancestors,
+    all_descendants,
+    is_acyclic,
+)
+
+__all__ = [
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+    "require",
+    "topological_order",
+    "longest_path_lengths",
+    "all_ancestors",
+    "all_descendants",
+    "is_acyclic",
+]

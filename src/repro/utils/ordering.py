@@ -1,0 +1,150 @@
+"""Topological ordering and longest-path helpers.
+
+These helpers operate on plain ``dict`` adjacency structures
+(``node -> iterable of successors``) so that they can be reused both by the
+core :class:`~repro.core.dag.TradeoffDAG` / :class:`~repro.core.arcdag.ArcDAG`
+classes and by the lighter-weight graphs built inside the hardness gadget
+constructions, without forcing everything through ``networkx``.
+
+Longest ("critical") paths are the central quantity of the paper: the
+makespan of a project DAG is the maximum, over source-to-sink paths, of the
+summed durations along the path (Observation 1.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+Node = Hashable
+
+
+def _successor_map(nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]) -> Dict[Node, List[Node]]:
+    succ: Dict[Node, List[Node]] = {n: [] for n in nodes}
+    for u, v in edges:
+        succ.setdefault(u, []).append(v)
+        succ.setdefault(v, [])
+    return succ
+
+
+def topological_order(nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]) -> List[Node]:
+    """Return a topological order of ``nodes`` under ``edges``.
+
+    Raises
+    ------
+    ValueError
+        If the directed graph contains a cycle.
+    """
+    nodes = list(nodes)
+    succ = _successor_map(nodes, edges)
+    indeg: Dict[Node, int] = {n: 0 for n in succ}
+    for u, vs in succ.items():
+        for v in vs:
+            indeg[v] += 1
+    queue = deque(sorted((n for n, d in indeg.items() if d == 0), key=repr))
+    order: List[Node] = []
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in succ[u]:
+            indeg[v] -= 1
+            if indeg[v] == 0:
+                queue.append(v)
+    if len(order) != len(succ):
+        raise ValueError("graph contains a cycle; topological order undefined")
+    return order
+
+
+def is_acyclic(nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]) -> bool:
+    """Return ``True`` iff the directed graph has no directed cycle."""
+    try:
+        topological_order(nodes, edges)
+        return True
+    except ValueError:
+        return False
+
+
+def longest_path_lengths(
+    nodes: Iterable[Node],
+    edges: Iterable[Tuple[Node, Node]],
+    edge_weight: Callable[[Node, Node], float],
+    node_weight: Optional[Callable[[Node], float]] = None,
+    sources: Optional[Sequence[Node]] = None,
+) -> Dict[Node, float]:
+    """Longest-path distance from any source to every node.
+
+    Parameters
+    ----------
+    nodes, edges:
+        The DAG.
+    edge_weight:
+        Weight contributed by traversing edge ``(u, v)``.
+    node_weight:
+        Optional weight contributed by *completing* node ``v`` (the
+        activity-on-node convention used by the race DAGs of Section 1,
+        where each node carries a work value / duration).  When given, the
+        distance of a node includes its own node weight.
+    sources:
+        Optional explicit source set; defaults to all nodes with in-degree 0.
+
+    Returns
+    -------
+    dict
+        ``node -> length of the longest path ending at (and including) node``.
+    """
+    nodes = list(nodes)
+    edges = list(edges)
+    order = topological_order(nodes, edges)
+    preds: Dict[Node, List[Node]] = {n: [] for n in order}
+    for u, v in edges:
+        preds[v].append(u)
+    indeg0 = {n for n in order if not preds[n]}
+    if sources is None:
+        source_set: Set[Node] = set(indeg0)
+    else:
+        source_set = set(sources)
+    nw = node_weight if node_weight is not None else (lambda _v: 0.0)
+    dist: Dict[Node, float] = {}
+    for v in order:
+        if v in source_set and not preds[v]:
+            dist[v] = nw(v)
+            continue
+        best = nw(v) if v in source_set else float("-inf")
+        for u in preds[v]:
+            if u in dist and dist[u] != float("-inf"):
+                cand = dist[u] + edge_weight(u, v) + nw(v)
+                if cand > best:
+                    best = cand
+        dist[v] = best
+    return dist
+
+
+def all_ancestors(node: Node, nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]) -> Set[Node]:
+    """Return the set of nodes from which ``node`` is reachable (excluding itself)."""
+    preds: Dict[Node, List[Node]] = {n: [] for n in nodes}
+    for u, v in edges:
+        preds.setdefault(v, []).append(u)
+        preds.setdefault(u, [])
+    seen: Set[Node] = set()
+    stack = list(preds.get(node, []))
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        stack.extend(preds.get(u, []))
+    return seen
+
+
+def all_descendants(node: Node, nodes: Iterable[Node], edges: Iterable[Tuple[Node, Node]]) -> Set[Node]:
+    """Return the set of nodes reachable from ``node`` (excluding itself)."""
+    succ = _successor_map(nodes, edges)
+    seen: Set[Node] = set()
+    stack = list(succ.get(node, []))
+    while stack:
+        u = stack.pop()
+        if u in seen:
+            continue
+        seen.add(u)
+        stack.extend(succ.get(u, []))
+    return seen

@@ -1,0 +1,79 @@
+"""Uniform argument-validation helpers.
+
+All public constructors in the library validate their inputs eagerly so that
+modelling mistakes (negative resources, increasing duration functions,
+cyclic "DAGs", ...) surface at construction time rather than deep inside an
+approximation algorithm.  The helpers below keep those checks terse and the
+error messages consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+class ValidationError(ValueError):
+    """Raised when a model object is constructed from invalid inputs."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` unless ``condition``.
+
+    Parameters
+    ----------
+    condition:
+        Boolean that must be true.
+    message:
+        Human-readable description of the violated requirement.
+    """
+    if not condition:
+        raise ValidationError(message)
+
+
+def check_type(value: Any, types, name: str) -> Any:
+    """Check that ``value`` is an instance of ``types`` and return it."""
+    if not isinstance(value, types):
+        raise ValidationError(
+            f"{name} must be an instance of {types!r}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_non_negative(value, name: str):
+    """Check that a numeric ``value`` is finite-or-inf and >= 0."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValidationError(f"{name} must be a number, got {type(value).__name__}")
+    if math.isnan(value):
+        raise ValidationError(f"{name} must not be NaN")
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_positive(value, name: str):
+    """Check that a numeric ``value`` is strictly positive."""
+    check_non_negative(value, name)
+    if value <= 0:
+        raise ValidationError(f"{name} must be strictly positive, got {value}")
+    return value
+
+
+def check_probability(value, name: str):
+    """Check that ``value`` lies in the closed interval [0, 1]."""
+    check_non_negative(value, name)
+    if value > 1:
+        raise ValidationError(f"{name} must be at most 1, got {value}")
+    return value
+
+
+def check_open_unit_interval(value, name: str):
+    """Check that ``value`` lies strictly between 0 and 1 (exclusive).
+
+    The bi-criteria rounding parameter ``alpha`` of Theorem 3.4 must satisfy
+    ``0 < alpha < 1``; this helper enforces exactly that.
+    """
+    check_non_negative(value, name)
+    if not (0 < value < 1):
+        raise ValidationError(f"{name} must lie strictly in (0, 1), got {value}")
+    return value

@@ -1,0 +1,104 @@
+"""Tests for the bi-criteria LP-rounding algorithm (Theorem 3.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bicriteria import solve_min_makespan_bicriteria, solve_min_resource_bicriteria
+from repro.core.exact import exact_min_makespan
+from repro.generators import get_workload, layered_random_dag, workload_names
+from repro.utils.validation import ValidationError
+
+
+SMALL_WORKLOADS = ["small-layered-general", "small-layered-binary", "small-layered-kway",
+                   "deep-chain-binary", "deep-chain-kway"]
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("name", SMALL_WORKLOADS)
+    @pytest.mark.parametrize("alpha", [0.25, 0.5, 0.75])
+    def test_bicriteria_guarantees_hold(self, name, alpha):
+        """makespan <= (1/alpha) * LP and budget <= (1/(1-alpha)) * B (Theorem 3.4)."""
+        workload = get_workload(name)
+        dag = workload.build()
+        budget = workload.budget
+        solution = solve_min_makespan_bicriteria(dag, budget, alpha)
+        lp_makespan = solution.metadata["lp_makespan"]
+        assert solution.makespan <= lp_makespan / alpha + 1e-6
+        assert solution.budget_used <= budget / (1 - alpha) + 1e-6
+        # the LP optimum is a valid lower bound on OPT, hence on our makespan too
+        assert solution.makespan >= lp_makespan - 1e-6
+
+    @pytest.mark.parametrize("name", ["small-layered-general", "small-layered-binary"])
+    def test_against_exact_optimum(self, name):
+        workload = get_workload(name)
+        dag = workload.build()
+        budget = workload.budget
+        solution = solve_min_makespan_bicriteria(dag, budget, alpha=0.5)
+        exact = exact_min_makespan(dag, budget)
+        # with alpha = 1/2 the makespan is within 2x of OPT (for the budget it uses)
+        assert solution.makespan <= 2 * exact.makespan + 1e-6
+
+    def test_zero_budget_equals_no_resource(self, diamond_dag):
+        solution = solve_min_makespan_bicriteria(diamond_dag, budget=0, alpha=0.5)
+        assert solution.makespan == pytest.approx(diamond_dag.makespan_value({}))
+        assert solution.budget_used == 0
+
+    def test_allocation_is_consistent_with_makespan(self, diamond_dag):
+        """Evaluating the returned allocation on the node DAG never beats the
+        reported makespan (the arc-level schedule is at least as constrained)."""
+        solution = solve_min_makespan_bicriteria(diamond_dag, budget=16, alpha=0.5)
+        node_makespan = diamond_dag.makespan_value(
+            {k: v for k, v in solution.allocation.items() if k in diamond_dag.jobs})
+        assert node_makespan <= solution.makespan + 1e-6
+
+    def test_invalid_alpha_rejected(self, diamond_dag):
+        with pytest.raises(ValidationError):
+            solve_min_makespan_bicriteria(diamond_dag, budget=4, alpha=0.0)
+        with pytest.raises(ValidationError):
+            solve_min_makespan_bicriteria(diamond_dag, budget=4, alpha=1.0)
+
+    def test_negative_budget_rejected(self, diamond_dag):
+        with pytest.raises(ValidationError):
+            solve_min_makespan_bicriteria(diamond_dag, budget=-1)
+
+    def test_monotone_improvement_with_budget(self):
+        dag = layered_random_dag(3, 3, family="binary", seed=5)
+        previous = math.inf
+        for budget in [0, 4, 8, 16, 32]:
+            solution = solve_min_makespan_bicriteria(dag, budget, alpha=0.5)
+            # LP lower bound is monotone; the rounded makespan is monotone up to
+            # the 1/alpha slack, so only assert against the guarantee.
+            assert solution.makespan <= 2 * solution.metadata["lp_makespan"] + 1e-6
+            assert solution.metadata["lp_makespan"] <= previous + 1e-9
+            previous = solution.metadata["lp_makespan"]
+
+
+class TestMinResourceVariant:
+    def test_guarantees(self, diamond_dag):
+        target = 40.0
+        solution = solve_min_resource_bicriteria(diamond_dag, target, alpha=0.5)
+        assert solution.makespan <= target / 0.5 + 1e-6
+        lp_budget = solution.metadata["lp_budget_used"]
+        assert solution.budget_used <= lp_budget / 0.5 + 1e-6
+
+    def test_loose_target_uses_no_resource(self, diamond_dag):
+        target = diamond_dag.makespan_value({}) + 1
+        solution = solve_min_resource_bicriteria(diamond_dag, target, alpha=0.5)
+        assert solution.budget_used == pytest.approx(0)
+
+    def test_infeasible_target_reported(self):
+        from repro.core.dag import TradeoffDAG
+        from repro.core.duration import GeneralStepDuration
+
+        dag = TradeoffDAG()
+        dag.add_job("s")
+        dag.add_job("fixed", GeneralStepDuration([(0, 10)]))
+        dag.add_job("t")
+        dag.add_edge("s", "fixed")
+        dag.add_edge("fixed", "t")
+        solution = solve_min_resource_bicriteria(dag, target_makespan=1, alpha=0.5)
+        assert math.isinf(solution.makespan)
+        assert solution.metadata["status"] == "infeasible"

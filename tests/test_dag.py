@@ -1,0 +1,130 @@
+"""Tests for the activity-on-node TradeoffDAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import ConstantDuration, GeneralStepDuration, RecursiveBinarySplitDuration
+from repro.utils.validation import ValidationError
+
+
+class TestConstruction:
+    def test_add_job_and_edges(self, simple_chain_dag):
+        dag = simple_chain_dag
+        assert dag.num_jobs == 4
+        assert dag.num_edges == 3
+        assert dag.source == "s"
+        assert dag.sink == "t"
+        assert dag.successors("x") == ["y"]
+        assert dag.predecessors("y") == ["x"]
+        assert dag.in_degree("y") == 1
+        assert dag.out_degree("s") == 1
+
+    def test_unknown_job_edge_rejected(self):
+        dag = TradeoffDAG()
+        dag.add_job("a")
+        with pytest.raises(ValidationError):
+            dag.add_edge("a", "b")
+
+    def test_self_loop_rejected(self):
+        dag = TradeoffDAG()
+        dag.add_job("a")
+        with pytest.raises(ValidationError):
+            dag.add_edge("a", "a")
+
+    def test_duplicate_edges_ignored(self):
+        dag = TradeoffDAG()
+        dag.add_job("a")
+        dag.add_job("b")
+        dag.add_edge("a", "b")
+        dag.add_edge("a", "b")
+        assert dag.num_edges == 1
+
+    def test_cycle_detected(self):
+        dag = TradeoffDAG()
+        for name in "abc":
+            dag.add_job(name)
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        dag.add_edge("c", "a")
+        with pytest.raises(ValueError):
+            dag.topological_order()
+
+    def test_remove_edge(self):
+        dag = TradeoffDAG()
+        dag.add_job("a")
+        dag.add_job("b")
+        dag.add_edge("a", "b")
+        dag.remove_edge("a", "b")
+        assert dag.num_edges == 0
+
+    def test_copy_is_independent(self, simple_chain_dag):
+        copy = simple_chain_dag.copy()
+        copy.add_job("extra")
+        assert "extra" not in simple_chain_dag.jobs
+
+    def test_ensure_single_source_sink(self):
+        dag = TradeoffDAG()
+        for name in ["a", "b", "c", "d"]:
+            dag.add_job(name, GeneralStepDuration([(0, 1)]))
+        dag.add_edge("a", "c")
+        dag.add_edge("b", "d")
+        fixed = dag.ensure_single_source_sink()
+        assert fixed.source == TradeoffDAG.VIRTUAL_SOURCE
+        assert fixed.sink == TradeoffDAG.VIRTUAL_SINK
+        assert fixed is not dag
+        # already-unique terminals return the same object
+        assert fixed.ensure_single_source_sink() is fixed
+
+    def test_networkx_roundtrip(self, simple_chain_dag):
+        g = simple_chain_dag.to_networkx()
+        back = TradeoffDAG.from_networkx(g)
+        assert sorted(map(str, back.jobs)) == sorted(map(str, simple_chain_dag.jobs))
+        assert back.num_edges == simple_chain_dag.num_edges
+
+
+class TestMakespan:
+    def test_no_resource_makespan_is_sum_on_chain(self, simple_chain_dag):
+        assert simple_chain_dag.makespan_value({}) == 64 + 36
+
+    def test_resources_shrink_makespan(self, simple_chain_dag):
+        no_res = simple_chain_dag.makespan_value({})
+        with_res = simple_chain_dag.makespan_value({"x": 8, "y": 6})
+        assert with_res < no_res
+
+    def test_makespan_result_fields(self, simple_chain_dag):
+        result = simple_chain_dag.makespan({"x": 8})
+        assert result.makespan == result.completion_times["t"]
+        assert result.critical_path[0] == "s"
+        assert result.critical_path[-1] == "t"
+
+    def test_parallel_branches_take_max(self, diamond_dag):
+        value = diamond_dag.makespan_value({})
+        left = 32 + 25
+        right = 48 + 16
+        assert value == max(left, right)
+
+    def test_unknown_job_in_allocation_rejected(self, simple_chain_dag):
+        with pytest.raises(ValidationError):
+            simple_chain_dag.makespan({"nope": 3})
+
+    def test_negative_allocation_rejected(self, simple_chain_dag):
+        with pytest.raises(ValidationError):
+            simple_chain_dag.makespan({"x": -1})
+
+    def test_empty_dag(self):
+        dag = TradeoffDAG()
+        assert dag.makespan({}).makespan == 0.0
+
+    def test_figure4_style_makespan(self, figure4_like_dag):
+        """Works equal to in-degree; the makespan is the heaviest path."""
+        result = figure4_like_dag.makespan({})
+        assert result.makespan == pytest.approx(1 + 2 + 3 + 2 + 1)  # a,b,c,d,t works
+        assert result.critical_path == ("s", "a", "b", "c", "d", "t")
+
+    def test_critical_path_changes_with_allocation(self, diamond_dag):
+        base = diamond_dag.makespan({})
+        assert "b1" in base.critical_path
+        shifted = diamond_dag.makespan({"b1": 16, "b2": 4})
+        assert shifted.makespan <= base.makespan

@@ -1,0 +1,197 @@
+"""Tests for the duration functions of Section 2 (Equations 1-3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.duration import (
+    ConstantDuration,
+    GeneralStepDuration,
+    KWaySplitDuration,
+    RecursiveBinarySplitDuration,
+    recursive_binary_height_bound,
+    LOG2_LOG2_E,
+)
+from repro.utils.validation import ValidationError
+
+
+class TestGeneralStepDuration:
+    def test_basic_steps(self):
+        f = GeneralStepDuration([(0, 10), (2, 4), (5, 1)])
+        assert f(0) == 10
+        assert f(1) == 10
+        assert f(2) == 4
+        assert f(4.9) == 4
+        assert f(5) == 1
+        assert f(1000) == 1
+
+    def test_requires_zero_breakpoint(self):
+        with pytest.raises(ValidationError):
+            GeneralStepDuration([(1, 5)])
+
+    def test_redundant_breakpoints_dropped(self):
+        f = GeneralStepDuration([(0, 10), (1, 10), (2, 8), (3, 8), (4, 2)])
+        assert f.tuples() == [(0, 10), (2, 8), (4, 2)]
+
+    def test_negative_resource_rejected(self):
+        with pytest.raises(ValidationError):
+            GeneralStepDuration([(0, 5), (-1, 2)])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            GeneralStepDuration([(0, -3)])
+
+    def test_infinite_duration_allowed(self):
+        f = GeneralStepDuration([(0, math.inf), (3, 1)])
+        assert math.isinf(f(0))
+        assert f(3) == 1
+
+    def test_equality_and_hash(self):
+        a = GeneralStepDuration([(0, 10), (2, 4)])
+        b = GeneralStepDuration([(0, 10), (1, 10), (2, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_helpers(self):
+        f = GeneralStepDuration([(0, 10), (2, 4), (5, 1)])
+        assert f.base_duration == 10
+        assert f.min_duration() == 1
+        assert f.max_useful_resource() == 5
+        assert f.num_tuples() == 3
+        assert f.resource_levels() == [0, 2, 5]
+
+    def test_rejects_negative_resource_query(self):
+        f = GeneralStepDuration([(0, 10)])
+        with pytest.raises(ValidationError):
+            f(-1)
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 100)), min_size=1, max_size=8))
+    def test_envelope_is_non_increasing(self, pairs):
+        pairs = [(0, 50)] + pairs
+        f = GeneralStepDuration(pairs)
+        tuples = f.tuples()
+        for (r1, t1), (r2, t2) in zip(tuples, tuples[1:]):
+            assert r2 > r1
+            assert t2 < t1
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    def test_monotonicity_of_duration(self, r1, r2):
+        f = GeneralStepDuration([(0, 30), (3, 20), (7, 5), (11, 0)])
+        lo, hi = min(r1, r2), max(r1, r2)
+        assert f(hi) <= f(lo)
+
+
+class TestConstantDuration:
+    def test_never_improves(self):
+        f = ConstantDuration(7.0)
+        assert f(0) == 7.0
+        assert f(1000) == 7.0
+        assert f.num_tuples() == 1
+        assert f.max_useful_resource() == 0
+
+
+class TestKWaySplitDuration:
+    def test_equation2_values(self):
+        d = 36
+        f = KWaySplitDuration(d)
+        assert f(0) == 36
+        assert f(1) == 36
+        assert f(2) == math.ceil(36 / 2) + 2
+        assert f(6) == math.ceil(36 / 6) + 6  # 12, at k = sqrt(36)
+        # beyond sqrt(d) nothing improves
+        assert f(100) == f(6)
+
+    def test_small_work_has_no_benefit(self):
+        f = KWaySplitDuration(3)
+        assert f.tuples() == [(0, 3.0)]
+        assert f(100) == 3.0
+
+    def test_zero_work(self):
+        f = KWaySplitDuration(0)
+        assert f(0) == 0
+        assert f(5) == 0
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValidationError):
+            KWaySplitDuration(3.5)  # type: ignore[arg-type]
+
+    @given(st.integers(0, 400), st.integers(0, 50))
+    def test_non_increasing(self, work, r):
+        f = KWaySplitDuration(work)
+        assert f(r + 1) <= f(r)
+
+    @given(st.integers(4, 400))
+    def test_envelope_matches_equation2_at_breakpoints(self, work):
+        """At every stored breakpoint the envelope equals the literal Equation 2."""
+        f = KWaySplitDuration(work)
+        for r, t in f.tuples():
+            if r >= 2:
+                assert t <= f.raw_equation2(r)
+                # the envelope only deviates where equation 2 is non-monotone
+                assert t == min(f.raw_equation2(k) for k in range(2, int(r) + 1))
+
+    @given(st.integers(2, 500))
+    def test_best_duration_near_two_sqrt(self, work):
+        """The minimum of Equation 2 is within a small additive term of 2*sqrt(d)."""
+        f = KWaySplitDuration(work)
+        best = f.min_duration()
+        assert best <= 2 * math.sqrt(work) + 2
+        assert best >= math.floor(2 * math.sqrt(work)) - 1 or best == work
+
+
+class TestRecursiveBinarySplitDuration:
+    def test_equation3_values(self):
+        d = 64
+        f = RecursiveBinarySplitDuration(d)
+        assert f(0) == 64
+        assert f(1) == 64
+        assert f(2) == math.ceil(64 / 2) + 2
+        assert f(4) == math.ceil(64 / 4) + 3
+        assert f(8) == math.ceil(64 / 8) + 4
+        # between powers of two the duration is constant
+        assert f(5) == f(4)
+        assert f(7) == f(4)
+
+    def test_height_bound(self):
+        # k = floor(log2 d - log2 log2 e)
+        assert recursive_binary_height_bound(64) == int(math.floor(6 - LOG2_LOG2_E))
+        assert recursive_binary_height_bound(1) == 0
+        assert recursive_binary_height_bound(0) == 0
+
+    def test_duration_at_height(self):
+        f = RecursiveBinarySplitDuration(100)
+        assert f.duration_at_height(0) == 100
+        assert f.duration_at_height(3) == math.ceil(100 / 8) + 4
+
+    def test_small_work(self):
+        f = RecursiveBinarySplitDuration(2)
+        assert f(0) == 2
+        # a reducer cannot improve a 2-update cell under Equation 3
+        assert f(64) == min(t for _r, t in f.tuples())
+
+    @given(st.integers(0, 1000), st.integers(0, 64))
+    def test_non_increasing(self, work, r):
+        f = RecursiveBinarySplitDuration(work)
+        assert f(r + 1) <= f(r)
+
+    @given(st.integers(2, 1000))
+    def test_breakpoints_are_powers_of_two(self, work):
+        f = RecursiveBinarySplitDuration(work)
+        for r, _t in f.tuples()[1:]:
+            assert r == 2 ** int(math.log2(r))
+
+    @given(st.integers(4, 2000))
+    def test_matches_reducer_formula(self, work):
+        """Equation 3 equals the reducer closed form ceil(d/2^i) + i + 1 at breakpoints."""
+        f = RecursiveBinarySplitDuration(work)
+        for r, t in f.tuples()[1:]:
+            i = int(math.log2(r))
+            assert t == math.ceil(work / 2 ** i) + i + 1
+
+    def test_validate_passes(self):
+        for work in [0, 1, 2, 5, 17, 100, 1023]:
+            RecursiveBinarySplitDuration(work).validate()
+            KWaySplitDuration(work).validate()

@@ -1,0 +1,151 @@
+"""Tests for the exact solvers and the baseline heuristics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.arcdag import ArcDAG
+from repro.core.baselines import (
+    greedy_global_reuse,
+    greedy_no_reuse,
+    greedy_path_reuse,
+    no_resource_solution,
+    peak_resource_usage,
+    uniform_split_solution,
+)
+from repro.core.duration import GeneralStepDuration
+from repro.core.exact import (
+    ExactSearchLimit,
+    exact_min_makespan,
+    exact_min_makespan_arcs,
+    exact_min_resource,
+    exact_min_resource_arcs,
+)
+from repro.generators import fork_join_dag, layered_random_dag
+
+
+class TestExactNodeSolvers:
+    def test_chain_optimum(self, simple_chain_dag):
+        solution = exact_min_makespan(simple_chain_dag, budget=8)
+        # 8 units reused along the chain: best allocation is x=8 (12), y in {6,8} -> 12
+        assert solution.makespan == 24
+        assert solution.budget_used <= 8
+
+    def test_budget_zero(self, simple_chain_dag):
+        solution = exact_min_makespan(simple_chain_dag, budget=0)
+        assert solution.makespan == simple_chain_dag.makespan_value({})
+        assert solution.budget_used == 0
+
+    def test_monotone_in_budget(self, diamond_dag):
+        previous = math.inf
+        for budget in [0, 4, 8, 16]:
+            value = exact_min_makespan(diamond_dag, budget).makespan
+            assert value <= previous + 1e-9
+            previous = value
+
+    def test_min_resource_inverse_of_min_makespan(self, simple_chain_dag):
+        budget = 8
+        best = exact_min_makespan(simple_chain_dag, budget)
+        back = exact_min_resource(simple_chain_dag, best.makespan)
+        assert back.budget_used <= budget + 1e-9
+        assert back.makespan <= best.makespan + 1e-9
+
+    def test_min_resource_infeasible(self, simple_chain_dag):
+        solution = exact_min_resource(simple_chain_dag, target_makespan=1)
+        assert math.isinf(solution.budget_used)
+
+    def test_search_limit(self):
+        dag = layered_random_dag(4, 5, family="general", seed=3)
+        with pytest.raises(ExactSearchLimit):
+            exact_min_makespan(dag, budget=10, max_combinations=10)
+
+
+class TestExactArcSolvers:
+    def build(self):
+        dag = ArcDAG()
+        dag.add_arc("s", "a", GeneralStepDuration([(0, 4), (2, 0)]), arc_id="e1")
+        dag.add_arc("a", "t", GeneralStepDuration([(0, 3), (1, 0)]), arc_id="e2")
+        dag.add_arc("s", "b", GeneralStepDuration([(0, 5), (2, 0)]), arc_id="e3")
+        dag.add_arc("b", "t", GeneralStepDuration([(0, 1)]), arc_id="e4")
+        return dag
+
+    def test_min_makespan_arcs(self):
+        dag = self.build()
+        value, flow = exact_min_makespan_arcs(dag, budget=4)
+        # 2 units down each branch expedite e1, e2 and e3: makespan = max(0, 1) = 1
+        assert value == 1
+        assert sum(flow.get(a, 0.0) for a in ["e1", "e3"]) <= 4 + 1e-9
+
+    def test_min_makespan_arcs_zero_budget(self):
+        dag = self.build()
+        value, _ = exact_min_makespan_arcs(dag, budget=0)
+        assert value == max(4 + 3, 5 + 1)
+
+    def test_min_resource_arcs(self):
+        dag = self.build()
+        value, flow = exact_min_resource_arcs(dag, target_makespan=1)
+        assert value == 4
+        value_loose, _ = exact_min_resource_arcs(dag, target_makespan=7)
+        assert value_loose <= 2
+
+    def test_min_resource_arcs_unreachable_target(self):
+        dag = self.build()
+        value, flow = exact_min_resource_arcs(dag, target_makespan=0.5)
+        assert math.isinf(value)
+        assert flow == {}
+
+    def test_consistency_with_node_solver(self, simple_chain_dag):
+        from repro.core.arcdag import expand_to_two_tuples, node_to_arc_dag
+
+        arc_dag, _ = node_to_arc_dag(simple_chain_dag)
+        expansion = expand_to_two_tuples(arc_dag)
+        budget = 8
+        node_value = exact_min_makespan(simple_chain_dag, budget).makespan
+        arc_value, _ = exact_min_makespan_arcs(expansion.arc_dag, budget)
+        assert arc_value == pytest.approx(node_value)
+
+
+class TestBaselines:
+    def test_no_resource(self, diamond_dag):
+        solution = no_resource_solution(diamond_dag)
+        assert solution.makespan == diamond_dag.makespan_value({})
+        assert solution.budget_used == 0
+
+    def test_uniform_split_respects_sum_budget(self, diamond_dag):
+        solution = uniform_split_solution(diamond_dag, budget=8)
+        assert solution.budget_used <= 8
+        assert solution.makespan <= diamond_dag.makespan_value({})
+
+    def test_greedy_variants_improve_and_respect_budgets(self, diamond_dag):
+        budget = 8
+        base = diamond_dag.makespan_value({})
+        path = greedy_path_reuse(diamond_dag, budget)
+        no_reuse = greedy_no_reuse(diamond_dag, budget)
+        global_reuse = greedy_global_reuse(diamond_dag, budget)
+        for solution in (path, no_reuse, global_reuse):
+            assert solution.makespan <= base
+            assert solution.budget_used <= budget + 1e-9
+
+    def test_reuse_hierarchy_on_chains(self, simple_chain_dag):
+        """Path reuse is at least as powerful as no reuse on a chain."""
+        budget = 8
+        path = greedy_path_reuse(simple_chain_dag, budget)
+        no_reuse = greedy_no_reuse(simple_chain_dag, budget)
+        assert path.makespan <= no_reuse.makespan + 1e-9
+
+    def test_peak_resource_usage(self, diamond_dag):
+        # two parallel jobs holding 4 units each overlap in time
+        peak = peak_resource_usage(diamond_dag, {"a1": 4, "b1": 4})
+        assert peak == 8
+        # serial jobs on one branch never overlap
+        peak_serial = peak_resource_usage(diamond_dag, {"a1": 4, "a2": 4})
+        assert peak_serial == 4
+
+    def test_greedy_on_fork_join_splits_budget(self):
+        dag = fork_join_dag(width=4, work=16, family="binary")
+        solution = greedy_path_reuse(dag, budget=8)
+        # the budget must be split across the 4 parallel tasks
+        assert solution.budget_used <= 8
+        assert solution.makespan < dag.makespan_value({})

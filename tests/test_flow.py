@@ -1,0 +1,95 @@
+"""Tests for ResourceFlow: conservation, event times, makespan, critical path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arcdag import ArcDAG
+from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.flow import FlowValidationError, ResourceFlow
+
+
+def build_two_path_dag() -> ArcDAG:
+    """s -> a -> t (improvable) in parallel with s -> b -> t (fixed)."""
+    dag = ArcDAG()
+    dag.add_arc("s", "a", GeneralStepDuration([(0, 10), (4, 2)]), arc_id="sa")
+    dag.add_arc("a", "t", GeneralStepDuration([(0, 5), (2, 0)]), arc_id="at")
+    dag.add_arc("s", "b", GeneralStepDuration([(0, 7)]), arc_id="sb")
+    dag.add_arc("b", "t", ConstantDuration(0.0), arc_id="bt")
+    return dag
+
+
+class TestValidation:
+    def test_valid_flow_passes(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 4})
+        flow.validate()
+
+    def test_conservation_violation_detected(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 1})
+        with pytest.raises(FlowValidationError):
+            flow.validate()
+
+    def test_negative_flow_detected(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": -1, "at": -1})
+        with pytest.raises(FlowValidationError):
+            flow.validate()
+
+    def test_budget_used_is_source_outflow(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 4, "sb": 2, "bt": 2})
+        assert flow.budget_used() == 6
+
+    def test_small_numerical_noise_tolerated(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4.0, "at": 4.0 + 1e-10})
+        flow.validate()
+
+
+class TestSchedule:
+    def test_event_times_and_makespan_without_flow(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {})
+        times = flow.event_times()
+        assert times["a"] == 10
+        assert times["b"] == 7
+        assert flow.makespan() == 15  # 10 + 5 via a
+
+    def test_flow_reduces_makespan(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 4})
+        # sa drops to 2, at to 0 -> path via a costs 2; path via b costs 7
+        assert flow.makespan() == 7
+
+    def test_critical_path_identifies_bottleneck(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 4})
+        path = flow.critical_path()
+        assert [a.arc_id for a in path] == ["sb", "bt"]
+
+    def test_arc_durations(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 1})
+        durations = flow.arc_durations()
+        assert durations["sa"] == 2
+        assert durations["at"] == 5  # 1 unit is below the 2-unit breakpoint
+
+    def test_is_integral_and_rounded(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4.0000000001, "at": 4.0})
+        assert flow.is_integral()
+        assert flow.rounded().flow["sa"] == pytest.approx(4.0)
+
+    def test_job_resources_lookup(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 4})
+        resources = flow.job_resources({"first": "sa", "second": "at", "other": "sb"})
+        assert resources == {"first": 4, "second": 4, "other": 0}
+
+    def test_summary_string(self):
+        dag = build_two_path_dag()
+        flow = ResourceFlow(dag, {"sa": 4, "at": 4})
+        text = flow.summary()
+        assert "budget_used=4" in text

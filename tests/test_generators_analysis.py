@@ -1,0 +1,132 @@
+"""Tests for the instance generators and the analysis / table helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.ratios import RatioMeasurement, measure_ratios, summarize_measurements
+from repro.analysis.report import format_float, format_table
+from repro.analysis.tables import (
+    TABLE1_ROWS,
+    render_table1,
+    render_table2,
+    render_table3,
+    table1_summary,
+)
+from repro.core.bicriteria import solve_min_makespan_bicriteria
+from repro.core.baselines import greedy_path_reuse
+from repro.generators import (
+    WORKLOADS,
+    balanced_sp_tree,
+    chain_dag,
+    fork_join_dag,
+    get_workload,
+    layered_random_dag,
+    random_sp_tree,
+    staged_fork_join_dag,
+    workload_names,
+)
+
+
+class TestGenerators:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 4), st.sampled_from(["general", "binary", "kway"]),
+           st.integers(0, 100))
+    def test_layered_dag_is_valid(self, layers, per_layer, family, seed):
+        dag = layered_random_dag(layers, per_layer, family=family, seed=seed)
+        dag.validate()
+        assert dag.source == "source"
+        assert dag.sink == "sink"
+        assert dag.num_jobs == layers * per_layer + 2
+
+    def test_layered_dag_deterministic_for_seed(self):
+        a = layered_random_dag(3, 3, seed=7)
+        b = layered_random_dag(3, 3, seed=7)
+        assert a.edges == b.edges
+        assert a.makespan_value({}) == b.makespan_value({})
+
+    def test_chain_dag(self):
+        dag = chain_dag([10, 20, 30], family="binary")
+        dag.validate()
+        assert dag.makespan_value({}) == 60
+
+    def test_fork_join_dag(self):
+        dag = fork_join_dag(width=5, work=16, family="kway")
+        dag.validate()
+        assert dag.makespan_value({}) == 16
+
+    def test_staged_fork_join(self):
+        dag = staged_fork_join_dag([2, 3], work=8, family="binary", seed=0)
+        dag.validate()
+        assert dag.makespan_value({}) >= 16
+
+    def test_random_sp_tree_leaf_count(self):
+        tree = random_sp_tree(7, seed=3)
+        assert len(tree.leaves()) == 7
+
+    def test_balanced_sp_tree(self):
+        tree = balanced_sp_tree(3, seed=1)
+        assert len(tree.leaves()) == 8
+
+    def test_workload_registry(self):
+        assert len(workload_names()) >= 8
+        for name in workload_names():
+            workload = get_workload(name)
+            dag = workload.build()
+            dag.validate()
+            assert workload.budget >= 0
+        with pytest.raises(Exception):
+            get_workload("does-not-exist")
+
+
+class TestAnalysis:
+    def test_measure_ratios_and_summary(self):
+        workload = get_workload("small-layered-binary")
+        dag = workload.build()
+        measurements = measure_ratios(
+            dag, workload.budget, workload.name,
+            {
+                "bicriteria": lambda d, b: solve_min_makespan_bicriteria(d, b, 0.5),
+                "greedy": greedy_path_reuse,
+            },
+        )
+        assert len(measurements) == 2
+        for m in measurements:
+            if m.exact_optimum is not None:
+                assert m.ratio_vs_exact >= 1 - 1e-9
+        summary = summarize_measurements(measurements)
+        assert set(summary) == {"bicriteria", "greedy"}
+        assert summary["bicriteria"]["count"] == 1
+
+    def test_ratio_edge_cases(self):
+        m = RatioMeasurement("w", "a", budget=0, makespan=0, budget_used=0,
+                             lp_lower_bound=0, exact_optimum=0)
+        assert m.ratio_vs_exact == 1.0
+        assert m.budget_ratio == 1.0
+        assert m.ratio_vs_lp is None
+
+    def test_format_helpers(self):
+        assert format_float(3.0) == "3"
+        assert format_float(3.14159, digits=2) == "3.14"
+        assert format_float(None) == "-"
+        table = format_table(["a", "bb"], [[1, 2.5], ["x", None]])
+        assert "a" in table and "bb" in table and "2.500" in table
+
+    def test_table1_structure(self):
+        rows = table1_summary()
+        assert len(rows) == 3
+        names = {row["duration_function"] for row in rows}
+        assert names == {"General non-increasing", "Recursive binary", "Multiway splitting"}
+        rendered = render_table1({"Recursive binary": {"worst_ratio_vs_exact": 1.7,
+                                                       "worst_budget_ratio": 1.0}})
+        assert "Recursive binary" in rendered
+        assert "1.7" in rendered
+
+    def test_table2_and_table3_render(self):
+        t2 = render_table2()
+        t3 = render_table3(21)
+        assert "C(5)" in t2
+        assert "C(5)" in t3
+        assert len(t2.splitlines()) == 10  # header + separator + 8 rows
+        assert len(t3.splitlines()) == 10

@@ -1,0 +1,156 @@
+"""Tests for the Partition (Section 4.3) and numerical 3DM (Appendix A) reductions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardness.matching3d import (
+    Numerical3DMInstance,
+    best_achievable_makespan,
+    build_matching3d_dag,
+    construct_matching_flow,
+)
+from repro.hardness.partition import (
+    PartitionInstance,
+    build_partition_dag,
+    construct_partition_flow,
+)
+from repro.hardness.treewidth import (
+    decomposition_width,
+    partition_construction_decomposition,
+    tree_decomposition_is_valid,
+)
+from repro.hardness.verify import verify_matching3d_reduction, verify_partition_reduction
+
+
+class TestPartitionInstances:
+    def test_brute_force(self):
+        assert PartitionInstance((1, 1, 2)).is_partitionable()
+        assert PartitionInstance((3, 5, 8)).is_partitionable()
+        assert not PartitionInstance((1, 2, 4)).is_partitionable()
+        assert not PartitionInstance((1, 1, 1)).is_partitionable()
+
+    def test_subset_sums_to_half(self):
+        instance = PartitionInstance((2, 3, 5, 4))
+        subset = instance.solve_brute_force()
+        assert sum(instance.values[i] for i in subset) == instance.total // 2
+
+
+class TestPartitionReduction:
+    @pytest.mark.parametrize("values", [(1, 1, 2), (2, 3, 5, 4), (3, 3, 2, 2, 2), (1, 2, 4),
+                                        (2, 2, 3), (1, 1, 1, 1)])
+    def test_reduction_agrees_with_brute_force(self, values):
+        report = verify_partition_reduction(PartitionInstance(values))
+        assert report.agrees
+        if report.source_yes:
+            assert report.forward_witness_ok
+            assert report.reduced_optimum == report.threshold
+
+    def test_witness_flow_budget_and_makespan(self):
+        instance = PartitionInstance((2, 3, 5, 4))
+        construction = build_partition_dag(instance)
+        subset = instance.solve_brute_force()
+        witness = construct_partition_flow(construction, subset)
+        assert witness.budget_used() == instance.total
+        assert witness.makespan() == instance.total / 2
+
+    def test_unbalanced_split_has_larger_makespan(self):
+        instance = PartitionInstance((2, 3, 5, 4))
+        construction = build_partition_dag(instance)
+        witness = construct_partition_flow(construction, {0})  # only the "2" on top
+        assert witness.makespan() == max(2, 3 + 5 + 4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(1, 4), min_size=2, max_size=4))
+    def test_random_small_instances(self, values):
+        report = verify_partition_reduction(PartitionInstance(tuple(values)))
+        assert report.agrees
+
+
+class TestTreewidth:
+    def test_decomposition_valid_and_bounded(self):
+        for values in [(1, 2), (2, 3, 5, 4), (1, 1, 1, 1, 1, 1)]:
+            construction = build_partition_dag(PartitionInstance(values))
+            vertices, edges, bags, tree_edges = partition_construction_decomposition(construction)
+            assert tree_decomposition_is_valid(vertices, edges, bags, tree_edges)
+            # width is constant (independent of the number of elements) and <= 15
+            assert decomposition_width(bags) <= 15
+
+    def test_invalid_decomposition_detected(self):
+        construction = build_partition_dag(PartitionInstance((1, 2)))
+        vertices, edges, bags, tree_edges = partition_construction_decomposition(construction)
+        broken = [set(bag) for bag in bags]
+        broken[0].discard("v0")
+        broken[-1].discard("v0") if len(broken) > 1 else None
+        # removing a vertex used by edges from every bag breaks edge coverage
+        for bag in broken:
+            bag.discard("v0")
+        assert not tree_decomposition_is_valid(vertices, edges, broken, tree_edges)
+
+    def test_width_computation(self):
+        assert decomposition_width([{1, 2, 3}, {2, 3}]) == 2
+
+
+class Test3DMInstances:
+    def test_solvable_instance(self):
+        instance = Numerical3DMInstance((1, 2), (2, 3), (4, 2))
+        matching = instance.solve_brute_force()
+        assert matching is not None
+        for i, j, k in matching:
+            assert instance.a[i] + instance.b[j] + instance.c[k] == instance.target
+
+    def test_unsolvable_instance(self):
+        instance = Numerical3DMInstance((1, 1), (1, 1), (1, 5))
+        assert not instance.is_solvable()
+
+    def test_total_must_be_divisible(self):
+        with pytest.raises(Exception):
+            Numerical3DMInstance((1, 2), (1, 1), (1, 1))
+
+
+class Test3DMReduction:
+    @pytest.mark.parametrize("a,b,c", [
+        ((1, 2), (2, 3), (4, 2)),       # solvable
+        ((1, 1), (1, 1), (1, 5)),       # unsolvable
+        ((1, 2, 3), (1, 2, 3), (1, 2, 3)),
+    ])
+    def test_reduction_agrees(self, a, b, c):
+        instance = Numerical3DMInstance(a, b, c)
+        report = verify_matching3d_reduction(instance)
+        assert report.agrees
+        if report.source_yes:
+            assert report.forward_witness_ok
+
+    def test_witness_flow_properties(self):
+        instance = Numerical3DMInstance((1, 2), (2, 3), (4, 2))
+        construction = build_matching3d_dag(instance)
+        matching = instance.solve_brute_force()
+        witness = construct_matching_flow(construction, matching)
+        # the source feeds only the edgeA arcs, n units each -> budget n^2
+        assert witness.budget_used() == construction.budget == instance.n ** 2
+        assert witness.makespan() == construction.target_makespan
+
+    def test_budget_is_n_squared_per_matcher_stage(self):
+        """The paper's budget accounting: n^2 units flow through each matcher."""
+        instance = Numerical3DMInstance((1, 2), (2, 3), (4, 2))
+        construction = build_matching3d_dag(instance)
+        matching = instance.solve_brute_force()
+        witness = construct_matching_flow(construction, matching)
+        n = instance.n
+        # every edgeA arc carries n units
+        for i in range(n):
+            arc_id = construction.arc_ids[("edgeA", i)]
+            assert witness.flow_on(arc_id) == n
+
+    def test_makespan_formula(self):
+        instance = Numerical3DMInstance((1, 2), (2, 3), (4, 2))
+        construction = build_matching3d_dag(instance)
+        assert best_achievable_makespan(construction) == 2 * construction.big_m + instance.target
+
+    def test_single_element_instance(self):
+        instance = Numerical3DMInstance((2,), (3,), (4,))
+        report = verify_matching3d_reduction(instance)
+        assert report.source_yes and report.agrees

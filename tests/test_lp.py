@@ -1,0 +1,145 @@
+"""Tests for the LP relaxation (constraints 6-10 and the min-resource variant)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.arcdag import ArcDAG, expand_to_two_tuples, node_to_arc_dag
+from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.lp import (
+    build_relaxed_arcs,
+    linear_relaxed_duration,
+    solve_min_makespan_lp,
+    solve_min_resource_lp,
+)
+
+
+def simple_two_tuple_arcdag() -> ArcDAG:
+    """Chain s -> a -> t where both arcs are fully expeditable."""
+    dag = ArcDAG()
+    dag.add_arc("s", "a", GeneralStepDuration([(0, 10), (5, 0)]), arc_id="e1")
+    dag.add_arc("a", "t", GeneralStepDuration([(0, 6), (3, 0)]), arc_id="e2")
+    return dag
+
+
+class TestRelaxation:
+    def test_relaxed_arcs_fields(self):
+        dag = simple_two_tuple_arcdag()
+        relaxed = build_relaxed_arcs(dag)
+        assert relaxed["e1"].capped and relaxed["e1"].full_resource == 5
+        assert relaxed["e2"].capped and relaxed["e2"].full_resource == 3
+
+    def test_linear_duration_interpolates(self):
+        dag = simple_two_tuple_arcdag()
+        relaxed = build_relaxed_arcs(dag)
+        assert linear_relaxed_duration(relaxed["e1"], 0) == 10
+        assert linear_relaxed_duration(relaxed["e1"], 2.5) == 5
+        assert linear_relaxed_duration(relaxed["e1"], 5) == 0
+        assert linear_relaxed_duration(relaxed["e1"], 50) == 0  # clipped
+
+    def test_infinite_base_time_replaced(self):
+        dag = ArcDAG()
+        dag.add_arc("s", "t", GeneralStepDuration([(0, math.inf), (1, 0)]), arc_id="e")
+        relaxed = build_relaxed_arcs(dag)
+        assert math.isfinite(relaxed["e"].base_time)
+
+    def test_rejects_multi_tuple_arcs(self):
+        dag = ArcDAG()
+        dag.add_arc("s", "t", GeneralStepDuration([(0, 9), (1, 4), (2, 0)]))
+        with pytest.raises(Exception):
+            build_relaxed_arcs(dag)
+
+
+class TestMinMakespanLP:
+    def test_zero_budget_keeps_base_durations(self):
+        dag = simple_two_tuple_arcdag()
+        sol = solve_min_makespan_lp(dag, budget=0)
+        assert sol.status == "optimal"
+        assert sol.makespan == pytest.approx(16)
+        assert sol.budget_used == pytest.approx(0)
+
+    def test_large_budget_with_capped_arcs(self):
+        """Constraint 6 caps the flow of two-tuple arcs at r_e, so on this
+        hand-built chain (no uncapped bypass) at most 3 units traverse the
+        second arc; the first arc then runs at 10 * (1 - 3/5) = 4."""
+        dag = simple_two_tuple_arcdag()
+        sol = solve_min_makespan_lp(dag, budget=5)
+        assert sol.makespan == pytest.approx(4.0, abs=1e-6)
+        assert sol.budget_used <= 5 + 1e-6
+
+    def test_uncapped_bypass_enables_full_reuse(self):
+        """The expanded DAGs of Section 3.1 always have uncapped single-tuple
+        arcs in parallel, which is what lets the same units serve every job on
+        a path; with such a bypass the makespan reaches 0."""
+        dag = ArcDAG()
+        dag.add_arc("s", "a", GeneralStepDuration([(0, 10), (5, 0)]), arc_id="e1")
+        dag.add_arc("s", "a", GeneralStepDuration([(0, 0)]), arc_id="bypass1")
+        dag.add_arc("a", "t", GeneralStepDuration([(0, 6), (3, 0)]), arc_id="e2")
+        dag.add_arc("a", "t", GeneralStepDuration([(0, 0)]), arc_id="bypass2")
+        sol = solve_min_makespan_lp(dag, budget=5)
+        assert sol.makespan == pytest.approx(0.0, abs=1e-6)
+        assert sol.budget_used <= 5 + 1e-6
+
+    def test_fractional_budget_interpolates(self):
+        dag = simple_two_tuple_arcdag()
+        sol = solve_min_makespan_lp(dag, budget=2.5)
+        # best split: route all 2.5 through both arcs: 10*(1-0.5) + 6*(1-2.5/3)
+        expected = 10 * (1 - 0.5) + 6 * (1 - 2.5 / 3)
+        assert sol.makespan == pytest.approx(expected, rel=1e-6)
+
+    def test_lp_is_lower_bound_for_discrete_optimum(self, simple_chain_dag):
+        from repro.core.exact import exact_min_makespan
+
+        arc_dag, _ = node_to_arc_dag(simple_chain_dag)
+        expansion = expand_to_two_tuples(arc_dag)
+        budget = 8
+        lp = solve_min_makespan_lp(expansion.arc_dag, budget)
+        exact = exact_min_makespan(simple_chain_dag, budget)
+        assert lp.makespan <= exact.makespan + 1e-9
+
+    def test_budget_constraint_respected(self, diamond_dag):
+        arc_dag, _ = node_to_arc_dag(diamond_dag)
+        expansion = expand_to_two_tuples(arc_dag)
+        lp = solve_min_makespan_lp(expansion.arc_dag, budget=4)
+        assert lp.budget_used <= 4 + 1e-6
+
+    def test_makespan_monotone_in_budget(self, diamond_dag):
+        arc_dag, _ = node_to_arc_dag(diamond_dag)
+        expansion = expand_to_two_tuples(arc_dag)
+        previous = math.inf
+        for budget in [0, 2, 4, 8, 16, 32]:
+            lp = solve_min_makespan_lp(expansion.arc_dag, budget)
+            assert lp.makespan <= previous + 1e-9
+            previous = lp.makespan
+
+
+class TestMinResourceLP:
+    def test_loose_target_needs_no_resource(self):
+        dag = simple_two_tuple_arcdag()
+        sol = solve_min_resource_lp(dag, target_makespan=100)
+        assert sol.budget_used == pytest.approx(0)
+
+    def test_tight_target_needs_resource(self):
+        dag = simple_two_tuple_arcdag()
+        sol = solve_min_resource_lp(dag, target_makespan=8)
+        assert sol.budget_used > 0
+        assert sol.makespan <= 8 + 1e-6
+
+    def test_impossible_target_infeasible(self):
+        dag = ArcDAG()
+        dag.add_arc("s", "t", GeneralStepDuration([(0, 5)]), arc_id="fixed")
+        sol = solve_min_resource_lp(dag, target_makespan=1)
+        assert sol.status == "infeasible"
+
+    def test_resource_monotone_in_target(self):
+        dag = simple_two_tuple_arcdag()
+        previous = -1.0
+        for target in [16, 12, 8, 4]:
+            sol = solve_min_resource_lp(dag, target_makespan=target)
+            assert sol.status == "optimal"
+            assert sol.budget_used >= previous - 1e-9
+            previous = sol.budget_used
+        # the capped arcs cannot push the makespan below 4 on this chain
+        assert solve_min_resource_lp(dag, target_makespan=0).status == "infeasible"

@@ -1,0 +1,131 @@
+"""Tests for the Dinic max-flow solver (cross-checked against networkx)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.maxflow import INFINITY, DinicMaxFlow
+
+
+class TestDinicBasics:
+    def test_single_edge(self):
+        flow = DinicMaxFlow()
+        h = flow.add_edge("s", "t", 5)
+        assert flow.max_flow("s", "t") == 5
+        assert flow.flow_on(h) == 5
+
+    def test_two_disjoint_paths(self):
+        flow = DinicMaxFlow()
+        flow.add_edge("s", "a", 3)
+        flow.add_edge("a", "t", 3)
+        flow.add_edge("s", "b", 4)
+        flow.add_edge("b", "t", 2)
+        assert flow.max_flow("s", "t") == 5
+
+    def test_bottleneck(self):
+        flow = DinicMaxFlow()
+        flow.add_edge("s", "a", 10)
+        flow.add_edge("a", "b", 1)
+        flow.add_edge("b", "t", 10)
+        assert flow.max_flow("s", "t") == 1
+
+    def test_infinite_capacity_edges(self):
+        flow = DinicMaxFlow()
+        h = flow.add_edge("s", "a", INFINITY)
+        flow.add_edge("a", "t", 7)
+        assert flow.max_flow("s", "t") == 7
+        assert flow.flow_on(h) == 7
+
+    def test_limit_parameter(self):
+        flow = DinicMaxFlow()
+        flow.add_edge("s", "t", 10)
+        assert flow.max_flow("s", "t", limit=4) == 4
+        # residual still admits more flow
+        assert flow.max_flow("s", "t") == 6
+
+    def test_source_equals_sink(self):
+        flow = DinicMaxFlow()
+        flow.add_edge("s", "t", 3)
+        assert flow.max_flow("s", "s") == 0
+
+    def test_disconnected(self):
+        flow = DinicMaxFlow()
+        flow.add_edge("s", "a", 3)
+        flow.add_edge("b", "t", 3)
+        assert flow.max_flow("s", "t") == 0
+
+    def test_negative_capacity_rejected(self):
+        flow = DinicMaxFlow()
+        with pytest.raises(ValueError):
+            flow.add_edge("s", "t", -1)
+
+    def test_disable_edge(self):
+        flow = DinicMaxFlow()
+        h = flow.add_edge("s", "t", 5)
+        flow.disable_edge(h)
+        assert flow.max_flow("s", "t") == 0
+
+    def test_incremental_calls_accumulate(self):
+        flow = DinicMaxFlow()
+        flow.add_edge("s", "a", 2)
+        flow.add_edge("a", "t", 2)
+        first = flow.max_flow("s", "t")
+        second = flow.max_flow("s", "t")
+        assert first == 2
+        assert second == 0
+
+
+@st.composite
+def random_flow_networks(draw):
+    n = draw(st.integers(3, 8))
+    edges = []
+    for u in range(n):
+        for v in range(n):
+            if u == v:
+                continue
+            if draw(st.booleans()):
+                cap = draw(st.integers(0, 12))
+                edges.append((u, v, cap))
+    return n, edges
+
+
+class TestAgainstNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(random_flow_networks())
+    def test_matches_networkx_max_flow(self, network):
+        n, edges = network
+        dinic = DinicMaxFlow()
+        g = nx.DiGraph()
+        g.add_nodes_from(range(n))
+        for u, v, cap in edges:
+            dinic.add_edge(u, v, cap)
+            if g.has_edge(u, v):
+                g[u][v]["capacity"] += cap
+            else:
+                g.add_edge(u, v, capacity=cap)
+        ours = dinic.max_flow(0, n - 1)
+        theirs = nx.maximum_flow_value(g, 0, n - 1) if g.number_of_edges() else 0
+        assert ours == pytest.approx(theirs)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_flow_networks())
+    def test_flow_decomposition_is_consistent(self, network):
+        """Per-edge flows respect capacities and conservation."""
+        n, edges = network
+        dinic = DinicMaxFlow()
+        handles = []
+        for u, v, cap in edges:
+            handles.append((u, v, cap, dinic.add_edge(u, v, cap)))
+        value = dinic.max_flow(0, n - 1)
+        balance = {v: 0.0 for v in range(n)}
+        for u, v, cap, h in handles:
+            f = dinic.flow_on(h)
+            assert -1e-9 <= f <= cap + 1e-9
+            balance[u] -= f
+            balance[v] += f
+        for v in range(1, n - 1):
+            assert balance[v] == pytest.approx(0.0)
+        assert balance[n - 1] == pytest.approx(value)
+        assert balance[0] == pytest.approx(-value)

@@ -1,0 +1,105 @@
+"""Tests for the fork-join program model and the race detector (Section 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.races.detector import find_data_races, find_determinacy_races, racy_cells
+from repro.races.program import (
+    ParallelBlock,
+    Program,
+    Read,
+    SerialBlock,
+    Update,
+    Write,
+    logically_parallel,
+)
+from repro.races.programs import (
+    figure1_counter_program,
+    global_sum_program,
+    histogram_program,
+    sparse_accumulate_program,
+)
+
+
+class TestProgramModel:
+    def test_operations_and_labels(self):
+        program = Program(SerialBlock([
+            Write(("x",), ()),
+            ParallelBlock([Update(("x",), ()), Update(("x",), ())]),
+        ]))
+        ops = program.operations()
+        assert len(ops) == 3
+        assert ops[0].label == (("S", 0),)
+        assert ops[1].label == (("S", 1), ("P", 0))
+        assert ops[2].label == (("S", 1), ("P", 1))
+
+    def test_logical_parallelism(self):
+        program = Program(SerialBlock([
+            Write(("x",), ()),
+            ParallelBlock([Update(("x",), ()), Update(("x",), ())]),
+        ]))
+        ops = program.operations()
+        assert not logically_parallel(ops[0], ops[1])  # serial before parallel block
+        assert logically_parallel(ops[1], ops[2])      # two children of a parallel block
+        assert not logically_parallel(ops[1], ops[1])
+
+    def test_cells_and_update_counts(self):
+        program = global_sum_program(5)
+        assert ("total",) in program.cells()
+        counts = program.updates_per_cell()
+        assert counts[("total",)] == 6  # one init write + five updates
+
+    def test_nested_serial_children_not_parallel(self):
+        program = Program(SerialBlock([
+            SerialBlock([Update(("x",), ()), Update(("x",), ())]),
+        ]))
+        ops = program.operations()
+        assert not logically_parallel(ops[0], ops[1])
+
+
+class TestRaceDetection:
+    def test_figure1_counter_has_one_data_race(self):
+        program = figure1_counter_program()
+        data = find_data_races(program)
+        assert len(data) == 1
+        assert data[0].cell == ("x",)
+        assert data[0].reducible  # both accesses are commutative updates
+
+    def test_initial_write_not_racy(self):
+        program = figure1_counter_program()
+        races = find_determinacy_races(program)
+        # only the two parallel updates conflict; the serial init write does not
+        assert all(r.first.operation.writes_target and r.second.operation.writes_target
+                   for r in races if r.kind == "data")
+
+    def test_global_sum_race_count(self):
+        n = 6
+        program = global_sum_program(n)
+        data = find_data_races(program)
+        assert len(data) == n * (n - 1) // 2
+
+    def test_histogram_races_grouped_by_bucket(self):
+        program = histogram_program(12, 3, seed=1)
+        cells = racy_cells(program)
+        assert all(cell[0] == "hist" for cell in cells)
+
+    def test_read_only_program_has_no_races(self):
+        program = Program(ParallelBlock([Read(("x",), ()), Read(("x",), ())]))
+        assert find_determinacy_races(program) == []
+
+    def test_determinacy_race_with_single_writer(self):
+        program = Program(ParallelBlock([Read(("x",), ()), Update(("x",), ())]))
+        races = find_determinacy_races(program)
+        assert len(races) == 1
+        assert races[0].kind == "determinacy"
+        assert find_data_races(program) == []
+
+    def test_serialized_updates_do_not_race(self):
+        program = Program(SerialBlock([Update(("x",), ()), Update(("x",), ())]))
+        assert find_determinacy_races(program) == []
+
+    def test_sparse_accumulate_races_are_reducible(self):
+        program = sparse_accumulate_program(3, 4, density=0.9, seed=2)
+        for race in find_data_races(program):
+            assert race.reducible

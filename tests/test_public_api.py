@@ -1,0 +1,88 @@
+"""Smoke tests for the public package surface (imports, __all__, docstrings)."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.core",
+    "repro.core.duration",
+    "repro.core.dag",
+    "repro.core.arcdag",
+    "repro.core.flow",
+    "repro.core.maxflow",
+    "repro.core.minflow",
+    "repro.core.lp",
+    "repro.core.rounding",
+    "repro.core.bicriteria",
+    "repro.core.kway_approx",
+    "repro.core.binary_approx",
+    "repro.core.series_parallel",
+    "repro.core.exact",
+    "repro.core.baselines",
+    "repro.core.problem",
+    "repro.races",
+    "repro.races.program",
+    "repro.races.detector",
+    "repro.races.racedag",
+    "repro.races.reducer",
+    "repro.races.simulator",
+    "repro.races.matmul",
+    "repro.races.programs",
+    "repro.hardness",
+    "repro.hardness.sat",
+    "repro.hardness.gadgets_general",
+    "repro.hardness.gadgets_splitting",
+    "repro.hardness.minresource_chain",
+    "repro.hardness.partition",
+    "repro.hardness.treewidth",
+    "repro.hardness.matching3d",
+    "repro.hardness.verify",
+    "repro.generators",
+    "repro.analysis",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+def test_module_imports_and_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} is missing a module docstring"
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_reexports_core_api():
+    for name in ["TradeoffDAG", "GeneralStepDuration", "solve_min_makespan_bicriteria",
+                 "sp_exact_min_makespan", "exact_min_makespan", "ResourceFlow"]:
+        assert hasattr(repro, name)
+        assert name in repro.__all__
+
+
+@pytest.mark.parametrize("module_name", ["repro.core", "repro.races", "repro.hardness",
+                                         "repro.generators", "repro.analysis"])
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing name {name}"
+
+
+def test_public_functions_have_docstrings():
+    import inspect
+
+    for module_name in ["repro.core.bicriteria", "repro.core.series_parallel",
+                        "repro.core.exact", "repro.races.reducer",
+                        "repro.hardness.gadgets_general"]:
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{module_name}.{name} is missing a docstring"

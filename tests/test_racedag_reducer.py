@@ -1,0 +1,187 @@
+"""Tests for race-DAG construction, reducer simulators and Observation 1.1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.races.matmul import (
+    parallel_mm_program,
+    parallel_mm_race_dag,
+    parallel_mm_running_time,
+    parallel_mm_space_used,
+    parallel_mm_tradeoff_dag,
+)
+from repro.races.programs import global_sum_program, histogram_program
+from repro.races.racedag import RaceDAG, race_dag_from_program, to_tradeoff_dag
+from repro.races.reducer import (
+    binary_reducer_formula,
+    distribute_updates,
+    kway_reducer_formula,
+    simulate_binary_reducer,
+    simulate_kway_reducer,
+    simulate_serialized_updates,
+)
+from repro.races.simulator import makespan_upper_bound, simulate_race_dag
+
+
+class TestRaceDAG:
+    def test_work_counts_updates(self):
+        dag = RaceDAG()
+        dag.add_dependency("a", "c")
+        dag.add_dependency("b", "c")
+        dag.add_dependency("a", "c")
+        dag.add_external_update("c", 2)
+        assert dag.work("c") == 5
+        assert dag.work("a") == 0
+
+    def test_cycle_rejected(self):
+        dag = RaceDAG()
+        dag.add_dependency("a", "b")
+        dag.add_dependency("b", "a")
+        with pytest.raises(Exception):
+            dag.validate()
+
+    def test_from_global_sum_program(self):
+        program = global_sum_program(8)
+        dag = race_dag_from_program(program)
+        assert dag.work(("total",)) == 9  # 8 updates + 1 initialising write
+
+    def test_from_histogram_program(self):
+        program = histogram_program(20, 4, seed=0)
+        dag = race_dag_from_program(program)
+        total_work = sum(dag.works()[("hist", b)] for b in range(4))
+        assert total_work == 20 + 4  # items + initialising writes
+
+    def test_to_tradeoff_dag_families(self):
+        dag = RaceDAG()
+        dag.add_dependency("x", "z")
+        dag.add_dependency("y", "z")
+        for family in ("binary", "kway", "constant"):
+            tdag = to_tradeoff_dag(dag, family=family)
+            tdag.validate()
+            assert tdag.duration_function("z").base_duration == 2
+
+    def test_unknown_family_rejected(self):
+        dag = RaceDAG()
+        dag.add_dependency("x", "z")
+        with pytest.raises(Exception):
+            to_tradeoff_dag(dag, family="nope")
+
+    def test_serialized_makespan(self):
+        dag = RaceDAG()
+        dag.add_dependency("a", "b")
+        dag.add_dependency("a", "c")
+        dag.add_dependency("b", "d")
+        dag.add_dependency("c", "d")
+        # works: b=1, c=1, d=2 -> longest path 1 + 2 = 3
+        assert dag.makespan_serialized() == 3
+
+
+class TestReducers:
+    def test_distribute_updates(self):
+        assert distribute_updates(10, 4) == [3, 3, 2, 2]
+        assert distribute_updates(0, 3) == [0, 0, 0]
+        assert sum(distribute_updates(17, 5)) == 17
+
+    def test_serialized(self):
+        result = simulate_serialized_updates(12)
+        assert result.completion_time == 12
+        assert result.space_used == 0
+
+    @pytest.mark.parametrize("n,h", [(8, 1), (8, 2), (8, 3), (100, 3), (64, 6), (1, 2), (7, 2)])
+    def test_binary_reducer_matches_formula(self, n, h):
+        sim = simulate_binary_reducer(n, h)
+        assert sim.completion_time == binary_reducer_formula(n, h)
+
+    def test_binary_reducer_space(self):
+        sim = simulate_binary_reducer(32, 3)
+        assert sim.space_used == 6  # 2h cells with the fold-into-survivor trick
+
+    def test_binary_reducer_zero_updates(self):
+        assert simulate_binary_reducer(0, 3).completion_time == 0
+
+    @pytest.mark.parametrize("n,k", [(36, 6), (100, 5), (12, 4), (9, 3)])
+    def test_kway_reducer_equals_formula_when_divisible(self, n, k):
+        assert n % k == 0
+        sim = simulate_kway_reducer(n, k)
+        assert sim.completion_time == kway_reducer_formula(n, k)
+
+    @given(st.integers(1, 300), st.integers(2, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_kway_simulation_never_exceeds_formula(self, n, k):
+        sim = simulate_kway_reducer(n, k)
+        assert sim.completion_time <= kway_reducer_formula(n, k)
+
+    @given(st.integers(1, 300), st.integers(1, 7))
+    @settings(max_examples=60, deadline=None)
+    def test_binary_simulation_never_exceeds_formula(self, n, h):
+        sim = simulate_binary_reducer(n, h)
+        assert sim.completion_time <= binary_reducer_formula(n, h)
+
+    def test_processor_limit_degrades_gracefully(self):
+        unlimited = simulate_binary_reducer(64, 3)
+        limited = simulate_binary_reducer(64, 3, processors=2)
+        assert limited.completion_time >= unlimited.completion_time
+
+    def test_speedup_grows_with_height(self):
+        """More space -> (weakly) faster reduction, up to the useful height."""
+        n = 1024
+        previous = math.inf
+        for h in range(0, 9):
+            time = simulate_binary_reducer(n, h).completion_time
+            assert time <= previous
+            previous = time
+
+
+class TestObservation11:
+    def test_simulation_never_exceeds_bound(self):
+        race_dag = parallel_mm_race_dag(6)
+        for reducers in [None,
+                         {("Z", i, j): ("binary", 1) for i in range(6) for j in range(6)},
+                         {("Z", i, j): ("kway", 3) for i in range(6) for j in range(6)}]:
+            sim = simulate_race_dag(race_dag, reducers)
+            bound = makespan_upper_bound(race_dag, reducers)
+            assert sim.completion_time <= bound + 1e-9
+
+    def test_histogram_simulation(self):
+        program = histogram_program(30, 5, seed=3)
+        race_dag = race_dag_from_program(program)
+        sim = simulate_race_dag(race_dag)
+        bound = makespan_upper_bound(race_dag)
+        assert sim.completion_time <= bound + 1e-9
+        assert sim.total_updates == sum(race_dag.works().values())
+
+
+class TestParallelMM:
+    def test_program_size(self):
+        program = parallel_mm_program(3)
+        # n^2 init writes + n^3 updates
+        assert program.num_operations() == 9 + 27
+
+    def test_race_dag_work(self):
+        dag = parallel_mm_race_dag(5)
+        for i in range(5):
+            for j in range(5):
+                assert dag.work(("Z", i, j)) == 5
+
+    def test_tradeoff_dag_makespan_drops_with_height(self):
+        n = 8
+        tdag = parallel_mm_tradeoff_dag(n, family="binary")
+        no_res = tdag.makespan_value({})
+        assert no_res == n
+        with_res = tdag.makespan_value({("Z", i, j): 4 for i in range(n) for j in range(n)})
+        assert with_res == parallel_mm_running_time(n, 2)
+
+    def test_running_time_formula_theta_shape(self):
+        """Running time drops from n to Theta(log n) as h grows (Section 1)."""
+        n = 1024
+        assert parallel_mm_running_time(n, 0) == n
+        best_h = int(math.log2(n))
+        assert parallel_mm_running_time(n, best_h) <= 2 * math.log2(n) + 2
+
+    def test_space_accounting(self):
+        assert parallel_mm_space_used(10, 0) == 0
+        assert parallel_mm_space_used(10, 3) == 100 * 8

@@ -1,0 +1,93 @@
+"""Tests for the alpha-threshold rounding (Section 3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arcdag import ArcDAG
+from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.lp import solve_min_makespan_lp
+from repro.core.rounding import round_lp_solution
+from repro.utils.validation import ValidationError
+
+
+def build_dag() -> ArcDAG:
+    dag = ArcDAG()
+    dag.add_arc("s", "a", GeneralStepDuration([(0, 10), (5, 0)]), arc_id="improvable")
+    dag.add_arc("a", "t", GeneralStepDuration([(0, 4)]), arc_id="fixed")
+    return dag
+
+
+class TestRounding:
+    def test_alpha_must_be_in_open_interval(self):
+        dag = build_dag()
+        lp = solve_min_makespan_lp(dag, budget=5)
+        for bad in [0.0, 1.0, -0.5, 2.0]:
+            with pytest.raises(ValidationError):
+                round_lp_solution(dag, lp, bad)
+
+    def test_fully_expedited_arc_rounds_down(self):
+        dag = build_dag()
+        lp = solve_min_makespan_lp(dag, budget=5)
+        rounded = round_lp_solution(dag, lp, alpha=0.5)
+        assert rounded.lower_bounds["improvable"] == 5
+        assert rounded.rounded_durations["improvable"] == 0
+        assert rounded.lower_bounds["fixed"] == 0
+        assert rounded.rounded_durations["fixed"] == 4
+
+    def test_unexpedited_arc_rounds_up(self):
+        dag = build_dag()
+        lp = solve_min_makespan_lp(dag, budget=0)
+        rounded = round_lp_solution(dag, lp, alpha=0.5)
+        assert rounded.lower_bounds["improvable"] == 0
+        assert rounded.rounded_durations["improvable"] == 10
+
+    def test_threshold_behaviour(self):
+        """An LP duration just above / below alpha * t(0) flips the decision."""
+        dag = build_dag()
+        # budget 2.5 -> LP duration on the improvable arc is 10 * (1 - 0.5) = 5
+        lp = solve_min_makespan_lp(dag, budget=2.5)
+        assert lp.relaxed_duration("improvable") == pytest.approx(5.0)
+        low_alpha = round_lp_solution(dag, lp, alpha=0.4)   # 5 >= 4 -> round up
+        high_alpha = round_lp_solution(dag, lp, alpha=0.6)  # 5 < 6 -> round down
+        assert low_alpha.lower_bounds["improvable"] == 0
+        assert high_alpha.lower_bounds["improvable"] == 5
+
+    def test_rounded_duration_bounded_by_alpha_factor(self):
+        """After rounding, every arc's duration is at most (1/alpha) * LP duration
+        whenever the LP duration is positive."""
+        dag = build_dag()
+        for budget in [0, 1, 2, 3, 4, 5]:
+            lp = solve_min_makespan_lp(dag, budget=budget)
+            for alpha in [0.25, 0.5, 0.75]:
+                rounded = round_lp_solution(dag, lp, alpha)
+                for arc_id, duration in rounded.rounded_durations.items():
+                    lp_duration = lp.relaxed_duration(arc_id)
+                    if lp_duration > 0:
+                        assert duration <= lp_duration / alpha + 1e-9
+
+    def test_requirement_bounded_by_one_minus_alpha_factor(self):
+        """Every committed requirement is at most 1/(1-alpha) times the LP flow."""
+        dag = build_dag()
+        for budget in [1, 2, 3, 4, 5]:
+            lp = solve_min_makespan_lp(dag, budget=budget)
+            for alpha in [0.25, 0.5, 0.75]:
+                rounded = round_lp_solution(dag, lp, alpha)
+                for arc_id, requirement in rounded.lower_bounds.items():
+                    if requirement > 0:
+                        assert requirement <= lp.flows[arc_id] / (1 - alpha) + 1e-9
+
+    def test_total_requirement_and_expedited_arcs(self):
+        dag = build_dag()
+        lp = solve_min_makespan_lp(dag, budget=5)
+        rounded = round_lp_solution(dag, lp, alpha=0.5)
+        assert rounded.total_requirement() == 5
+        assert list(rounded.expedited_arcs()) == ["improvable"]
+
+    def test_infeasible_lp_rejected(self):
+        from repro.core.lp import solve_min_resource_lp
+        dag = ArcDAG()
+        dag.add_arc("s", "t", GeneralStepDuration([(0, 5)]), arc_id="fixed")
+        lp = solve_min_resource_lp(dag, target_makespan=1)
+        with pytest.raises(ValidationError):
+            round_lp_solution(dag, lp, 0.5)

@@ -1,0 +1,107 @@
+"""Tests for the shared utility helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.ordering import (
+    all_ancestors,
+    all_descendants,
+    is_acyclic,
+    longest_path_lengths,
+    topological_order,
+)
+from repro.utils.validation import (
+    ValidationError,
+    check_non_negative,
+    check_open_unit_interval,
+    check_positive,
+    check_probability,
+    check_type,
+    require,
+)
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ValidationError):
+            require(False, "boom")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0, "x") == 0
+        assert check_non_negative(3.5, "x") == 3.5
+        with pytest.raises(ValidationError):
+            check_non_negative(-1, "x")
+        with pytest.raises(ValidationError):
+            check_non_negative("a", "x")  # type: ignore[arg-type]
+        with pytest.raises(ValidationError):
+            check_non_negative(float("nan"), "x")
+
+    def test_check_positive(self):
+        assert check_positive(1, "x") == 1
+        with pytest.raises(ValidationError):
+            check_positive(0, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.5, "p") == 0.5
+        with pytest.raises(ValidationError):
+            check_probability(1.5, "p")
+
+    def test_check_open_unit_interval(self):
+        assert check_open_unit_interval(0.25, "alpha") == 0.25
+        for bad in [0, 1, -0.1, 2]:
+            with pytest.raises(ValidationError):
+                check_open_unit_interval(bad, "alpha")
+
+    def test_check_type(self):
+        assert check_type(3, int, "x") == 3
+        with pytest.raises(ValidationError):
+            check_type(3, str, "x")
+
+
+class TestOrdering:
+    def test_topological_order(self):
+        nodes = ["a", "b", "c", "d"]
+        edges = [("a", "b"), ("b", "c"), ("a", "d"), ("d", "c")]
+        order = topological_order(nodes, edges)
+        assert order.index("a") < order.index("b") < order.index("c")
+        assert order.index("d") < order.index("c")
+
+    def test_cycle_raises(self):
+        with pytest.raises(ValueError):
+            topological_order(["a", "b"], [("a", "b"), ("b", "a")])
+        assert not is_acyclic(["a", "b"], [("a", "b"), ("b", "a")])
+        assert is_acyclic(["a", "b"], [("a", "b")])
+
+    def test_longest_path_lengths(self):
+        nodes = ["s", "a", "b", "t"]
+        edges = [("s", "a"), ("a", "t"), ("s", "b"), ("b", "t")]
+        weights = {("s", "a"): 1, ("a", "t"): 5, ("s", "b"): 2, ("b", "t"): 2}
+        dist = longest_path_lengths(nodes, edges, lambda u, v: weights[(u, v)])
+        assert dist["t"] == 6
+
+    def test_longest_path_with_node_weights(self):
+        nodes = ["s", "a", "t"]
+        edges = [("s", "a"), ("a", "t")]
+        dist = longest_path_lengths(nodes, edges, lambda u, v: 0.0,
+                                    node_weight=lambda v: {"s": 0, "a": 3, "t": 1}[v])
+        assert dist["t"] == 4
+
+    def test_ancestors_descendants(self):
+        nodes = ["a", "b", "c", "d"]
+        edges = [("a", "b"), ("b", "c"), ("a", "d")]
+        assert all_ancestors("c", nodes, edges) == {"a", "b"}
+        assert all_descendants("a", nodes, edges) == {"b", "c", "d"}
+        assert all_ancestors("a", nodes, edges) == set()
+
+    @given(st.lists(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=15))
+    def test_topological_order_respects_edges(self, raw_edges):
+        nodes = list(range(7))
+        edges = [(u, v) for u, v in raw_edges if u < v]  # force acyclicity
+        order = topological_order(nodes, edges)
+        position = {n: i for i, n in enumerate(order)}
+        assert all(position[u] < position[v] for u, v in edges)
