@@ -17,8 +17,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_table
-from repro.core.baselines import greedy_global_reuse, greedy_no_reuse, greedy_path_reuse
-from repro.core.bicriteria import solve_min_makespan_bicriteria
+from repro.engine import solve
 from repro.generators import get_workload
 
 from bench_common import emit
@@ -29,7 +28,8 @@ WORKLOADS = ["deep-chain-binary", "matmul-like", "pipeline", "medium-layered-bin
 def test_reuse_model_ablation(benchmark):
     workload = get_workload("pipeline")
     dag = workload.build()
-    benchmark(lambda: greedy_path_reuse(dag, workload.budget))
+    benchmark(lambda: solve(dag=dag, budget=workload.budget, method="greedy-path-reuse",
+                            use_cache=False))
 
     rows = []
     for name in WORKLOADS:
@@ -37,10 +37,10 @@ def test_reuse_model_ablation(benchmark):
         dag = workload.build()
         budget = workload.budget
         base = dag.makespan_value({})
-        no_reuse = greedy_no_reuse(dag, budget)
-        global_reuse = greedy_global_reuse(dag, budget)
-        path_reuse = greedy_path_reuse(dag, budget)
-        lp = solve_min_makespan_bicriteria(dag, budget, alpha=0.5)
+        no_reuse = solve(dag=dag, budget=budget, method="greedy-no-reuse")
+        global_reuse = solve(dag=dag, budget=budget, method="greedy-global-reuse")
+        path_reuse = solve(dag=dag, budget=budget, method="greedy-path-reuse")
+        lp = solve(dag=dag, budget=budget, method="bicriteria-lp", alpha=0.5)
         rows.append([name, budget, base, no_reuse.makespan, global_reuse.makespan,
                      path_reuse.makespan, lp.makespan])
     emit("E15 / ablation -- reuse model (Question 1.1 vs 1.2 vs 1.3) under a fixed budget",

@@ -15,8 +15,8 @@ import time
 import pytest
 
 from repro.analysis import format_table
-from repro.core.bicriteria import solve_min_makespan_bicriteria
-from repro.core.series_parallel import sp_exact_min_makespan, sp_min_makespan_table
+from repro.core.series_parallel import sp_min_makespan_table
+from repro.engine import solve
 from repro.generators import balanced_sp_tree, random_sp_tree
 
 from bench_common import emit
@@ -43,10 +43,12 @@ def test_sp_dp_vs_lp_approximation(benchmark):
     dag = tree.to_dag()
     budget = 16
 
-    exact = benchmark(lambda: sp_exact_min_makespan(tree, budget))
+    # the engine's auto-dispatch recognises the SP structure and runs the DP
+    exact = benchmark(lambda: solve(dag=dag, budget=budget, use_cache=False))
+    assert exact.solver_id == "series-parallel-dp"
     rows = []
     for alpha in [0.25, 0.5, 0.75]:
-        approx = solve_min_makespan_bicriteria(dag, budget, alpha)
+        approx = solve(dag=dag, budget=budget, method="bicriteria-lp", alpha=alpha)
         rows.append([alpha, exact.makespan, approx.makespan,
                      approx.makespan / exact.makespan if exact.makespan else 1.0,
                      approx.budget_used])

@@ -11,27 +11,19 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_table
-from repro.core.binary_approx import (
-    solve_min_makespan_binary,
-    solve_min_makespan_binary_improved,
-)
-from repro.core.exact import ExactSearchLimit, exact_min_makespan
-from repro.core.series_parallel import decompose_series_parallel, sp_exact_min_makespan
+from repro.engine import SolveLimits, exact_reference, solve
 from repro.generators import get_workload
 
 from bench_common import emit
 
 WORKLOADS = ["small-layered-binary", "deep-chain-binary", "matmul-like"]
 
+_LIMITS = SolveLimits(max_exact_combinations=200_000)
+
 
 def _exact(dag, budget):
-    tree = decompose_series_parallel(dag)
-    if tree is not None:
-        return sp_exact_min_makespan(tree, int(budget)).makespan
-    try:
-        return exact_min_makespan(dag, budget).makespan
-    except ExactSearchLimit:
-        return None
+    reference = exact_reference(dag=dag, budget=budget, limits=_LIMITS)
+    return reference.makespan if reference is not None else None
 
 
 def _collect():
@@ -40,8 +32,8 @@ def _collect():
     for name in WORKLOADS:
         workload = get_workload(name)
         dag = workload.build()
-        plain = solve_min_makespan_binary(dag, workload.budget)
-        improved = solve_min_makespan_binary_improved(dag, workload.budget)
+        plain = solve(dag=dag, budget=workload.budget, method="binary-4approx").solution
+        improved = solve(dag=dag, budget=workload.budget, method="binary-improved").solution
         exact = _exact(dag, workload.budget)
         reference = exact if exact else plain.lower_bound
         ratio_plain = plain.makespan / reference if reference else 1.0
@@ -60,7 +52,8 @@ def _collect():
 def test_table1_binary_approximations(benchmark):
     workload = get_workload("matmul-like")
     dag = workload.build()
-    benchmark(lambda: solve_min_makespan_binary(dag, workload.budget))
+    benchmark(lambda: solve(dag=dag, budget=workload.budget, method="binary-4approx",
+                            use_cache=False))
 
     rows, worst_plain, worst_improved_ms, worst_improved_budget = _collect()
     emit(

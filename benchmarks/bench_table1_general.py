@@ -14,7 +14,7 @@ import pytest
 
 from repro.analysis import format_table
 from repro.analysis.ratios import measure_ratios, summarize_measurements
-from repro.core.bicriteria import solve_min_makespan_bicriteria
+from repro.engine import solve
 from repro.generators import get_workload
 
 from bench_common import emit
@@ -32,7 +32,8 @@ def _run_sweep():
             dag = workload.build()
             measurements += measure_ratios(
                 dag, workload.budget, name,
-                {"bicriteria": lambda d, b, a=alpha: solve_min_makespan_bicriteria(d, b, a)},
+                {"bicriteria": lambda d, b, a=alpha:
+                    solve(dag=d, budget=b, method="bicriteria-lp", alpha=a).solution},
                 compute_exact=(name.startswith("small")),
             )
         summary = summarize_measurements(measurements)["bicriteria"]
@@ -50,7 +51,8 @@ def _run_sweep():
 def test_table1_general_bicriteria(benchmark):
     workload = get_workload("medium-layered-general")
     dag = workload.build()
-    benchmark(lambda: solve_min_makespan_bicriteria(dag, workload.budget, 0.5))
+    benchmark(lambda: solve(dag=dag, budget=workload.budget, method="bicriteria-lp",
+                            alpha=0.5, use_cache=False))
 
     rows = _run_sweep()
     emit(

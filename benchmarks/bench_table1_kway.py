@@ -5,37 +5,33 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import format_table
-from repro.core.exact import ExactSearchLimit, exact_min_makespan
-from repro.core.kway_approx import solve_min_makespan_kway
-from repro.core.series_parallel import decompose_series_parallel, sp_exact_min_makespan
+from repro.engine import SolveLimits, exact_reference, solve
 from repro.generators import get_workload
 
 from bench_common import emit
 
 WORKLOADS = ["small-layered-kway", "deep-chain-kway", "medium-layered-kway"]
 
+_LIMITS = SolveLimits(max_exact_combinations=40_000)
+
 
 def _exact(dag, budget):
-    tree = decompose_series_parallel(dag)
-    if tree is not None:
-        return sp_exact_min_makespan(tree, int(budget)).makespan
-    try:
-        return exact_min_makespan(dag, budget, max_combinations=40_000).makespan
-    except ExactSearchLimit:
-        return None
+    reference = exact_reference(dag=dag, budget=budget, limits=_LIMITS)
+    return reference.makespan if reference is not None else None
 
 
 def test_table1_kway_five_approximation(benchmark):
     workload = get_workload("medium-layered-kway")
     dag = workload.build()
-    benchmark(lambda: solve_min_makespan_kway(dag, workload.budget))
+    benchmark(lambda: solve(dag=dag, budget=workload.budget, method="kway-5approx",
+                            use_cache=False))
 
     rows = []
     worst = 0.0
     for name in WORKLOADS:
         workload = get_workload(name)
         dag = workload.build()
-        solution = solve_min_makespan_kway(dag, workload.budget)
+        solution = solve(dag=dag, budget=workload.budget, method="kway-5approx").solution
         exact = _exact(dag, workload.budget)
         reference = exact if exact else solution.lower_bound
         ratio = solution.makespan / reference if reference else 1.0

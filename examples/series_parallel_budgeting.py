@@ -2,29 +2,21 @@
 """Series-parallel budgeting: exact DP vs LP-based approximation (Section 3.4).
 
 On series-parallel DAGs the problem is solvable exactly in pseudo-polynomial
-time ``O(m B^2)``.  This example builds a pipeline-of-fork-joins instance,
-sweeps the budget, and compares:
-
-* the exact DP optimum (``sp_exact_min_makespan``),
-* the bi-criteria LP algorithm run on the *same* DAG,
-* the greedy critical-path baseline,
-
-then answers the reverse question ("how much space do I need for a target
-makespan?") with both the exact DP and the min-resource LP pipeline.
+time ``O(m B^2)``.  This example builds a pipeline-of-fork-joins instance
+and hands it to the engine, which *detects* the series-parallel structure
+and auto-dispatches the exact DP; the bi-criteria LP pipeline and the
+greedy baseline are then invoked by solver id on the same problems for
+comparison.  The reverse question ("how much space do I need for a target
+makespan?") goes through the same ``repro.solve`` entry point with
+``target_makespan=``.
 
 Run with:  python examples/series_parallel_budgeting.py
 """
 
-from repro import (
-    greedy_path_reuse,
-    solve_min_makespan_bicriteria,
-    solve_min_resource_bicriteria,
-    sp_exact_min_makespan,
-    sp_exact_min_resource,
-)
+from repro import solve
 from repro.analysis import format_table
-from repro.core.series_parallel import SPLeaf, parallel, series
 from repro.core.duration import KWaySplitDuration, RecursiveBinarySplitDuration
+from repro.core.series_parallel import SPLeaf, parallel, series
 
 
 def build_tree():
@@ -43,12 +35,16 @@ def main() -> None:
     print(f"Series-parallel instance: {len(tree.leaves())} jobs "
           f"({dag.num_jobs} DAG nodes including fork/join vertices)")
 
+    probe = solve(dag=dag, budget=16)
+    print(f"Engine structure probe: series-parallel={probe.structure['is_series_parallel']}, "
+          f"auto-dispatch -> {probe.solver_id}")
+
     print("\nBudget sweep (minimum makespan):")
     rows = []
     for budget in [0, 2, 4, 8, 16, 32, 64]:
-        exact = sp_exact_min_makespan(tree, budget)
-        lp = solve_min_makespan_bicriteria(dag, budget, alpha=0.5)
-        greedy = greedy_path_reuse(dag, budget)
+        exact = solve(dag=dag, budget=budget)  # auto: series-parallel-dp
+        lp = solve(dag=dag, budget=budget, method="bicriteria-lp", alpha=0.5)
+        greedy = solve(dag=dag, budget=budget, method="greedy-path-reuse")
         rows.append([budget, exact.makespan, lp.makespan, lp.budget_used, greedy.makespan])
     print(format_table(
         ["budget B", "exact DP makespan", "bi-criteria makespan", "bi-criteria budget",
@@ -57,15 +53,17 @@ def main() -> None:
     print("\nTarget-makespan sweep (minimum resource):")
     rows = []
     for target in [200, 150, 120, 100, 80, 60]:
-        exact = sp_exact_min_resource(tree, target)
-        lp = solve_min_resource_bicriteria(dag, target, alpha=0.5)
+        exact = solve(dag=dag, target_makespan=target)  # auto: series-parallel-dp
+        lp = solve(dag=dag, target_makespan=target, method="bicriteria-lp", alpha=0.5)
         rows.append([target, exact.budget_used, exact.makespan, lp.budget_used, lp.makespan])
     print(format_table(
         ["target makespan", "exact min budget", "exact makespan", "LP-rounded budget",
          "LP-rounded makespan"], rows))
 
-    print("\nThe exact DP is the Section 3.4 algorithm; on series-parallel instances it")
-    print("certifies how close the LP-based approximation (which works on every DAG) gets.")
+    print("\nThe exact DP is the Section 3.4 algorithm; the engine dispatches it")
+    print("automatically whenever its SP-decomposition probe succeeds, and it")
+    print("certifies how close the LP-based approximation (which works on every DAG)")
+    print("gets.  Both sweeps reuse the memoized decomposition across all rows.")
 
 
 if __name__ == "__main__":

@@ -18,21 +18,55 @@ The package is organised as:
 * :mod:`repro.analysis` -- approximation-ratio measurement and regeneration
   of the paper's tables.
 
+* :mod:`repro.engine` -- the unified solver engine: a capability-declaring
+  solver registry, ``repro.solve(problem, method="auto")`` auto-dispatch
+  with structure detection, memoized transforms, certificates, and a
+  parallel :class:`~repro.engine.Portfolio` runner for scenario sweeps.
+
 Quickstart
 ----------
->>> from repro import TradeoffDAG, RecursiveBinarySplitDuration
->>> from repro import solve_min_makespan_bicriteria
+>>> from repro import TradeoffDAG, RecursiveBinarySplitDuration, solve
 >>> dag = TradeoffDAG()
 >>> _ = dag.add_job("s"); _ = dag.add_job("x", RecursiveBinarySplitDuration(64))
 >>> _ = dag.add_job("t"); dag.add_edge("s", "x"); dag.add_edge("x", "t")
->>> solution = solve_min_makespan_bicriteria(dag, budget=8, alpha=0.5)
->>> solution.makespan <= 64
+>>> report = solve(dag=dag, budget=8)   # auto-dispatches the best solver
+>>> report.makespan <= 64
 True
 """
 
 from repro.core import *  # noqa: F401,F403 -- re-export the public core API
 from repro.core import __all__ as _core_all
+from repro.engine import (  # noqa: F401 -- re-export the engine API
+    Certificate,
+    NoSolverError,
+    Portfolio,
+    PortfolioReport,
+    SolveLimits,
+    SolveReport,
+    SolverSpec,
+    analyze_dag,
+    candidate_solvers,
+    certify_solution,
+    clear_caches,
+    dag_fingerprint,
+    exact_reference,
+    get_solver,
+    normalize_problem,
+    register_solver,
+    solve,
+    solver_ids,
+    solver_specs,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = list(_core_all) + ["__version__"]
+_engine_all = [
+    "solve", "exact_reference", "normalize_problem",
+    "SolveReport", "SolveLimits", "Certificate", "certify_solution",
+    "SolverSpec", "register_solver", "get_solver", "solver_ids", "solver_specs",
+    "candidate_solvers", "NoSolverError",
+    "Portfolio", "PortfolioReport",
+    "analyze_dag", "dag_fingerprint", "clear_caches",
+]
+
+__all__ = list(_core_all) + _engine_all + ["__version__"]

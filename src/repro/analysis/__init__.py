@@ -4,6 +4,7 @@ from repro.analysis.ratios import RatioMeasurement, measure_ratios, summarize_me
 from repro.analysis.report import format_float, format_table
 from repro.analysis.tables import (
     TABLE1_ROWS,
+    render_solver_table,
     render_table1,
     render_table2,
     render_table3,
@@ -14,4 +15,5 @@ __all__ = [
     "RatioMeasurement", "measure_ratios", "summarize_measurements",
     "format_table", "format_float",
     "TABLE1_ROWS", "table1_summary", "render_table1", "render_table2", "render_table3",
+    "render_solver_table",
 ]

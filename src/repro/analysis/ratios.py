@@ -19,14 +19,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.dag import TradeoffDAG
-from repro.core.exact import ExactSearchLimit, exact_min_makespan
 from repro.core.problem import TradeoffSolution
+from repro.engine import SolveLimits, exact_reference, solve
 from repro.utils.validation import require
 
 __all__ = ["RatioMeasurement", "measure_ratios", "summarize_measurements"]
+
+#: An algorithm under measurement: either a registered engine solver id or a
+#: legacy ``callable(dag, budget) -> TradeoffSolution``.
+Algorithm = Union[str, Callable[[TradeoffDAG, float], TradeoffSolution]]
 
 
 @dataclass
@@ -67,7 +71,7 @@ class RatioMeasurement:
 
 
 def measure_ratios(dag: TradeoffDAG, budget: float, workload_name: str,
-                   algorithms: Dict[str, Callable[[TradeoffDAG, float], TradeoffSolution]],
+                   algorithms: Dict[str, Algorithm],
                    compute_exact: bool = True,
                    exact_limit: int = 50_000) -> List[RatioMeasurement]:
     """Run every algorithm on one instance and collect ratio measurements.
@@ -79,21 +83,29 @@ def measure_ratios(dag: TradeoffDAG, budget: float, workload_name: str,
     workload_name:
         Label recorded in the measurements.
     algorithms:
-        ``name -> callable(dag, budget) -> TradeoffSolution``.
+        ``name -> algorithm``, where an algorithm is a registered engine
+        solver id (dispatched through :func:`repro.engine.solve`, sharing
+        the engine's memoized transforms and solution cache) or a legacy
+        ``callable(dag, budget) -> TradeoffSolution``.
     compute_exact:
-        Whether to attempt the exhaustive exact solver (skipped silently when
-        the instance exceeds ``exact_limit`` combinations).
+        Whether to attempt an exact reference optimum.  The engine picks
+        whichever exact solver applies (series-parallel DP or exhaustive
+        enumeration up to ``exact_limit`` combinations) and the measurement
+        is skipped silently when none does.
     """
     exact_optimum: Optional[float] = None
     if compute_exact:
-        try:
-            exact_optimum = exact_min_makespan(dag, budget, max_combinations=exact_limit).makespan
-        except ExactSearchLimit:
-            exact_optimum = None
+        reference = exact_reference(
+            dag=dag, budget=budget,
+            limits=SolveLimits(max_exact_combinations=exact_limit))
+        exact_optimum = reference.makespan if reference is not None else None
 
     measurements: List[RatioMeasurement] = []
     for name, solver in algorithms.items():
-        solution = solver(dag, budget)
+        if isinstance(solver, str):
+            solution = solve(dag=dag, budget=budget, method=solver).solution
+        else:
+            solution = solver(dag, budget)
         measurements.append(RatioMeasurement(
             workload=workload_name,
             algorithm=name,

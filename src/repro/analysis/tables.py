@@ -20,7 +20,8 @@ from repro.analysis.report import format_table
 from repro.hardness.gadgets_general import TABLE2_HEADER, table2_rows
 from repro.hardness.gadgets_splitting import TABLE3_HEADER, table3_rows
 
-__all__ = ["TABLE1_ROWS", "table1_summary", "render_table1", "render_table2", "render_table3"]
+__all__ = ["TABLE1_ROWS", "table1_summary", "render_table1", "render_table2",
+           "render_table3", "render_solver_table"]
 
 
 #: The paper's Table 1, as structured data.  ``measured_*`` fields are filled
@@ -32,6 +33,7 @@ TABLE1_ROWS: List[Dict[str, object]] = [
         "hardness_of_approximation": "makespan < 2 OPT; resource < 3/2 OPT",
         "approximation": "(1/alpha, 1/(1-alpha)) bi-criteria, 0 < alpha < 1",
         "implemented_by": "repro.core.bicriteria.solve_min_makespan_bicriteria",
+        "solver_id": "bicriteria-lp",
         "hardness_reduction": "repro.hardness.gadgets_general (Theorem 4.1, 4.3) / "
                               "minresource_chain (Theorem 4.4)",
     },
@@ -41,6 +43,7 @@ TABLE1_ROWS: List[Dict[str, object]] = [
         "hardness_of_approximation": "-",
         "approximation": "makespan <= 4 OPT; (4/3, 14/5) bi-criteria",
         "implemented_by": "repro.core.binary_approx",
+        "solver_id": "binary-4approx / binary-improved",
         "hardness_reduction": "repro.hardness.gadgets_splitting (Section 4.2)",
     },
     {
@@ -49,6 +52,7 @@ TABLE1_ROWS: List[Dict[str, object]] = [
         "hardness_of_approximation": "-",
         "approximation": "makespan <= 5 OPT",
         "implemented_by": "repro.core.kway_approx",
+        "solver_id": "kway-5approx",
         "hardness_reduction": "repro.hardness.gadgets_splitting (Section 4.2)",
     },
 ]
@@ -81,6 +85,25 @@ def render_table1(measured: Dict[str, Dict[str, float]] = None) -> str:
             m.get("worst_ratio_vs_exact", m.get("worst_ratio_vs_lp")),
             m.get("worst_budget_ratio"),
         ])
+    return format_table(headers, rows)
+
+
+def render_solver_table() -> str:
+    """Render the engine's solver registry as a paper-result mapping table.
+
+    One row per registered solver, in auto-dispatch order: the stable
+    solver id usable as ``repro.solve(..., method=...)``, the paper result
+    it implements, its proven guarantee and the objectives it supports.
+    The table is generated from the live registry, so custom solvers added
+    via :func:`repro.engine.register_solver` show up automatically.
+    """
+    from repro.engine import solver_specs
+
+    headers = ["solver id", "kind", "paper result", "guarantee", "objectives"]
+    rows = []
+    for spec in solver_specs():
+        objectives = ", ".join(sorted(o.replace("min_", "min-") for o in spec.objectives))
+        rows.append([spec.solver_id, spec.kind, spec.theorem, spec.guarantee, objectives])
     return format_table(headers, rows)
 
 

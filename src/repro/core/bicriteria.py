@@ -78,9 +78,13 @@ class BicriteriaReport:
 
 
 def _run_pipeline(dag: TradeoffDAG, lp_solution_builder, alpha: float, algorithm: str,
-                  budget: Optional[float], target_makespan: Optional[float]) -> TradeoffSolution:
-    arc_dag, node_map = node_to_arc_dag(dag)
-    expansion = expand_to_two_tuples(arc_dag)
+                  budget: Optional[float], target_makespan: Optional[float],
+                  transforms=None) -> TradeoffSolution:
+    if transforms is not None:
+        arc_dag, node_map, expansion = transforms
+    else:
+        arc_dag, node_map = node_to_arc_dag(dag)
+        expansion = expand_to_two_tuples(arc_dag)
     expanded = expansion.arc_dag
 
     lp = lp_solution_builder(expanded)
@@ -122,7 +126,8 @@ def _run_pipeline(dag: TradeoffDAG, lp_solution_builder, alpha: float, algorithm
     return solution
 
 
-def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float = 0.5) -> TradeoffSolution:
+def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float = 0.5,
+                                  transforms=None) -> TradeoffSolution:
     """Bi-criteria approximation for the minimum-makespan problem (Theorem 3.4).
 
     Parameters
@@ -135,6 +140,10 @@ def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float 
         Rounding threshold in ``(0, 1)``.  ``alpha = 0.5`` gives the (2, 2)
         guarantee used by Section 3.2; ``alpha = 0.75`` gives the (4/3, 4)
         pair quoted at the start of Section 3.3.
+    transforms:
+        Optional precomputed ``(arc_dag, node_map, expansion)`` triple for
+        ``dag`` (the engine memoizes these per DAG fingerprint); computed
+        here when omitted.
 
     Returns
     -------
@@ -152,11 +161,12 @@ def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float 
         algorithm="bicriteria-lp",
         budget=budget,
         target_makespan=None,
+        transforms=transforms,
     )
 
 
 def solve_min_resource_bicriteria(dag: TradeoffDAG, target_makespan: float,
-                                  alpha: float = 0.5) -> TradeoffSolution:
+                                  alpha: float = 0.5, transforms=None) -> TradeoffSolution:
     """Bi-criteria approximation for the minimum-resource problem.
 
     Solves the min-resource LP (minimise source outflow subject to the
@@ -174,4 +184,5 @@ def solve_min_resource_bicriteria(dag: TradeoffDAG, target_makespan: float,
         algorithm="bicriteria-lp-minresource",
         budget=None,
         target_makespan=target_makespan,
+        transforms=transforms,
     )

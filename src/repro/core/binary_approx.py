@@ -104,11 +104,19 @@ def _finalise(dag: TradeoffDAG, arc_dag, node_map, allocation, lp, algorithm, bu
     )
 
 
-def solve_min_makespan_binary(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
-    """4-approximation for min-makespan with recursive binary splitting (Theorem 3.10)."""
+def solve_min_makespan_binary(dag: TradeoffDAG, budget: float,
+                              transforms=None) -> TradeoffSolution:
+    """4-approximation for min-makespan with recursive binary splitting (Theorem 3.10).
+
+    ``transforms`` optionally supplies a precomputed ``(arc_dag, node_map,
+    expansion)`` triple (the engine memoizes these per DAG fingerprint).
+    """
     check_non_negative(budget, "budget")
-    arc_dag, node_map = node_to_arc_dag(dag)
-    expansion = expand_to_two_tuples(arc_dag)
+    if transforms is not None:
+        arc_dag, node_map, expansion = transforms
+    else:
+        arc_dag, node_map = node_to_arc_dag(dag)
+        expansion = expand_to_two_tuples(arc_dag)
     expanded = expansion.arc_dag
 
     lp = solve_min_makespan_lp(expanded, budget)
@@ -129,16 +137,21 @@ def solve_min_makespan_binary(dag: TradeoffDAG, budget: float) -> TradeoffSoluti
                      algorithm="binary-4approx", budget=budget, guarantee=4.0)
 
 
-def solve_min_makespan_binary_improved(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+def solve_min_makespan_binary_improved(dag: TradeoffDAG, budget: float,
+                                       transforms=None) -> TradeoffSolution:
     """(4/3, 14/5) bi-criteria algorithm for recursive binary splitting (Theorem 3.16).
 
     Returns a solution whose makespan is at most ``14/5`` times the LP lower
     bound while the routed resource is at most ``4/3`` times the LP's
-    (budget-feasible) resource usage.
+    (budget-feasible) resource usage.  ``transforms`` optionally supplies a
+    precomputed ``(arc_dag, node_map, expansion)`` triple.
     """
     check_non_negative(budget, "budget")
-    arc_dag, node_map = node_to_arc_dag(dag)
-    expansion = expand_to_two_tuples(arc_dag)
+    if transforms is not None:
+        arc_dag, node_map, expansion = transforms
+    else:
+        arc_dag, node_map = node_to_arc_dag(dag)
+        expansion = expand_to_two_tuples(arc_dag)
     expanded = expansion.arc_dag
 
     lp = solve_min_makespan_lp(expanded, budget)

@@ -74,17 +74,22 @@ def reduce_kway_allocation(rounded_resource: float, fractional_resource: float,
     return snapped
 
 
-def solve_min_makespan_kway(dag: TradeoffDAG, budget: float) -> TradeoffSolution:
+def solve_min_makespan_kway(dag: TradeoffDAG, budget: float,
+                            transforms=None) -> TradeoffSolution:
     """5-approximation for the minimum-makespan problem with k-way splitting.
 
     Every job's duration function is expected to be a
     :class:`~repro.core.duration.KWaySplitDuration` (or a constant); other
     non-increasing functions are accepted but the 5x guarantee only holds
-    for the k-way family.
+    for the k-way family.  ``transforms`` optionally supplies a precomputed
+    ``(arc_dag, node_map, expansion)`` triple.
     """
     check_non_negative(budget, "budget")
-    arc_dag, node_map = node_to_arc_dag(dag)
-    expansion = expand_to_two_tuples(arc_dag)
+    if transforms is not None:
+        arc_dag, node_map, expansion = transforms
+    else:
+        arc_dag, node_map = node_to_arc_dag(dag)
+        expansion = expand_to_two_tuples(arc_dag)
     expanded = expansion.arc_dag
 
     lp = solve_min_makespan_lp(expanded, budget)

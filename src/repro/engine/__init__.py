@@ -1,0 +1,76 @@
+"""The unified solver engine: registry, auto-dispatch and parallel portfolios.
+
+The engine is the single entry point to every solver family of the
+reproduction (exact enumeration, the series-parallel DP, the LP bi-criteria
+pipeline, the k-way / recursive-binary single-criteria approximations and
+the greedy baselines):
+
+>>> import repro
+>>> report = repro.solve(dag=some_dag, budget=12)          # auto-dispatch
+>>> report.solver_id, report.makespan                       # doctest: +SKIP
+>>> repro.solve(dag=some_dag, budget=12, method="bicriteria-lp", alpha=0.75)  # doctest: +SKIP
+
+Layers (each its own module):
+
+* :mod:`~repro.engine.fingerprint` -- content hashes of DAGs/problems (cache keys);
+* :mod:`~repro.engine.structure`   -- one-shot structure probe with memoized
+  activity-on-arc transforms;
+* :mod:`~repro.engine.registry`    -- :class:`SolverSpec` capability records and
+  the ``@register_solver`` decorator;
+* :mod:`~repro.engine.solvers`     -- registration of the five solver families;
+* :mod:`~repro.engine.certify`     -- independent certificate checks on solutions;
+* :mod:`~repro.engine.core`        -- :func:`solve`, :class:`SolveReport`,
+  :class:`SolveLimits` and the solution LRU cache;
+* :mod:`~repro.engine.portfolio`   -- :class:`Portfolio` for racing solvers and
+  sweeping scenarios concurrently.
+"""
+
+from repro.engine.certify import Certificate, certify_solution
+from repro.engine.core import (
+    SolveLimits,
+    SolveReport,
+    clear_caches,
+    exact_reference,
+    normalize_problem,
+    solution_cache_info,
+    solve,
+)
+from repro.engine.fingerprint import dag_fingerprint, problem_fingerprint
+from repro.engine.registry import (
+    MIN_MAKESPAN,
+    MIN_RESOURCE,
+    NoSolverError,
+    SolverSpec,
+    candidate_solvers,
+    get_solver,
+    register_solver,
+    select_solver,
+    solver_ids,
+    solver_specs,
+    unregister_solver,
+)
+from repro.engine.structure import ProblemStructure, analyze_dag, structure_cache_info
+
+# Importing the module registers every built-in solver family.
+import repro.engine.solvers  # noqa: F401  (side-effect import)
+
+from repro.engine.portfolio import Portfolio, PortfolioReport
+
+__all__ = [
+    # entry points
+    "solve", "exact_reference", "normalize_problem",
+    "SolveReport", "SolveLimits",
+    # registry
+    "SolverSpec", "register_solver", "unregister_solver", "get_solver",
+    "solver_ids", "solver_specs",
+    "candidate_solvers", "select_solver", "NoSolverError",
+    "MIN_MAKESPAN", "MIN_RESOURCE",
+    # structure + fingerprints
+    "ProblemStructure", "analyze_dag", "dag_fingerprint", "problem_fingerprint",
+    # certificates
+    "Certificate", "certify_solution",
+    # portfolio
+    "Portfolio", "PortfolioReport",
+    # caches
+    "clear_caches", "solution_cache_info", "structure_cache_info",
+]

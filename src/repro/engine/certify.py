@@ -1,0 +1,128 @@
+"""Independent certificate checks for engine solutions.
+
+Whatever solver produced a :class:`~repro.core.problem.TradeoffSolution`,
+the engine re-derives its claims from first principles before reporting it:
+
+* the allocation is non-negative and names only known jobs
+  (:mod:`repro.utils.validation`);
+* re-evaluating the DAG's makespan under the allocation reproduces the
+  reported makespan;
+* the reported budget does not *understate* the minimum flow needed to
+  route the allocation over source-to-sink paths (Question 1.3 accounting;
+  baselines that account conservatively, e.g. no-reuse sums, may overstate);
+* problem feasibility -- budget respected for min-makespan, target met for
+  min-resource.  Bi-criteria algorithms legitimately exceed the budget by
+  their proven factor, so feasibility is *recorded*, not enforced; the
+  portfolio runner uses it to prefer feasible solutions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.minflow import InfeasibleFlowError, allocation_min_budget
+from repro.core.problem import MinMakespanProblem, MinResourceProblem, TradeoffSolution
+from repro.utils.validation import ValidationError, check_non_negative
+
+__all__ = ["Certificate", "certify_solution"]
+
+_TOL = 1e-6
+
+
+@dataclass
+class Certificate:
+    """Outcome of the independent checks run on one solution.
+
+    ``passed`` means the solution's *claims* are internally consistent;
+    ``feasible`` additionally means it respects the problem's constraint
+    (budget or makespan target).  ``checks`` records each individual check
+    and ``notes`` any skipped ones.
+    """
+
+    passed: bool
+    feasible: bool
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: Dict[str, str] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.passed
+
+
+def certify_solution(problem, solution: TradeoffSolution,
+                     dag=None) -> Certificate:
+    """Run the certificate checks of the module docstring.
+
+    Parameters
+    ----------
+    problem:
+        The :class:`MinMakespanProblem` / :class:`MinResourceProblem` solved.
+    solution:
+        The solution to certify.
+    dag:
+        The normalized DAG the solvers actually ran on (defaults to
+        ``problem.dag``); passing it avoids re-normalizing terminals.
+    """
+    dag = dag if dag is not None else problem.dag.ensure_single_source_sink()
+    checks: Dict[str, bool] = {}
+    notes: Dict[str, str] = {}
+
+    if math.isinf(solution.makespan):
+        # Declared-infeasible solutions carry no allocation worth checking.
+        checks["declared_infeasible"] = True
+        return Certificate(passed=True, feasible=False, checks=checks,
+                           notes={"status": "solver declared the instance infeasible"})
+
+    # 1. allocation sanity
+    allocation = {job: amount for job, amount in solution.allocation.items() if amount}
+    try:
+        for job, amount in allocation.items():
+            check_non_negative(amount, f"allocation for job {job!r}")
+        checks["allocation_non_negative"] = True
+    except ValidationError as exc:
+        checks["allocation_non_negative"] = False
+        notes["allocation_non_negative"] = str(exc)
+
+    # 2. makespan re-evaluation
+    try:
+        realised = dag.makespan_value(allocation)
+        ok = abs(realised - solution.makespan) <= _TOL * max(1.0, realised)
+        checks["makespan_consistent"] = ok
+        if not ok:
+            notes["makespan_consistent"] = (
+                f"reported {solution.makespan}, re-evaluated {realised}")
+    except ValidationError as exc:
+        checks["makespan_consistent"] = False
+        notes["makespan_consistent"] = str(exc)
+
+    # 3. routing: the reported budget must cover the allocation's min-flow
+    if allocation and checks.get("allocation_non_negative", False):
+        try:
+            min_budget, _ = allocation_min_budget(dag, allocation)
+            ok = solution.budget_used >= min_budget - _TOL * max(1.0, min_budget)
+            checks["budget_covers_routing"] = ok
+            if not ok:
+                notes["budget_covers_routing"] = (
+                    f"reported budget {solution.budget_used} < minimum routing "
+                    f"flow {min_budget}")
+        except InfeasibleFlowError as exc:  # pragma: no cover - defensive
+            checks["budget_covers_routing"] = False
+            notes["budget_covers_routing"] = str(exc)
+    else:
+        checks["budget_covers_routing"] = True
+
+    # 4. problem feasibility (recorded, not enforced)
+    if isinstance(problem, MinMakespanProblem):
+        feasible = solution.budget_used <= problem.budget + _TOL * max(1.0, problem.budget)
+        checks["within_budget"] = feasible
+    elif isinstance(problem, MinResourceProblem):
+        feasible = solution.makespan <= problem.target_makespan + _TOL * max(
+            1.0, problem.target_makespan)
+        checks["meets_target_makespan"] = feasible
+    else:  # pragma: no cover - defensive
+        feasible = True
+
+    passed = all(checks.get(name, False) for name in
+                 ("allocation_non_negative", "makespan_consistent", "budget_covers_routing"))
+    return Certificate(passed=passed, feasible=feasible, checks=checks, notes=notes)

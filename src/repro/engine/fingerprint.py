@@ -1,0 +1,59 @@
+"""Stable fingerprints for DAGs and problems (the engine's cache keys).
+
+Repeated scenario sweeps re-solve near-identical instances; the engine keys
+its memoized structure probes and its solution cache on a content hash of
+the instance rather than on object identity, so rebuilding a workload from
+its generator (or unpickling it in a portfolio worker) still hits the cache.
+
+The fingerprint covers everything a solver can observe: job names, the
+canonical resource-time breakpoints of every duration function, and the
+edge list.  Job insertion order is *not* part of the fingerprint -- two
+DAGs with the same jobs, durations and edges hash identically regardless of
+construction order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.core.dag import TradeoffDAG
+
+__all__ = ["dag_fingerprint", "problem_fingerprint"]
+
+
+def _job_token(dag: TradeoffDAG, job) -> str:
+    tuples = dag.duration_function(job).tuples()
+    return f"{job!r}:{tuples!r}"
+
+
+def dag_fingerprint(dag: TradeoffDAG) -> str:
+    """Return a stable hex digest identifying ``dag`` by content.
+
+    Two structurally identical DAGs (same job names, same canonical duration
+    breakpoints, same edges) produce the same fingerprint, independent of
+    the order in which jobs and edges were added.
+    """
+    hasher = hashlib.sha256()
+    for token in sorted(_job_token(dag, job) for job in dag.jobs):
+        hasher.update(token.encode())
+        hasher.update(b"\x00")
+    hasher.update(b"|edges|")
+    for edge in sorted(f"{u!r}->{v!r}" for u, v in dag.edges):
+        hasher.update(edge.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def problem_fingerprint(dag: TradeoffDAG, objective: str, parameter: float,
+                        dag_digest: Optional[str] = None) -> str:
+    """Fingerprint of a (dag, objective, budget-or-target) problem instance.
+
+    ``dag_digest`` lets callers that already hold a :func:`dag_fingerprint`
+    skip rehashing the DAG.
+    """
+    digest = dag_digest if dag_digest is not None else dag_fingerprint(dag)
+    hasher = hashlib.sha256()
+    hasher.update(digest.encode())
+    hasher.update(f"|{objective}|{parameter!r}".encode())
+    return hasher.hexdigest()

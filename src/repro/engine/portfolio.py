@@ -1,0 +1,280 @@
+"""Parallel solver portfolios and multi-scenario sweeps.
+
+Two concurrency patterns cover the experiment workloads:
+
+* :meth:`Portfolio.solve` -- run *several solvers on one problem*
+  concurrently and return the best feasible solution found (an algorithm
+  portfolio: exact solvers race the approximations, whichever finishes with
+  the best certified-feasible makespan wins);
+* :meth:`Portfolio.map` -- run *one auto-dispatched solve per scenario*
+  concurrently over a list of problems (the scenario-sweep pattern used by
+  the benchmarks; with the process executor this parallelises the CPU-bound
+  exact searches across cores).
+
+Workers go through :func:`repro.engine.core.solve`, so every result carries
+the usual :class:`~repro.engine.core.SolveReport` certificate, and the
+process executor requires only that problems are picklable (they are plain
+dataclasses over dict-based DAGs).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.problem import MinMakespanProblem, MinResourceProblem
+from repro.engine.core import Problem, SolveLimits, SolveReport, normalize_problem, solve
+from repro.engine.registry import MIN_RESOURCE, candidate_solvers, get_solver
+from repro.engine.structure import analyze_dag
+from repro.utils.validation import ValidationError, require
+
+__all__ = ["Portfolio", "PortfolioReport"]
+
+
+def _solve_task(problem: Problem, method: str, limits: SolveLimits,
+                options: Dict[str, Any]) -> SolveReport:
+    """Top-level worker (must be module-level so process pools can pickle it)."""
+    return solve(problem, method=method, limits=limits, **options)
+
+
+@dataclass
+class PortfolioReport:
+    """Outcome of one portfolio race over a single problem.
+
+    ``best`` is the winning :class:`SolveReport` (best certified-feasible
+    solution, falling back to the best overall when no run is feasible);
+    ``runs`` holds every finished report and ``errors`` maps solver ids to
+    the exception text of failed runs.
+    """
+
+    best: SolveReport
+    runs: List[SolveReport] = field(default_factory=list)
+    errors: Dict[str, str] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    # passthrough conveniences mirroring SolveReport
+    @property
+    def solution(self):
+        return self.best.solution
+
+    @property
+    def makespan(self) -> float:
+        return self.best.makespan
+
+    @property
+    def budget_used(self) -> float:
+        return self.best.budget_used
+
+    @property
+    def solver_id(self) -> str:
+        return self.best.solver_id
+
+    def summary(self) -> str:
+        """One-line description of the race outcome."""
+        tried = ", ".join(sorted(r.solver_id for r in self.runs))
+        return (f"portfolio winner {self.best.solver_id} "
+                f"(makespan={self.makespan:.3f}, budget={self.budget_used:.3f}) "
+                f"out of [{tried}] in {self.wall_time * 1000:.1f}ms")
+
+
+def _pick_best(objective: str, reports: Sequence[SolveReport]) -> SolveReport:
+    require(len(reports) > 0, "portfolio produced no finished run")
+
+    def makespan_key(r: SolveReport):
+        return (r.makespan, r.budget_used)
+
+    def budget_key(r: SolveReport):
+        return (r.budget_used, r.makespan)
+
+    key = budget_key if objective == MIN_RESOURCE else makespan_key
+    feasible = [r for r in reports
+                if r.certificate is not None and r.certificate.passed and r.feasible
+                and not math.isinf(r.makespan)]
+    pool = feasible if feasible else [r for r in reports if not math.isinf(r.makespan)]
+    if not pool:
+        pool = list(reports)
+    return min(pool, key=key)
+
+
+class Portfolio:
+    """A configurable parallel solver portfolio.
+
+    Parameters
+    ----------
+    methods:
+        Solver ids to race in :meth:`solve`.  ``None`` picks every capable
+        exact and approximation solver (plus the greedy path-reuse
+        baseline) from the registry at call time.
+    executor:
+        ``"process"`` (default; true parallelism for the CPU-bound exact
+        searches) or ``"thread"`` (lower overhead, useful when solvers
+        spend their time in scipy).
+    max_workers:
+        Worker count; defaults to ``min(#tasks, cpu_count)``.
+    limits:
+        :class:`SolveLimits` forwarded to every worker; its ``time_limit``
+        bounds how long :meth:`solve` waits before declaring the best
+        finished run the winner (runs still executing keep their worker
+        busy but are not waited for).
+
+    A portfolio can also hold a **persistent pool** for serving many
+    requests without paying worker start-up per call::
+
+        with Portfolio(executor="process").start() as portfolio:
+            portfolio.map(problems)   # reuses warm workers + their caches
+    """
+
+    def __init__(self, methods: Optional[Sequence[str]] = None, *,
+                 executor: str = "process", max_workers: Optional[int] = None,
+                 limits: Optional[SolveLimits] = None):
+        require(executor in ("process", "thread"),
+                f"executor must be 'process' or 'thread', got {executor!r}")
+        self.methods = list(methods) if methods is not None else None
+        self.executor = executor
+        self.max_workers = max_workers
+        self.limits = limits if limits is not None else SolveLimits()
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # executor lifecycle
+    # ------------------------------------------------------------------
+    def _new_executor(self, workers: int):
+        if self.executor == "process":
+            return ProcessPoolExecutor(max_workers=workers)
+        return ThreadPoolExecutor(max_workers=workers)
+
+    def start(self) -> "Portfolio":
+        """Open a persistent worker pool reused by every solve/map call.
+
+        Worker processes keep their per-process solution caches between
+        calls, so repeated scenarios in a sweep are served from memory.
+        Pair with :meth:`close` (or use the portfolio as a context
+        manager).
+        """
+        if self._pool is None:
+            self._pool = self._new_executor(self.max_workers or os.cpu_count() or 2)
+        return self
+
+    def close(self) -> None:
+        """Shut the persistent pool down (no-op without :meth:`start`)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "Portfolio":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _acquire_executor(self, n_tasks: int):
+        """Return ``(executor, transient)``; transient pools are per-call."""
+        if self._pool is not None:
+            return self._pool, False
+        workers = self.max_workers or min(n_tasks, os.cpu_count() or 2)
+        workers = max(1, min(workers, n_tasks))
+        return self._new_executor(workers), True
+
+    def _methods_for(self, problem: Problem) -> List[str]:
+        if self.methods is not None:
+            return self.methods
+        structure = analyze_dag(problem.dag)
+        objective = (MIN_RESOURCE if isinstance(problem, MinResourceProblem)
+                     else "min_makespan")
+        ids = [spec.solver_id
+               for spec in candidate_solvers(problem, structure, self.limits, objective)
+               if spec.kind in ("exact", "approximation")]
+        if objective != MIN_RESOURCE and "greedy-path-reuse" not in ids:
+            ids.append("greedy-path-reuse")
+        return ids
+
+    # ------------------------------------------------------------------
+    def solve(self, problem: Optional[Problem] = None, *,
+              dag=None, budget: Optional[float] = None,
+              target_makespan: Optional[float] = None,
+              **options: Any) -> PortfolioReport:
+        """Race the portfolio's solvers on one problem; return the best run.
+
+        Accepts the same problem forms as :func:`repro.engine.core.solve`.
+        Solvers that raise (e.g. :class:`~repro.core.exact.ExactSearchLimit`)
+        are recorded in ``errors`` and do not fail the race as long as one
+        run finishes.  ``options`` are race-wide hints: each raced solver
+        only receives the options it declares (so ``alpha=`` reaches the
+        LP pipeline without crashing the DP next to it).  When
+        ``limits.time_limit`` elapses, the best *finished* run wins and
+        unfinished runs are abandoned (their workers are not waited for).
+        """
+        problem = normalize_problem(problem, dag=dag, budget=budget,
+                                    target_makespan=target_makespan)
+        methods = self._methods_for(problem)
+        require(len(methods) > 0, "portfolio has no solver to run")
+        objective = (MIN_RESOURCE if isinstance(problem, MinResourceProblem)
+                     else "min_makespan")
+
+        start = time.perf_counter()
+        reports: List[SolveReport] = []
+        errors: Dict[str, str] = {}
+        pool, transient = self._acquire_executor(len(methods))
+        try:
+            futures: Dict[Future, str] = {
+                pool.submit(_solve_task, problem, method, self.limits,
+                            get_solver(method).supported_options(options)): method
+                for method in methods
+            }
+            done, not_done = wait(futures, timeout=self.limits.time_limit)
+            for future in done:
+                method = futures[future]
+                try:
+                    reports.append(future.result())
+                except Exception as exc:  # noqa: BLE001 - race keeps going
+                    errors[method] = f"{type(exc).__name__}: {exc}"
+            for future in not_done:
+                future.cancel()
+                errors.setdefault(futures[future],
+                                  f"unfinished at time_limit={self.limits.time_limit}s")
+        finally:
+            if transient:
+                pool.shutdown(wait=False, cancel_futures=True)
+        wall_time = time.perf_counter() - start
+
+        if not reports:
+            raise ValidationError(
+                f"portfolio produced no finished run (errors: {errors})")
+        best = _pick_best(objective, reports)
+        return PortfolioReport(best=best, runs=reports, errors=errors, wall_time=wall_time)
+
+    # ------------------------------------------------------------------
+    def map(self, problems: Sequence[Problem], method: str = "auto",
+            skip_errors: bool = False, **options: Any) -> List[Optional[SolveReport]]:
+        """Solve many scenarios concurrently (order-preserving).
+
+        Each problem goes through :func:`repro.engine.core.solve` with the
+        given ``method`` (default: auto-dispatch per scenario).  With the
+        process executor this is the multi-core scenario sweep used by the
+        benchmarks.  A failing scenario raises by default (remaining tasks
+        are cancelled); with ``skip_errors=True`` it yields ``None`` in its
+        slot and the rest of the sweep completes.
+        """
+        problems = [normalize_problem(p) for p in problems]
+        if not problems:
+            return []
+        pool, transient = self._acquire_executor(len(problems))
+        try:
+            futures = [pool.submit(_solve_task, p, method, self.limits, options)
+                       for p in problems]
+            results: List[Optional[SolveReport]] = []
+            for future in futures:
+                try:
+                    results.append(future.result())
+                except Exception:  # noqa: BLE001 - per-scenario tolerance
+                    if not skip_errors:
+                        raise
+                    results.append(None)
+            return results
+        finally:
+            if transient:
+                pool.shutdown(wait=False, cancel_futures=True)

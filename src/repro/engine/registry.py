@@ -1,0 +1,185 @@
+"""The solver registry: capability declarations and auto-dispatch.
+
+Every solver family of the reproduction registers itself here with a
+:class:`SolverSpec`: a stable ``solver_id``, the objectives it supports
+(min-makespan / min-resource), an exactness *kind* (``exact`` /
+``approximation`` / ``baseline``), the paper result it implements, a
+``can_solve`` capability predicate over the probed
+:class:`~repro.engine.structure.ProblemStructure`, and the run callable.
+
+``repro.solve(problem, method="auto")`` filters the registry by objective
+and capability and picks the first candidate in ``(rank, priority)`` order:
+exact solvers are preferred whenever their preconditions hold, then
+single-criteria approximations specialised to the instance's duration
+family, then the always-applicable LP bi-criteria pipeline, then greedy
+baselines.  ``method="<solver-id>"`` bypasses capability filtering and
+invokes the named solver directly (raising if it cannot run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.engine.structure import ProblemStructure
+from repro.utils.validation import ValidationError, require
+
+__all__ = [
+    "SolverSpec",
+    "register_solver",
+    "unregister_solver",
+    "get_solver",
+    "solver_ids",
+    "solver_specs",
+    "candidate_solvers",
+    "select_solver",
+    "NoSolverError",
+    "MIN_MAKESPAN",
+    "MIN_RESOURCE",
+]
+
+#: Objective identifiers (the two problems of Section 2).
+MIN_MAKESPAN = "min_makespan"
+MIN_RESOURCE = "min_resource"
+
+_KIND_RANK = {"exact": 0, "approximation": 1, "baseline": 2}
+
+
+class NoSolverError(ValidationError):
+    """Raised when no registered solver can handle a problem."""
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Capability record of one registered solver.
+
+    Attributes
+    ----------
+    solver_id:
+        Stable identifier used by ``solve(method=...)``, reports and docs.
+    summary:
+        One-line human-readable description.
+    objectives:
+        Subset of ``{"min_makespan", "min_resource"}``.
+    kind:
+        ``"exact"``, ``"approximation"`` or ``"baseline"`` -- the dispatch
+        rank (exact first).
+    theorem:
+        The paper result implemented (free-form, e.g. ``"Theorem 3.4"``).
+    guarantee:
+        Human-readable statement of the proven bound (``"optimal"`` for
+        exact solvers, ``"none"`` for baselines).
+    priority:
+        Tie-break within a kind; lower runs first in auto-dispatch.
+    can_solve:
+        ``(problem, structure, limits) -> bool`` capability predicate.
+    run:
+        ``(problem, structure, limits, **options) -> TradeoffSolution``.
+    option_names:
+        Keyword options the solver understands (e.g. ``{"alpha"}``).
+        Explicitly-invoked solvers reject unknown options; auto-dispatch
+        and portfolio races *filter* the caller's options down to this set
+        so one solver's option cannot crash another solver in the race.
+    """
+
+    solver_id: str
+    summary: str
+    objectives: frozenset
+    kind: str
+    theorem: str
+    guarantee: str
+    priority: int
+    can_solve: Callable = field(repr=False)
+    run: Callable = field(repr=False)
+    option_names: frozenset = frozenset()
+
+    def supported_options(self, options):
+        """Filter an options mapping down to the keys this solver accepts."""
+        return {key: value for key, value in options.items() if key in self.option_names}
+
+
+_REGISTRY: Dict[str, SolverSpec] = {}
+
+
+def register_solver(solver_id: str, *, summary: str, objectives: Sequence[str],
+                    kind: str, theorem: str, guarantee: str, priority: int,
+                    can_solve: Callable, option_names: Sequence[str] = ()) -> Callable:
+    """Decorator registering a solver run-callable under ``solver_id``.
+
+    Usage::
+
+        @register_solver("bicriteria-lp", summary=..., objectives=(MIN_MAKESPAN,),
+                         kind="approximation", theorem="Theorem 3.4",
+                         guarantee="(1/alpha, 1/(1-alpha))", priority=40,
+                         can_solve=lambda problem, structure, limits: True)
+        def _run(problem, structure, limits, **options): ...
+    """
+    require(kind in _KIND_RANK, f"unknown solver kind {kind!r}")
+    objs = frozenset(objectives)
+    require(objs <= {MIN_MAKESPAN, MIN_RESOURCE} and objs,
+            f"objectives must be a non-empty subset of the two problems, got {objectives!r}")
+
+    def decorator(func: Callable) -> Callable:
+        require(solver_id not in _REGISTRY, f"solver id {solver_id!r} already registered")
+        _REGISTRY[solver_id] = SolverSpec(
+            solver_id=solver_id, summary=summary, objectives=objs, kind=kind,
+            theorem=theorem, guarantee=guarantee, priority=priority,
+            can_solve=can_solve, run=func, option_names=frozenset(option_names),
+        )
+        return func
+
+    return decorator
+
+
+def unregister_solver(solver_id: str) -> Optional[SolverSpec]:
+    """Remove (and return) a registered solver; ``None`` if absent.
+
+    Exists for tests and for applications replacing a built-in solver with
+    a custom implementation under the same id.
+    """
+    return _REGISTRY.pop(solver_id, None)
+
+
+def get_solver(solver_id: str) -> SolverSpec:
+    """Look up a registered solver by id (raises on unknown ids)."""
+    require(solver_id in _REGISTRY,
+            f"unknown solver {solver_id!r}; registered: {sorted(_REGISTRY)}")
+    return _REGISTRY[solver_id]
+
+
+def solver_ids() -> List[str]:
+    """All registered solver ids, in dispatch order."""
+    return [spec.solver_id for spec in _sorted_specs()]
+
+
+def solver_specs() -> List[SolverSpec]:
+    """All registered specs, in dispatch order."""
+    return list(_sorted_specs())
+
+
+def _sorted_specs() -> List[SolverSpec]:
+    return sorted(_REGISTRY.values(),
+                  key=lambda s: (_KIND_RANK[s.kind], s.priority, s.solver_id))
+
+
+def candidate_solvers(problem, structure: ProblemStructure, limits,
+                      objective: str) -> List[SolverSpec]:
+    """Registered solvers able to handle ``problem``, in dispatch order."""
+    out: List[SolverSpec] = []
+    for spec in _sorted_specs():
+        if objective not in spec.objectives:
+            continue
+        if spec.can_solve(problem, structure, limits):
+            out.append(spec)
+    return out
+
+
+def select_solver(problem, structure: ProblemStructure, limits,
+                  objective: str) -> SolverSpec:
+    """Pick the auto-dispatch solver for ``problem`` (best capable candidate)."""
+    candidates = candidate_solvers(problem, structure, limits, objective)
+    if not candidates:
+        raise NoSolverError(
+            f"no registered solver can handle this {objective} instance "
+            f"({structure.num_jobs} jobs, families {sorted(structure.duration_families)})")
+    return candidates[0]

@@ -1,0 +1,250 @@
+"""Registration of every solver family with the engine registry.
+
+Importing this module (done by ``repro.engine``) populates the registry
+with the five families of the reproduction:
+
+===========================  =========================  ======================
+solver id                    paper result               preconditions
+===========================  =========================  ======================
+``series-parallel-dp``       Section 3.4 DP             SP decomposition found,
+                                                        integral breakpoints,
+                                                        integral budget within
+                                                        the table limit
+``exact-enumeration``        exhaustive + min-flow      breakpoint-combination
+                                                        count within the limit
+``kway-5approx``             Theorem 3.9                k-way durations only
+``binary-4approx``           Theorem 3.10               recursive-binary only
+``binary-improved``          Theorem 3.16               recursive-binary only
+``bicriteria-lp``            Theorem 3.4                always applicable
+``greedy-path-reuse`` etc.   baselines (Q1.1-1.3)       always applicable
+===========================  =========================  ======================
+
+Auto-dispatch prefers exact solvers, then family-specialised single-
+criteria approximations, then the LP bi-criteria pipeline, then baselines
+(see :func:`repro.engine.registry.select_solver`).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.baselines import (
+    greedy_global_reuse,
+    greedy_no_reuse,
+    greedy_path_reuse,
+    no_resource_solution,
+    uniform_split_solution,
+)
+from repro.core.bicriteria import solve_min_makespan_bicriteria, solve_min_resource_bicriteria
+from repro.core.binary_approx import solve_min_makespan_binary, solve_min_makespan_binary_improved
+from repro.core.exact import exact_min_makespan, exact_min_resource
+from repro.core.kway_approx import solve_min_makespan_kway
+from repro.core.problem import MinMakespanProblem
+from repro.core.series_parallel import sp_exact_min_makespan, sp_exact_min_resource
+from repro.engine.registry import MIN_MAKESPAN, MIN_RESOURCE, register_solver
+from repro.utils.validation import require
+
+__all__ = []  # everything here registers by side effect
+
+
+def _budget(problem) -> float:
+    return problem.budget
+
+
+def _target(problem) -> float:
+    return problem.target_makespan
+
+
+def _transforms(structure):
+    arc_dag, node_map = structure.arc_form()
+    return arc_dag, node_map, structure.expansion()
+
+
+def _job_allocation(structure, solution):
+    """Restrict an SP-tree allocation to jobs that exist in the DAG.
+
+    :func:`~repro.core.series_parallel.decompose_series_parallel` introduces
+    zero-duration ``("dummy", u, v)`` leaves for precedence edges; they need
+    no resource, so dropping them preserves makespan and routability.
+    """
+    known = set(structure.dag.jobs)
+    solution.allocation = {job: amount for job, amount in solution.allocation.items()
+                           if job in known}
+    return solution
+
+
+# ----------------------------------------------------------------------
+# exact solvers
+# ----------------------------------------------------------------------
+def _sp_budget_cap(structure) -> float:
+    return sum(leaf.duration.max_useful_resource() for leaf in structure.sp_tree.leaves())
+
+
+def _can_solve_sp(problem, structure, limits) -> bool:
+    if structure.sp_tree is None or not structure.integral_breakpoints:
+        return False
+    if isinstance(problem, MinMakespanProblem):
+        budget = problem.budget
+        return float(budget).is_integer() and budget <= limits.max_sp_budget
+    return _sp_budget_cap(structure) <= limits.max_sp_budget
+
+
+@register_solver(
+    "series-parallel-dp",
+    summary="Exact pseudo-polynomial DP on the series-parallel decomposition",
+    objectives=(MIN_MAKESPAN, MIN_RESOURCE),
+    kind="exact", theorem="Section 3.4", guarantee="optimal", priority=10,
+    can_solve=_can_solve_sp, option_names=("budget_cap",),
+)
+def _run_sp_dp(problem, structure, limits, **options):
+    require(structure.sp_tree is not None,
+            "series-parallel-dp requires a series-parallel instance")
+    require(structure.integral_breakpoints,
+            "series-parallel-dp requires integral resource breakpoints")
+    if isinstance(problem, MinMakespanProblem):
+        budget = _budget(problem)
+        require(float(budget).is_integer(),
+                f"series-parallel-dp needs an integral budget, got {budget}")
+        solution = sp_exact_min_makespan(structure.sp_tree, int(budget))
+    else:
+        solution = sp_exact_min_resource(structure.sp_tree, _target(problem), **options)
+    return _job_allocation(structure, solution)
+
+
+def _can_solve_exact(problem, structure, limits) -> bool:
+    return structure.exact_combinations <= limits.effective_exact_combinations()
+
+
+@register_solver(
+    "exact-enumeration",
+    summary="Exhaustive breakpoint enumeration with min-flow feasibility checks",
+    objectives=(MIN_MAKESPAN, MIN_RESOURCE),
+    kind="exact", theorem="Section 4 (verification solver)", guarantee="optimal",
+    priority=20,
+    can_solve=_can_solve_exact, option_names=("max_combinations",),
+)
+def _run_exact(problem, structure, limits, **options):
+    options.setdefault("max_combinations", limits.effective_exact_combinations())
+    if isinstance(problem, MinMakespanProblem):
+        return exact_min_makespan(structure.dag, _budget(problem), **options)
+    return exact_min_resource(structure.dag, _target(problem), **options)
+
+
+# ----------------------------------------------------------------------
+# approximation algorithms
+# ----------------------------------------------------------------------
+@register_solver(
+    "kway-5approx",
+    summary="Single-criteria 5-approximation for k-way splitting",
+    objectives=(MIN_MAKESPAN,),
+    kind="approximation", theorem="Theorem 3.9", guarantee="makespan <= 5 OPT",
+    priority=30,
+    can_solve=lambda problem, structure, limits:
+        structure.improvable_families() <= {"kway"},
+)
+def _run_kway(problem, structure, limits, **options):
+    return solve_min_makespan_kway(structure.dag, _budget(problem),
+                                   transforms=_transforms(structure), **options)
+
+
+@register_solver(
+    "binary-4approx",
+    summary="Single-criteria 4-approximation for recursive binary splitting",
+    objectives=(MIN_MAKESPAN,),
+    kind="approximation", theorem="Theorem 3.10", guarantee="makespan <= 4 OPT",
+    priority=30,
+    can_solve=lambda problem, structure, limits:
+        structure.improvable_families() <= {"binary"},
+)
+def _run_binary(problem, structure, limits, **options):
+    return solve_min_makespan_binary(structure.dag, _budget(problem),
+                                     transforms=_transforms(structure), **options)
+
+
+@register_solver(
+    "binary-improved",
+    summary="(4/3, 14/5) bi-criteria algorithm for recursive binary splitting",
+    objectives=(MIN_MAKESPAN,),
+    kind="approximation", theorem="Theorem 3.16",
+    guarantee="makespan <= 14/5 LP, budget <= 4/3 LP", priority=35,
+    can_solve=lambda problem, structure, limits:
+        structure.improvable_families() <= {"binary"},
+)
+def _run_binary_improved(problem, structure, limits, **options):
+    return solve_min_makespan_binary_improved(structure.dag, _budget(problem),
+                                              transforms=_transforms(structure), **options)
+
+
+@register_solver(
+    "bicriteria-lp",
+    summary="LP-rounding bi-criteria pipeline (works on every duration class)",
+    objectives=(MIN_MAKESPAN, MIN_RESOURCE),
+    kind="approximation", theorem="Theorem 3.4",
+    guarantee="(1/alpha, 1/(1-alpha)) bi-criteria", priority=40,
+    can_solve=lambda problem, structure, limits: True, option_names=("alpha",),
+)
+def _run_bicriteria(problem, structure, limits, alpha: float = 0.5, **options):
+    transforms = _transforms(structure)
+    if isinstance(problem, MinMakespanProblem):
+        return solve_min_makespan_bicriteria(structure.dag, _budget(problem), alpha,
+                                             transforms=transforms, **options)
+    return solve_min_resource_bicriteria(structure.dag, _target(problem), alpha,
+                                         transforms=transforms, **options)
+
+
+# ----------------------------------------------------------------------
+# baselines (greedy heuristics and trivial reference points)
+# ----------------------------------------------------------------------
+@register_solver(
+    "greedy-path-reuse",
+    summary="Greedy critical-path heuristic under the paper's path-reuse model",
+    objectives=(MIN_MAKESPAN,),
+    kind="baseline", theorem="Question 1.3 baseline", guarantee="none", priority=50,
+    can_solve=lambda problem, structure, limits: True,
+)
+def _run_greedy_path(problem, structure, limits, **options):
+    return greedy_path_reuse(structure.dag, _budget(problem))
+
+
+@register_solver(
+    "greedy-global-reuse",
+    summary="Greedy critical-path heuristic with global resource reuse",
+    objectives=(MIN_MAKESPAN,),
+    kind="baseline", theorem="Question 1.2 baseline", guarantee="none", priority=55,
+    can_solve=lambda problem, structure, limits: True,
+)
+def _run_greedy_global(problem, structure, limits, **options):
+    return greedy_global_reuse(structure.dag, _budget(problem))
+
+
+@register_solver(
+    "greedy-no-reuse",
+    summary="Greedy critical-path heuristic without resource reuse",
+    objectives=(MIN_MAKESPAN,),
+    kind="baseline", theorem="Question 1.1 baseline", guarantee="none", priority=56,
+    can_solve=lambda problem, structure, limits: True,
+)
+def _run_greedy_no_reuse(problem, structure, limits, **options):
+    return greedy_no_reuse(structure.dag, _budget(problem))
+
+
+@register_solver(
+    "uniform-split",
+    summary="Even split of the budget across improvable jobs (no-reuse accounting)",
+    objectives=(MIN_MAKESPAN,),
+    kind="baseline", theorem="reference point", guarantee="none", priority=58,
+    can_solve=lambda problem, structure, limits: True,
+)
+def _run_uniform(problem, structure, limits, **options):
+    return uniform_split_solution(structure.dag, _budget(problem))
+
+
+@register_solver(
+    "no-resource",
+    summary="Trivial solution using no extra resource anywhere",
+    objectives=(MIN_MAKESPAN,),
+    kind="baseline", theorem="reference point", guarantee="none", priority=59,
+    can_solve=lambda problem, structure, limits: True,
+)
+def _run_no_resource(problem, structure, limits, **options):
+    return no_resource_solution(structure.dag)

@@ -1,0 +1,179 @@
+"""One-shot structure detection for tradeoff instances.
+
+Every solver family has preconditions: the exhaustive solver needs a small
+breakpoint product, the series-parallel DP needs an SP decomposition and an
+integral budget, the Theorem 3.9 / 3.10 repairs need k-way / recursive-
+binary duration functions.  Before the engine dispatches, it probes the
+instance *once* and records everything the ``can_solve`` predicates and the
+solvers themselves need:
+
+* job/edge counts and the exhaustive-search combination count;
+* the duration-function families present (``constant`` / ``general`` /
+  ``binary`` / ``kway``);
+* chain / series-parallel shape (the SP probe keeps the decomposition tree
+  so the DP does not re-derive it);
+* memoized activity-on-arc conversion and two-tuple expansion (the shared
+  front half of every LP-based pipeline).
+
+Probes are cached by DAG fingerprint, so sweeping many budgets over the
+same DAG pays for SP recognition and the arc transforms once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.arcdag import ArcDAG, NodeToArcMapping, TwoTupleExpansion, \
+    expand_to_two_tuples, node_to_arc_dag
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import ConstantDuration, GeneralStepDuration, \
+    KWaySplitDuration, RecursiveBinarySplitDuration
+from repro.core.series_parallel import SPNode, decompose_series_parallel
+from repro.engine.cache import LRUCache
+from repro.engine.fingerprint import dag_fingerprint
+
+__all__ = ["ProblemStructure", "analyze_dag", "clear_structure_cache", "structure_cache_info"]
+
+#: Instances larger than this skip the (quadratic) series-parallel probe.
+SP_PROBE_JOB_LIMIT = 600
+
+#: The combination count is capped here; anything above is "not exact-able".
+COMBINATION_CAP = 10 ** 12
+
+
+def _duration_family(fn) -> str:
+    if isinstance(fn, ConstantDuration):
+        return "constant"
+    if isinstance(fn, RecursiveBinarySplitDuration):
+        return "binary"
+    if isinstance(fn, KWaySplitDuration):
+        return "kway"
+    if isinstance(fn, GeneralStepDuration):
+        return "general"
+    return "general"
+
+
+@dataclass
+class ProblemStructure:
+    """Everything the dispatcher knows about one DAG (see module docstring)."""
+
+    fingerprint: str
+    num_jobs: int
+    num_edges: int
+    duration_families: frozenset
+    max_breakpoints: int
+    exact_combinations: int
+    integral_breakpoints: bool
+    is_chain: bool
+    sp_tree: Optional[SPNode]
+    sp_probe_skipped: bool
+    #: The normalized (single source/sink) DAG every probe and solver sees.
+    dag: TradeoffDAG = field(repr=False, default=None)
+
+    _arc_form: Optional[Tuple[ArcDAG, NodeToArcMapping]] = field(
+        default=None, repr=False, compare=False)
+    _expansion: Optional[TwoTupleExpansion] = field(default=None, repr=False, compare=False)
+
+    @property
+    def is_series_parallel(self) -> bool:
+        return self.sp_tree is not None
+
+    def improvable_families(self) -> frozenset:
+        """Duration families excluding structural constants."""
+        return frozenset(f for f in self.duration_families if f != "constant")
+
+    def arc_form(self) -> Tuple[ArcDAG, NodeToArcMapping]:
+        """The memoized activity-on-arc conversion (Section 2 transformation)."""
+        if self._arc_form is None:
+            self._arc_form = node_to_arc_dag(self.dag)
+        return self._arc_form
+
+    def expansion(self) -> TwoTupleExpansion:
+        """The memoized two-tuple expansion (Section 3.1, Figure 6)."""
+        if self._expansion is None:
+            arc_dag, _ = self.arc_form()
+            self._expansion = expand_to_two_tuples(arc_dag)
+        return self._expansion
+
+    def summary(self) -> dict:
+        """A plain-dict view embedded into :class:`~repro.engine.core.SolveReport`."""
+        return {
+            "fingerprint": self.fingerprint,
+            "num_jobs": self.num_jobs,
+            "num_edges": self.num_edges,
+            "duration_families": sorted(self.duration_families),
+            "max_breakpoints": self.max_breakpoints,
+            "exact_combinations": self.exact_combinations,
+            "integral_breakpoints": self.integral_breakpoints,
+            "is_chain": self.is_chain,
+            "is_series_parallel": self.is_series_parallel,
+            "sp_probe_skipped": self.sp_probe_skipped,
+        }
+
+
+def _probe(dag: TradeoffDAG, digest: str) -> ProblemStructure:
+    families = set()
+    combinations = 1
+    max_breakpoints = 1
+    integral = True
+    for job in dag.jobs:
+        fn = dag.duration_function(job)
+        families.add(_duration_family(fn))
+        n = fn.num_tuples()
+        max_breakpoints = max(max_breakpoints, n)
+        if combinations < COMBINATION_CAP:
+            combinations = min(combinations * n, COMBINATION_CAP)
+        if integral:
+            integral = all(float(r).is_integer() for r, _t in fn.tuples())
+
+    is_chain = all(dag.in_degree(j) <= 1 and dag.out_degree(j) <= 1 for j in dag.jobs)
+
+    sp_probe_skipped = dag.num_jobs > SP_PROBE_JOB_LIMIT
+    sp_tree = None if sp_probe_skipped else decompose_series_parallel(dag)
+
+    return ProblemStructure(
+        fingerprint=digest,
+        num_jobs=dag.num_jobs,
+        num_edges=dag.num_edges,
+        duration_families=frozenset(families),
+        max_breakpoints=max_breakpoints,
+        exact_combinations=combinations,
+        integral_breakpoints=integral,
+        is_chain=is_chain,
+        sp_tree=sp_tree,
+        sp_probe_skipped=sp_probe_skipped,
+        dag=dag,
+    )
+
+
+_CACHE = LRUCache(maxsize=128)
+
+
+def analyze_dag(dag: TradeoffDAG) -> ProblemStructure:
+    """Probe (or fetch the memoized probe of) a DAG's structure.
+
+    The DAG is normalized with
+    :meth:`~repro.core.dag.TradeoffDAG.ensure_single_source_sink` first, so
+    the recorded :attr:`ProblemStructure.dag` -- the one every registered
+    solver runs on -- always has unique terminals.
+    """
+    dag = dag.ensure_single_source_sink()
+    dag.validate()
+    digest = dag_fingerprint(dag)
+    cached = _CACHE.get(digest)
+    if cached is not None:
+        return cached
+    structure = _probe(dag, digest)
+    _CACHE.put(digest, structure)
+    return structure
+
+
+def clear_structure_cache() -> None:
+    """Drop every memoized structure probe (used by tests and sweeps)."""
+    _CACHE.clear()
+
+
+def structure_cache_info() -> dict:
+    """Hit/miss statistics of the structure cache."""
+    return _CACHE.info()

@@ -28,6 +28,23 @@ class Workload:
     build: Callable[[], TradeoffDAG]
     budget: float
 
+    def fingerprint(self) -> str:
+        """Content fingerprint of the built DAG (the engine's cache key).
+
+        Workload builders are deterministic, so this identifies the
+        instance a benchmark row ran on; rebuilding the workload in another
+        process (e.g. a portfolio worker) hits the same engine cache entry.
+        """
+        from repro.engine.fingerprint import dag_fingerprint
+
+        return dag_fingerprint(self.build())
+
+    def problem(self):
+        """The workload as a ready-to-solve min-makespan problem."""
+        from repro.core.problem import MinMakespanProblem
+
+        return MinMakespanProblem(self.build(), self.budget)
+
 
 def _small_layered_general() -> TradeoffDAG:
     return layered_random_dag(3, 3, family="general", seed=11)

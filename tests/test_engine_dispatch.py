@@ -1,0 +1,300 @@
+"""Unit tests for the engine: normalization, structure probe, registry,
+auto-dispatch, caching, fingerprints and certificates."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import (
+    ConstantDuration,
+    GeneralStepDuration,
+    KWaySplitDuration,
+    RecursiveBinarySplitDuration,
+)
+from repro.core.problem import MinMakespanProblem, MinResourceProblem, TradeoffSolution
+from repro.engine import (
+    MIN_MAKESPAN,
+    SolveLimits,
+    analyze_dag,
+    certify_solution,
+    clear_caches,
+    dag_fingerprint,
+    exact_reference,
+    get_solver,
+    normalize_problem,
+    register_solver,
+    solve,
+    solver_ids,
+    unregister_solver,
+)
+from repro.engine.registry import NoSolverError, candidate_solvers, select_solver
+from repro.engine.structure import structure_cache_info
+from repro.generators import layered_random_dag
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+# ----------------------------------------------------------------------
+# normalization
+# ----------------------------------------------------------------------
+def test_normalize_from_keywords(simple_chain_dag):
+    problem = normalize_problem(dag=simple_chain_dag, budget=4)
+    assert isinstance(problem, MinMakespanProblem) and problem.budget == 4
+    problem = normalize_problem(dag=simple_chain_dag, target_makespan=50)
+    assert isinstance(problem, MinResourceProblem) and problem.target_makespan == 50
+
+
+def test_normalize_accepts_sp_tree():
+    from repro.core.series_parallel import SPLeaf, series
+
+    tree = series(SPLeaf("a", RecursiveBinarySplitDuration(16)),
+                  SPLeaf("b", KWaySplitDuration(9)))
+    problem = normalize_problem(dag=tree, budget=4)
+    assert isinstance(problem, MinMakespanProblem)
+    assert "a" in problem.dag.jobs and "b" in problem.dag.jobs
+
+
+def test_normalize_rejects_ambiguous_input(simple_chain_dag):
+    with pytest.raises(ValidationError):
+        normalize_problem(dag=simple_chain_dag, budget=4, target_makespan=10)
+    with pytest.raises(ValidationError):
+        normalize_problem(dag=simple_chain_dag)
+    with pytest.raises(ValidationError):
+        normalize_problem(MinMakespanProblem(simple_chain_dag, 4),
+                          dag=simple_chain_dag, budget=4)
+    with pytest.raises(ValidationError):
+        normalize_problem()
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def test_fingerprint_is_insertion_order_invariant():
+    def build(order):
+        dag = TradeoffDAG()
+        for name in order:
+            dag.add_job(name, RecursiveBinarySplitDuration(16) if name == "x"
+                        else ConstantDuration(0.0))
+        dag.add_edge("s", "x")
+        dag.add_edge("x", "t")
+        return dag
+
+    assert dag_fingerprint(build(["s", "x", "t"])) == dag_fingerprint(build(["t", "x", "s"]))
+
+
+def test_fingerprint_distinguishes_durations_and_edges(simple_chain_dag):
+    base = dag_fingerprint(simple_chain_dag)
+    other = simple_chain_dag.copy()
+    other.add_job("x", RecursiveBinarySplitDuration(32))  # replace duration
+    assert dag_fingerprint(other) != base
+    third = simple_chain_dag.copy()
+    third.add_edge("s", "y")
+    assert dag_fingerprint(third) != base
+
+
+# ----------------------------------------------------------------------
+# structure probe
+# ----------------------------------------------------------------------
+def test_structure_probe_chain(simple_chain_dag):
+    structure = analyze_dag(simple_chain_dag)
+    assert structure.is_chain
+    assert structure.is_series_parallel
+    assert structure.duration_families == {"constant", "binary", "kway"}
+    assert structure.integral_breakpoints
+    assert structure.exact_combinations >= 1
+
+
+def test_structure_probe_is_memoized(simple_chain_dag):
+    analyze_dag(simple_chain_dag)
+    before = structure_cache_info()["hits"]
+    again = analyze_dag(simple_chain_dag.copy())  # same content, new object
+    assert structure_cache_info()["hits"] == before + 1
+    assert again.fingerprint == dag_fingerprint(simple_chain_dag)
+
+
+def test_structure_detects_non_sp():
+    dag = layered_random_dag(3, 3, family="general", seed=11)
+    structure = analyze_dag(dag)
+    assert structure.num_jobs == 11  # 9 jobs + source + sink
+    assert not structure.is_chain
+
+
+# ----------------------------------------------------------------------
+# registry and dispatch
+# ----------------------------------------------------------------------
+def test_dispatch_prefers_exact_on_small_sp_instances(simple_chain_dag):
+    report = solve(dag=simple_chain_dag, budget=8)
+    assert report.solver_id == "series-parallel-dp"
+    assert report.certificate.passed and report.certificate.feasible
+
+
+def test_dispatch_family_specialisation():
+    dag = layered_random_dag(4, 4, family="kway", seed=5)
+    limits = SolveLimits(max_exact_combinations=1)  # force approximations
+    structure = analyze_dag(dag)
+    problem = MinMakespanProblem(structure.dag, 8.0)
+    spec = select_solver(problem, structure, limits, MIN_MAKESPAN)
+    assert spec.solver_id in ("kway-5approx", "series-parallel-dp")
+    ids = [s.solver_id for s in candidate_solvers(problem, structure, limits, MIN_MAKESPAN)]
+    assert "exact-enumeration" not in ids
+    assert "binary-4approx" not in ids  # wrong duration family
+
+
+def test_dispatch_falls_back_to_bicriteria_on_general_durations():
+    dag = layered_random_dag(3, 3, family="general", seed=11)
+    report = solve(dag=dag, budget=6, limits=SolveLimits(max_exact_combinations=1))
+    assert report.solver_id == "bicriteria-lp"
+
+
+def test_named_method_and_solver_options(simple_chain_dag):
+    report = solve(dag=simple_chain_dag, budget=8, method="bicriteria-lp", alpha=0.75)
+    assert report.solver_id == "bicriteria-lp"
+    assert report.solution.metadata["alpha"] == 0.75
+
+
+def test_unknown_method_and_wrong_objective_raise(simple_chain_dag):
+    with pytest.raises(ValidationError):
+        solve(dag=simple_chain_dag, budget=8, method="no-such-solver")
+    with pytest.raises(ValidationError):
+        solve(dag=simple_chain_dag, target_makespan=40, method="greedy-path-reuse")
+
+
+def test_register_and_unregister_custom_solver(simple_chain_dag):
+    @register_solver("test-custom", summary="test", objectives=(MIN_MAKESPAN,),
+                     kind="baseline", theorem="-", guarantee="none", priority=999,
+                     can_solve=lambda p, s, l: True)
+    def _custom(problem, structure, limits, **options):
+        return TradeoffSolution(makespan=structure.dag.makespan_value({}),
+                                budget_used=0.0, algorithm="test-custom")
+
+    try:
+        assert "test-custom" in solver_ids()
+        report = solve(dag=simple_chain_dag, budget=8, method="test-custom")
+        assert report.solver_id == "test-custom"
+        with pytest.raises(ValidationError):  # duplicate id rejected
+            register_solver("test-custom", summary="dup", objectives=(MIN_MAKESPAN,),
+                            kind="baseline", theorem="-", guarantee="none", priority=1,
+                            can_solve=lambda p, s, l: True)(lambda *a, **k: None)
+    finally:
+        assert unregister_solver("test-custom") is not None
+    assert "test-custom" not in solver_ids()
+
+
+def test_no_solver_error_when_nothing_matches(simple_chain_dag):
+    structure = analyze_dag(simple_chain_dag)
+    problem = MinMakespanProblem(structure.dag, 8.0)
+    # no registered solver supports an unknown objective string
+    with pytest.raises(NoSolverError):
+        select_solver(problem, structure, SolveLimits(), "not-an-objective")
+
+
+# ----------------------------------------------------------------------
+# caching
+# ----------------------------------------------------------------------
+def test_solution_cache_round_trip(simple_chain_dag):
+    first = solve(dag=simple_chain_dag, budget=8)
+    second = solve(dag=simple_chain_dag.copy(), budget=8)  # same content
+    assert not first.from_cache and second.from_cache
+    assert second.makespan == first.makespan
+    third = solve(dag=simple_chain_dag, budget=9)  # different parameter
+    assert not third.from_cache
+    clear_caches()
+    fourth = solve(dag=simple_chain_dag, budget=8)
+    assert not fourth.from_cache
+
+
+def test_cache_keying_includes_method_and_options(simple_chain_dag):
+    solve(dag=simple_chain_dag, budget=8, method="bicriteria-lp", alpha=0.5)
+    other = solve(dag=simple_chain_dag, budget=8, method="bicriteria-lp", alpha=0.75)
+    assert not other.from_cache
+    hit = solve(dag=simple_chain_dag, budget=8, method="bicriteria-lp", alpha=0.75)
+    assert hit.from_cache
+
+
+def test_cache_entries_are_immune_to_caller_mutation(simple_chain_dag):
+    first = solve(dag=simple_chain_dag, budget=8)
+    first.allocation["x"] = 999.0           # caller tampers with the result
+    first.structure["num_jobs"] = -1
+    second = solve(dag=simple_chain_dag, budget=8)
+    assert second.from_cache
+    assert second.allocation.get("x") != 999.0
+    assert second.structure["num_jobs"] == simple_chain_dag.num_jobs
+
+
+def test_unknown_options_strict_for_explicit_method(simple_chain_dag):
+    with pytest.raises(ValidationError, match="does not accept options"):
+        solve(dag=simple_chain_dag, budget=8, method="binary-4approx", alpha=0.5)
+    # under auto-dispatch the same option is a hint, dropped if inapplicable
+    report = solve(dag=simple_chain_dag, budget=8, alpha=0.75)
+    assert report.solver_id == "series-parallel-dp"
+
+
+def test_feasibility_computed_even_without_certificate():
+    # an instance where the alpha=0.5 bi-criteria overshoots the budget
+    dag = layered_random_dag(2, 2, family="general", seed=3, max_base=12)
+    budget = 5.0
+    certified = solve(dag=dag, budget=budget, method="bicriteria-lp")
+    uncertified = solve(dag=dag, budget=budget, method="bicriteria-lp", validate=False)
+    assert uncertified.certificate is None
+    assert uncertified.parameter == budget
+    assert uncertified.feasible == certified.feasible
+    assert certified.feasible == (certified.budget_used <= budget + 1e-6)
+
+
+# ----------------------------------------------------------------------
+# certificates
+# ----------------------------------------------------------------------
+def test_certificate_rejects_tampered_makespan(simple_chain_dag):
+    problem = normalize_problem(dag=simple_chain_dag, budget=8)
+    report = solve(problem)
+    good = certify_solution(problem, report.solution)
+    assert good.passed
+    tampered = TradeoffSolution(makespan=report.makespan / 2,
+                                budget_used=report.budget_used,
+                                allocation=dict(report.allocation),
+                                algorithm="tampered")
+    bad = certify_solution(problem, tampered)
+    assert not bad.passed
+    assert not bad.checks["makespan_consistent"]
+
+
+def test_certificate_rejects_understated_budget(simple_chain_dag):
+    problem = normalize_problem(dag=simple_chain_dag, budget=8)
+    report = solve(problem)
+    assert report.budget_used > 0
+    tampered = TradeoffSolution(makespan=report.makespan, budget_used=0.0,
+                                allocation=dict(report.allocation), algorithm="tampered")
+    bad = certify_solution(problem, tampered)
+    assert not bad.checks["budget_covers_routing"]
+
+
+def test_certificate_records_infeasibility_without_failing():
+    dag = TradeoffDAG()
+    dag.add_job("s"); dag.add_job("x", GeneralStepDuration([(0, 10), (2, 1)]))
+    dag.add_job("t"); dag.add_edge("s", "x"); dag.add_edge("x", "t")
+    problem = normalize_problem(dag=dag, target_makespan=0.5)  # unachievable
+    report = solve(problem, method="exact-enumeration")
+    assert math.isinf(report.makespan)
+    assert report.certificate.passed          # claims are consistent...
+    assert not report.certificate.feasible    # ...but the target is not met
+
+
+# ----------------------------------------------------------------------
+# exact_reference helper
+# ----------------------------------------------------------------------
+def test_exact_reference_solves_small_and_declines_large(simple_chain_dag):
+    ref = exact_reference(dag=simple_chain_dag, budget=8)
+    assert ref is not None and get_solver(ref.solver_id).kind == "exact"
+
+    big = layered_random_dag(4, 5, family="general", seed=3)
+    assert exact_reference(dag=big, budget=10,
+                           limits=SolveLimits(max_exact_combinations=1)) is None

@@ -1,0 +1,34 @@
+"""Smoke test: every script in examples/ must run end to end.
+
+The examples are executable documentation; refactors (like routing the
+solvers through the engine) must not silently rot them.  Each script is
+executed with :mod:`runpy` as ``__main__``, with stdout captured and a
+small argv so the heavier demos stay quick.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+#: Extra argv per script (parallel_mm_races accepts the problem size n).
+_ARGV = {"parallel_mm_races.py": ["4"]}
+
+
+def test_examples_directory_is_populated():
+    assert len(EXAMPLE_SCRIPTS) >= 4, "examples/ should not shrink silently"
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_clean(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)] + _ARGV.get(script.name, []))
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} printed nothing"
+    assert "Traceback" not in out

@@ -27,6 +27,15 @@ PUBLIC_MODULES = [
     "repro.core.exact",
     "repro.core.baselines",
     "repro.core.problem",
+    "repro.engine",
+    "repro.engine.fingerprint",
+    "repro.engine.structure",
+    "repro.engine.registry",
+    "repro.engine.solvers",
+    "repro.engine.certify",
+    "repro.engine.core",
+    "repro.engine.cache",
+    "repro.engine.portfolio",
     "repro.races",
     "repro.races.program",
     "repro.races.detector",
@@ -57,7 +66,7 @@ def test_module_imports_and_has_docstring(module_name):
 
 
 def test_version_exposed():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_top_level_reexports_core_api():
@@ -67,8 +76,23 @@ def test_top_level_reexports_core_api():
         assert name in repro.__all__
 
 
+def test_top_level_reexports_engine_api():
+    for name in ["solve", "SolveReport", "SolveLimits", "Portfolio", "PortfolioReport",
+                 "register_solver", "solver_ids", "exact_reference", "dag_fingerprint"]:
+        assert hasattr(repro, name)
+        assert name in repro.__all__
+
+
+def test_engine_registry_covers_all_families():
+    ids = set(repro.solver_ids())
+    assert {"exact-enumeration", "series-parallel-dp", "bicriteria-lp",
+            "kway-5approx", "binary-4approx", "binary-improved",
+            "greedy-path-reuse"} <= ids
+
+
 @pytest.mark.parametrize("module_name", ["repro.core", "repro.races", "repro.hardness",
-                                         "repro.generators", "repro.analysis"])
+                                         "repro.generators", "repro.analysis",
+                                         "repro.engine"])
 def test_all_exports_resolve(module_name):
     module = importlib.import_module(module_name)
     for name in module.__all__:
