@@ -1,6 +1,10 @@
-"""Shared artifact-printing helper for the benchmark harness."""
+"""Shared artifact helpers for the benchmark harness."""
 
 from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
 
 
 def emit(title: str, body: str) -> None:
@@ -10,3 +14,26 @@ def emit(title: str, body: str) -> None:
     print(title)
     print("=" * 78)
     print(body)
+
+
+def parse_json_flag(argv: List[str], usage: str) -> Optional[str]:
+    """The PATH following ``--json`` in ``argv``, or ``None`` without the flag.
+
+    Raises :class:`SystemExit` (2) with ``usage`` when the flag has no
+    value (or the next token is another flag).
+    """
+    if "--json" not in argv:
+        return None
+    index = argv.index("--json") + 1
+    if index >= len(argv) or argv[index].startswith("--"):
+        print(f"usage: {usage}")
+        raise SystemExit(2)
+    return argv[index]
+
+
+def write_json_artifact(path: str, payload: Dict[str, Any]) -> None:
+    """Write one benchmark's machine-readable results (CI uploads these)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {path}")

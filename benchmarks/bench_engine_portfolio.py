@@ -24,7 +24,8 @@ the engine-backed strategies to beat the direct single-solver sweep.
 A second section races the full portfolio against the slowest single
 solver on one problem and prints the per-solver times.
 
-Run standalone with:  python benchmarks/bench_engine_portfolio.py [--quick]
+Run standalone with:
+    python benchmarks/bench_engine_portfolio.py [--quick] [--json PATH]
 """
 
 from __future__ import annotations
@@ -39,7 +40,7 @@ from repro.core.bicriteria import solve_min_makespan_bicriteria
 from repro.engine import Portfolio, clear_caches, solve
 from repro.generators import get_workload
 
-from bench_common import emit
+from bench_common import emit, parse_json_flag, write_json_artifact
 
 SCENARIOS = ["small-layered-general", "small-layered-binary", "small-layered-kway",
              "medium-layered-general", "medium-layered-binary", "pipeline"]
@@ -149,7 +150,10 @@ def test_portfolio_race_summary(benchmark):
     assert result.makespan == min(r.makespan for r in feasible)
 
 
-def main(quick: bool = False) -> int:
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_engine_portfolio.py [--quick] [--json PATH]")
     names = QUICK_SCENARIOS if quick else SCENARIOS
     repeats = QUICK_REPEATS if quick else REPEATS
     stats = run_sweep(names, repeats)
@@ -160,8 +164,21 @@ def main(quick: bool = False) -> int:
     print(result.summary())
     ok = stats["t_cached"] < stats["t_direct"] and stats["t_portfolio"] < stats["t_direct"]
     print(f"\nengine beats direct single-solver sweep: {ok}")
+    if json_path:
+        write_json_artifact(json_path, {
+            "benchmark": "bench_engine_portfolio",
+            "quick": quick,
+            "requests": stats["requests"],
+            "distinct": stats["distinct"],
+            "t_direct_s": stats["t_direct"],
+            "t_cached_s": stats["t_cached"],
+            "t_portfolio_s": stats["t_portfolio"],
+            "cache_hits": stats["cache_hits"],
+            "race_winner": result.solver_id,
+            "ok": ok,
+        })
     return 0 if ok else 1
 
 
 if __name__ == "__main__":
-    sys.exit(main(quick="--quick" in sys.argv))
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,258 @@
+"""E17 -- the sweep service: persistent store + batched shards vs portfolio map.
+
+PR 1's serving shape (``Portfolio.map`` over a warm process pool) recomputes
+every scenario on every run; the sweep service adds the two pieces the
+ROADMAP asks for on top of it: a **persistent cross-process solution store**
+(tier 2 of the engine cache) and **batched, deduplicated, resumable**
+sweep execution.  This benchmark measures both claims:
+
+* **warm-store sweep beats the cold portfolio map** -- the same scenario
+  batch is swept twice through a :class:`repro.SweepService` backed by an
+  on-disk store; the second (warm) sweep must answer >= 90% of unique
+  requests from the store and finish measurably faster than a cold
+  ``Portfolio.map`` over the full batch;
+* **an interrupted sweep resumes from the manifest** -- the stream is cut
+  after a prefix of results, and the follow-up sweep must only compute the
+  scenarios the interrupted run never finished.
+
+The sweep-quality table (per-solver empirical ratios) is regenerated from
+the *store* afterwards -- no solver re-runs.
+
+Run standalone:  python benchmarks/bench_sweep_service.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+
+import pytest
+
+from repro import MinMakespanProblem, Portfolio, SolutionStore, SweepService, clear_caches
+from repro.analysis import format_table, render_sweep_table
+from repro.generators import get_workload
+
+from bench_common import emit, parse_json_flag, write_json_artifact
+
+SCENARIO_NAMES = ["small-layered-general", "small-layered-binary", "small-layered-kway",
+                  "medium-layered-general", "medium-layered-binary", "pipeline"]
+BUDGET_FACTORS = [0.75, 1.0, 1.25]
+REPEATS = 3
+
+QUICK_NAMES = SCENARIO_NAMES[:3]
+QUICK_FACTORS = [1.0, 1.25]
+QUICK_REPEATS = 2
+
+METHOD = "bicriteria-lp"
+OPTIONS = {"alpha": 0.5}
+
+
+def build_batch(names=SCENARIO_NAMES, factors=BUDGET_FACTORS, repeats=REPEATS):
+    """A scenario batch with both distinct instances and exact repeats."""
+    problems = []
+    for name in names:
+        workload = get_workload(name)
+        dag = workload.build()
+        for factor in factors:
+            problems.append(MinMakespanProblem(dag, workload.budget * factor))
+    return problems * repeats
+
+
+def run_sweep_comparison(names=SCENARIO_NAMES, factors=BUDGET_FACTORS,
+                         repeats=REPEATS, store_root=None):
+    """Cold portfolio map vs cold sweep vs warm-store sweep on one batch."""
+    problems = build_batch(names, factors, repeats)
+    store_root = store_root or tempfile.mkdtemp(prefix="repro-sweep-bench-")
+
+    with Portfolio(executor="process") as portfolio:
+        # strategy 1: cold Portfolio.map (PR 1's serving shape; pool started
+        # outside the timed region, exactly like a standing deployment)
+        clear_caches()
+        start = time.perf_counter()
+        mapped = portfolio.map(problems, method=METHOD, **OPTIONS)
+        t_portfolio = time.perf_counter() - start
+
+        service = SweepService(store=SolutionStore(os.path.join(store_root, "store")),
+                               portfolio=portfolio)
+        # strategy 2: cold sweep (empty store; dedup + shards, fills tier 2)
+        clear_caches()
+        start = time.perf_counter()
+        cold = service.run(problems, METHOD, **OPTIONS)
+        t_cold = time.perf_counter() - start
+
+        # strategy 3: warm sweep (same batch again; the store answers)
+        clear_caches()
+        start = time.perf_counter()
+        warm = service.run(problems, METHOD, **OPTIONS)
+        t_warm = time.perf_counter() - start
+
+    for direct, c, w in zip(mapped, cold.reports(), warm.reports()):
+        assert abs(direct.makespan - c.makespan) < 1e-9
+        assert abs(direct.makespan - w.makespan) < 1e-9
+
+    return {
+        "requests": len(problems),
+        "unique": cold.stats.unique,
+        "t_portfolio_map": t_portfolio,
+        "t_cold_sweep": t_cold,
+        "t_warm_sweep": t_warm,
+        "cold_stats": cold.stats,
+        "warm_stats": warm.stats,
+        "store_root": store_root,
+    }
+
+
+def render_comparison(stats) -> str:
+    def speedup(t):
+        return f"{stats['t_portfolio_map'] / t:.2f}"
+
+    rows = [
+        ["portfolio map (cold, warm pool)",
+         f"{stats['t_portfolio_map'] * 1000:.0f}", "1.00", "-"],
+        ["sweep service (cold store)",
+         f"{stats['t_cold_sweep'] * 1000:.0f}", speedup(stats["t_cold_sweep"]),
+         f"{stats['cold_stats'].store_hits}/{stats['unique']}"],
+        ["sweep service (warm store)",
+         f"{stats['t_warm_sweep'] * 1000:.0f}", speedup(stats["t_warm_sweep"]),
+         f"{stats['warm_stats'].store_hits}/{stats['unique']}"],
+    ]
+    header = (f"{stats['requests']} requests over {stats['unique']} unique scenarios "
+              f"(identical solutions for all strategies)")
+    return header + "\n\n" + format_table(
+        ["strategy", "wall time (ms)", "speedup vs map", "store hits"], rows)
+
+
+def run_resume(names=QUICK_NAMES, factors=QUICK_FACTORS, take: int = 4):
+    """Interrupt a manifest-backed sweep, then resume it from the store."""
+    problems = build_batch(names, factors, repeats=1)
+    root = tempfile.mkdtemp(prefix="repro-sweep-resume-")
+    manifest = os.path.join(root, "manifest.json")
+    with SweepService(store=SolutionStore(os.path.join(root, "store")),
+                      portfolio=Portfolio(executor="process")) as service:
+        clear_caches()
+        generator = service.sweep(problems, METHOD, manifest=manifest,
+                                  shard_size=1, **OPTIONS)
+        finished = [next(generator) for _ in range(take)]
+        generator.close()  # the "crash": shards beyond `take` never ran
+        interrupted_done = {r.key for r in finished}
+
+        clear_caches()
+        resumed = service.run(problems, METHOD, manifest=manifest,
+                              shard_size=1, **OPTIONS)
+    return interrupted_done, resumed
+
+
+def render_resume(interrupted_done, resumed) -> str:
+    stats = resumed.stats
+    lines = [
+        f"interrupted after {len(interrupted_done)} of {stats.unique} unique scenarios",
+        f"resume: {stats.store_hits} from store "
+        f"({stats.resumed} via manifest), {stats.computed} computed, "
+        f"{stats.failed} failed",
+        f"recomputed already-finished scenarios: "
+        f"{len(interrupted_done) - stats.resumed}",
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_warm_store_sweep_beats_cold_portfolio_map(benchmark):
+    stats = run_sweep_comparison(QUICK_NAMES, QUICK_FACTORS, QUICK_REPEATS)
+    emit("E17 / sweep service -- cold portfolio map vs cold/warm store sweeps",
+         render_comparison(stats)
+         + f"\n\ncold: {stats['cold_stats'].summary()}"
+         + f"\nwarm: {stats['warm_stats'].summary()}")
+
+    warm = stats["warm_stats"]
+    assert warm.hit_rate >= 0.9, f"warm sweep hit rate {warm.hit_rate:.0%} < 90%"
+    assert warm.computed == 0, "a warm sweep over the same batch must not re-solve"
+    assert stats["t_warm_sweep"] < stats["t_portfolio_map"], (
+        f"warm store sweep ({stats['t_warm_sweep'] * 1000:.0f}ms) must beat the "
+        f"cold portfolio map ({stats['t_portfolio_map'] * 1000:.0f}ms)")
+
+    # timing microbenchmark: the warm path end to end on the existing store
+    problems = build_batch(QUICK_NAMES, QUICK_FACTORS, 1)
+    store = SolutionStore(os.path.join(stats["store_root"], "store"))
+    with SweepService(store=store, portfolio=Portfolio(executor="thread")) as service:
+        benchmark(lambda: (clear_caches(), service.run(problems, METHOD, **OPTIONS)))
+
+
+def test_interrupted_sweep_resumes_from_manifest(benchmark):
+    interrupted_done, resumed = run_resume()
+    emit("E17b / sweep service -- resume from manifest after interruption",
+         render_resume(interrupted_done, resumed))
+    stats = resumed.stats
+    # every scenario the interrupted run finished is served from the store...
+    assert stats.resumed == len(interrupted_done)
+    assert stats.store_hits >= len(interrupted_done)
+    # ...and only the remainder is computed: nothing is recomputed
+    assert stats.computed == stats.unique - stats.store_hits
+    assert stats.failed == 0
+    benchmark(lambda: len(interrupted_done))
+
+
+def test_sweep_table_renders_from_store():
+    stats = run_sweep_comparison(QUICK_NAMES[:2], [1.0], repeats=1)
+    store = SolutionStore(os.path.join(stats["store_root"], "store"))
+    table = render_sweep_table(store, title="sweep quality (from store)")
+    emit("E17c / sweep quality table regenerated from the persistent store", table)
+    assert METHOD in table  # the dispatched solver id shows up as a row
+
+
+# ---------------------------------------------------------------------------
+# standalone mode
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_sweep_service.py [--quick] [--json PATH]")
+
+    names = QUICK_NAMES if quick else SCENARIO_NAMES
+    factors = QUICK_FACTORS if quick else BUDGET_FACTORS
+    repeats = QUICK_REPEATS if quick else REPEATS
+
+    stats = run_sweep_comparison(names, factors, repeats)
+    print(render_comparison(stats))
+    print()
+    interrupted_done, resumed = run_resume(names, factors)
+    print(render_resume(interrupted_done, resumed))
+    print()
+    print(render_sweep_table(
+        SolutionStore(os.path.join(stats["store_root"], "store")),
+        title="sweep quality table (regenerated from the store)"))
+
+    warm = stats["warm_stats"]
+    ok = (warm.hit_rate >= 0.9
+          and stats["t_warm_sweep"] < stats["t_portfolio_map"]
+          and resumed.stats.resumed == len(interrupted_done)
+          and resumed.stats.computed == resumed.stats.unique - resumed.stats.store_hits)
+    print(f"\nwarm-store sweep beats cold portfolio map with >=90% hits "
+          f"and lossless resume: {ok}")
+
+    if json_path:
+        write_json_artifact(json_path, {
+            "benchmark": "bench_sweep_service",
+            "quick": quick,
+            "requests": stats["requests"],
+            "unique": stats["unique"],
+            "t_portfolio_map_s": stats["t_portfolio_map"],
+            "t_cold_sweep_s": stats["t_cold_sweep"],
+            "t_warm_sweep_s": stats["t_warm_sweep"],
+            "warm_hit_rate": warm.hit_rate,
+            "warm_computed": warm.computed,
+            "resume_interrupted_done": len(interrupted_done),
+            "resume_store_hits": resumed.stats.store_hits,
+            "resume_computed": resumed.stats.computed,
+            "ok": ok,
+        })
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Tour of the persistent store and the batched scenario-sweep service.
+
+Walks through the serving stack this repo builds on top of ``repro.solve``:
+
+1. the **two-tier cache** -- ``solve()`` backed by the in-process LRU
+   (tier 1) plus a persistent on-disk :class:`repro.SolutionStore`
+   (tier 2): a result computed once is a disk hit in every later process;
+2. the **sweep service** -- a batch of scenarios deduplicated by request
+   fingerprint, answered from the store where possible, and the rest
+   sharded over a warm worker pool with streaming results;
+3. **interruption + resume** -- a sweep cut mid-flight restarts from its
+   manifest and the store, recomputing nothing it already finished;
+4. the **sweep quality table** -- per-solver empirical ratios regenerated
+   from the store, without re-running a single solver.
+
+Run with:  python examples/sweep_service_tour.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    MinMakespanProblem,
+    Portfolio,
+    SolutionStore,
+    SweepService,
+    clear_caches,
+    set_solution_store,
+    solve,
+)
+from repro.analysis import render_sweep_table
+from repro.generators import get_workload
+
+
+def build_scenarios():
+    """A request batch with distinct instances, budget variants and repeats."""
+    scenarios = []
+    for name in ["small-layered-general", "small-layered-binary", "small-layered-kway"]:
+        workload = get_workload(name)
+        dag = workload.build()
+        for factor in (0.75, 1.0, 1.25):
+            scenarios.append(MinMakespanProblem(dag, workload.budget * factor))
+    return scenarios * 2  # every request arrives twice
+
+
+def show_two_tier_cache(root: str) -> None:
+    print("1. Two-tier cache: LRU (per process) + persistent store (on disk)\n")
+    store = set_solution_store(os.path.join(root, "tier2"))
+    problem = get_workload("small-layered-binary").problem()
+    clear_caches()
+    fresh = solve(problem)
+    clear_caches()  # drops the LRU -- simulates a brand-new process
+    from_store = solve(problem)
+    from_memory = solve(problem)
+    print(f"   fresh:       {fresh.summary()}")
+    print(f"   new process: {from_store.summary()}")
+    print(f"   same process:{from_memory.summary()}")
+    print(f"   store stats: {store.info()['hits']} hits, "
+          f"{store.info()['entries']} entries on disk")
+    set_solution_store(None)
+
+
+def show_sweep_service(root: str) -> None:
+    print("\n2. Sweep service: dedup -> store lookup -> sharded compute\n")
+    scenarios = build_scenarios()
+    with SweepService(store=SolutionStore(os.path.join(root, "sweeps")),
+                      portfolio=Portfolio(executor="process")) as service:
+        clear_caches()
+        cold = service.run(scenarios, "bicriteria-lp", alpha=0.5)
+        print(f"   cold sweep: {cold.summary()}")
+        clear_caches()
+        warm = service.run(scenarios, "bicriteria-lp", alpha=0.5)
+        print(f"   warm sweep: {warm.summary()}")
+        assert warm.stats.computed == 0, "everything came from the store"
+
+
+def show_resume(root: str) -> None:
+    print("\n3. Interrupted sweep resumes from the manifest + store\n")
+    scenarios = build_scenarios()
+    manifest = os.path.join(root, "sweep-manifest.json")
+    with SweepService(store=SolutionStore(os.path.join(root, "resumable")),
+                      portfolio=Portfolio(executor="process")) as service:
+        clear_caches()
+        stream = service.sweep(scenarios, "bicriteria-lp", manifest=manifest,
+                               shard_size=1, alpha=0.5)
+        partial = [next(stream) for _ in range(5)]
+        stream.close()  # simulate a crash mid-sweep
+        print(f"   interrupted after {len({r.key for r in partial})} unique scenarios")
+        clear_caches()
+        resumed = service.run(scenarios, "bicriteria-lp", manifest=manifest,
+                              shard_size=1, alpha=0.5)
+        stats = resumed.stats
+        print(f"   resume:     {resumed.summary()}")
+        print(f"   recomputed already-finished scenarios: "
+              f"{len({r.key for r in partial}) - stats.resumed}")
+
+
+def show_quality_table(root: str) -> None:
+    print("\n4. Sweep quality table regenerated from the store (no re-solving)\n")
+    store = SolutionStore(os.path.join(root, "sweeps"))
+    print(render_sweep_table(store))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-tour-") as root:
+        show_two_tier_cache(root)
+        show_sweep_service(root)
+        show_resume(root)
+        show_quality_table(root)
+
+
+if __name__ == "__main__":
+    main()

@@ -20,8 +20,11 @@ The package is organised as:
 
 * :mod:`repro.engine` -- the unified solver engine: a capability-declaring
   solver registry, ``repro.solve(problem, method="auto")`` auto-dispatch
-  with structure detection, memoized transforms, certificates, and a
-  parallel :class:`~repro.engine.Portfolio` runner for scenario sweeps.
+  with structure detection, memoized transforms, certificates, a two-tier
+  solution cache (in-process LRU plus the persistent
+  :class:`~repro.engine.SolutionStore`), a parallel
+  :class:`~repro.engine.Portfolio` runner for scenario sweeps, and the
+  batched, resumable :class:`~repro.engine.SweepService`.
 
 Quickstart
 ----------
@@ -41,24 +44,32 @@ from repro.engine import (  # noqa: F401 -- re-export the engine API
     NoSolverError,
     Portfolio,
     PortfolioReport,
+    SolutionStore,
     SolveLimits,
     SolveReport,
     SolverSpec,
+    SweepReport,
+    SweepResult,
+    SweepService,
+    SweepStats,
     analyze_dag,
     candidate_solvers,
     certify_solution,
     clear_caches,
     dag_fingerprint,
     exact_reference,
+    get_solution_store,
     get_solver,
     normalize_problem,
     register_solver,
+    request_key,
+    set_solution_store,
     solve,
     solver_ids,
     solver_specs,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 _engine_all = [
     "solve", "exact_reference", "normalize_problem",
@@ -66,6 +77,8 @@ _engine_all = [
     "SolverSpec", "register_solver", "get_solver", "solver_ids", "solver_specs",
     "candidate_solvers", "NoSolverError",
     "Portfolio", "PortfolioReport",
+    "SweepService", "SweepReport", "SweepResult", "SweepStats",
+    "SolutionStore", "set_solution_store", "get_solution_store", "request_key",
     "analyze_dag", "dag_fingerprint", "clear_caches",
 ]
 

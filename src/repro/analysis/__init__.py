@@ -1,7 +1,9 @@
-"""Analysis helpers: empirical ratios and regeneration of the paper's tables."""
+"""Analysis helpers: empirical ratios, sweep-level quality tables and
+regeneration of the paper's tables."""
 
 from repro.analysis.ratios import RatioMeasurement, measure_ratios, summarize_measurements
 from repro.analysis.report import format_float, format_table
+from repro.analysis.sweep import render_sweep_table, summarize_sweep, sweep_records
 from repro.analysis.tables import (
     TABLE1_ROWS,
     render_solver_table,
@@ -16,4 +18,5 @@ __all__ = [
     "format_table", "format_float",
     "TABLE1_ROWS", "table1_summary", "render_table1", "render_table2", "render_table3",
     "render_solver_table",
+    "sweep_records", "summarize_sweep", "render_sweep_table",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 __all__ = ["format_table", "format_float"]
@@ -13,6 +14,8 @@ def format_float(value, digits: int = 3) -> str:
         return "-"
     if isinstance(value, bool):
         return str(value)
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)  # 'inf' / '-inf' / 'nan' (int() would raise)
     if isinstance(value, (int,)) or (isinstance(value, float) and value == int(value)):
         return str(int(value))
     if isinstance(value, float):

@@ -1,0 +1,162 @@
+"""Sweep-level ratio analysis fed from the persistent solution store.
+
+The Table-1 experiments (:mod:`repro.analysis.ratios`) measure one
+instance at a time; a :class:`~repro.engine.service.SweepService` run
+leaves *every* solved scenario in the
+:class:`~repro.engine.store.SolutionStore`, so sweep-scale quality tables
+can be regenerated from disk without re-running a single solver.
+
+Records are extracted either from a live sweep
+(:class:`~repro.engine.service.SweepReport` / a list of
+:class:`~repro.engine.service.SweepResult`) or straight from a store; each
+record carries the dispatched solver, the makespan, the LP lower bound the
+solution stored, and the problem parameter -- enough for empirical
+approximation ratios (makespan / lower bound, an upper bound on the true
+ratio) and resource factors (budget used / budget) per solver.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.analysis.report import format_table
+from repro.engine.fingerprint import decode_payload_value
+from repro.engine.registry import MIN_MAKESPAN
+
+__all__ = ["sweep_records", "summarize_sweep", "render_sweep_table"]
+
+
+def _record(solver_id: str, objective: str, makespan: float, budget_used: float,
+            lower_bound: Optional[float], parameter: Optional[float],
+            wall_time: float, source: str) -> Dict[str, Any]:
+    ratio = None
+    if lower_bound is not None and lower_bound > 0:
+        ratio = makespan / lower_bound
+    budget_ratio = None
+    if objective == MIN_MAKESPAN and parameter:
+        budget_ratio = budget_used / parameter
+    return {
+        "solver_id": solver_id,
+        "objective": objective,
+        "makespan": makespan,
+        "budget_used": budget_used,
+        "lower_bound": lower_bound,
+        "parameter": parameter,
+        "ratio_vs_lower_bound": ratio,
+        "budget_ratio": budget_ratio,
+        "wall_time": wall_time,
+        "source": source,
+    }
+
+
+def sweep_records(source) -> List[Dict[str, Any]]:
+    """Normalize a sweep outcome or a store into flat analysis records.
+
+    ``source`` may be a :class:`~repro.engine.service.SweepReport`, an
+    iterable of :class:`~repro.engine.service.SweepResult`, or a
+    :class:`~repro.engine.store.SolutionStore` (every persisted entry is
+    read back).  Failed scenarios contribute no record.
+    """
+    from repro.engine.service import SweepReport, SweepResult
+    from repro.engine.store import SolutionStore
+
+    records: List[Dict[str, Any]] = []
+    if isinstance(source, SolutionStore):
+        for _key, payload in source.payloads():
+            solution = payload.get("solution", {})
+            records.append(_record(
+                solver_id=payload.get("solver_id", "?"),
+                objective=payload.get("objective", "?"),
+                makespan=decode_payload_value(solution.get("makespan")),
+                budget_used=decode_payload_value(solution.get("budget_used")),
+                lower_bound=decode_payload_value(solution.get("lower_bound")),
+                parameter=payload.get("parameter"),
+                wall_time=float(payload.get("wall_time", 0.0)),
+                source="store",
+            ))
+        return records
+
+    if isinstance(source, SweepReport):
+        source = source.results
+    for result in source:
+        if not isinstance(result, SweepResult):
+            raise TypeError(
+                f"sweep_records() wants a SweepReport, SweepResults or a "
+                f"SolutionStore, got element {type(result).__name__}")
+        report = result.report
+        if report is None:
+            continue
+        records.append(_record(
+            solver_id=report.solver_id,
+            objective=report.objective,
+            makespan=report.makespan,
+            budget_used=report.budget_used,
+            lower_bound=report.lower_bound,
+            parameter=report.parameter,
+            wall_time=report.wall_time,
+            source=result.source,
+        ))
+    return records
+
+
+def summarize_sweep(source) -> Dict[str, Dict[str, Any]]:
+    """Per-solver aggregates over a sweep or store (see module docstring).
+
+    Returns ``solver_id -> {count, from_store, worst_ratio, mean_ratio,
+    worst_budget_ratio, mean_wall_time}`` where the ratio fields are
+    ``None`` when no record carried a usable lower bound.
+    """
+    summary: Dict[str, Dict[str, Any]] = {}
+    for record in sweep_records(source):
+        entry = summary.setdefault(record["solver_id"], {
+            "count": 0, "from_store": 0, "ratios": [], "budget_ratios": [],
+            "wall_times": [],
+        })
+        entry["count"] += 1
+        if record["source"] == "store":
+            entry["from_store"] += 1
+        if record["ratio_vs_lower_bound"] is not None:
+            entry["ratios"].append(record["ratio_vs_lower_bound"])
+        if record["budget_ratio"] is not None:
+            entry["budget_ratios"].append(record["budget_ratio"])
+        entry["wall_times"].append(record["wall_time"])
+
+    out: Dict[str, Dict[str, Any]] = {}
+    for solver_id, entry in sorted(summary.items()):
+        ratios, budget_ratios = entry["ratios"], entry["budget_ratios"]
+        wall_times = entry["wall_times"]
+        out[solver_id] = {
+            "count": entry["count"],
+            "from_store": entry["from_store"],
+            "worst_ratio": max(ratios) if ratios else None,
+            "mean_ratio": sum(ratios) / len(ratios) if ratios else None,
+            "worst_budget_ratio": max(budget_ratios) if budget_ratios else None,
+            "mean_wall_time": (sum(wall_times) / len(wall_times)
+                               if wall_times else 0.0),
+        }
+    return out
+
+
+def render_sweep_table(source, title: Optional[str] = None) -> str:
+    """Render the per-solver sweep quality table (fed from store or sweep).
+
+    Columns: scenario count, how many were answered from the persistent
+    store, worst and mean makespan ratio against the stored LP lower
+    bounds, worst resource factor, and mean recorded solve time.
+    """
+    summary = summarize_sweep(source)
+    headers = ["solver id", "solved", "from store", "worst ratio (vs LB)",
+               "mean ratio", "worst budget factor", "mean solve time (ms)"]
+    rows = []
+    for solver_id, entry in summary.items():
+        rows.append([
+            solver_id,
+            entry["count"],
+            entry["from_store"],
+            entry["worst_ratio"],
+            entry["mean_ratio"],
+            entry["worst_budget_ratio"],
+            entry["mean_wall_time"] * 1000.0,
+        ])
+    table = format_table(headers, rows)
+    return f"{title}\n\n{table}" if title else table

@@ -1,4 +1,5 @@
-"""The unified solver engine: registry, auto-dispatch and parallel portfolios.
+"""The unified solver engine: registry, auto-dispatch, two-tier caching,
+parallel portfolios and the batched sweep service.
 
 The engine is the single entry point to every solver family of the
 reproduction (exact enumeration, the series-parallel DP, the LP bi-criteria
@@ -6,13 +7,18 @@ pipeline, the k-way / recursive-binary single-criteria approximations and
 the greedy baselines):
 
 >>> import repro
->>> report = repro.solve(dag=some_dag, budget=12)          # auto-dispatch
->>> report.solver_id, report.makespan                       # doctest: +SKIP
->>> repro.solve(dag=some_dag, budget=12, method="bicriteria-lp", alpha=0.75)  # doctest: +SKIP
+>>> dag = repro.TradeoffDAG()
+>>> _ = dag.add_job("s"); _ = dag.add_job("x", repro.RecursiveBinarySplitDuration(32))
+>>> _ = dag.add_job("t"); dag.add_edge("s", "x"); dag.add_edge("x", "t")
+>>> report = repro.solve(dag=dag, budget=12)               # auto-dispatch
+>>> report.makespan <= 32
+True
+>>> repro.solve(dag=dag, budget=12, method="bicriteria-lp", alpha=0.75)  # doctest: +SKIP
 
-Layers (each its own module):
+Layers (each its own module; see ``docs/architecture.md`` for the diagram):
 
-* :mod:`~repro.engine.fingerprint` -- content hashes of DAGs/problems (cache keys);
+* :mod:`~repro.engine.fingerprint` -- content hashes of DAGs/problems/requests
+  (cache keys) and the stable JSON serialization of solutions;
 * :mod:`~repro.engine.structure`   -- one-shot structure probe with memoized
   activity-on-arc transforms;
 * :mod:`~repro.engine.registry`    -- :class:`SolverSpec` capability records and
@@ -20,9 +26,13 @@ Layers (each its own module):
 * :mod:`~repro.engine.solvers`     -- registration of the five solver families;
 * :mod:`~repro.engine.certify`     -- independent certificate checks on solutions;
 * :mod:`~repro.engine.core`        -- :func:`solve`, :class:`SolveReport`,
-  :class:`SolveLimits` and the solution LRU cache;
+  :class:`SolveLimits` and the two-tier solution cache (LRU + store);
+* :mod:`~repro.engine.store`       -- the persistent on-disk
+  :class:`SolutionStore` (tier 2, sharded JSON);
 * :mod:`~repro.engine.portfolio`   -- :class:`Portfolio` for racing solvers and
-  sweeping scenarios concurrently.
+  sweeping scenarios concurrently (shard-aware ``map``);
+* :mod:`~repro.engine.service`     -- :class:`SweepService`: deduplicated,
+  store-backed, resumable batch sweeps with streaming results.
 """
 
 from repro.engine.certify import Certificate, certify_solution
@@ -31,11 +41,22 @@ from repro.engine.core import (
     SolveReport,
     clear_caches,
     exact_reference,
+    get_solution_store,
     normalize_problem,
+    request_key,
+    set_solution_store,
     solution_cache_info,
     solve,
 )
-from repro.engine.fingerprint import dag_fingerprint, problem_fingerprint
+from repro.engine.fingerprint import (
+    UnserializableSolutionError,
+    dag_fingerprint,
+    problem_fingerprint,
+    request_fingerprint,
+    solution_from_payload,
+    solution_to_payload,
+)
+from repro.engine.store import STORE_SCHEMA_VERSION, SolutionStore
 from repro.engine.registry import (
     MIN_MAKESPAN,
     MIN_RESOURCE,
@@ -55,6 +76,7 @@ from repro.engine.structure import ProblemStructure, analyze_dag, structure_cach
 import repro.engine.solvers  # noqa: F401  (side-effect import)
 
 from repro.engine.portfolio import Portfolio, PortfolioReport
+from repro.engine.service import SweepReport, SweepResult, SweepService, SweepStats
 
 __all__ = [
     # entry points
@@ -65,12 +87,17 @@ __all__ = [
     "solver_ids", "solver_specs",
     "candidate_solvers", "select_solver", "NoSolverError",
     "MIN_MAKESPAN", "MIN_RESOURCE",
-    # structure + fingerprints
+    # structure + fingerprints + serialization
     "ProblemStructure", "analyze_dag", "dag_fingerprint", "problem_fingerprint",
+    "request_fingerprint", "request_key",
+    "solution_to_payload", "solution_from_payload", "UnserializableSolutionError",
     # certificates
     "Certificate", "certify_solution",
-    # portfolio
+    # portfolio + sweep service
     "Portfolio", "PortfolioReport",
-    # caches
+    "SweepService", "SweepReport", "SweepResult", "SweepStats",
+    # caches (two tiers)
     "clear_caches", "solution_cache_info", "structure_cache_info",
+    "SolutionStore", "STORE_SCHEMA_VERSION",
+    "set_solution_store", "get_solution_store",
 ]

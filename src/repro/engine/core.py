@@ -22,9 +22,13 @@ The pipeline is:
    capable candidate, a solver id invokes that solver directly;
 4. **certify** -- re-derive the solution's claims independently
    (:mod:`repro.engine.certify`);
-5. **cache** -- the :class:`SolveReport` is stored in an LRU keyed on
-   ``(problem fingerprint, method, limits, options)`` so repeated scenario
-   sweeps reuse both transforms and solutions.
+5. **cache** -- the :class:`SolveReport` is cached in **two tiers** keyed on
+   the :func:`~repro.engine.fingerprint.request_fingerprint` of
+   ``(problem fingerprint, method, limits, options, validate)``: an
+   in-process LRU (tier 1) and, when installed with
+   :func:`set_solution_store`, a persistent on-disk
+   :class:`~repro.engine.store.SolutionStore` (tier 2) that survives the
+   process and is shared across sweeps.  See ``docs/caching.md``.
 """
 
 from __future__ import annotations
@@ -38,7 +42,7 @@ from repro.core.problem import MinMakespanProblem, MinResourceProblem, TradeoffS
 from repro.core.series_parallel import SPNode
 from repro.engine.cache import LRUCache
 from repro.engine.certify import Certificate, certify_solution
-from repro.engine.fingerprint import problem_fingerprint
+from repro.engine.fingerprint import problem_fingerprint, request_fingerprint
 from repro.engine.registry import (
     MIN_MAKESPAN,
     MIN_RESOURCE,
@@ -46,6 +50,7 @@ from repro.engine.registry import (
     get_solver,
     select_solver,
 )
+from repro.engine.store import SolutionStore
 from repro.engine.structure import ProblemStructure, analyze_dag, clear_structure_cache
 from repro.utils.validation import ValidationError, require
 
@@ -55,8 +60,11 @@ __all__ = [
     "solve",
     "normalize_problem",
     "exact_reference",
+    "request_key",
     "clear_caches",
     "solution_cache_info",
+    "set_solution_store",
+    "get_solution_store",
 ]
 
 Problem = Union[MinMakespanProblem, MinResourceProblem]
@@ -119,6 +127,9 @@ class SolveReport:
     from_cache: bool = False
     #: The problem's budget (min-makespan) or target makespan (min-resource).
     parameter: Optional[float] = None
+    #: Which cache tier served the report: ``"memory"`` (LRU), ``"store"``
+    #: (persistent store) or ``""`` for a fresh computation.
+    cache_tier: str = ""
 
     @property
     def makespan(self) -> float:
@@ -159,13 +170,39 @@ class SolveReport:
         cert = ""
         if self.certificate is not None:
             cert = f", certified={self.certificate.passed}, feasible={self.certificate.feasible}"
-        cached = ", cached" if self.from_cache else ""
+        cached = f", cached[{self.cache_tier or 'memory'}]" if self.from_cache else ""
         return (f"[{self.solver_id}] makespan={self.makespan:.3f}, "
                 f"budget_used={self.budget_used:.3f}, "
                 f"wall_time={self.wall_time * 1000:.1f}ms{cert}{cached}")
 
 
 _SOLUTION_CACHE = LRUCache(maxsize=512)
+
+#: Tier-2 persistent store; ``None`` until installed via :func:`set_solution_store`.
+_SOLUTION_STORE: Optional[SolutionStore] = None
+
+
+def set_solution_store(store: Union[SolutionStore, str, None]) -> Optional[SolutionStore]:
+    """Install (or remove) the persistent tier-2 solution store.
+
+    ``store`` may be a ready :class:`~repro.engine.store.SolutionStore`, a
+    directory path (a store is opened there) or ``None`` to disable the
+    tier.  Returns the installed store.  ``solve()`` consults it on every
+    LRU miss and persists every fresh cacheable result; see
+    ``docs/caching.md`` for the invalidation story.
+    """
+    global _SOLUTION_STORE
+    if isinstance(store, str):
+        store = SolutionStore(store)
+    require(store is None or isinstance(store, SolutionStore),
+            f"store must be a SolutionStore, path or None, got {type(store).__name__}")
+    _SOLUTION_STORE = store
+    return store
+
+
+def get_solution_store() -> Optional[SolutionStore]:
+    """The currently installed tier-2 store (``None`` when disabled)."""
+    return _SOLUTION_STORE
 
 
 def normalize_problem(problem: Optional[Problem] = None, *,
@@ -206,15 +243,32 @@ def _parameter_of(problem: Problem) -> float:
     return problem.budget if isinstance(problem, MinMakespanProblem) else problem.target_makespan
 
 
+def _plain_option(value: Any) -> bool:
+    """Is ``value`` a literal whose ``repr`` is stable and value-defining?
+
+    Cache keys are content hashes over ``repr(options)``; arbitrary
+    objects have reprs that either omit state (``Config()``) or embed a
+    reusable memory address, both of which could alias distinct requests.
+    Only literals (and flat containers of literals) are key-safe.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return True
+    if isinstance(value, (tuple, list)):
+        return all(_plain_option(v) for v in value)
+    return False
+
+
 def _options_key(options: Dict[str, Any]) -> Tuple:
-    try:
+    if all(_plain_option(v) for v in options.values()):
         return tuple(sorted(options.items()))
-    except TypeError:
-        # unhashable option values disable caching for this call
-        return ("__uncacheable__", id(options))
+    # Non-literal option values disable caching for this call entirely
+    # (see `storable` in solve()): an id-based key could falsely hit
+    # after the address is recycled, so no key is safe.
+    return ("__uncacheable__",)
 
 
-def _clone_report(report: SolveReport, from_cache: bool) -> SolveReport:
+def _clone_report(report: SolveReport, from_cache: bool,
+                  cache_tier: str = "") -> SolveReport:
     """A defensively-copied report, so cache entries stay immutable.
 
     Callers may edit ``report.allocation`` or metadata in place (some
@@ -236,7 +290,55 @@ def _clone_report(report: SolveReport, from_cache: bool) -> SolveReport:
         certificate = replace(certificate, checks=dict(certificate.checks),
                               notes=dict(certificate.notes))
     return replace(report, solution=solution_copy, structure=dict(report.structure),
-                   certificate=certificate, from_cache=from_cache)
+                   certificate=certificate, from_cache=from_cache,
+                   cache_tier=cache_tier if from_cache else "")
+
+
+def _resolve_request(problem: Problem, method: str, limits: SolveLimits,
+                     validate: bool, options: Dict[str, Any]):
+    """Resolve one solve request into its dispatch decision and cache key.
+
+    The single place where dispatch (including auto-mode option-hint
+    filtering) and cache-key derivation happen, shared by :func:`solve`
+    and :func:`request_key` so the two can never disagree on a key.
+
+    Returns ``(problem, structure, spec, options, digest, cache_key,
+    storable)`` where ``problem`` is rebuilt on the normalized DAG and
+    ``options`` are the ones actually forwarded to the solver.
+    """
+    structure = analyze_dag(problem.dag)
+    # Solvers and certificates run on the normalized DAG so virtual-terminal
+    # allocations always resolve.
+    if structure.dag is not problem.dag:
+        problem = (MinMakespanProblem(structure.dag, problem.budget)
+                   if isinstance(problem, MinMakespanProblem)
+                   else MinResourceProblem(structure.dag, problem.target_makespan))
+
+    objective = _objective_of(problem)
+    if method == "auto":
+        spec: SolverSpec = select_solver(problem, structure, limits, objective)
+        # Under auto-dispatch, options are hints: only the ones the chosen
+        # solver understands are forwarded (alpha= is meaningless to the DP).
+        options = spec.supported_options(options)
+    else:
+        spec = get_solver(method)
+        require(objective in spec.objectives,
+                f"solver {spec.solver_id!r} does not support {objective}")
+        unknown = set(options) - set(spec.option_names)
+        require(not unknown,
+                f"solver {spec.solver_id!r} does not accept options {sorted(unknown)}; "
+                f"supported: {sorted(spec.option_names)}")
+
+    digest = problem_fingerprint(structure.dag, objective, _parameter_of(problem),
+                                 dag_digest=structure.fingerprint)
+    options_key = _options_key(options)
+    # Non-literal option values make the request unkeyable by content;
+    # callers skip both cache tiers for such requests (a stale or aliased
+    # key would return the wrong report).
+    storable = not (options_key and options_key[0] == "__uncacheable__")
+    cache_key = request_fingerprint(digest, method, limits.cache_key(),
+                                    options_key, validate)
+    return problem, structure, spec, options, digest, cache_key, storable
 
 
 def solve(problem: Optional[Problem] = None, method: str = "auto", *,
@@ -283,36 +385,21 @@ def solve(problem: Optional[Problem] = None, method: str = "auto", *,
     if time_limit is not None:
         limits = replace(limits, time_limit=time_limit)
 
-    structure = analyze_dag(problem.dag)
-    # Solvers and certificates run on the normalized DAG so virtual-terminal
-    # allocations always resolve.
-    if structure.dag is not problem.dag:
-        problem = (MinMakespanProblem(structure.dag, problem.budget)
-                   if isinstance(problem, MinMakespanProblem)
-                   else MinResourceProblem(structure.dag, problem.target_makespan))
-
+    (problem, structure, spec, options, digest,
+     cache_key, storable) = _resolve_request(problem, method, limits,
+                                             validate, options)
     objective = _objective_of(problem)
-    if method == "auto":
-        spec: SolverSpec = select_solver(problem, structure, limits, objective)
-        # Under auto-dispatch, options are hints: only the ones the chosen
-        # solver understands are forwarded (alpha= is meaningless to the DP).
-        options = spec.supported_options(options)
-    else:
-        spec = get_solver(method)
-        require(objective in spec.objectives,
-                f"solver {spec.solver_id!r} does not support {objective}")
-        unknown = set(options) - set(spec.option_names)
-        require(not unknown,
-                f"solver {spec.solver_id!r} does not accept options {sorted(unknown)}; "
-                f"supported: {sorted(spec.option_names)}")
-
-    digest = problem_fingerprint(structure.dag, objective, _parameter_of(problem),
-                                 dag_digest=structure.fingerprint)
-    cache_key = (digest, method, limits.cache_key(), _options_key(options), validate)
+    use_cache = use_cache and storable
+    store = _SOLUTION_STORE
     if use_cache:
         cached = _SOLUTION_CACHE.get(cache_key)
         if cached is not None:
-            return _clone_report(cached, from_cache=True)
+            return _clone_report(cached, from_cache=True, cache_tier="memory")
+        if store is not None:
+            stored = store.get_report(cache_key)
+            if stored is not None:
+                _SOLUTION_CACHE.put(cache_key, _clone_report(stored, from_cache=False))
+                return _clone_report(stored, from_cache=True, cache_tier="store")
 
     start = time.perf_counter()
     solution = spec.run(problem, structure, limits, **options)
@@ -332,6 +419,8 @@ def solve(problem: Optional[Problem] = None, method: str = "auto", *,
     )
     if use_cache:
         _SOLUTION_CACHE.put(cache_key, _clone_report(report, from_cache=False))
+        if store is not None:
+            store.put_report(cache_key, report)
     return report
 
 
@@ -365,12 +454,60 @@ def exact_reference(problem: Optional[Problem] = None, *,
     return None
 
 
-def clear_caches() -> None:
-    """Drop both engine caches (structure probes and solution reports)."""
+def request_key(problem: Optional[Problem] = None, method: str = "auto", *,
+                dag: Union[TradeoffDAG, SPNode, None] = None,
+                budget: Optional[float] = None,
+                target_makespan: Optional[float] = None,
+                limits: Optional[SolveLimits] = None,
+                validate: bool = True,
+                **options: Any) -> str:
+    """The two-tier cache key :func:`solve` would use for this request.
+
+    Lets batching layers (the sweep service) deduplicate scenarios and
+    consult the persistent store without going through ``solve()`` itself.
+    Accepts the same problem forms as :func:`solve` and shares its
+    dispatch logic (:func:`_resolve_request`), so the key matches
+    ``solve()``'s exactly -- including auto-mode option-hint filtering.
+
+    Raises :class:`~repro.utils.validation.ValidationError` for requests
+    with non-literal option values: those are exactly the requests
+    ``solve()`` refuses to cache (their content cannot be keyed), so no
+    valid key exists and pretending otherwise would alias distinct
+    requests.
+    """
+    problem = normalize_problem(problem, dag=dag, budget=budget,
+                                target_makespan=target_makespan)
+    limits = limits if limits is not None else SolveLimits()
+    _, _, _, _, _, cache_key, storable = _resolve_request(
+        problem, method, limits, validate, options)
+    require(storable,
+            "request_key() needs content-keyable options; pass only literal "
+            "option values (str/int/float/bool/None and lists/tuples thereof) "
+            f"-- got {sorted(options)}")
+    return cache_key
+
+
+def clear_caches(store: bool = False) -> None:
+    """Drop the in-process engine caches (structure probes and solutions).
+
+    With ``store=True`` the installed persistent
+    :class:`~repro.engine.store.SolutionStore` is cleared as well --
+    tier-2 survives a plain ``clear_caches()`` on purpose, since outliving
+    the process is its job.
+    """
     _SOLUTION_CACHE.clear()
     clear_structure_cache()
+    if store and _SOLUTION_STORE is not None:
+        _SOLUTION_STORE.clear()
 
 
 def solution_cache_info() -> dict:
-    """Hit/miss statistics of the solution cache."""
-    return _SOLUTION_CACHE.info()
+    """Hit/miss statistics of both solution-cache tiers.
+
+    The in-memory LRU's counters stay at the top level (back-compat); the
+    ``"store"`` key holds the persistent store's :meth:`~SolutionStore.info`
+    dict, or ``None`` when no store is installed.
+    """
+    info = _SOLUTION_CACHE.info()
+    info["store"] = _SOLUTION_STORE.info() if _SOLUTION_STORE is not None else None
+    return info

@@ -1,4 +1,6 @@
-"""Stable fingerprints for DAGs and problems (the engine's cache keys).
+"""Stable fingerprints for DAGs, problems and solve requests, plus the
+stable (JSON-safe) serialization of solutions that the persistent store
+writes to disk.
 
 Repeated scenario sweeps re-solve near-identical instances; the engine keys
 its memoized structure probes and its solution cache on a content hash of
@@ -10,16 +12,50 @@ canonical resource-time breakpoints of every duration function, and the
 edge list.  Job insertion order is *not* part of the fingerprint -- two
 DAGs with the same jobs, durations and edges hash identically regardless of
 construction order.
+
+Three fingerprint granularities build on each other:
+
+* :func:`dag_fingerprint` -- the DAG's content (keys the structure cache);
+* :func:`problem_fingerprint` -- DAG + objective + budget/target (identifies
+  a problem instance);
+* :func:`request_fingerprint` -- problem + method + limits + options +
+  validation flag (identifies a *solve request*; keys both the in-memory
+  LRU and the on-disk :class:`~repro.engine.store.SolutionStore`).
+
+:func:`solution_to_payload` / :func:`solution_from_payload` round-trip a
+:class:`~repro.core.problem.TradeoffSolution` through plain JSON types; see
+``docs/caching.md`` for the stability guarantees this gives the store.
 """
 
 from __future__ import annotations
 
+import ast
 import hashlib
-from typing import Optional
+import json
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.dag import TradeoffDAG
+from repro.core.problem import TradeoffSolution
 
-__all__ = ["dag_fingerprint", "problem_fingerprint"]
+__all__ = [
+    "dag_fingerprint",
+    "problem_fingerprint",
+    "request_fingerprint",
+    "solution_to_payload",
+    "solution_from_payload",
+    "decode_payload_value",
+    "UnserializableSolutionError",
+]
+
+
+class UnserializableSolutionError(ValueError):
+    """A solution cannot be round-tripped through the stable JSON encoding.
+
+    Raised by :func:`solution_to_payload` when an allocation key is not a
+    Python literal (so it would not survive a disk round trip) or when a
+    metadata value has no JSON representation.  The store treats this as
+    "do not persist", never as a failure of the solve itself.
+    """
 
 
 def _job_token(dag: TradeoffDAG, job) -> str:
@@ -57,3 +93,158 @@ def problem_fingerprint(dag: TradeoffDAG, objective: str, parameter: float,
     hasher.update(digest.encode())
     hasher.update(f"|{objective}|{parameter!r}".encode())
     return hasher.hexdigest()
+
+
+def request_fingerprint(problem_digest: str, method: str, limits_key: Tuple,
+                        options_key: Tuple, validate: bool) -> str:
+    """Fingerprint of one full solve request (the two-tier cache key).
+
+    Extends a :func:`problem_fingerprint` with everything else that can
+    change the answer: the requested ``method`` (``"auto"`` is part of the
+    key -- auto-dispatch on a grown registry may legitimately answer
+    differently), the :meth:`~repro.engine.core.SolveLimits.cache_key`
+    tuple, the sorted options tuple and the ``validate`` flag.  The digest
+    is what the in-memory LRU and the persistent store agree on, so a
+    report computed in one process is a hit in every other.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(problem_digest.encode())
+    hasher.update(f"|{method}|{limits_key!r}|{options_key!r}|{validate!r}".encode())
+    return hasher.hexdigest()
+
+
+def _encode_key(key: Any) -> str:
+    """Encode an allocation key as a ``repr`` that literal-evals back."""
+    text = repr(key)
+    try:
+        round_tripped = ast.literal_eval(text)
+    except (ValueError, SyntaxError) as exc:
+        raise UnserializableSolutionError(
+            f"allocation key {text} is not a Python literal") from exc
+    if round_tripped != key:
+        raise UnserializableSolutionError(
+            f"allocation key {text} does not survive a repr round trip")
+    return text
+
+
+def _jsonify(value: Any, context: str) -> Any:
+    """Coerce ``value`` to plain JSON types (tuples become lists)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # json rejects NaN/Infinity in strict mode; encode them as strings
+        # understood by _unjsonify.
+        if value != value or value in (float("inf"), float("-inf")):
+            return {"__float__": repr(value)}
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v, context) for v in value]
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise UnserializableSolutionError(
+                    f"{context}: non-string dict key {k!r}")
+            out[k] = _jsonify(v, context)
+        # A user dict that happens to have exactly the shape of one of the
+        # decoder's sentinels would be misread on load; escape it.
+        if set(out) in ({"__float__"}, {"__escaped__"}):
+            return {"__escaped__": out}
+        return out
+    # numpy arrays expose .tolist(), numpy scalars .item(); anything else
+    # is rejected.
+    tolist = getattr(value, "tolist", None)
+    if callable(tolist):
+        return _jsonify(tolist(), context)
+    item = getattr(value, "item", None)
+    if callable(item):
+        return _jsonify(item(), context)
+    raise UnserializableSolutionError(
+        f"{context}: value {value!r} of type {type(value).__name__} "
+        f"has no stable JSON form")
+
+
+def _unjsonify(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__float__"}:
+            return float(value["__float__"])  # 'inf' / '-inf' / 'nan'
+        if set(value) == {"__escaped__"}:     # sentinel-shaped user dict
+            return {k: _unjsonify(v) for k, v in value["__escaped__"].items()}
+        return {k: _unjsonify(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unjsonify(v) for v in value]
+    return value
+
+
+def decode_payload_value(value: Any) -> Any:
+    """Decode one stored payload value (tagged floats, escaped dicts).
+
+    The public counterpart of the encoder used by
+    :func:`solution_to_payload`; analysis code reading raw store payloads
+    (:mod:`repro.analysis.sweep`) uses this instead of re-implementing the
+    encoding rules.
+    """
+    return _unjsonify(value)
+
+
+def solution_to_payload(solution: TradeoffSolution) -> Dict[str, Any]:
+    """Encode a solution as a stable, JSON-safe dict (the store's format).
+
+    Allocation keys are stored as ``repr`` strings (restored with
+    :func:`ast.literal_eval`) sorted for determinism.  The
+    solution-defining fields (makespan, budget, allocation, bounds) must
+    encode faithfully or :class:`UnserializableSolutionError` is raised --
+    callers skip persistence then.  Metadata is free-form diagnostics and
+    is encoded *best effort*: entries with no JSON form (e.g. the LP
+    pipeline's full in-memory report) are dropped and their keys recorded
+    under the payload's ``"dropped_metadata"`` so the loss is visible.
+    """
+    allocation = sorted(
+        ([_encode_key(job), _jsonify(amount, "allocation amount")]
+         for job, amount in solution.allocation.items()),
+        key=lambda pair: pair[0])
+    metadata: Dict[str, Any] = {}
+    dropped = []
+    for meta_key, meta_value in solution.metadata.items():
+        if not isinstance(meta_key, str):
+            dropped.append(repr(meta_key))
+            continue
+        try:
+            metadata[meta_key] = _jsonify(meta_value, f"metadata[{meta_key!r}]")
+        except UnserializableSolutionError:
+            dropped.append(meta_key)
+    # The hand-assembled top level needs the same sentinel escape _jsonify
+    # applies to nested dicts, or a metadata dict shaped like a sentinel
+    # would be misdecoded on load.
+    if set(metadata) in ({"__float__"}, {"__escaped__"}):
+        metadata = {"__escaped__": metadata}
+    payload = {
+        "makespan": _jsonify(solution.makespan, "makespan"),
+        "budget_used": _jsonify(solution.budget_used, "budget_used"),
+        "allocation": allocation,
+        "algorithm": solution.algorithm,
+        "lower_bound": _jsonify(solution.lower_bound, "lower_bound"),
+        "resource_lower_bound": _jsonify(solution.resource_lower_bound,
+                                         "resource_lower_bound"),
+        "metadata": metadata,
+        "dropped_metadata": sorted(dropped),
+    }
+    # Guarantee the payload is genuinely serializable before the store
+    # commits to it (defensive: _jsonify should already have ensured this).
+    json.dumps(payload)
+    return payload
+
+
+def solution_from_payload(payload: Dict[str, Any]) -> TradeoffSolution:
+    """Inverse of :func:`solution_to_payload`."""
+    allocation = {ast.literal_eval(key): _unjsonify(amount)
+                  for key, amount in payload["allocation"]}
+    return TradeoffSolution(
+        makespan=_unjsonify(payload["makespan"]),
+        budget_used=_unjsonify(payload["budget_used"]),
+        allocation=allocation,
+        algorithm=payload.get("algorithm", ""),
+        lower_bound=_unjsonify(payload.get("lower_bound")),
+        resource_lower_bound=_unjsonify(payload.get("resource_lower_bound")),
+        metadata=_unjsonify(payload.get("metadata") or {}),
+    )

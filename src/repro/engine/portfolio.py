@@ -11,10 +11,30 @@ Two concurrency patterns cover the experiment workloads:
   the benchmarks; with the process executor this parallelises the CPU-bound
   exact searches across cores).
 
+:meth:`Portfolio.map` additionally supports **sharded** execution
+(``shard_size=``): consecutive scenarios are grouped into one task per
+shard, amortising inter-process pickling over many scenarios -- the
+batching substrate of :class:`~repro.engine.service.SweepService`.
+
 Workers go through :func:`repro.engine.core.solve`, so every result carries
 the usual :class:`~repro.engine.core.SolveReport` certificate, and the
 process executor requires only that problems are picklable (they are plain
 dataclasses over dict-based DAGs).
+
+Usage (thread executor keeps the example light):
+
+>>> from repro.core.dag import TradeoffDAG
+>>> from repro.core.duration import GeneralStepDuration
+>>> from repro.core.problem import MinMakespanProblem
+>>> from repro.engine.portfolio import Portfolio
+>>> dag = TradeoffDAG()
+>>> for name in ("s", "x", "t"):
+...     _ = dag.add_job(name, GeneralStepDuration([(0, 4), (2, 1)]))
+>>> dag.add_edge("s", "x"); dag.add_edge("x", "t")
+>>> problems = [MinMakespanProblem(dag, budget) for budget in (2.0, 4.0, 6.0)]
+>>> reports = Portfolio(executor="thread").map(problems, shard_size=2)
+>>> [round(r.makespan, 1) <= 12.0 for r in reports]
+[True, True, True]
 """
 
 from __future__ import annotations
@@ -24,7 +44,7 @@ import os
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.problem import MinMakespanProblem, MinResourceProblem
 from repro.engine.core import Problem, SolveLimits, SolveReport, normalize_problem, solve
@@ -39,6 +59,24 @@ def _solve_task(problem: Problem, method: str, limits: SolveLimits,
                 options: Dict[str, Any]) -> SolveReport:
     """Top-level worker (must be module-level so process pools can pickle it)."""
     return solve(problem, method=method, limits=limits, **options)
+
+
+def _solve_shard_task(problems: Sequence[Problem], method: str, limits: SolveLimits,
+                      options: Dict[str, Any], validate: bool = True,
+                      ) -> List[Tuple[Optional[SolveReport], Optional[str]]]:
+    """Batch worker: one ``(report, error)`` pair per scenario in the shard.
+
+    Per-scenario failures are captured as text instead of aborting the
+    shard, so one bad scenario cannot lose its shard-mates' results.
+    """
+    results: List[Tuple[Optional[SolveReport], Optional[str]]] = []
+    for problem in problems:
+        try:
+            results.append((solve(problem, method=method, limits=limits,
+                                  validate=validate, **options), None))
+        except Exception as exc:  # noqa: BLE001 - reported per scenario
+            results.append((None, f"{type(exc).__name__}: {exc}"))
+    return results
 
 
 @dataclass
@@ -179,6 +217,23 @@ class Portfolio:
         workers = max(1, min(workers, n_tasks))
         return self._new_executor(workers), True
 
+    def worker_count(self) -> int:
+        """Workers a started pool has (or an unbounded call would get)."""
+        return self.max_workers or os.cpu_count() or 2
+
+    @staticmethod
+    def shard_plan(n_tasks: int, workers: int, oversubscription: int = 4) -> int:
+        """A shard size giving every worker ~``oversubscription`` shards.
+
+        Small shards keep the pool load-balanced; large shards amortise
+        pickling.  ``oversubscription`` trades between the two.
+        """
+        require(workers > 0 and oversubscription > 0,
+                "workers and oversubscription must be positive")
+        if n_tasks <= 0:
+            return 1
+        return max(1, math.ceil(n_tasks / (workers * oversubscription)))
+
     def _methods_for(self, problem: Problem) -> List[str]:
         if self.methods is not None:
             return self.methods
@@ -249,7 +304,8 @@ class Portfolio:
 
     # ------------------------------------------------------------------
     def map(self, problems: Sequence[Problem], method: str = "auto",
-            skip_errors: bool = False, **options: Any) -> List[Optional[SolveReport]]:
+            skip_errors: bool = False, shard_size: Optional[int] = None,
+            **options: Any) -> List[Optional[SolveReport]]:
         """Solve many scenarios concurrently (order-preserving).
 
         Each problem goes through :func:`repro.engine.core.solve` with the
@@ -258,15 +314,45 @@ class Portfolio:
         benchmarks.  A failing scenario raises by default (remaining tasks
         are cancelled); with ``skip_errors=True`` it yields ``None`` in its
         slot and the rest of the sweep completes.
+
+        ``shard_size=k`` groups consecutive scenarios into one task per
+        ``k`` scenarios (see :meth:`shard_plan` for a pool-sized choice):
+        fewer, larger tasks amortise inter-process pickling on big sweeps.
+        Successful results are identical to the unsharded path, and a
+        failing scenario in a shard does not lose its shard-mates'
+        results.  Error semantics differ in one way: without
+        ``skip_errors``, a sharded failure raises
+        :class:`~repro.utils.validation.ValidationError` carrying the
+        original error as text (the original exception object stays in the
+        worker), not the original exception type.
         """
         problems = [normalize_problem(p) for p in problems]
         if not problems:
             return []
+        if shard_size is not None:
+            require(shard_size > 0, "shard_size must be positive")
+            shards = [problems[i:i + shard_size]
+                      for i in range(0, len(problems), shard_size)]
+            pool, transient = self._acquire_executor(len(shards))
+            try:
+                futures = [pool.submit(_solve_shard_task, shard, method,
+                                       self.limits, options)
+                           for shard in shards]
+                results: List[Optional[SolveReport]] = []
+                for future in futures:
+                    for report, error in future.result():
+                        if error is not None and not skip_errors:
+                            raise ValidationError(f"sharded map scenario failed: {error}")
+                        results.append(report)
+                return results
+            finally:
+                if transient:
+                    pool.shutdown(wait=False, cancel_futures=True)
         pool, transient = self._acquire_executor(len(problems))
         try:
             futures = [pool.submit(_solve_task, p, method, self.limits, options)
                        for p in problems]
-            results: List[Optional[SolveReport]] = []
+            results = []
             for future in futures:
                 try:
                     results.append(future.result())
@@ -278,3 +364,21 @@ class Portfolio:
         finally:
             if transient:
                 pool.shutdown(wait=False, cancel_futures=True)
+
+    def submit_shard(self, problems: Sequence[Problem], method: str = "auto",
+                     validate: bool = True, **options: Any) -> Future:
+        """Submit one scenario shard to the *persistent* pool (see start()).
+
+        Returns the :class:`~concurrent.futures.Future` of a list of
+        ``(report, error_text)`` pairs, one per scenario, in order.  This is
+        the streaming building block used by
+        :class:`~repro.engine.service.SweepService`, which consumes shard
+        futures as they complete rather than in submission order.
+        """
+        require(self._pool is not None,
+                "submit_shard() needs a persistent pool; call start() first "
+                "(or use the portfolio as a context manager)")
+        problems = [normalize_problem(p) for p in problems]
+        require(len(problems) > 0, "submit_shard() needs at least one problem")
+        return self._pool.submit(_solve_shard_task, problems, method,
+                                 self.limits, options, validate)

@@ -1,0 +1,408 @@
+"""Batched scenario-sweep serving on top of the engine's two cache tiers.
+
+:class:`SweepService` turns the one-shot :func:`repro.solve` into a system
+for *repeated heavy workloads*: a batch of scenarios (problems) comes in,
+and the service
+
+1. **deduplicates** it by :func:`~repro.engine.core.request_key` -- every
+   distinct request is solved (or fetched) exactly once, however often it
+   repeats in the batch;
+2. **consults the persistent store** -- scenarios already solved by any
+   previous run, process or machine sharing the store are answered from
+   disk without touching a solver;
+3. **shards the rest** -- pending scenarios are partitioned into shards
+   sized to the portfolio's worker pool
+   (:meth:`~repro.engine.portfolio.Portfolio.shard_plan`) and submitted to
+   its *warm* executors;
+4. **streams results** -- :meth:`SweepService.sweep` is a generator
+   yielding a :class:`SweepResult` per scenario as soon as its shard
+   finishes (store hits first); :meth:`SweepService.run` collects them and
+   also drives an optional callback;
+5. **records a resumable manifest** -- with ``manifest=path`` the service
+   checkpoints completed request keys after every shard, so an interrupted
+   sweep restarts from the store instead of recomputing.
+
+Usage:
+
+>>> import tempfile
+>>> from repro.core.dag import TradeoffDAG
+>>> from repro.core.duration import GeneralStepDuration
+>>> from repro.core.problem import MinMakespanProblem
+>>> from repro.engine.portfolio import Portfolio
+>>> from repro.engine.service import SweepService
+>>> from repro.engine.store import SolutionStore
+>>> dag = TradeoffDAG()
+>>> for name in ("s", "x", "t"):
+...     _ = dag.add_job(name, GeneralStepDuration([(0, 4), (2, 1)]))
+>>> dag.add_edge("s", "x"); dag.add_edge("x", "t")
+>>> scenarios = [MinMakespanProblem(dag, b) for b in (2.0, 4.0, 2.0, 2.0)]
+>>> with SweepService(store=SolutionStore(tempfile.mkdtemp()),
+...                   portfolio=Portfolio(executor="thread")) as service:
+...     cold = service.run(scenarios)
+...     warm = service.run(scenarios)
+>>> (cold.stats.scenarios, cold.stats.unique, cold.stats.computed)
+(4, 2, 2)
+>>> (warm.stats.store_hits, warm.stats.computed)
+(2, 0)
+>>> cold.reports()[0].makespan == warm.reports()[0].makespan
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.engine.core import (
+    Problem,
+    SolveLimits,
+    SolveReport,
+    _clone_report,
+    get_solution_store,
+    normalize_problem,
+    request_key,
+)
+from repro.engine.portfolio import Portfolio
+from repro.engine.store import SolutionStore, atomic_write_json
+from repro.utils.validation import require
+
+__all__ = ["SweepService", "SweepResult", "SweepStats", "SweepReport",
+           "MANIFEST_SCHEMA_VERSION"]
+
+#: Version of the manifest file layout; mismatching manifests are ignored
+#: (the sweep starts fresh), never misread.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one scenario slot in a sweep batch.
+
+    ``index`` is the scenario's position in the submitted batch; duplicate
+    scenarios get one result each (sharing the underlying report).
+    ``source`` is ``"store"`` (answered from the persistent store),
+    ``"computed"`` (solved this sweep) or ``"failed"``.
+    """
+
+    index: int
+    key: str
+    problem: Problem
+    report: Optional[SolveReport]
+    source: str
+    error: Optional[str] = None
+
+
+@dataclass
+class SweepStats:
+    """Aggregate accounting of one sweep (see :class:`SweepReport`)."""
+
+    scenarios: int = 0
+    unique: int = 0
+    duplicates: int = 0
+    #: Unique requests answered from the persistent store.
+    store_hits: int = 0
+    #: Store hits that a resume manifest had marked completed.
+    resumed: int = 0
+    computed: int = 0
+    failed: int = 0
+    shards: int = 0
+    shard_size: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of unique requests served from the store."""
+        return self.store_hits / self.unique if self.unique else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable description (used by the benchmarks)."""
+        return (f"{self.scenarios} scenarios ({self.unique} unique): "
+                f"{self.store_hits} from store ({self.hit_rate:.0%}), "
+                f"{self.computed} computed in {self.shards} shards, "
+                f"{self.failed} failed, {self.wall_time * 1000:.1f}ms")
+
+
+@dataclass
+class SweepReport:
+    """Everything :meth:`SweepService.run` produced, in batch order."""
+
+    results: List[SweepResult] = field(default_factory=list)
+    stats: SweepStats = field(default_factory=SweepStats)
+
+    def reports(self) -> List[Optional[SolveReport]]:
+        """The per-scenario :class:`SolveReport` list (``None`` on failure)."""
+        return [r.report for r in self.results]
+
+    def summary(self) -> str:
+        return self.stats.summary()
+
+
+def _chunk(items: List, size: int) -> List[List]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+class SweepService:
+    """Deduplicating, store-backed, sharded scenario-sweep runner.
+
+    Parameters
+    ----------
+    store:
+        The persistent :class:`~repro.engine.store.SolutionStore` (or a
+        directory path to open one at).  Defaults to the engine's globally
+        installed store (:func:`~repro.engine.core.get_solution_store`);
+        without one, the service still deduplicates and shards but nothing
+        survives the process.
+    portfolio:
+        The :class:`~repro.engine.portfolio.Portfolio` whose (persistent)
+        executor runs the pending shards.  Defaults to a process-pool
+        portfolio; the service starts it lazily and closes what it started.
+    limits:
+        :class:`~repro.engine.core.SolveLimits` forwarded to every solve
+        and baked into the request keys.
+    oversubscription:
+        Target shards per worker when auto-sizing shards
+        (:meth:`Portfolio.shard_plan`).
+    validate:
+        Run certificate checks on computed solutions (part of the key).
+    """
+
+    def __init__(self, store: Union[SolutionStore, str, None] = None, *,
+                 portfolio: Optional[Portfolio] = None,
+                 limits: Optional[SolveLimits] = None,
+                 oversubscription: int = 4,
+                 validate: bool = True):
+        require(oversubscription > 0, "oversubscription must be positive")
+        if isinstance(store, str):
+            store = SolutionStore(store)
+        self._explicit_store = store
+        self._owns_portfolio = portfolio is None
+        self._portfolio = portfolio if portfolio is not None else Portfolio(executor="process")
+        self._started_pool = False
+        # Request keys and shard execution must agree on the limits: an
+        # explicit ``limits`` is pushed into the portfolio, otherwise the
+        # portfolio's own limits are adopted.
+        if limits is not None:
+            self.limits = limits
+            self._portfolio.limits = limits
+        else:
+            self.limits = self._portfolio.limits
+        self.oversubscription = oversubscription
+        self.validate = validate
+        self.last_stats: Optional[SweepStats] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> Optional[SolutionStore]:
+        """The store consulted by sweeps (explicit, else the global one)."""
+        if self._explicit_store is not None:
+            return self._explicit_store
+        return get_solution_store()
+
+    @property
+    def portfolio(self) -> Portfolio:
+        return self._portfolio
+
+    def _warm_pool(self) -> Portfolio:
+        if self._portfolio._pool is None:
+            self._portfolio.start()
+            self._started_pool = True
+        return self._portfolio
+
+    def close(self) -> None:
+        """Shut down the worker pool the service started (if any)."""
+        if self._owns_portfolio or self._started_pool:
+            self._portfolio.close()
+            self._started_pool = False
+
+    def __enter__(self) -> "SweepService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+    def _load_manifest_done(self, path: str, method: str) -> set:
+        """Completed request keys recorded by a compatible manifest."""
+        if not os.path.exists(path):
+            return set()
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if (not isinstance(manifest, dict)
+                    or manifest.get("schema") != MANIFEST_SCHEMA_VERSION
+                    or manifest.get("method") != method):
+                return set()
+            return set(manifest.get("done", []))
+        except (OSError, json.JSONDecodeError):
+            # A torn manifest must never kill the sweep; it just cannot
+            # contribute resume information.
+            return set()
+
+    def _write_manifest(self, path: str, method: str, keys: List[str],
+                        done: set, completed: bool) -> None:
+        try:
+            atomic_write_json(path, {
+                "schema": MANIFEST_SCHEMA_VERSION,
+                "method": method,
+                "keys": keys,
+                "done": sorted(done),
+                "completed": completed,
+            })
+        except OSError:  # pragma: no cover - manifest IO is best-effort
+            pass
+
+    # ------------------------------------------------------------------
+    # sweeping
+    # ------------------------------------------------------------------
+    def sweep(self, scenarios: Sequence[Problem], method: str = "auto", *,
+              manifest: Optional[str] = None,
+              shard_size: Optional[int] = None,
+              **options: Any) -> Iterator[SweepResult]:
+        """Stream :class:`SweepResult` objects for a scenario batch.
+
+        Store-served scenarios are yielded first (in batch order), then
+        computed ones as their shards finish (shard completion order).
+        Closing the generator early cancels unstarted shards and -- with
+        ``manifest=`` -- leaves a checkpoint from which the next sweep
+        resumes.  The generator's return value is the :class:`SweepStats`
+        (collected by :meth:`run`).
+
+        Sweeps are content-addressed, so ``options`` must be literal
+        values (:func:`~repro.engine.core.request_key` raises otherwise).
+        """
+        start_time = time.perf_counter()
+        problems = [normalize_problem(p) for p in scenarios]
+        stats = SweepStats(scenarios=len(problems))
+        self.last_stats = stats
+
+        # -- dedup by request key ---------------------------------------
+        keys: List[str] = [
+            request_key(p, method, limits=self.limits, validate=self.validate,
+                        **options)
+            for p in problems
+        ]
+        groups: Dict[str, List[int]] = {}
+        unique_keys: List[str] = []
+        for index, key in enumerate(keys):
+            if key not in groups:
+                groups[key] = []
+                unique_keys.append(key)
+            groups[key].append(index)
+        stats.unique = len(unique_keys)
+        stats.duplicates = stats.scenarios - stats.unique
+
+        manifest_done = (self._load_manifest_done(manifest, method)
+                         if manifest else set())
+        done: set = set()
+        store = self.store
+
+        # -- tier-2 lookup ----------------------------------------------
+        pending: List[str] = []
+        try:
+            for key in unique_keys:
+                report = store.get_report(key) if store is not None else None
+                if report is None:
+                    pending.append(key)
+                    continue
+                stats.store_hits += 1
+                if key in manifest_done:
+                    stats.resumed += 1
+                done.add(key)
+                for index in groups[key]:
+                    # Each slot gets its own defensive copy (consumers may
+                    # edit allocations in place; duplicates must not alias).
+                    yield SweepResult(index=index, key=key,
+                                      problem=problems[index],
+                                      report=_clone_report(report, from_cache=True,
+                                                           cache_tier="store"),
+                                      source="store")
+
+            # -- shard + compute ------------------------------------------
+            if pending:
+                portfolio = self._warm_pool()
+                size = shard_size or Portfolio.shard_plan(
+                    len(pending), portfolio.worker_count(), self.oversubscription)
+                stats.shard_size = size
+                shard_keys = _chunk(pending, size)
+                futures = {}
+                for shard in shard_keys:
+                    shard_problems = [problems[groups[key][0]] for key in shard]
+                    future = portfolio.submit_shard(shard_problems, method,
+                                                    validate=self.validate,
+                                                    **options)
+                    futures[future] = shard
+                stats.shards = len(futures)
+                try:
+                    for future in as_completed(futures):
+                        shard = futures.pop(future)
+                        outcomes = list(zip(shard, future.result()))
+                        # One bulk store write per completed shard, before
+                        # any result is yielded (a consumer closing the
+                        # generator must not lose this shard's persistence).
+                        if store is not None:
+                            store.put_reports([(key, report)
+                                               for key, (report, _err) in outcomes
+                                               if report is not None])
+                        for key, (report, error) in outcomes:
+                            problem = problems[groups[key][0]]
+                            if report is not None:
+                                stats.computed += 1
+                                done.add(key)
+                                source, err = "computed", None
+                            else:
+                                stats.failed += 1
+                                source, err = "failed", error
+                            for index in groups[key]:
+                                copy = (_clone_report(report, from_cache=False)
+                                        if report is not None else None)
+                                yield SweepResult(index=index, key=key,
+                                                  problem=problem,
+                                                  report=copy, source=source,
+                                                  error=err)
+                        if manifest:
+                            self._write_manifest(manifest, method, unique_keys,
+                                                 done, completed=False)
+                finally:
+                    for future in futures:
+                        future.cancel()
+        finally:
+            stats.wall_time = time.perf_counter() - start_time
+            if manifest:
+                completed = len(done) + stats.failed >= stats.unique
+                self._write_manifest(manifest, method, unique_keys, done,
+                                     completed=completed)
+        return stats
+
+    def run(self, scenarios: Sequence[Problem], method: str = "auto", *,
+            manifest: Optional[str] = None,
+            shard_size: Optional[int] = None,
+            on_result: Optional[Callable[[SweepResult], None]] = None,
+            **options: Any) -> SweepReport:
+        """Run a full sweep and collect every result (batch order).
+
+        ``on_result`` is invoked on each :class:`SweepResult` as it
+        streams in -- the callback API for progress reporting or
+        incremental consumers that still want the final report.
+        """
+        results: List[SweepResult] = []
+        generator = self.sweep(scenarios, method, manifest=manifest,
+                               shard_size=shard_size, **options)
+        while True:
+            try:
+                result = next(generator)
+            except StopIteration as stop:
+                stats = stop.value if stop.value is not None else self.last_stats
+                break
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        results.sort(key=lambda r: r.index)
+        return SweepReport(results=results, stats=stats)

@@ -1,0 +1,457 @@
+"""Persistent on-disk solution store -- tier 2 of the engine's cache.
+
+The in-memory LRU of :mod:`repro.engine.core` dies with the process; the
+:class:`SolutionStore` persists solved reports as **sharded JSON blobs** so
+repeated sweeps -- across runs, processes and machines sharing a filesystem
+-- are served from disk instead of recomputed.  ``repro.solve`` consults it
+automatically once installed with
+:func:`repro.engine.core.set_solution_store`; the
+:class:`~repro.engine.service.SweepService` uses it as its system of record.
+
+On-disk format (see ``docs/caching.md`` for the full specification):
+
+* ``<root>/meta.json`` -- store-level metadata (schema version, creator);
+* ``<root>/shards/<prefix>.json`` -- one blob per key prefix, each
+  ``{"schema": N, "entries": {request_key: payload}}``.
+
+Guarantees:
+
+* **atomic writes** -- every blob is written to a temp file in the same
+  directory and ``os.replace``d into place, so readers never observe a
+  half-written shard;
+* **corruption tolerance** -- a truncated/unparseable shard or a schema
+  mismatch is counted (``info()``) and treated as empty: the affected
+  requests recompute and the next write repairs the shard; nothing crashes;
+* **bounded shards** -- each shard keeps at most ``max_entries_per_shard``
+  entries, evicting the oldest (smallest insertion sequence) first.
+
+Usage:
+
+>>> import tempfile
+>>> from repro.engine.store import SolutionStore
+>>> store = SolutionStore(tempfile.mkdtemp())
+>>> store.put("a" * 64, {"answer": 42})
+True
+>>> store.get("a" * 64)["answer"]
+42
+>>> store.get("b" * 64) is None        # a miss, counted in info()
+True
+>>> info = store.info()
+>>> info["hits"], info["misses"], info["entries"]
+(1, 1, 1)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.fingerprint import (
+    UnserializableSolutionError,
+    solution_from_payload,
+    solution_to_payload,
+)
+from repro.utils.validation import require
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "SolutionStore",
+    "report_to_payload",
+    "report_from_payload",
+    "atomic_write_json",
+]
+
+#: Version of the on-disk payload layout.  Bump on incompatible changes;
+#: entries written under another version are ignored (recomputed), never
+#: misread.
+STORE_SCHEMA_VERSION = 1
+
+
+def atomic_write_json(path: str, payload: Any) -> None:
+    """Serialize ``payload`` to ``path`` atomically (temp file + rename)."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def report_to_payload(report, key: str) -> Dict[str, Any]:
+    """Encode a :class:`~repro.engine.core.SolveReport` as a store entry.
+
+    Raises :class:`~repro.engine.fingerprint.UnserializableSolutionError`
+    when the wrapped solution has no stable JSON form; callers treat that
+    as "skip persistence".
+    """
+    certificate = None
+    if report.certificate is not None:
+        certificate = {
+            "passed": bool(report.certificate.passed),
+            "feasible": bool(report.certificate.feasible),
+            "checks": {str(k): bool(v) for k, v in report.certificate.checks.items()},
+            "notes": {str(k): str(v) for k, v in report.certificate.notes.items()},
+        }
+    return {
+        "key": key,
+        "solver_id": report.solver_id,
+        "method": report.method,
+        "objective": report.objective,
+        "wall_time": float(report.wall_time),
+        "problem_fingerprint": report.problem_fingerprint,
+        "parameter": report.parameter,
+        "structure": report.structure,
+        "certificate": certificate,
+        "solution": solution_to_payload(report.solution),
+    }
+
+
+def report_from_payload(payload: Dict[str, Any]):
+    """Inverse of :func:`report_to_payload` (returns a ``SolveReport``)."""
+    # Imported lazily: core imports this module at load time (tier-2 wiring).
+    from repro.engine.certify import Certificate
+    from repro.engine.core import SolveReport
+
+    certificate = None
+    if payload.get("certificate") is not None:
+        cert = payload["certificate"]
+        certificate = Certificate(passed=cert["passed"], feasible=cert["feasible"],
+                                  checks=dict(cert.get("checks", {})),
+                                  notes=dict(cert.get("notes", {})))
+    return SolveReport(
+        solution=solution_from_payload(payload["solution"]),
+        solver_id=payload["solver_id"],
+        method=payload["method"],
+        objective=payload["objective"],
+        wall_time=float(payload.get("wall_time", 0.0)),
+        problem_fingerprint=payload["problem_fingerprint"],
+        structure=dict(payload.get("structure", {})),
+        certificate=certificate,
+        parameter=payload.get("parameter"),
+    )
+
+
+class SolutionStore:
+    """Sharded-JSON persistent key/payload store with cache accounting.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on demand).
+    max_entries_per_shard:
+        Per-shard entry cap; the oldest entries are evicted beyond it.
+    shard_width:
+        Number of leading key characters selecting a shard (2 -> up to 256
+        shards for hex keys).
+    cache_shards:
+        Keep decoded shards in memory after first access.  Leave on for a
+        single-writer process; call :meth:`refresh` to observe writes made
+        by other processes.
+    """
+
+    def __init__(self, root: str, *, max_entries_per_shard: int = 4096,
+                 shard_width: int = 2, cache_shards: bool = True):
+        require(max_entries_per_shard > 0, "max_entries_per_shard must be positive")
+        require(1 <= shard_width <= 8, "shard_width must be in [1, 8]")
+        self.root = os.path.abspath(root)
+        self.max_entries_per_shard = max_entries_per_shard
+        self.shard_width = shard_width
+        self.cache_shards = cache_shards
+        self._shards: Dict[str, Dict[str, Any]] = {}
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.corrupt_shards = 0
+        self.schema_mismatches = 0
+        self.skipped_writes = 0
+        os.makedirs(self._shard_dir, exist_ok=True)
+        self._write_meta_if_absent()
+
+    # ------------------------------------------------------------------
+    # layout helpers
+    # ------------------------------------------------------------------
+    @property
+    def _shard_dir(self) -> str:
+        return os.path.join(self.root, "shards")
+
+    @property
+    def _meta_path(self) -> str:
+        return os.path.join(self.root, "meta.json")
+
+    def _shard_id(self, key: str) -> str:
+        require(isinstance(key, str) and len(key) >= self.shard_width,
+                f"store keys must be strings of >= {self.shard_width} chars")
+        return key[:self.shard_width]
+
+    def _shard_path(self, shard_id: str) -> str:
+        return os.path.join(self._shard_dir, f"{shard_id}.json")
+
+    def _write_meta_if_absent(self) -> None:
+        if os.path.exists(self._meta_path):
+            try:
+                with open(self._meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+                if meta.get("schema") != STORE_SCHEMA_VERSION:
+                    self.schema_mismatches += 1
+                # The layout on disk wins: reopening with a different
+                # shard_width must not orphan the existing shards.
+                stored_width = meta.get("shard_width")
+                if isinstance(stored_width, int) and 1 <= stored_width <= 8:
+                    self.shard_width = stored_width
+            except (OSError, json.JSONDecodeError, AttributeError):
+                self.corrupt_shards += 1
+            return
+        atomic_write_json(self._meta_path, {
+            "schema": STORE_SCHEMA_VERSION,
+            "format": "repro-solution-store/sharded-json",
+            "shard_width": self.shard_width,
+        })
+
+    # ------------------------------------------------------------------
+    # shard IO
+    # ------------------------------------------------------------------
+    def _load_shard(self, shard_id: str) -> Dict[str, Any]:
+        """Entries of one shard; corruption / schema drift decays to empty."""
+        if self.cache_shards and shard_id in self._shards:
+            return self._shards[shard_id]
+        path = self._shard_path(shard_id)
+        entries: Dict[str, Any] = {}
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    blob = json.load(handle)
+                if not isinstance(blob, dict) or not isinstance(blob.get("entries"), dict):
+                    raise ValueError("malformed shard blob")
+                if blob.get("schema") != STORE_SCHEMA_VERSION:
+                    self.schema_mismatches += 1
+                else:
+                    # Entry values must be payload dicts; anything else is
+                    # per-entry corruption (counted, skipped, repaired on
+                    # the shard's next write).
+                    entries = {k: v for k, v in blob["entries"].items()
+                               if isinstance(v, dict)}
+                    if len(entries) != len(blob["entries"]):
+                        self.corrupt_shards += 1
+            except (OSError, json.JSONDecodeError, ValueError):
+                self.corrupt_shards += 1
+        if self.cache_shards:
+            self._shards[shard_id] = entries
+        return entries
+
+    def _write_shard(self, shard_id: str, entries: Dict[str, Any]) -> None:
+        atomic_write_json(self._shard_path(shard_id),
+                          {"schema": STORE_SCHEMA_VERSION, "entries": entries})
+        if self.cache_shards:
+            self._shards[shard_id] = entries
+
+    def _evict(self, entries: Dict[str, Any]) -> None:
+        while len(entries) > self.max_entries_per_shard:
+            oldest = min(entries, key=lambda k: entries[k].get("__seq__", 0))
+            del entries[oldest]
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload for ``key``, or ``None`` (counted as a miss)."""
+        with self._lock:
+            entries = self._load_shard(self._shard_id(key))
+            entry = entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return {k: v for k, v in entry.items() if k != "__seq__"}
+
+    def put(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Persist ``payload`` under ``key`` (atomic); returns ``True``.
+
+        Failed writes never raise: an unserializable payload *and* IO
+        errors (disk full, read-only store) are counted in
+        ``skipped_writes`` and the method returns ``False`` -- a store
+        write must not fail the solve that produced the payload.
+        """
+        with self._lock:
+            shard_id = self._shard_id(key)
+            # Merge against the shard on disk, not a possibly-stale memory
+            # copy, so entries another process wrote since our first read
+            # are kept (the remaining read-modify-write window is
+            # documented in docs/caching.md).
+            if self.cache_shards:
+                self._shards.pop(shard_id, None)
+            entries = dict(self._load_shard(shard_id))
+            seq = 1 + max((e.get("__seq__", 0) for e in entries.values()), default=0)
+            entry = dict(payload)
+            entry["__seq__"] = seq
+            entries[key] = entry
+            self._evict(entries)
+            try:
+                self._write_shard(shard_id, entries)
+            except (OSError, TypeError, ValueError):
+                self.skipped_writes += 1
+                if self.cache_shards:
+                    self._shards.pop(shard_id, None)
+                return False
+            self.writes += 1
+            return True
+
+    def put_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> int:
+        """Persist many ``(key, payload)`` pairs; returns how many stuck.
+
+        Pairs are grouped by shard so each shard pays one read-modify-write
+        regardless of how many entries land in it -- the bulk-write path
+        the sweep service uses after each completed shard.  Same failure
+        semantics as :meth:`put` (never raises; failed shards are counted
+        in ``skipped_writes`` per entry).
+        """
+        by_shard: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        for key, payload in items:
+            by_shard.setdefault(self._shard_id(key), []).append((key, payload))
+        written = 0
+        with self._lock:
+            for shard_id, pairs in by_shard.items():
+                if self.cache_shards:
+                    self._shards.pop(shard_id, None)
+                entries = dict(self._load_shard(shard_id))
+                seq = max((e.get("__seq__", 0) for e in entries.values()), default=0)
+                for key, payload in pairs:
+                    seq += 1
+                    entry = dict(payload)
+                    entry["__seq__"] = seq
+                    entries[key] = entry
+                self._evict(entries)
+                try:
+                    self._write_shard(shard_id, entries)
+                except (OSError, TypeError, ValueError):
+                    self.skipped_writes += len(pairs)
+                    if self.cache_shards:
+                        self._shards.pop(shard_id, None)
+                    continue
+                self.writes += len(pairs)
+                written += len(pairs)
+        return written
+
+    def put_reports(self, pairs) -> int:
+        """Persist many ``(key, SolveReport)`` pairs (see :meth:`put_many`).
+
+        Reports whose solutions have no stable JSON form are skipped and
+        counted, exactly like :meth:`put_report`.
+        """
+        encoded = []
+        for key, report in pairs:
+            try:
+                encoded.append((key, report_to_payload(report, key)))
+            except UnserializableSolutionError:
+                with self._lock:
+                    self.skipped_writes += 1
+        return self.put_many(encoded)
+
+    def put_report(self, key: str, report) -> bool:
+        """Persist a :class:`~repro.engine.core.SolveReport` under ``key``.
+
+        Unserializable solutions (exotic allocation keys / metadata) are
+        skipped gracefully -- the solve still succeeded, it just is not
+        persisted.
+        """
+        try:
+            payload = report_to_payload(report, key)
+        except UnserializableSolutionError:
+            with self._lock:
+                self.skipped_writes += 1
+            return False
+        return self.put(key, payload)
+
+    def get_report(self, key: str):
+        """The stored ``SolveReport`` for ``key``, or ``None``.
+
+        A payload that no longer decodes (e.g. hand-edited) counts as
+        corruption and returns ``None`` -- the caller recomputes.
+        """
+        payload = self.get(key)
+        if payload is None:
+            return None
+        try:
+            return report_from_payload(payload)
+        except (KeyError, TypeError, ValueError, SyntaxError):
+            with self._lock:
+                self.corrupt_shards += 1
+            return None
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._load_shard(self._shard_id(key))
+
+    def __len__(self) -> int:
+        return self.entry_count()
+
+    def entry_count(self) -> int:
+        """Total entries across every shard on disk."""
+        with self._lock:
+            return sum(len(self._load_shard(s)) for s in self._shard_ids())
+
+    def _shard_ids(self):
+        try:
+            names = os.listdir(self._shard_dir)
+        except OSError:
+            return []
+        return sorted(name[:-5] for name in names
+                      if name.endswith(".json") and not name.startswith(".tmp-"))
+
+    def payloads(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Iterate ``(key, payload)`` over every stored entry (all shards)."""
+        with self._lock:
+            for shard_id in self._shard_ids():
+                for key, entry in sorted(self._load_shard(shard_id).items()):
+                    yield key, {k: v for k, v in entry.items() if k != "__seq__"}
+
+    def refresh(self) -> None:
+        """Drop the in-memory shard cache (re-read other processes' writes)."""
+        with self._lock:
+            self._shards.clear()
+
+    def clear(self) -> None:
+        """Delete every shard blob and reset the statistics."""
+        with self._lock:
+            for shard_id in self._shard_ids():
+                try:
+                    os.unlink(self._shard_path(shard_id))
+                except OSError:
+                    pass
+            self._shards.clear()
+            self.hits = self.misses = self.writes = 0
+            self.evictions = self.corrupt_shards = 0
+            self.schema_mismatches = self.skipped_writes = 0
+
+    def info(self) -> dict:
+        """Statistics dict mirroring :meth:`LRUCache.info` plus store extras."""
+        with self._lock:
+            return {
+                "root": self.root,
+                "schema": STORE_SCHEMA_VERSION,
+                "entries": self.entry_count(),
+                "shards": len(self._shard_ids()),
+                "max_entries_per_shard": self.max_entries_per_shard,
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "evictions": self.evictions,
+                "corrupt_shards": self.corrupt_shards,
+                "schema_mismatches": self.schema_mismatches,
+                "skipped_writes": self.skipped_writes,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SolutionStore(root={self.root!r}, entries={self.entry_count()}, "
+                f"hits={self.hits}, misses={self.misses})")

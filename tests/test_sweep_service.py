@@ -1,0 +1,320 @@
+"""Tests for the batched scenario-sweep service (dedup, streaming, resume).
+
+The thread executor keeps the suite fast; the process-pool path is pinned
+by ``benchmarks/bench_sweep_service.py`` and the portfolio tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.problem import MinMakespanProblem, MinResourceProblem
+from repro.engine import (
+    MIN_MAKESPAN,
+    Portfolio,
+    SolutionStore,
+    SolveLimits,
+    SweepService,
+    clear_caches,
+    register_solver,
+    set_solution_store,
+    solve,
+    unregister_solver,
+)
+from repro.engine.service import MANIFEST_SCHEMA_VERSION
+
+
+@pytest.fixture(autouse=True)
+def _fresh_engine():
+    clear_caches()
+    set_solution_store(None)
+    yield
+    clear_caches()
+    set_solution_store(None)
+
+
+def _chain_dag(levels=("s", "x", "t")) -> TradeoffDAG:
+    dag = TradeoffDAG()
+    previous = None
+    for name in levels:
+        dag.add_job(name, GeneralStepDuration([(0, 4), (2, 1)]))
+        if previous is not None:
+            dag.add_edge(previous, name)
+        previous = name
+    return dag
+
+
+def _scenarios(budgets=(1.0, 2.0, 3.0, 1.0, 2.0)):
+    dag = _chain_dag()
+    return [MinMakespanProblem(dag, b) for b in budgets]
+
+
+def _service(tmp_path, name="store", **kwargs):
+    return SweepService(store=SolutionStore(str(tmp_path / name)),
+                        portfolio=Portfolio(executor="thread"), **kwargs)
+
+
+class TestSweepBasics:
+    def test_dedup_and_order(self, tmp_path):
+        scenarios = _scenarios()
+        with _service(tmp_path) as service:
+            report = service.run(scenarios)
+        assert [r.index for r in report.results] == [0, 1, 2, 3, 4]
+        assert report.stats.scenarios == 5
+        assert report.stats.unique == 3
+        assert report.stats.duplicates == 2
+        assert report.stats.computed == 3
+        # duplicates share the answer of their first occurrence
+        assert report.results[0].key == report.results[3].key
+        assert report.results[0].report.makespan == report.results[3].report.makespan
+
+    def test_matches_direct_solve(self, tmp_path):
+        scenarios = _scenarios((1.0, 2.0, 4.0))
+        with _service(tmp_path) as service:
+            report = service.run(scenarios)
+        for scenario, result in zip(scenarios, report.results):
+            direct = solve(scenario, use_cache=False)
+            assert result.report.makespan == pytest.approx(direct.makespan)
+            assert result.report.solver_id == direct.solver_id
+
+    def test_warm_run_is_all_store_hits(self, tmp_path):
+        scenarios = _scenarios()
+        with _service(tmp_path) as service:
+            cold = service.run(scenarios)
+            clear_caches()
+            warm = service.run(scenarios)
+        assert cold.stats.store_hits == 0
+        assert warm.stats.store_hits == warm.stats.unique
+        assert warm.stats.computed == 0
+        assert warm.stats.hit_rate == 1.0
+        for a, b in zip(cold.reports(), warm.reports()):
+            assert a.makespan == pytest.approx(b.makespan)
+
+    def test_streaming_and_callback_agree(self, tmp_path):
+        scenarios = _scenarios()
+        seen = []
+        with _service(tmp_path) as service:
+            streamed = list(service.sweep(scenarios))
+            clear_caches()
+            report = service.run(scenarios, on_result=seen.append)
+        assert {r.index for r in streamed} == set(range(5))
+        assert len(seen) == 5
+        assert sorted(r.index for r in seen) == [0, 1, 2, 3, 4]
+
+    def test_min_resource_scenarios(self, tmp_path):
+        dag = _chain_dag()
+        scenarios = [MinResourceProblem(dag, t) for t in (6.0, 9.0, 6.0)]
+        with _service(tmp_path) as service:
+            report = service.run(scenarios)
+        assert report.stats.unique == 2
+        assert all(r.report is not None for r in report.results)
+
+    def test_empty_batch(self, tmp_path):
+        with _service(tmp_path) as service:
+            report = service.run([])
+        assert report.results == []
+        assert report.stats.scenarios == 0
+        assert report.stats.hit_rate == 0.0
+
+    def test_no_store_still_dedups(self):
+        scenarios = _scenarios()
+        with SweepService(portfolio=Portfolio(executor="thread")) as service:
+            assert service.store is None
+            report = service.run(scenarios)
+        assert report.stats.computed == report.stats.unique == 3
+        assert len(report.results) == 5
+
+    def test_uses_global_store_by_default(self, tmp_path):
+        global_store = set_solution_store(str(tmp_path / "global"))
+        with SweepService(portfolio=Portfolio(executor="thread")) as service:
+            assert service.store is global_store
+
+    def test_explicit_shard_size(self, tmp_path):
+        scenarios = _scenarios((1.0, 2.0, 3.0, 4.0, 5.0, 6.0))
+        with _service(tmp_path) as service:
+            report = service.run(scenarios, shard_size=2)
+        assert report.stats.shards == 3
+        assert report.stats.shard_size == 2
+
+
+class TestSweepFailures:
+    def test_failing_scenario_reported_not_fatal(self, tmp_path):
+        # a constant-duration chain stays solvable by exact-enumeration even
+        # under max_exact_combinations=1; the step-duration chain does not
+        tiny = TradeoffDAG()
+        tiny.add_job("s"); tiny.add_job("x", ConstantDuration(3.0)); tiny.add_job("t")
+        tiny.add_edge("s", "x"); tiny.add_edge("x", "t")
+        good = MinMakespanProblem(tiny, 2.0)
+        bad = MinMakespanProblem(_chain_dag(), 2.0)
+        with SweepService(store=SolutionStore(str(tmp_path / "store")),
+                          portfolio=Portfolio(executor="thread"),
+                          limits=SolveLimits(max_exact_combinations=1)) as service:
+            report = service.run([good, bad, good], "exact-enumeration")
+        assert report.stats.failed == 1
+        assert report.results[1].source == "failed"
+        assert "ExactSearchLimit" in report.results[1].error
+        assert report.results[0].report is not None
+        assert report.results[2].report is not None
+        # failures are never persisted
+        assert service.store.entry_count() == 1
+
+
+class TestManifestResume:
+    def test_interrupted_sweep_resumes_without_recompute(self, tmp_path):
+        scenarios = _scenarios((1.0, 2.0, 3.0, 4.0, 5.0, 6.0))
+        manifest = str(tmp_path / "manifest.json")
+        with _service(tmp_path) as service:
+            stream = service.sweep(scenarios, manifest=manifest, shard_size=1)
+            finished = [next(stream) for _ in range(3)]
+            stream.close()  # interruption
+            interrupted_keys = {r.key for r in finished}
+
+            data = json.load(open(manifest, encoding="utf-8"))
+            assert data["schema"] == MANIFEST_SCHEMA_VERSION
+            assert data["completed"] is False
+            assert interrupted_keys <= set(data["done"])
+
+            clear_caches()
+            resumed = service.run(scenarios, manifest=manifest, shard_size=1)
+        stats = resumed.stats
+        assert stats.resumed == len(interrupted_keys)
+        assert stats.store_hits >= len(interrupted_keys)
+        assert stats.computed == stats.unique - stats.store_hits
+        assert json.load(open(manifest, encoding="utf-8"))["completed"] is True
+
+    def test_completed_manifest_round_trip(self, tmp_path):
+        scenarios = _scenarios()
+        manifest = str(tmp_path / "manifest.json")
+        with _service(tmp_path) as service:
+            service.run(scenarios, manifest=manifest)
+            data = json.load(open(manifest, encoding="utf-8"))
+            assert data["completed"] is True
+            assert len(data["done"]) == 3
+            clear_caches()
+            again = service.run(scenarios, manifest=manifest)
+        assert again.stats.resumed == 3
+        assert again.stats.computed == 0
+
+    def test_corrupt_manifest_is_ignored(self, tmp_path):
+        scenarios = _scenarios()
+        manifest = tmp_path / "manifest.json"
+        manifest.write_text("{ not json")
+        with _service(tmp_path) as service:
+            report = service.run(scenarios, manifest=str(manifest))
+        assert report.stats.computed == 3  # fresh sweep, no crash
+        assert json.load(open(manifest, encoding="utf-8"))["completed"] is True
+
+    def test_method_mismatch_invalidates_manifest(self, tmp_path):
+        scenarios = _scenarios()
+        manifest = str(tmp_path / "manifest.json")
+        with _service(tmp_path) as service:
+            service.run(scenarios, "bicriteria-lp", manifest=manifest)
+            clear_caches()
+            other = service.run(scenarios, manifest=manifest)  # method="auto"
+        # different method -> different request keys -> nothing resumed
+        assert other.stats.resumed == 0
+
+    def test_store_loss_forces_recompute_despite_manifest(self, tmp_path):
+        scenarios = _scenarios()
+        manifest = str(tmp_path / "manifest.json")
+        with _service(tmp_path) as service:
+            service.run(scenarios, manifest=manifest)
+            service.store.clear()  # the store lost everything
+            clear_caches()
+            report = service.run(scenarios, manifest=manifest)
+        # the manifest says done, but the store is the source of truth
+        assert report.stats.computed == 3
+        assert report.stats.resumed == 0
+        assert all(r.report is not None for r in report.results)
+
+
+class TestReviewRegressions:
+    def test_validate_false_reaches_workers_and_store(self, tmp_path):
+        scenarios = _scenarios((1.0, 2.0))
+        with _service(tmp_path, validate=False) as service:
+            report = service.run(scenarios)
+            assert all(r.report.certificate is None for r in report.results)
+            clear_caches()
+            warm = service.run(scenarios)
+        # warm hits come from entries stored under the validate=False key
+        # and are certificate-free, matching a fresh validate=False solve
+        assert warm.stats.store_hits == 2
+        assert all(r.report.certificate is None for r in warm.results)
+
+    def test_duplicate_slots_do_not_alias(self, tmp_path):
+        scenarios = _scenarios((1.0, 2.0, 1.0))
+        with _service(tmp_path) as service:
+            cold = service.run(scenarios)
+            clear_caches()
+            warm = service.run(scenarios)
+        for report in (cold, warm):
+            first, dup = report.results[0], report.results[2]
+            assert first.key == dup.key
+            assert first.report is not dup.report
+            first.report.allocation["mutated"] = 1.0
+            assert "mutated" not in dup.report.allocation
+
+    def test_store_write_failure_does_not_fail_solve(self, tmp_path, monkeypatch):
+        import repro.engine.store as store_mod
+
+        store = SolutionStore(str(tmp_path / "failing"))
+
+        def _disk_full(path, payload):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(store_mod, "atomic_write_json", _disk_full)
+        assert not store.put("aa" + "0" * 62, {"v": 1})  # skipped, not raised
+        assert store.info()["skipped_writes"] == 1
+        # the two-tier solve path survives the same failure
+        set_solution_store(store)
+        report = solve(_scenarios((1.0,))[0])
+        assert report.makespan >= 0
+
+
+class TestSweepAnalysis:
+    def test_sweep_table_handles_infeasible_scenarios(self, tmp_path):
+        import math
+
+        from repro.analysis import render_sweep_table, summarize_sweep
+
+        dag = _chain_dag()
+        # target below what even full resourcing achieves -> makespan = inf
+        scenarios = [MinResourceProblem(dag, 0.5), MinResourceProblem(dag, 9.0)]
+        with _service(tmp_path) as service:
+            report = service.run(scenarios)
+        assert any(math.isinf(r.report.makespan) for r in report.results)
+        # both the live-sweep and the from-store paths must render, not raise
+        assert "solver id" in render_sweep_table(report)
+        assert "solver id" in render_sweep_table(service.store)
+        summary = summarize_sweep(service.store)
+        assert summary  # at least one solver row
+        # the shared number renderer must survive non-finite values
+        from repro.analysis import format_float
+        assert format_float(math.inf) == "inf"
+        assert format_float(math.nan) == "nan"
+
+
+class TestSweepWithCustomSolver:
+    def test_runtime_registered_solver_in_thread_pool(self, tmp_path):
+        from repro.core.problem import TradeoffSolution
+
+        @register_solver("test-fixed", summary="fixed answer",
+                         objectives=(MIN_MAKESPAN,), kind="baseline",
+                         theorem="-", guarantee="none", priority=997,
+                         can_solve=lambda p, s, l: True)
+        def _fixed(problem, structure, limits, **options):
+            return TradeoffSolution(makespan=1.0, budget_used=0.0,
+                                    algorithm="test-fixed")
+
+        try:
+            scenarios = _scenarios((1.0, 2.0))
+            with _service(tmp_path) as service:
+                report = service.run(scenarios, "test-fixed")
+            assert all(r.report.solver_id == "test-fixed" for r in report.results)
+        finally:
+            unregister_solver("test-fixed")

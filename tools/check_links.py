@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Intra-repo markdown link checker (CI gate for docs/ and README).
+
+Scans README.md and every markdown file under docs/ for inline links and
+images, and fails (exit 1) when a *relative* link points at a file that
+does not exist -- or, for links into markdown files, at a heading anchor
+that does not exist.  External links (http/https/mailto) are not fetched.
+
+Run from anywhere:  python tools/check_links.py [extra.md ...]
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Inline markdown links/images: [text](target) / ![alt](target).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+SCHEME_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_~]", "", text)           # inline formatting
+    text = re.sub(r"[^\w\- ]", "", text)          # punctuation
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    content = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(match) for match in HEADING_RE.findall(content)}
+
+
+def check_file(path: pathlib.Path) -> List[Tuple[str, str]]:
+    """Return ``(link, reason)`` pairs for every broken link in ``path``."""
+    content = CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    broken: List[Tuple[str, str]] = []
+    for target in LINK_RE.findall(content):
+        if SCHEME_RE.match(target):
+            continue  # external (http:, https:, mailto:, ...)
+        raw_path, _, fragment = target.partition("#")
+        if not raw_path:  # same-file anchor
+            destination = path
+        else:
+            destination = (path.parent / raw_path).resolve()
+            if not destination.exists():
+                broken.append((target, "file not found"))
+                continue
+        if fragment and destination.suffix == ".md" and destination.is_file():
+            if fragment not in anchors_of(destination):
+                broken.append((target, f"no heading anchor #{fragment}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("**/*.md"))
+    files += [pathlib.Path(arg).resolve() for arg in argv]
+
+    failures = 0
+    for path in files:
+        if not path.exists():
+            print(f"MISSING FILE: {path}")
+            failures += 1
+            continue
+        try:
+            display = path.relative_to(REPO_ROOT)
+        except ValueError:
+            display = path
+        for link, reason in check_file(path):
+            print(f"{display}: broken link '{link}' ({reason})")
+            failures += 1
+    checked = len(files)
+    if failures:
+        print(f"\n{failures} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all intra-repo links OK across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
