@@ -33,7 +33,6 @@ from __future__ import annotations
 import sys
 import time
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core.bicriteria import solve_min_makespan_bicriteria

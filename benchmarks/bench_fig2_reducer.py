@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.analysis import format_table
 from repro.races.reducer import (

@@ -15,12 +15,10 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core.exact import exact_min_makespan
 from repro.races.matmul import (
-    parallel_mm_race_dag,
     parallel_mm_running_time,
     parallel_mm_space_used,
     parallel_mm_tradeoff_dag,

@@ -15,7 +15,6 @@ exactly the thresholds the paper claims:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.hardness import (

@@ -8,7 +8,6 @@ Observation 1.1 bound computed from the same configuration.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.races.matmul import parallel_mm_race_dag

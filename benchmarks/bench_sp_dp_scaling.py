@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.analysis import format_table
 from repro.core.series_parallel import sp_min_makespan_table

@@ -28,7 +28,6 @@ import sys
 import tempfile
 import time
 
-import pytest
 
 from repro import MinMakespanProblem, Portfolio, SolutionStore, SweepService, clear_caches
 from repro.analysis import format_table, render_sweep_table

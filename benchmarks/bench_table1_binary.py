@@ -8,7 +8,6 @@ workloads, and checks the proven factors.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.engine import SolveLimits, exact_reference, solve

@@ -10,7 +10,6 @@ measured worst-case factors next to the proven bounds.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.analysis.ratios import measure_ratios, summarize_measurements

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import format_table
 from repro.engine import SolveLimits, exact_reference, solve

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import render_table2, render_table3
 from repro.hardness.gadgets_general import table2_rows

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Tour of the asyncio serving front (``AsyncSweepService`` + ``repro.serve``).
+
+The sweep service (see ``sweep_service_tour.py``) serves one batch at a
+time; this tour shows the layer that turns it into a long-running
+concurrent server:
+
+1. **concurrent clients** -- several coroutines ``await submit(...)``
+   against one :class:`repro.AsyncSweepService` at once; shard execution
+   overlaps across clients on the warm worker pool;
+2. **in-flight dedup (tier 0)** -- clients asking for the same request
+   fingerprint *while it is still being solved* share a single solve;
+3. **backpressure** -- the bounded request queue blocks producers instead
+   of letting a burst overwhelm the pool;
+4. **the network front** -- a stdlib JSON-lines-over-TCP server
+   (``python -m repro.serve``) started in-process, spoken to with the
+   bundled asyncio client helper.
+
+Run with:  python examples/async_service_tour.py
+"""
+
+import asyncio
+import os
+import tempfile
+
+from repro import AsyncSweepService, MinMakespanProblem, Portfolio, SolutionStore
+from repro.generators import get_workload
+from repro.serve import SweepServer, request_sweep
+
+WORKLOADS = ["small-layered-general", "small-layered-binary", "small-layered-kway"]
+
+
+def client_batches():
+    """Per-client scenario batches: a private budget each + a shared hot one."""
+    batches = []
+    for index, name in enumerate(WORKLOADS * 2):
+        workload = get_workload(name)
+        dag = workload.build()
+        batches.append([
+            MinMakespanProblem(dag, workload.budget * (1.0 + 0.05 * index)),
+            MinMakespanProblem(get_workload(WORKLOADS[0]).build(),
+                               get_workload(WORKLOADS[0]).budget),  # hot scenario
+        ])
+    return batches
+
+
+async def show_concurrent_clients(root: str) -> None:
+    print("1. Concurrent clients sharing one async service\n")
+    async with AsyncSweepService(
+            store=SolutionStore(os.path.join(root, "store")),
+            portfolio=Portfolio(executor="thread"),
+            manifest=os.path.join(root, "manifest.json")) as service:
+
+        async def client(client_id: int, scenarios) -> str:
+            ticket = await service.submit(scenarios, "bicriteria-lp", alpha=0.5)
+            results = await ticket.results()
+            sources = ",".join(r.source for r in results)
+            return f"   client {client_id}: {len(results)} results ({sources})"
+
+        lines = await asyncio.gather(*[
+            client(i, batch) for i, batch in enumerate(client_batches())])
+        print("\n".join(lines))
+        print(f"   service:  {service.stats.summary()}")
+        tier0 = service.stats.deduped
+        print(f"   tier-0 in-flight dedup answered {tier0} requests "
+              f"before a result even existed")
+
+
+async def show_network_front(root: str) -> None:
+    print("\n2. The JSON-lines network front (python -m repro.serve)\n")
+    service = AsyncSweepService(store=SolutionStore(os.path.join(root, "store")),
+                                portfolio=Portfolio(executor="thread"))
+    async with SweepServer(service, port=0) as server:   # port 0: OS picks one
+        print(f"   serving on {server.address}")
+        scenarios = [get_workload(name).problem() for name in WORKLOADS]
+        responses = await request_sweep(scenarios, port=server.port)
+        for response in responses:
+            solution = response["report"]["solution"]
+            print(f"   scenario {response['index']}: source={response['source']}, "
+                  f"solver={response['report']['solver_id']}, "
+                  f"makespan={solution['makespan']:.2f}")
+        again = await request_sweep(scenarios, port=server.port)
+        print(f"   second client: {sorted({r['source'] for r in again})} "
+              f"(persistent store answered)")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-async-tour-") as root:
+        asyncio.run(show_concurrent_clients(root))
+        asyncio.run(show_network_front(root))
+
+
+if __name__ == "__main__":
+    main()

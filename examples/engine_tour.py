@@ -19,7 +19,7 @@ Run with:  python examples/engine_tour.py
 
 import time
 
-from repro import MinMakespanProblem, Portfolio, clear_caches, solve
+from repro import Portfolio, clear_caches, solve
 from repro.analysis import format_table, render_solver_table
 from repro.generators import get_workload
 

@@ -40,6 +40,8 @@ True
 from repro.core import *  # noqa: F401,F403 -- re-export the public core API
 from repro.core import __all__ as _core_all
 from repro.engine import (  # noqa: F401 -- re-export the engine API
+    AsyncSweepService,
+    AsyncSweepStats,
     Certificate,
     NoSolverError,
     Portfolio,
@@ -69,7 +71,7 @@ from repro.engine import (  # noqa: F401 -- re-export the engine API
     solver_specs,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 _engine_all = [
     "solve", "exact_reference", "normalize_problem",
@@ -78,6 +80,7 @@ _engine_all = [
     "candidate_solvers", "NoSolverError",
     "Portfolio", "PortfolioReport",
     "SweepService", "SweepReport", "SweepResult", "SweepStats",
+    "AsyncSweepService", "AsyncSweepStats",
     "SolutionStore", "set_solution_store", "get_solution_store", "request_key",
     "analyze_dag", "dag_fingerprint", "clear_caches",
 ]

@@ -18,13 +18,12 @@ for the approximation rows of Table 1.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.core.dag import TradeoffDAG
 from repro.core.problem import TradeoffSolution
 from repro.engine import SolveLimits, exact_reference, solve
-from repro.utils.validation import require
 
 __all__ = ["RatioMeasurement", "measure_ratios", "summarize_measurements"]
 

@@ -17,7 +17,7 @@ ratio) and resource factors (budget used / budget) per solver.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.report import format_table
 from repro.engine.fingerprint import decode_payload_value

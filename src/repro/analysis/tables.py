@@ -13,8 +13,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List
 
 from repro.analysis.report import format_table
 from repro.hardness.gadgets_general import TABLE2_HEADER, table2_rows

@@ -15,12 +15,11 @@ substrate work directly on this class.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.core.duration import ConstantDuration, DurationFunction
-from repro.utils.ordering import longest_path_lengths, topological_order
+from repro.utils.ordering import topological_order
 from repro.utils.validation import ValidationError, check_non_negative, require
 
 __all__ = ["TradeoffDAG", "MakespanResult"]

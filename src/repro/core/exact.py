@@ -25,14 +25,12 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.arcdag import Arc, ArcDAG, node_to_arc_dag
 from repro.core.dag import TradeoffDAG
-from repro.core.flow import ResourceFlow
 from repro.core.minflow import InfeasibleFlowError, min_flow_with_lower_bounds
 from repro.core.problem import TradeoffSolution
-from repro.utils.ordering import topological_order
 from repro.utils.validation import check_non_negative, require
 
 __all__ = [

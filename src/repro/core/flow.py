@@ -13,12 +13,10 @@ path -- and validates conservation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+from typing import Dict, Hashable, List, Mapping
 
 from repro.core.arcdag import Arc, ArcDAG
-from repro.utils.validation import check_non_negative, require
 
 __all__ = ["ResourceFlow", "FlowValidationError"]
 

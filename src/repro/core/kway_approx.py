@@ -19,7 +19,6 @@ from typing import Dict, Hashable
 
 from repro.core.arcdag import expand_to_two_tuples, node_to_arc_dag
 from repro.core.dag import TradeoffDAG
-from repro.core.duration import KWaySplitDuration
 from repro.core.flow import ResourceFlow
 from repro.core.lp import solve_min_makespan_lp
 from repro.core.minflow import min_flow_with_lower_bounds

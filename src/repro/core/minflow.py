@@ -28,7 +28,7 @@ from typing import Dict, Hashable, Mapping, Optional, Tuple
 from repro.core.arcdag import ArcDAG
 from repro.core.flow import ResourceFlow
 from repro.core.maxflow import INFINITY, DinicMaxFlow
-from repro.utils.validation import check_non_negative, require
+from repro.utils.validation import check_non_negative
 
 __all__ = ["MinFlowResult", "min_flow_with_lower_bounds", "allocation_min_budget"]
 

@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Mapping, Optional
+from typing import Any, Dict, Hashable, Optional
 
 from repro.core.dag import TradeoffDAG
-from repro.utils.validation import check_non_negative, require
+from repro.utils.validation import check_non_negative
 
 __all__ = ["MinMakespanProblem", "MinResourceProblem", "TradeoffSolution"]
 

@@ -17,13 +17,12 @@ final bi-criteria solution (Lemmas 3.2-3.3, Theorem 3.4).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict
 
 from repro.core.arcdag import ArcDAG
 from repro.core.lp import LPSolution, linear_relaxed_duration
-from repro.utils.validation import check_non_negative, require
+from repro.utils.validation import require
 from repro.utils.validation import check_open_unit_interval
 
 __all__ = ["RoundedRequirements", "round_lp_solution"]

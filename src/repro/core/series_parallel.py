@@ -34,7 +34,7 @@ import itertools
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
@@ -172,7 +172,7 @@ def parallel(*nodes: SPNode) -> SPNode:
 # the dynamic program
 # ----------------------------------------------------------------------
 def _leaf_table(leaf: SPLeaf, budget: int) -> np.ndarray:
-    return np.array([leaf.duration.duration(l) for l in range(budget + 1)], dtype=float)
+    return np.array([leaf.duration.duration(r) for r in range(budget + 1)], dtype=float)
 
 
 def _parallel_merge(t1: np.ndarray, t2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:

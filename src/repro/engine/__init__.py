@@ -77,6 +77,7 @@ import repro.engine.solvers  # noqa: F401  (side-effect import)
 
 from repro.engine.portfolio import Portfolio, PortfolioReport
 from repro.engine.service import SweepReport, SweepResult, SweepService, SweepStats
+from repro.engine.async_service import AsyncSweepService, AsyncSweepStats, SubmitTicket
 
 __all__ = [
     # entry points
@@ -93,9 +94,10 @@ __all__ = [
     "solution_to_payload", "solution_from_payload", "UnserializableSolutionError",
     # certificates
     "Certificate", "certify_solution",
-    # portfolio + sweep service
+    # portfolio + sweep service (sync and async fronts)
     "Portfolio", "PortfolioReport",
     "SweepService", "SweepReport", "SweepResult", "SweepStats",
+    "AsyncSweepService", "AsyncSweepStats", "SubmitTicket",
     # caches (two tiers)
     "clear_caches", "solution_cache_info", "structure_cache_info",
     "SolutionStore", "STORE_SCHEMA_VERSION",

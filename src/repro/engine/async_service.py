@@ -1,0 +1,533 @@
+"""Asyncio serving front over the store + :class:`Portfolio` machinery.
+
+:class:`~repro.engine.service.SweepService` serves one batch at a time;
+:class:`AsyncSweepService` turns the same substrate (persistent
+:class:`~repro.engine.store.SolutionStore`, warm
+:class:`~repro.engine.portfolio.Portfolio` pools, request-key dedup) into a
+**long-running concurrent server**: many clients ``await submit(...)``
+scenario batches at once and the service
+
+1. **deduplicates across requests, in flight** -- two concurrent clients
+   asking for the same request fingerprint share one solve (tier 0 of the
+   cache hierarchy: it answers before a result even exists);
+2. **answers from the persistent store** (tier 2) without queueing;
+3. **queues the rest with backpressure** -- a bounded :class:`asyncio.Queue`
+   blocks producers at the bound, and an :class:`asyncio.Semaphore` caps how
+   many shards are in flight on the warm pool at once
+   (``loop.run_in_executor`` over :meth:`Portfolio.shard_task`);
+4. **survives cancellation** -- a client cancelling its future never corrupts
+   the store or the manifest: a shard already running completes, its results
+   are persisted, and the other clients deduplicated onto it still get
+   their answers;
+5. **drains gracefully** -- :meth:`aclose` stops accepting work, waits for
+   everything queued to finish, checkpoints the manifest and closes what it
+   started.
+
+Clients receive plain :class:`asyncio.Future` objects (one per scenario
+slot, shared per request key) resolving to
+:class:`~repro.engine.service.SweepResult`; nothing in the public API
+blocks the event loop longer than a store lookup.
+
+Usage:
+
+>>> import asyncio
+>>> from repro.core.dag import TradeoffDAG
+>>> from repro.core.duration import GeneralStepDuration
+>>> from repro.core.problem import MinMakespanProblem
+>>> from repro.engine.async_service import AsyncSweepService
+>>> from repro.engine.portfolio import Portfolio
+>>> dag = TradeoffDAG()
+>>> for name in ("s", "x", "t"):
+...     _ = dag.add_job(name, GeneralStepDuration([(0, 4), (2, 1)]))
+>>> dag.add_edge("s", "x"); dag.add_edge("x", "t")
+>>> async def tour():
+...     async with AsyncSweepService(portfolio=Portfolio(executor="thread")) as service:
+...         ticket = await service.submit(
+...             [MinMakespanProblem(dag, b) for b in (2.0, 4.0, 2.0)])
+...         results = await ticket.results()
+...     return [r.source for r in results], service.stats.computed
+>>> asyncio.run(tour())
+(['computed', 'computed', 'computed'], 2)
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.engine.core import (
+    Problem,
+    SolveLimits,
+    SolveReport,
+    _clone_report,
+    get_solution_store,
+    normalize_problem,
+    request_key,
+)
+from repro.engine.portfolio import Portfolio
+from repro.engine.service import SweepResult, load_manifest_done, write_manifest
+from repro.engine.store import SolutionStore
+from repro.utils.validation import ValidationError, require
+
+__all__ = ["AsyncSweepService", "AsyncSweepStats", "SubmitTicket",
+           "ASYNC_MANIFEST_METHOD"]
+
+#: ``method`` recorded in the async service's manifest.  One async service
+#: may serve mixed methods (each request key already encodes its own), so
+#: the manifest is scoped to the service rather than to a single method.
+ASYNC_MANIFEST_METHOD = "async-mixed"
+
+
+@dataclass
+class AsyncSweepStats:
+    """Rolling counters of one :class:`AsyncSweepService` lifetime.
+
+    Unlike :class:`~repro.engine.service.SweepStats` (one batch), these
+    accumulate across every ``submit`` until the service closes.
+    """
+
+    #: Scenario slots submitted (duplicates included).
+    requests: int = 0
+    #: Submit calls served.
+    batches: int = 0
+    #: Slots answered by sharing an *in-flight* solve (tier-0 hits).
+    deduped: int = 0
+    #: Slots answered straight from the persistent store (tier-2 hits).
+    store_hits: int = 0
+    computed: int = 0
+    failed: int = 0
+    #: Queued requests dropped because every waiter cancelled before dispatch.
+    cancelled: int = 0
+    #: Executor shards dispatched to the worker pool.
+    shards: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable description (used by the benchmarks)."""
+        return (f"{self.requests} requests in {self.batches} batches: "
+                f"{self.deduped} deduped in flight, {self.store_hits} from "
+                f"store, {self.computed} computed in {self.shards} shards, "
+                f"{self.failed} failed, {self.cancelled} cancelled")
+
+
+@dataclass
+class _Inflight:
+    """One unique queued/solving request and everyone waiting on it."""
+
+    key: str
+    problem: Problem
+    method: str
+    options: Dict[str, Any]
+    #: ``(slot index, problem-as-submitted, per-slot future)`` per waiter.
+    waiters: List[Tuple[int, Problem, "asyncio.Future[SweepResult]"]] = \
+        field(default_factory=list)
+
+    def add_waiter(self, index: int, problem: Problem,
+                   future: "asyncio.Future[SweepResult]") -> None:
+        self.waiters.append((index, problem, future))
+
+    def abandoned(self) -> bool:
+        """Has every waiter cancelled (nobody wants the answer anymore)?"""
+        return all(future.cancelled() for _, _, future in self.waiters)
+
+    def resolve(self, report: Optional[SolveReport], source: str,
+                error: Optional[str], cache_tier: str = "") -> None:
+        """Deliver one outcome to every still-listening waiter.
+
+        Each live waiter gets its own defensively-copied report (consumers
+        may edit allocations in place; deduplicated slots must not alias).
+        """
+        for index, problem, future in self.waiters:
+            if future.done():  # cancelled (or already failed) waiters
+                continue
+            copy = None
+            if report is not None:
+                copy = _clone_report(report, from_cache=bool(cache_tier),
+                                     cache_tier=cache_tier)
+            future.set_result(SweepResult(index=index, key=self.key,
+                                          problem=problem, report=copy,
+                                          source=source, error=error))
+
+
+@dataclass
+class SubmitTicket:
+    """What one ``await submit(scenarios, ...)`` call hands back.
+
+    ``futures`` has one :class:`asyncio.Future` per scenario slot (batch
+    order), each resolving to a :class:`~repro.engine.service.SweepResult`;
+    ``per_key`` maps each distinct request key to the future of its first
+    slot (the "futures per request key" view -- duplicate slots share the
+    same underlying solve).  Failures resolve the future with a
+    ``source="failed"`` result; the only exception a waiter sees is its own
+    cancellation.
+    """
+
+    keys: List[str]
+    futures: List["asyncio.Future[SweepResult]"]
+
+    @property
+    def per_key(self) -> Dict[str, "asyncio.Future[SweepResult]"]:
+        """First slot future per distinct request key."""
+        mapping: Dict[str, asyncio.Future] = {}
+        for key, future in zip(self.keys, self.futures):
+            mapping.setdefault(key, future)
+        return mapping
+
+    async def results(self) -> List[SweepResult]:
+        """Await every slot and return the results in batch order."""
+        return list(await asyncio.gather(*self.futures))
+
+    async def reports(self) -> List[Optional[SolveReport]]:
+        """Await every slot; the per-scenario reports (``None`` on failure)."""
+        return [result.report for result in await self.results()]
+
+    def cancel(self) -> int:
+        """Cancel every unresolved slot future; returns how many were."""
+        return sum(1 for future in self.futures if future.cancel())
+
+
+class AsyncSweepService:
+    """Concurrent, deduplicating, store-backed asyncio solve service.
+
+    Parameters
+    ----------
+    store:
+        Persistent :class:`SolutionStore` (or a directory path), defaulting
+        to the engine's globally installed store; ``None`` without one.
+    portfolio:
+        The :class:`Portfolio` whose *persistent* pool runs the shards.
+        Defaults to a process-pool portfolio owned (started and closed) by
+        the service.
+    limits:
+        :class:`SolveLimits` baked into every request key and solve.
+    max_concurrency:
+        Maximum shards in flight on the pool at once (the semaphore bound);
+        defaults to the portfolio's worker count.
+    queue_size:
+        Bound of the internal request queue; ``submit`` blocks (awaits)
+        when it is full -- the backpressure contract.
+    shard_size:
+        Maximum scenarios batched into one executor task.  1 (default)
+        optimises latency; larger values amortise pickling on throughput
+        workloads.
+    validate:
+        Run certificate checks on computed solutions (part of the key).
+    manifest:
+        Optional path checkpointing completed request keys after every
+        shard (see :func:`~repro.engine.service.write_manifest`); the store
+        stays the source of truth on resume, exactly as for
+        :class:`~repro.engine.service.SweepService`.
+
+    Notes
+    -----
+    The service is bound to the event loop that first runs it and is not
+    thread-safe; share it between coroutines, not between loops.  Request
+    keys are computed synchronously on the loop (they run the memoized
+    structure probe), as are store lookups -- both are designed to be
+    cheap, but extremely large DAGs pay their first probe inline.
+    """
+
+    def __init__(self, store: Union[SolutionStore, str, None] = None, *,
+                 portfolio: Optional[Portfolio] = None,
+                 limits: Optional[SolveLimits] = None,
+                 max_concurrency: Optional[int] = None,
+                 queue_size: int = 64,
+                 shard_size: int = 1,
+                 validate: bool = True,
+                 manifest: Optional[str] = None):
+        require(queue_size > 0, "queue_size must be positive")
+        require(shard_size > 0, "shard_size must be positive")
+        require(max_concurrency is None or max_concurrency > 0,
+                "max_concurrency must be positive")
+        if isinstance(store, str):
+            store = SolutionStore(store)
+        self._explicit_store = store
+        self._owns_portfolio = portfolio is None
+        self._portfolio = portfolio if portfolio is not None else Portfolio(executor="process")
+        self._started_pool = False
+        if limits is not None:
+            self.limits = limits
+            self._portfolio.limits = limits
+        else:
+            self.limits = self._portfolio.limits
+        self.max_concurrency = max_concurrency
+        self.queue_size = queue_size
+        self.shard_size = shard_size
+        self.validate = validate
+        self.manifest = manifest
+        self.stats = AsyncSweepStats()
+
+        self._queue: Optional[asyncio.Queue] = None
+        self._semaphore: Optional[asyncio.Semaphore] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._shard_tasks: set = set()
+        self._inflight: Dict[str, _Inflight] = {}
+        self._manifest_keys: List[str] = []
+        self._manifest_done: set = set()
+        self._closed = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> Optional[SolutionStore]:
+        """The store consulted and fed (explicit, else the global one)."""
+        if self._explicit_store is not None:
+            return self._explicit_store
+        return get_solution_store()
+
+    @property
+    def portfolio(self) -> Portfolio:
+        return self._portfolio
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def queue_depth(self) -> int:
+        """Requests queued but not yet dispatched (0 before start)."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def inflight_count(self) -> int:
+        """Unique requests currently queued or solving."""
+        return len(self._inflight)
+
+    async def start(self) -> "AsyncSweepService":
+        """Warm the pool and start the dispatcher (idempotent)."""
+        self._require_open()
+        if self._started:
+            return self
+        if self._portfolio.pool is None:
+            self._portfolio.start()
+            self._started_pool = True
+        concurrency = self.max_concurrency or self._portfolio.worker_count()
+        self._queue = asyncio.Queue(maxsize=self.queue_size)
+        self._semaphore = asyncio.Semaphore(concurrency)
+        self._dispatcher = asyncio.create_task(self._dispatch_loop(),
+                                               name="repro-async-sweep-dispatch")
+        if self.manifest:
+            self._manifest_done = load_manifest_done(self.manifest,
+                                                     ASYNC_MANIFEST_METHOD)
+            self._manifest_keys = sorted(self._manifest_done)
+        self._started = True
+        return self
+
+    async def __aenter__(self) -> "AsyncSweepService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "AsyncSweepService is closed; create a new service to "
+                "submit further scenarios")
+
+    async def drain(self) -> None:
+        """Wait until everything queued and in flight has resolved."""
+        if self._queue is not None:
+            await self._queue.join()
+        if self._shard_tasks:
+            await asyncio.gather(*list(self._shard_tasks), return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Graceful shutdown: refuse new work, drain, checkpoint, close.
+
+        Every already-accepted future resolves before the pool the service
+        started is shut down; calling :meth:`aclose` twice is harmless.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        dispatcher_error: Optional[BaseException] = None
+        try:
+            await self.drain()
+        finally:
+            if self._dispatcher is not None:
+                self._dispatcher.cancel()
+                try:
+                    await self._dispatcher
+                except asyncio.CancelledError:
+                    pass
+                except Exception as exc:  # noqa: BLE001 - re-raised below
+                    # A crashed dispatcher is the one diagnostic of why
+                    # futures hung; finish cleanup, then surface it.
+                    dispatcher_error = exc
+                self._dispatcher = None
+            if self.manifest:
+                write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
+                               sorted(self._manifest_keys),
+                               self._manifest_done, completed=True)
+            if self._owns_portfolio or self._started_pool:
+                self._portfolio.close()
+                self._started_pool = False
+        if dispatcher_error is not None:
+            raise dispatcher_error
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    async def submit(self, scenarios: Sequence[Problem], method: str = "auto",
+                     **options: Any) -> SubmitTicket:
+        """Enqueue a scenario batch; returns futures per slot/request key.
+
+        Resolution order per slot: share an in-flight solve (tier 0), then
+        the persistent store (tier 2), else the request is queued --
+        awaiting here is the backpressure point when the queue is full.
+        ``options`` must be literal values
+        (:func:`~repro.engine.core.request_key` raises otherwise).
+        """
+        self._require_open()
+        await self.start()
+        loop = asyncio.get_running_loop()
+        problems = [normalize_problem(p) for p in scenarios]
+        keys = [request_key(p, method, limits=self.limits,
+                            validate=self.validate, **options)
+                for p in problems]
+        self.stats.batches += 1
+        store = self.store
+        futures: List[asyncio.Future] = []
+        # One store lookup per unique key per batch: duplicate slots of an
+        # already-persisted scenario reuse the fetched report instead of
+        # re-reading the shard from disk on the event loop.
+        fetched: Dict[str, Optional[SolveReport]] = {}
+        for index, (key, problem) in enumerate(zip(keys, problems)):
+            self.stats.requests += 1
+            slot: asyncio.Future = loop.create_future()
+            futures.append(slot)
+            entry = self._inflight.get(key)
+            if entry is not None:
+                self.stats.deduped += 1
+                entry.add_waiter(index, problem, slot)
+                continue
+            if key in fetched:
+                report = fetched[key]
+            else:
+                report = store.get_report(key) if store is not None else None
+                fetched[key] = report
+            if report is not None:
+                self.stats.store_hits += 1
+                slot.set_result(SweepResult(
+                    index=index, key=key, problem=problem,
+                    report=_clone_report(report, from_cache=True,
+                                         cache_tier="store"),
+                    source="store"))
+                continue
+            entry = _Inflight(key=key, problem=problem, method=method,
+                              options=dict(options))
+            entry.add_waiter(index, problem, slot)
+            self._inflight[key] = entry
+            try:
+                # Backpressure: a full queue blocks the producer right here.
+                await self._queue.put(entry)
+            except asyncio.CancelledError:
+                # The producer was cancelled at the backpressure point: the
+                # entry never reached the queue, so nothing will ever
+                # dispatch it.  Retract it -- leaving it in ``_inflight``
+                # would dedup every future request for this key onto a dead
+                # entry (a permanent hang).  Waiters that deduplicated onto
+                # it while we blocked are failed, not hung.
+                self._inflight.pop(key, None)
+                entry.resolve(None, "failed",
+                              "submission cancelled while waiting for queue space")
+                raise
+        return SubmitTicket(keys=keys, futures=futures)
+
+    async def solve(self, problem: Problem, method: str = "auto",
+                    **options: Any) -> SolveReport:
+        """Submit one scenario and await its report (raises on failure)."""
+        ticket = await self.submit([problem], method, **options)
+        result = await ticket.futures[0]
+        if result.report is None:
+            raise ValidationError(f"async solve failed: {result.error}")
+        return result.report
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _group_token(self, entry: _Inflight) -> str:
+        return f"{entry.method}|{sorted(entry.options.items())!r}"
+
+    async def _dispatch_loop(self) -> None:
+        """Pop requests, batch compatible ones into shards, hand them to
+        the pool.  Acquiring the semaphore *before* spawning the shard task
+        stalls the popping itself, which fills the bounded queue, which
+        blocks producers -- the backpressure chain end to end."""
+        while True:
+            entry = await self._queue.get()
+            batch = [entry]
+            while len(batch) < self.shard_size:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            groups: Dict[str, List[_Inflight]] = {}
+            for item in batch:
+                if item.abandoned():
+                    self.stats.cancelled += 1
+                    self._inflight.pop(item.key, None)
+                    self._queue.task_done()
+                    continue
+                groups.setdefault(self._group_token(item), []).append(item)
+            for shard in groups.values():
+                await self._semaphore.acquire()
+                task = asyncio.create_task(self._run_shard(shard))
+                self._shard_tasks.add(task)
+                task.add_done_callback(self._shard_tasks.discard)
+
+    async def _run_shard(self, entries: List[_Inflight]) -> None:
+        """Solve one shard in the pool, persist, then resolve waiters.
+
+        Persistence (store + manifest) happens strictly *before* any waiter
+        is resolved, so a client that cancels or crashes the moment its
+        future fires can never leave a computed result unpersisted.
+        """
+        loop = asyncio.get_running_loop()
+        try:
+            self.stats.shards += 1
+            try:
+                fn, args = self._portfolio.shard_task(
+                    [e.problem for e in entries], entries[0].method,
+                    validate=self.validate, **entries[0].options)
+                outcomes = await loop.run_in_executor(self._portfolio.pool,
+                                                      fn, *args)
+            except asyncio.CancelledError:
+                # Shutdown mid-flight: the executor work itself cannot be
+                # interrupted (it will finish or die with the pool), but
+                # nothing gets recorded as done and waiters learn why.
+                for entry in entries:
+                    entry.resolve(None, "failed", "service shut down")
+                raise
+            except Exception as exc:  # noqa: BLE001 - reported per request
+                outcomes = [(None, f"{type(exc).__name__}: {exc}")] * len(entries)
+
+            store = self.store
+            if store is not None:
+                store.put_reports([(entry.key, report)
+                                   for entry, (report, _err) in zip(entries, outcomes)
+                                   if report is not None])
+            newly_done = [entry.key for entry, (report, _err)
+                          in zip(entries, outcomes) if report is not None]
+            if self.manifest and newly_done:
+                fresh = [key for key in newly_done
+                         if key not in self._manifest_done]
+                self._manifest_done.update(fresh)
+                self._manifest_keys.extend(fresh)
+                write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
+                               sorted(self._manifest_keys),
+                               self._manifest_done,
+                               completed=False)
+            for entry, (report, error) in zip(entries, outcomes):
+                if report is not None:
+                    self.stats.computed += 1
+                    entry.resolve(report, "computed", None)
+                else:
+                    self.stats.failed += 1
+                    entry.resolve(None, "failed", error)
+        finally:
+            for entry in entries:
+                self._inflight.pop(entry.key, None)
+                self._queue.task_done()
+            self._semaphore.release()

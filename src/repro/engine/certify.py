@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.minflow import InfeasibleFlowError, allocation_min_budget
 from repro.core.problem import MinMakespanProblem, MinResourceProblem, TradeoffSolution

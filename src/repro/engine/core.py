@@ -51,7 +51,7 @@ from repro.engine.registry import (
     select_solver,
 )
 from repro.engine.store import SolutionStore
-from repro.engine.structure import ProblemStructure, analyze_dag, clear_structure_cache
+from repro.engine.structure import analyze_dag, clear_structure_cache
 from repro.utils.validation import ValidationError, require
 
 __all__ = [

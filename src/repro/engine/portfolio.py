@@ -42,11 +42,17 @@ from __future__ import annotations
 import math
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.problem import MinMakespanProblem, MinResourceProblem
+from repro.core.problem import MinResourceProblem
 from repro.engine.core import Problem, SolveLimits, SolveReport, normalize_problem, solve
 from repro.engine.registry import MIN_RESOURCE, candidate_solvers, get_solver
 from repro.engine.structure import analyze_dag
@@ -175,12 +181,13 @@ class Portfolio:
         self.executor = executor
         self.max_workers = max_workers
         self.limits = limits if limits is not None else SolveLimits()
-        self._pool = None
+        self._pool: Optional[Executor] = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # executor lifecycle
     # ------------------------------------------------------------------
-    def _new_executor(self, workers: int):
+    def _new_executor(self, workers: int) -> Executor:
         if self.executor == "process":
             return ProcessPoolExecutor(max_workers=workers)
         return ThreadPoolExecutor(max_workers=workers)
@@ -191,17 +198,46 @@ class Portfolio:
         Worker processes keep their per-process solution caches between
         calls, so repeated scenarios in a sweep are served from memory.
         Pair with :meth:`close` (or use the portfolio as a context
-        manager).
+        manager).  Starting a closed portfolio reopens it.
         """
         if self._pool is None:
             self._pool = self._new_executor(self.max_workers or os.cpu_count() or 2)
+        self._closed = False
         return self
 
     def close(self) -> None:
-        """Shut the persistent pool down (no-op without :meth:`start`)."""
+        """Shut the persistent pool down and mark the portfolio closed.
+
+        A closed portfolio raises :class:`RuntimeError` from every
+        solve/map/submit entry point (instead of failing deep inside a
+        shut-down executor); :meth:`start` reopens it.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = None
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`close` been called (without a :meth:`start` since)?"""
+        return self._closed
+
+    def _require_open(self, operation: str) -> None:
+        if self._closed:
+            raise RuntimeError(
+                f"Portfolio is closed; {operation} needs a live portfolio "
+                "(call start() to reopen it)")
+
+    @property
+    def pool(self) -> Optional[Executor]:
+        """The persistent executor opened by :meth:`start` (else ``None``).
+
+        Exposed for non-blocking front-ends (the asyncio serving layer)
+        that submit shard work through
+        ``loop.run_in_executor(portfolio.pool, *portfolio.shard_task(...))``
+        instead of blocking on :meth:`submit_shard` futures.
+        """
+        return self._pool
 
     def __enter__(self) -> "Portfolio":
         return self.start()
@@ -263,6 +299,7 @@ class Portfolio:
         ``limits.time_limit`` elapses, the best *finished* run wins and
         unfinished runs are abandoned (their workers are not waited for).
         """
+        self._require_open("solve()")
         problem = normalize_problem(problem, dag=dag, budget=budget,
                                     target_makespan=target_makespan)
         methods = self._methods_for(problem)
@@ -326,6 +363,7 @@ class Portfolio:
         original error as text (the original exception object stays in the
         worker), not the original exception type.
         """
+        self._require_open("map()")
         problems = [normalize_problem(p) for p in problems]
         if not problems:
             return []
@@ -365,6 +403,23 @@ class Portfolio:
             if transient:
                 pool.shutdown(wait=False, cancel_futures=True)
 
+    def shard_task(self, problems: Sequence[Problem], method: str = "auto",
+                   validate: bool = True, **options: Any) -> Tuple[Any, Tuple]:
+        """Return ``(callable, args)`` solving one scenario shard.
+
+        The returned pair is executor-agnostic: pass it to any submission
+        primitive (``pool.submit(fn, *args)``,
+        ``loop.run_in_executor(pool, fn, *args)``).  This is the
+        non-blocking hook the asyncio serving layer
+        (:class:`~repro.engine.async_service.AsyncSweepService`) builds on;
+        the callable returns a list of ``(report, error_text)`` pairs, one
+        per scenario, in order.
+        """
+        self._require_open("shard_task()")
+        problems = [normalize_problem(p) for p in problems]
+        require(len(problems) > 0, "shard_task() needs at least one problem")
+        return _solve_shard_task, (problems, method, self.limits, options, validate)
+
     def submit_shard(self, problems: Sequence[Problem], method: str = "auto",
                      validate: bool = True, **options: Any) -> Future:
         """Submit one scenario shard to the *persistent* pool (see start()).
@@ -375,10 +430,9 @@ class Portfolio:
         :class:`~repro.engine.service.SweepService`, which consumes shard
         futures as they complete rather than in submission order.
         """
+        self._require_open("submit_shard()")
         require(self._pool is not None,
                 "submit_shard() needs a persistent pool; call start() first "
                 "(or use the portfolio as a context manager)")
-        problems = [normalize_problem(p) for p in problems]
-        require(len(problems) > 0, "submit_shard() needs at least one problem")
-        return self._pool.submit(_solve_shard_task, problems, method,
-                                 self.limits, options, validate)
+        fn, args = self.shard_task(problems, method, validate, **options)
+        return self._pool.submit(fn, *args)

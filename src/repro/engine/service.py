@@ -71,11 +71,48 @@ from repro.engine.store import SolutionStore, atomic_write_json
 from repro.utils.validation import require
 
 __all__ = ["SweepService", "SweepResult", "SweepStats", "SweepReport",
-           "MANIFEST_SCHEMA_VERSION"]
+           "MANIFEST_SCHEMA_VERSION", "load_manifest_done", "write_manifest"]
 
 #: Version of the manifest file layout; mismatching manifests are ignored
 #: (the sweep starts fresh), never misread.
 MANIFEST_SCHEMA_VERSION = 1
+
+
+def load_manifest_done(path: str, method: str) -> set:
+    """Completed request keys recorded by a compatible manifest at ``path``.
+
+    Shared by :class:`SweepService` and the asyncio serving layer
+    (:mod:`repro.engine.async_service`).  A missing, torn or incompatible
+    manifest (different schema or ``method``) contributes nothing -- it
+    must never kill a sweep.
+    """
+    if not os.path.exists(path):
+        return set()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if (not isinstance(manifest, dict)
+                or manifest.get("schema") != MANIFEST_SCHEMA_VERSION
+                or manifest.get("method") != method):
+            return set()
+        return set(manifest.get("done", []))
+    except (OSError, json.JSONDecodeError):
+        return set()
+
+
+def write_manifest(path: str, method: str, keys: List[str],
+                   done: set, completed: bool) -> None:
+    """Atomically checkpoint a sweep manifest (best effort, never raises)."""
+    try:
+        atomic_write_json(path, {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "method": method,
+            "keys": keys,
+            "done": sorted(done),
+            "completed": completed,
+        })
+    except OSError:  # pragma: no cover - manifest IO is best-effort
+        pass
 
 
 @dataclass
@@ -193,6 +230,7 @@ class SweepService:
         self.oversubscription = oversubscription
         self.validate = validate
         self.last_stats: Optional[SweepStats] = None
+        self._closed = False
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -209,16 +247,33 @@ class SweepService:
         return self._portfolio
 
     def _warm_pool(self) -> Portfolio:
-        if self._portfolio._pool is None:
+        if self._portfolio.pool is None:
             self._portfolio.start()
             self._started_pool = True
         return self._portfolio
 
     def close(self) -> None:
-        """Shut down the worker pool the service started (if any)."""
+        """Shut down the worker pool the service started (if any).
+
+        A closed service raises :class:`RuntimeError` from
+        :meth:`sweep`/:meth:`run` instead of failing deep inside (or
+        silently restarting) the executor.
+        """
         if self._owns_portfolio or self._started_pool:
             self._portfolio.close()
             self._started_pool = False
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """Has :meth:`close` been called on this service?"""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "SweepService is closed; create a new service (or a new "
+                "context manager block) to run further sweeps")
 
     def __enter__(self) -> "SweepService":
         return self
@@ -231,33 +286,11 @@ class SweepService:
     # ------------------------------------------------------------------
     def _load_manifest_done(self, path: str, method: str) -> set:
         """Completed request keys recorded by a compatible manifest."""
-        if not os.path.exists(path):
-            return set()
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                manifest = json.load(handle)
-            if (not isinstance(manifest, dict)
-                    or manifest.get("schema") != MANIFEST_SCHEMA_VERSION
-                    or manifest.get("method") != method):
-                return set()
-            return set(manifest.get("done", []))
-        except (OSError, json.JSONDecodeError):
-            # A torn manifest must never kill the sweep; it just cannot
-            # contribute resume information.
-            return set()
+        return load_manifest_done(path, method)
 
     def _write_manifest(self, path: str, method: str, keys: List[str],
                         done: set, completed: bool) -> None:
-        try:
-            atomic_write_json(path, {
-                "schema": MANIFEST_SCHEMA_VERSION,
-                "method": method,
-                "keys": keys,
-                "done": sorted(done),
-                "completed": completed,
-            })
-        except OSError:  # pragma: no cover - manifest IO is best-effort
-            pass
+        write_manifest(path, method, keys, done, completed)
 
     # ------------------------------------------------------------------
     # sweeping
@@ -278,6 +311,15 @@ class SweepService:
         Sweeps are content-addressed, so ``options`` must be literal
         values (:func:`~repro.engine.core.request_key` raises otherwise).
         """
+        self._require_open()
+        return self._sweep_iter(scenarios, method, manifest=manifest,
+                                shard_size=shard_size, **options)
+
+    def _sweep_iter(self, scenarios: Sequence[Problem], method: str, *,
+                    manifest: Optional[str], shard_size: Optional[int],
+                    **options: Any) -> Iterator[SweepResult]:
+        """The generator behind :meth:`sweep` (which checks closed-ness
+        eagerly, at call time rather than on first ``next()``)."""
         start_time = time.perf_counter()
         problems = [normalize_problem(p) for p in scenarios]
         stats = SweepStats(scenarios=len(problems))

@@ -26,7 +26,6 @@ criteria approximations, then the LP bi-criteria pipeline, then baselines
 
 from __future__ import annotations
 
-import math
 
 from repro.core.baselines import (
     greedy_global_reuse,

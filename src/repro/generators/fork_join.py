@@ -8,7 +8,7 @@ paper's motivating programs without going through the program model.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

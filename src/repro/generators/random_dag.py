@@ -16,7 +16,7 @@ algorithms in different ways:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

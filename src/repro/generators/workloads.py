@@ -9,7 +9,7 @@ names).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List
 
 from repro.core.dag import TradeoffDAG
 from repro.generators.fork_join import fork_join_dag, staged_fork_join_dag

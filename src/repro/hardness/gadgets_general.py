@@ -30,9 +30,8 @@ properties the proof relies on):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.arcdag import ArcDAG
 from repro.core.duration import ConstantDuration, GeneralStepDuration

@@ -37,11 +37,10 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.dag import TradeoffDAG
 from repro.core.duration import (
     ConstantDuration,
-    GeneralStepDuration,
     KWaySplitDuration,
     RecursiveBinarySplitDuration,
 )
-from repro.hardness.sat import Assignment, OneInThreeSatInstance
+from repro.hardness.sat import OneInThreeSatInstance
 from repro.utils.validation import check_positive, require
 
 __all__ = [

@@ -28,15 +28,13 @@ this as the one partially-reproduced artifact.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.core.arcdag import ArcDAG
 from repro.core.duration import ConstantDuration, GeneralStepDuration
 from repro.core.flow import ResourceFlow
-from repro.hardness.sat import Assignment, OneInThreeSatInstance
-from repro.utils.validation import check_positive, require
+from repro.utils.validation import check_positive
 
 __all__ = ["VariableChainConstruction", "build_variable_chain", "construct_chain_flow",
            "minresource_gap"]

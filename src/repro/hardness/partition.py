@@ -20,10 +20,8 @@ the exact solvers in the tests and the hardness benchmark.
 
 from __future__ import annotations
 
-import itertools
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.arcdag import ArcDAG
 from repro.core.duration import ConstantDuration, GeneralStepDuration

@@ -22,21 +22,15 @@ import math
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.core.exact import exact_min_makespan_arcs, exact_min_resource_arcs
-from repro.hardness.gadgets_general import (
-    Theorem41Construction,
-    build_theorem41_dag,
-    construct_satisfying_flow,
-)
+from repro.core.exact import exact_min_makespan_arcs
+from repro.hardness.gadgets_general import build_theorem41_dag, construct_satisfying_flow
 from repro.hardness.matching3d import (
-    Matching3DConstruction,
     Numerical3DMInstance,
     best_achievable_makespan,
     build_matching3d_dag,
     construct_matching_flow,
 )
 from repro.hardness.partition import (
-    PartitionConstruction,
     PartitionInstance,
     build_partition_dag,
     construct_partition_flow,

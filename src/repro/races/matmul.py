@@ -14,14 +14,12 @@ Figure 3-5 experiment can sweep ``h`` and compare against the formula.
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Tuple
 
 from repro.core.dag import TradeoffDAG
 from repro.races.program import ParallelBlock, Program, SerialBlock, Update, Write
-from repro.races.racedag import RaceDAG, race_dag_from_program, to_tradeoff_dag
+from repro.races.racedag import RaceDAG, to_tradeoff_dag
 from repro.races.reducer import binary_reducer_formula
-from repro.utils.validation import check_positive, require
+from repro.utils.validation import check_positive
 
 __all__ = [
     "parallel_mm_program",

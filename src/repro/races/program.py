@@ -21,8 +21,8 @@ duration functions of Section 2.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Hashable, List, Sequence, Tuple, Union
 
 from repro.utils.validation import require
 

@@ -16,7 +16,6 @@ benchmark:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -18,7 +18,7 @@ the paper's duration-function families to every cell.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 from repro.core.dag import TradeoffDAG
 from repro.core.duration import (
@@ -28,7 +28,7 @@ from repro.core.duration import (
     RecursiveBinarySplitDuration,
 )
 from repro.races.program import Program
-from repro.utils.ordering import is_acyclic, topological_order
+from repro.utils.ordering import is_acyclic
 from repro.utils.validation import require
 
 __all__ = ["RaceDAG", "race_dag_from_program", "to_tradeoff_dag", "DURATION_FAMILIES"]

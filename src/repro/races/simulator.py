@@ -21,15 +21,12 @@ exceeds the bound -- the property the tests assert.
 
 from __future__ import annotations
 
-import heapq
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.core.dag import TradeoffDAG
 from repro.races.racedag import RaceDAG, to_tradeoff_dag
 from repro.races.reducer import binary_reducer_formula, kway_reducer_formula
-from repro.utils.validation import check_non_negative, require
 
 __all__ = ["SimulationResult", "simulate_race_dag", "makespan_upper_bound"]
 

@@ -1,0 +1,440 @@
+"""``python -m repro.serve`` -- a JSON-lines network front for the engine.
+
+A deliberately small, stdlib-only server exposing
+:class:`~repro.engine.async_service.AsyncSweepService` over TCP or a unix
+socket.  The protocol is newline-delimited JSON, one object per line:
+
+Requests (client -> server)::
+
+    {"op": "sweep", "id": "r1", "scenarios": [<problem payload>, ...],
+     "method": "auto", "options": {"alpha": 0.5}}
+    {"op": "stats", "id": "r2"}
+    {"op": "ping", "id": "r3"}
+
+Responses (server -> client) -- a ``sweep`` streams one line per scenario
+*as each result resolves* (store hits first, computed ones as their shards
+finish), then a terminating ``done`` line::
+
+    {"id": "r1", "index": 0, "key": "...", "source": "computed",
+     "error": null, "report": {...}}                       # per scenario
+    {"id": "r1", "done": true, "count": 3}                 # terminator
+    {"id": "r2", "stats": {...}}                           # stats reply
+    {"id": "r3", "pong": true}                             # ping reply
+    {"id": "r1", "error": "..."}                           # request error
+
+A *problem payload* mirrors the engine's content model (see
+:func:`problem_to_payload`)::
+
+    {"objective": "min_makespan", "parameter": 2.0,
+     "jobs": [["s", [[0, 4], [2, 1]]], ["t", [[0, 0]]]],
+     "edges": [["s", "t"]]}
+
+``jobs`` pairs a (string) job name with its canonical resource-time
+breakpoints; every duration family serialises through its ``tuples()``
+view, and decoding rebuilds an equivalent
+:class:`~repro.core.duration.GeneralStepDuration` -- equal breakpoints hash
+to the same :func:`~repro.engine.fingerprint.dag_fingerprint`, so wire
+clients share cache entries with in-process callers.  Reports on the wire
+use the same stable encoding as the persistent store
+(:func:`~repro.engine.store.report_to_payload`).
+
+Run it::
+
+    python -m repro.serve --port 7341 --store var/solutions
+    python -m repro.serve --unix /tmp/repro.sock --executor thread
+
+and talk to it from anything that can write a line of JSON to a socket
+(``examples/async_service_tour.py`` shows the asyncio client helper
+:func:`request_sweep`; ``benchmarks/bench_async_service.py`` measures the
+stack under concurrent clients).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.problem import MinMakespanProblem, MinResourceProblem
+from repro.engine.async_service import AsyncSweepService
+from repro.engine.core import Problem, SolveLimits
+from repro.engine.portfolio import Portfolio
+from repro.engine.store import report_to_payload
+from repro.utils.validation import ValidationError, require
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "problem_to_payload",
+    "problem_from_payload",
+    "SweepServer",
+    "request_sweep",
+    "main",
+]
+
+#: Version of the wire protocol; echoed in every ``done`` line.
+PROTOCOL_VERSION = 1
+
+MIN_MAKESPAN_WIRE = "min_makespan"
+MIN_RESOURCE_WIRE = "min_resource"
+
+
+def _wire_number(value: Any) -> Union[int, float]:
+    """Validate a wire number, preserving its exact type (int stays int)."""
+    require(isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"expected a number, got {value!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# problem wire codec
+# ---------------------------------------------------------------------------
+
+def problem_to_payload(problem: Problem) -> Dict[str, Any]:
+    """Encode a problem as the wire's JSON-safe dict.
+
+    Wire problems are restricted to string job names (the network client
+    chooses its own names; anything hashable-but-exotic stays in-process).
+    Duration functions serialise as their canonical breakpoints.  Numeric
+    types are preserved exactly (JSON keeps ``2`` and ``2.0`` distinct),
+    because the engine's content fingerprints hash breakpoint ``repr``s --
+    coercing to float would silently split the cache key space between
+    wire clients and in-process callers.
+    """
+    problem = _normalize(problem)
+    dag = problem.dag
+    jobs = []
+    for job in dag.jobs:
+        require(isinstance(job, str),
+                f"wire problems need string job names, got {job!r}")
+        jobs.append([job, [[_wire_number(r), _wire_number(t)]
+                           for r, t in dag.duration_function(job).tuples()]])
+    if isinstance(problem, MinMakespanProblem):
+        objective, parameter = MIN_MAKESPAN_WIRE, problem.budget
+    else:
+        objective, parameter = MIN_RESOURCE_WIRE, problem.target_makespan
+    return {
+        "objective": objective,
+        "parameter": _wire_number(parameter),
+        "jobs": jobs,
+        "edges": [[u, v] for u, v in dag.edges],
+    }
+
+
+def problem_from_payload(payload: Dict[str, Any]) -> Problem:
+    """Inverse of :func:`problem_to_payload` (raises ``ValidationError``)."""
+    require(isinstance(payload, dict), "problem payload must be an object")
+    objective = payload.get("objective")
+    require(objective in (MIN_MAKESPAN_WIRE, MIN_RESOURCE_WIRE),
+            f"unknown objective {objective!r}")
+    parameter = payload.get("parameter")
+    require(isinstance(parameter, (int, float)),
+            "problem payload needs a numeric 'parameter'")
+    jobs = payload.get("jobs")
+    require(isinstance(jobs, list) and jobs,
+            "problem payload needs a non-empty 'jobs' list")
+    dag = TradeoffDAG()
+    for item in jobs:
+        require(isinstance(item, (list, tuple)) and len(item) == 2,
+                "each job must be a [name, tuples] pair")
+        name, tuples = item
+        require(isinstance(name, str), f"job names must be strings, got {name!r}")
+        require(isinstance(tuples, list) and tuples,
+                f"job {name!r} needs a non-empty breakpoint list")
+        points = [(_wire_number(r), _wire_number(t)) for r, t in tuples]
+        if len(points) == 1 and points[0][0] == 0:
+            dag.add_job(name, ConstantDuration(points[0][1]))
+        else:
+            dag.add_job(name, GeneralStepDuration(points))
+    for edge in payload.get("edges", []):
+        require(isinstance(edge, (list, tuple)) and len(edge) == 2,
+                "each edge must be a [u, v] pair")
+        dag.add_edge(edge[0], edge[1])
+    dag.validate()
+    if objective == MIN_MAKESPAN_WIRE:
+        return MinMakespanProblem(dag, _wire_number(parameter))
+    return MinResourceProblem(dag, _wire_number(parameter))
+
+
+def _normalize(problem: Problem) -> Problem:
+    require(isinstance(problem, (MinMakespanProblem, MinResourceProblem)),
+            f"unsupported problem type {type(problem).__name__}")
+    return problem
+
+
+# ---------------------------------------------------------------------------
+# the server
+# ---------------------------------------------------------------------------
+
+class SweepServer:
+    """Newline-delimited-JSON front end over an :class:`AsyncSweepService`.
+
+    One server wraps one service; connections are handled concurrently and
+    every request line inside a connection is served concurrently too
+    (responses are tagged with the request's ``id`` and may interleave --
+    per-scenario results stream back the moment their futures resolve).
+    """
+
+    def __init__(self, service: AsyncSweepService, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 unix_socket: Optional[str] = None):
+        self.service = service
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._request_tasks: set = set()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "SweepServer":
+        """Bind the listening socket and warm the service."""
+        await self.service.start()
+        if self.unix_socket:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=self.unix_socket)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=self.host, port=self.port)
+            # With port=0 the OS picked one; expose it for clients.
+            self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    @property
+    def address(self) -> str:
+        """Human-readable bound address (``host:port`` or the socket path)."""
+        if self.unix_socket:
+            return self.unix_socket
+        return f"{self.host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        require(self._server is not None, "call start() before serve_forever()")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting connections, finish pending requests, close."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._request_tasks:
+            await asyncio.gather(*list(self._request_tasks),
+                                 return_exceptions=True)
+        await self.service.aclose()
+
+    async def __aenter__(self) -> "SweepServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.aclose()
+
+    # -- request handling ----------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        write_lock = asyncio.Lock()
+
+        async def send(obj: Dict[str, Any]) -> None:
+            async with write_lock:
+                try:
+                    writer.write(json.dumps(obj, sort_keys=True).encode() + b"\n")
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass  # client went away; the solve results stay persisted
+
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                    require(isinstance(request, dict),
+                            "request lines must be JSON objects")
+                except (json.JSONDecodeError, ValidationError) as exc:
+                    await send({"id": None, "error": f"bad request line: {exc}"})
+                    continue
+                task = asyncio.create_task(self._serve_request(request, send))
+                self._request_tasks.add(task)
+                task.add_done_callback(self._request_tasks.discard)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_request(self, request: Dict[str, Any], send) -> None:
+        request_id = request.get("id")
+        op = request.get("op", "sweep")
+        try:
+            if op == "ping":
+                await send({"id": request_id, "pong": True})
+            elif op == "stats":
+                stats = vars(self.service.stats).copy()
+                stats["queue_depth"] = self.service.queue_depth()
+                stats["inflight"] = self.service.inflight_count()
+                await send({"id": request_id, "stats": stats})
+            elif op == "sweep":
+                await self._serve_sweep(request_id, request, send)
+            else:
+                await send({"id": request_id, "error": f"unknown op {op!r}"})
+        except (ValidationError, ValueError, TypeError, KeyError,
+                RuntimeError) as exc:
+            await send({"id": request_id,
+                        "error": f"{type(exc).__name__}: {exc}"})
+
+    async def _serve_sweep(self, request_id: Any, request: Dict[str, Any],
+                           send) -> None:
+        scenarios = request.get("scenarios")
+        require(isinstance(scenarios, list) and scenarios,
+                "sweep requests need a non-empty 'scenarios' list")
+        options = request.get("options") or {}
+        require(isinstance(options, dict), "'options' must be an object")
+        problems = [problem_from_payload(p) for p in scenarios]
+        ticket = await self.service.submit(problems,
+                                           request.get("method", "auto"),
+                                           **options)
+
+        async def relay(index: int, future: "asyncio.Future") -> None:
+            result = await future
+            report = None
+            if result.report is not None:
+                report = report_to_payload(result.report, result.key)
+            await send({"id": request_id, "index": index, "key": result.key,
+                        "source": result.source, "error": result.error,
+                        "report": report})
+
+        await asyncio.gather(*[relay(i, f)
+                               for i, f in enumerate(ticket.futures)])
+        await send({"id": request_id, "done": True, "count": len(problems),
+                    "protocol": PROTOCOL_VERSION})
+
+
+# ---------------------------------------------------------------------------
+# client helper
+# ---------------------------------------------------------------------------
+
+async def request_sweep(problems: Sequence[Problem], *,
+                        host: str = "127.0.0.1", port: Optional[int] = None,
+                        unix_socket: Optional[str] = None,
+                        method: str = "auto",
+                        options: Optional[Dict[str, Any]] = None,
+                        request_id: str = "sweep-1",
+                        ) -> List[Dict[str, Any]]:
+    """One-shot asyncio client: sweep ``problems`` against a running server.
+
+    Returns the per-scenario response dicts in batch order (the streamed
+    order may differ; this helper reassembles it).  Raises
+    :class:`ValidationError` on a server-reported request error.
+    """
+    if unix_socket:
+        reader, writer = await asyncio.open_unix_connection(unix_socket)
+    else:
+        require(port is not None, "request_sweep needs port= or unix_socket=")
+        reader, writer = await asyncio.open_connection(host, port)
+    try:
+        payload = {"op": "sweep", "id": request_id,
+                   "scenarios": [problem_to_payload(p) for p in problems],
+                   "method": method, "options": options or {}}
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        results: Dict[int, Dict[str, Any]] = {}
+        while True:
+            line = await reader.readline()
+            require(bool(line), "server closed the connection mid-request")
+            response = json.loads(line)
+            if "index" in response:
+                # Per-scenario line; a failed scenario ("source": "failed",
+                # "error": ...) is a valid result slot, not a request error.
+                results[response["index"]] = response
+                continue
+            if response.get("error"):
+                raise ValidationError(f"server error: {response['error']}")
+            if response.get("done"):
+                break
+        require(len(results) == len(problems),
+                f"server answered {len(results)}/{len(problems)} scenarios")
+        return [results[i] for i in range(len(problems))]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="JSON-lines-over-TCP/unix-socket front for the "
+                    "asyncio sweep service.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7341,
+                        help="TCP port (0 picks a free one; default 7341)")
+    parser.add_argument("--unix", metavar="PATH", default=None,
+                        help="serve on a unix socket instead of TCP")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent SolutionStore directory (tier 2)")
+    parser.add_argument("--manifest", metavar="PATH", default=None,
+                        help="checkpoint completed request keys here")
+    parser.add_argument("--executor", choices=("process", "thread"),
+                        default="process")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker pool size (default: CPU count)")
+    parser.add_argument("--concurrency", type=int, default=None,
+                        help="max shards in flight (default: worker count)")
+    parser.add_argument("--queue-size", type=int, default=64,
+                        help="request queue bound (backpressure point)")
+    parser.add_argument("--shard-size", type=int, default=1,
+                        help="max scenarios per executor task")
+    parser.add_argument("--time-limit", type=float, default=None,
+                        help="per-solve soft time limit in seconds")
+    return parser
+
+
+async def _run_server(args: argparse.Namespace) -> None:
+    limits = SolveLimits(time_limit=args.time_limit) if args.time_limit else None
+    service = AsyncSweepService(
+        store=args.store,
+        portfolio=Portfolio(executor=args.executor, max_workers=args.workers),
+        limits=limits,
+        max_concurrency=args.concurrency,
+        queue_size=args.queue_size,
+        shard_size=args.shard_size,
+        manifest=args.manifest)
+    server = SweepServer(service, host=args.host, port=args.port,
+                         unix_socket=args.unix)
+    await server.start()
+    print(f"repro.serve: listening on {server.address} "
+          f"(executor={args.executor}, store={args.store or 'none'})",
+          flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - Ctrl-C path
+        pass
+    finally:
+        await server.aclose()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.serve``."""
+    args = _build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run_server(args))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        print("repro.serve: shutting down", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.bicriteria import solve_min_makespan_bicriteria, solve_min_resource_bicriteria
 from repro.core.exact import exact_min_makespan
-from repro.generators import get_workload, layered_random_dag, workload_names
+from repro.generators import get_workload, layered_random_dag
 from repro.utils.validation import ValidationError
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.dag import TradeoffDAG
-from repro.core.duration import ConstantDuration, GeneralStepDuration, RecursiveBinarySplitDuration
+from repro.core.duration import GeneralStepDuration
 from repro.utils.validation import ValidationError
 
 

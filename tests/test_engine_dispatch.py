@@ -171,7 +171,7 @@ def test_unknown_method_and_wrong_objective_raise(simple_chain_dag):
 def test_register_and_unregister_custom_solver(simple_chain_dag):
     @register_solver("test-custom", summary="test", objectives=(MIN_MAKESPAN,),
                      kind="baseline", theorem="-", guarantee="none", priority=999,
-                     can_solve=lambda p, s, l: True)
+                     can_solve=lambda p, s, lim: True)
     def _custom(problem, structure, limits, **options):
         return TradeoffSolution(makespan=structure.dag.makespan_value({}),
                                 budget_used=0.0, algorithm="test-custom")
@@ -183,7 +183,7 @@ def test_register_and_unregister_custom_solver(simple_chain_dag):
         with pytest.raises(ValidationError):  # duplicate id rejected
             register_solver("test-custom", summary="dup", objectives=(MIN_MAKESPAN,),
                             kind="baseline", theorem="-", guarantee="none", priority=1,
-                            can_solve=lambda p, s, l: True)(lambda *a, **k: None)
+                            can_solve=lambda p, s, lim: True)(lambda *a, **k: None)
     finally:
         assert unregister_solver("test-custom") is not None
     assert "test-custom" not in solver_ids()
@@ -279,8 +279,11 @@ def test_certificate_rejects_understated_budget(simple_chain_dag):
 
 def test_certificate_records_infeasibility_without_failing():
     dag = TradeoffDAG()
-    dag.add_job("s"); dag.add_job("x", GeneralStepDuration([(0, 10), (2, 1)]))
-    dag.add_job("t"); dag.add_edge("s", "x"); dag.add_edge("x", "t")
+    dag.add_job("s")
+    dag.add_job("x", GeneralStepDuration([(0, 10), (2, 1)]))
+    dag.add_job("t")
+    dag.add_edge("s", "x")
+    dag.add_edge("x", "t")
     problem = normalize_problem(dag=dag, target_makespan=0.5)  # unachievable
     report = solve(problem, method="exact-enumeration")
     assert math.isinf(report.makespan)

@@ -107,7 +107,7 @@ def test_portfolio_time_limit_bounds_the_wait():
     # runtime: the fast baseline's finished run wins at the time limit.
     @register_solver("test-sleeper", summary="sleeps", objectives=(MIN_MAKESPAN,),
                      kind="baseline", theorem="-", guarantee="none", priority=998,
-                     can_solve=lambda p, s, l: True)
+                     can_solve=lambda p, s, lim: True)
     def _sleeper(problem, structure, limits, **options):
         time.sleep(5.0)
         return TradeoffSolution(makespan=0.0, budget_used=0.0, algorithm="test-sleeper")
@@ -145,8 +145,11 @@ def test_portfolio_map_skip_errors_keeps_other_scenarios():
     # constant durations -> a single enumeration combination, so this one
     # stays solvable even under max_exact_combinations=1
     tiny = TradeoffDAG()
-    tiny.add_job("s"); tiny.add_job("x", ConstantDuration(3.0)); tiny.add_job("t")
-    tiny.add_edge("s", "x"); tiny.add_edge("x", "t")
+    tiny.add_job("s")
+    tiny.add_job("x", ConstantDuration(3.0))
+    tiny.add_job("t")
+    tiny.add_edge("s", "x")
+    tiny.add_edge("x", "t")
     good = MinMakespanProblem(tiny, 2.0)
     bad = MinMakespanProblem(layered_random_dag(3, 3, family="general", seed=2), 6.0)
     portfolio = Portfolio(executor="thread", limits=SolveLimits(max_exact_combinations=1))

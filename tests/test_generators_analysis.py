@@ -7,17 +7,10 @@ from hypothesis import given, settings, strategies as st
 
 from repro.analysis.ratios import RatioMeasurement, measure_ratios, summarize_measurements
 from repro.analysis.report import format_float, format_table
-from repro.analysis.tables import (
-    TABLE1_ROWS,
-    render_table1,
-    render_table2,
-    render_table3,
-    table1_summary,
-)
+from repro.analysis.tables import render_table1, render_table2, render_table3, table1_summary
 from repro.core.bicriteria import solve_min_makespan_bicriteria
 from repro.core.baselines import greedy_path_reuse
 from repro.generators import (
-    WORKLOADS,
     balanced_sp_tree,
     chain_dag,
     fork_join_dag,

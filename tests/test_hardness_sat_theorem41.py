@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-import math
 
 import pytest
 
-from repro.core.exact import exact_min_makespan_arcs, exact_min_resource_arcs
+from repro.core.exact import exact_min_makespan_arcs
 from repro.hardness.gadgets_general import (
     TABLE2_HEADER,
     build_theorem41_dag,
@@ -47,7 +46,7 @@ class TestSatInstances:
         instance = random_one_in_three_sat(6, 5, seed=1)
         assert instance.num_clauses == 5
         for clause in instance.clauses:
-            assert len({abs(l) for l in clause}) == 3
+            assert len({abs(lit) for lit in clause}) == 3
 
     def test_invalid_clauses_rejected(self):
         with pytest.raises(Exception):
@@ -99,8 +98,6 @@ class TestTheorem41Construction:
 
     def test_reduction_no_instance_has_gap_two(self):
         """Theorem 4.3: no-instances have optimal makespan >= 2 (here exactly 2)."""
-        formula = OneInThreeSatInstance(3, ((1, 2, 3), (1, 2, -3), (1, -2, 3), (-1, 2, 3),
-                                            (-1, -2, -3)))
         # restrict to one unsatisfiable clause pair to keep the exact search fast
         small = OneInThreeSatInstance(3, ((1, 2, 3), (-1, -2, -3)))
         assert not small.is_satisfiable()

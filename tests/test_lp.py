@@ -7,7 +7,7 @@ import math
 import pytest
 
 from repro.core.arcdag import ArcDAG, expand_to_two_tuples, node_to_arc_dag
-from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.duration import GeneralStepDuration
 from repro.core.lp import (
     build_relaxed_arcs,
     linear_relaxed_duration,

@@ -5,8 +5,8 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.arcdag import ArcDAG, node_to_arc_dag
-from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.arcdag import ArcDAG
+from repro.core.duration import ConstantDuration
 from repro.core.minflow import (
     InfeasibleFlowError,
     allocation_min_budget,

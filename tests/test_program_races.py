@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.races.detector import find_data_races, find_determinacy_races, racy_cells
 from repro.races.program import (

@@ -36,6 +36,10 @@ PUBLIC_MODULES = [
     "repro.engine.core",
     "repro.engine.cache",
     "repro.engine.portfolio",
+    "repro.engine.service",
+    "repro.engine.store",
+    "repro.engine.async_service",
+    "repro.serve",
     "repro.races",
     "repro.races.program",
     "repro.races.detector",
@@ -66,7 +70,7 @@ def test_module_imports_and_has_docstring(module_name):
 
 
 def test_version_exposed():
-    assert repro.__version__ == "1.2.0"
+    assert repro.__version__ == "1.3.0"
 
 
 def test_top_level_reexports_core_api():
@@ -78,7 +82,8 @@ def test_top_level_reexports_core_api():
 
 def test_top_level_reexports_engine_api():
     for name in ["solve", "SolveReport", "SolveLimits", "Portfolio", "PortfolioReport",
-                 "register_solver", "solver_ids", "exact_reference", "dag_fingerprint"]:
+                 "register_solver", "solver_ids", "exact_reference", "dag_fingerprint",
+                 "SweepService", "AsyncSweepService", "AsyncSweepStats", "SolutionStore"]:
         assert hasattr(repro, name)
         assert name in repro.__all__
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.arcdag import ArcDAG
-from repro.core.duration import ConstantDuration, GeneralStepDuration
+from repro.core.duration import GeneralStepDuration
 from repro.core.lp import solve_min_makespan_lp
 from repro.core.rounding import round_lp_solution
 from repro.utils.validation import ValidationError

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -11,8 +10,6 @@ from repro.core.duration import GeneralStepDuration, KWaySplitDuration, Recursiv
 from repro.core.exact import exact_min_makespan
 from repro.core.series_parallel import (
     SPLeaf,
-    SPParallel,
-    SPSeries,
     decompose_series_parallel,
     parallel,
     series,

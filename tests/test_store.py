@@ -361,7 +361,7 @@ class TestTwoTierSolve:
 
         @register_solver("test-opt", summary="-", objectives=(MIN_MAKESPAN,),
                          kind="baseline", theorem="-", guarantee="none",
-                         priority=996, can_solve=lambda p, s, l: True,
+                         priority=996, can_solve=lambda p, s, lim: True,
                          option_names=("config",))
         def _run(problem, structure, limits, **options):
             calls.append(options.get("config"))

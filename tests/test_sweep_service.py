@@ -7,7 +7,6 @@ by ``benchmarks/bench_sweep_service.py`` and the portfolio tests.
 from __future__ import annotations
 
 import json
-import os
 
 import pytest
 
@@ -101,7 +100,7 @@ class TestSweepBasics:
         with _service(tmp_path) as service:
             streamed = list(service.sweep(scenarios))
             clear_caches()
-            report = service.run(scenarios, on_result=seen.append)
+            service.run(scenarios, on_result=seen.append)
         assert {r.index for r in streamed} == set(range(5))
         assert len(seen) == 5
         assert sorted(r.index for r in seen) == [0, 1, 2, 3, 4]
@@ -147,8 +146,11 @@ class TestSweepFailures:
         # a constant-duration chain stays solvable by exact-enumeration even
         # under max_exact_combinations=1; the step-duration chain does not
         tiny = TradeoffDAG()
-        tiny.add_job("s"); tiny.add_job("x", ConstantDuration(3.0)); tiny.add_job("t")
-        tiny.add_edge("s", "x"); tiny.add_edge("x", "t")
+        tiny.add_job("s")
+        tiny.add_job("x", ConstantDuration(3.0))
+        tiny.add_job("t")
+        tiny.add_edge("s", "x")
+        tiny.add_edge("x", "t")
         good = MinMakespanProblem(tiny, 2.0)
         bad = MinMakespanProblem(_chain_dag(), 2.0)
         with SweepService(store=SolutionStore(str(tmp_path / "store")),
@@ -306,7 +308,7 @@ class TestSweepWithCustomSolver:
         @register_solver("test-fixed", summary="fixed answer",
                          objectives=(MIN_MAKESPAN,), kind="baseline",
                          theorem="-", guarantee="none", priority=997,
-                         can_solve=lambda p, s, l: True)
+                         can_solve=lambda p, s, lim: True)
         def _fixed(problem, structure, limits, **options):
             return TradeoffSolution(makespan=1.0, budget_used=0.0,
                                     algorithm="test-fixed")

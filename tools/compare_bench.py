@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Benchmark-trend gate: compare current quick-run JSONs against baselines.
+
+CI's ``engine-benchmark`` job runs every quick benchmark with ``--json``
+and then calls this tool, which compares the produced artifacts against
+the committed baselines in ``benchmarks/baselines/`` and **fails (exit 1)
+on a regression beyond each metric's tolerance** (default 25%), printing a
+delta table either way.
+
+Baselines deliberately track *machine-independent* metrics -- speedup
+ratios, dedup/cache counts, boolean gates -- never raw wall-clock seconds
+(CI runners differ too much for absolute times to gate on).  A baseline
+file looks like::
+
+    {
+      "artifact": "async_service.json",
+      "metrics": [
+        {"name": "speedup", "direction": "higher", "value": 1.6,
+         "max_regression": 0.25},
+        {"name": "async_computed", "direction": "lower", "value": 10,
+         "max_regression": 0.0},
+        {"name": "unique", "direction": "exact", "value": 10},
+        {"name": "ok", "direction": "exact", "value": true},
+        {"name": "warm_vs_map_speedup", "direction": "higher", "value": 3.0,
+         "expr": ["ratio", "t_portfolio_map_s", "t_warm_sweep_s"]}
+      ]
+    }
+
+* ``direction: "higher"`` -- the metric regressed if it *dropped* more
+  than ``max_regression`` (relative) below the baseline value;
+* ``direction: "lower"`` -- regressed if it *rose* more than
+  ``max_regression`` above the baseline;
+* ``direction: "exact"`` -- regressed on any difference;
+* ``expr: ["ratio", a, b]`` -- the current value is computed as
+  ``artifact[a] / artifact[b]`` instead of read directly (how committed
+  baselines stay time-free while still gating on timing *ratios*).
+
+Improvements beyond the baseline never fail; refresh the baseline JSONs
+when a PR legitimately moves a metric (they are plain committed files).
+
+Usage: python tools/compare_bench.py [--baselines DIR] [--current DIR]
+                                     [--max-regression FRACTION]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Tuple
+
+DEFAULT_BASELINES = os.path.join("benchmarks", "baselines")
+DEFAULT_CURRENT = "bench-artifacts"
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+class GateError(Exception):
+    """A baseline/artifact problem that must fail the gate loudly."""
+
+
+def load_json(path: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            blob = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(blob, dict):
+        raise GateError(f"{path}: expected a JSON object")
+    return blob
+
+
+def current_value(metric: Dict[str, Any], artifact: Dict[str, Any],
+                  artifact_name: str) -> Any:
+    expr = metric.get("expr")
+    if expr is None:
+        name = metric["name"]
+        if name not in artifact:
+            raise GateError(f"{artifact_name}: missing metric {name!r}")
+        return artifact[name]
+    if (not isinstance(expr, list) or len(expr) != 3
+            or expr[0] != "ratio"):
+        raise GateError(f"unsupported expr {expr!r} (only ['ratio', a, b])")
+    _, numerator, denominator = expr
+    for field in (numerator, denominator):
+        if field not in artifact:
+            raise GateError(f"{artifact_name}: missing field {field!r} "
+                            f"for expr metric {metric['name']!r}")
+    denominator_value = float(artifact[denominator])
+    if denominator_value == 0:
+        raise GateError(f"{artifact_name}: zero denominator in "
+                        f"{metric['name']!r}")
+    return float(artifact[numerator]) / denominator_value
+
+
+def judge(metric: Dict[str, Any], current: Any,
+          default_tolerance: float) -> Tuple[bool, str]:
+    """Return ``(regressed, delta description)`` for one metric."""
+    baseline = metric["value"]
+    direction = metric.get("direction", "higher")
+    tolerance = float(metric.get("max_regression", default_tolerance))
+    if direction == "exact":
+        return current != baseline, ("=" if current == baseline else "differs")
+    if not isinstance(current, (int, float)) or isinstance(current, bool):
+        raise GateError(f"metric {metric['name']!r}: non-numeric current "
+                        f"value {current!r} for direction {direction!r}")
+    base = float(baseline)
+    if base == 0:
+        # Relative deltas are undefined at a zero baseline; gate on the
+        # absolute value moving in the bad direction beyond the tolerance.
+        delta = float(current) - base if direction == "lower" else base - float(current)
+        return delta > tolerance, f"{current!r} vs 0"
+    if direction == "higher":
+        change = (base - float(current)) / abs(base)
+    elif direction == "lower":
+        change = (float(current) - base) / abs(base)
+    else:
+        raise GateError(f"metric {metric['name']!r}: unknown direction "
+                        f"{direction!r}")
+    return change > tolerance, f"{-change:+.1%}" if direction == "higher" \
+        else f"{change:+.1%}"
+
+
+def format_row(cells: List[str], widths: List[int]) -> str:
+    return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def compare(baseline_dir: str, current_dir: str,
+            default_tolerance: float) -> int:
+    try:
+        names = sorted(name for name in os.listdir(baseline_dir)
+                       if name.endswith(".json"))
+    except OSError as exc:
+        print(f"compare_bench: cannot list {baseline_dir}: {exc}")
+        return 2
+    if not names:
+        print(f"compare_bench: no baselines in {baseline_dir}")
+        return 2
+
+    rows: List[List[str]] = []
+    failures = 0
+    for name in names:
+        baseline = load_json(os.path.join(baseline_dir, name))
+        artifact_name = baseline.get("artifact", name)
+        artifact_path = os.path.join(current_dir, artifact_name)
+        if not os.path.exists(artifact_path):
+            raise GateError(f"missing benchmark artifact {artifact_path} "
+                            f"(did the quick run produce it?)")
+        artifact = load_json(artifact_path)
+        metrics = baseline.get("metrics")
+        if not isinstance(metrics, list) or not metrics:
+            raise GateError(f"{name}: baseline needs a non-empty 'metrics' list")
+        for metric in metrics:
+            current = current_value(metric, artifact, artifact_name)
+            regressed, delta = judge(metric, current, default_tolerance)
+            failures += int(regressed)
+            limit = metric.get("max_regression", default_tolerance)
+            rows.append([
+                artifact_name.replace(".json", ""),
+                str(metric["name"]),
+                _render(metric["value"]),
+                _render(current),
+                delta,
+                ("exact" if metric.get("direction") == "exact"
+                 else f"<={float(limit):.0%}"),
+                "FAIL" if regressed else "ok",
+            ])
+
+    header = ["benchmark", "metric", "baseline", "current", "delta",
+              "tolerated", "status"]
+    widths = [max(len(header[i]), *(len(row[i]) for row in rows))
+              for i in range(len(header))]
+    print(format_row(header, widths))
+    print("-+-".join("-" * width for width in widths))
+    for row in rows:
+        print(format_row(row, widths))
+    if failures:
+        print(f"\ncompare_bench: {failures} metric(s) regressed beyond "
+              f"tolerance -- failing the trend gate")
+        return 1
+    print(f"\ncompare_bench: all {len(rows)} tracked metrics within tolerance")
+    return 0
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value).lower()
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", default=DEFAULT_BASELINES)
+    parser.add_argument("--current", default=DEFAULT_CURRENT)
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION,
+                        help="default relative tolerance (default 0.25)")
+    args = parser.parse_args(argv)
+    try:
+        return compare(args.baselines, args.current, args.max_regression)
+    except GateError as exc:
+        print(f"compare_bench: {exc}")
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
