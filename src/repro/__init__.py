@@ -57,6 +57,7 @@ from repro.engine import (  # noqa: F401 -- re-export the engine API
     analyze_dag,
     candidate_solvers,
     certify_solution,
+    batch_kernel_info,
     clear_caches,
     dag_fingerprint,
     exact_reference,
@@ -67,11 +68,12 @@ from repro.engine import (  # noqa: F401 -- re-export the engine API
     request_key,
     set_solution_store,
     solve,
+    solve_lp_batch,
     solver_ids,
     solver_specs,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 _engine_all = [
     "solve", "exact_reference", "normalize_problem",
@@ -83,6 +85,7 @@ _engine_all = [
     "AsyncSweepService", "AsyncSweepStats",
     "SolutionStore", "set_solution_store", "get_solution_store", "request_key",
     "analyze_dag", "dag_fingerprint", "clear_caches",
+    "solve_lp_batch", "batch_kernel_info",
 ]
 
 __all__ = list(_core_all) + _engine_all + ["__version__"]

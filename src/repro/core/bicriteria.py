@@ -127,7 +127,7 @@ def _run_pipeline(dag: TradeoffDAG, lp_solution_builder, alpha: float, algorithm
 
 
 def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float = 0.5,
-                                  transforms=None) -> TradeoffSolution:
+                                  transforms=None, lp_backend=None) -> TradeoffSolution:
     """Bi-criteria approximation for the minimum-makespan problem (Theorem 3.4).
 
     Parameters
@@ -144,6 +144,13 @@ def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float 
         Optional precomputed ``(arc_dag, node_map, expansion)`` triple for
         ``dag`` (the engine memoizes these per DAG fingerprint); computed
         here when omitted.
+    lp_backend:
+        Optional object with ``solve_min_makespan(arc_dag, budget)`` /
+        ``solve_min_resource(arc_dag, target)`` methods used for the LP
+        relaxation step.  Defaults to building a fresh model per call; the
+        engine passes :data:`repro.engine.batch.CACHED_LP_BACKEND`, which
+        reuses one prebuilt :class:`~repro.core.lp.LPModelSkeleton` per
+        arc DAG across a whole scenario sweep.
 
     Returns
     -------
@@ -154,9 +161,13 @@ def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float 
     """
     check_non_negative(budget, "budget")
     check_open_unit_interval(alpha, "alpha")
+    if lp_backend is not None:
+        builder = lambda expanded: lp_backend.solve_min_makespan(expanded, budget)  # noqa: E731
+    else:
+        builder = lambda expanded: solve_min_makespan_lp(expanded, budget)  # noqa: E731
     return _run_pipeline(
         dag,
-        lambda expanded: solve_min_makespan_lp(expanded, budget),
+        builder,
         alpha,
         algorithm="bicriteria-lp",
         budget=budget,
@@ -166,7 +177,8 @@ def solve_min_makespan_bicriteria(dag: TradeoffDAG, budget: float, alpha: float 
 
 
 def solve_min_resource_bicriteria(dag: TradeoffDAG, target_makespan: float,
-                                  alpha: float = 0.5, transforms=None) -> TradeoffSolution:
+                                  alpha: float = 0.5, transforms=None,
+                                  lp_backend=None) -> TradeoffSolution:
     """Bi-criteria approximation for the minimum-resource problem.
 
     Solves the min-resource LP (minimise source outflow subject to the
@@ -177,9 +189,13 @@ def solve_min_resource_bicriteria(dag: TradeoffDAG, target_makespan: float,
     """
     check_non_negative(target_makespan, "target_makespan")
     check_open_unit_interval(alpha, "alpha")
+    if lp_backend is not None:
+        builder = lambda expanded: lp_backend.solve_min_resource(expanded, target_makespan)  # noqa: E731
+    else:
+        builder = lambda expanded: solve_min_resource_lp(expanded, target_makespan)  # noqa: E731
     return _run_pipeline(
         dag,
-        lambda expanded: solve_min_resource_lp(expanded, target_makespan),
+        builder,
         alpha,
         algorithm="bicriteria-lp-minresource",
         budget=None,

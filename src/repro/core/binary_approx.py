@@ -105,7 +105,7 @@ def _finalise(dag: TradeoffDAG, arc_dag, node_map, allocation, lp, algorithm, bu
 
 
 def solve_min_makespan_binary(dag: TradeoffDAG, budget: float,
-                              transforms=None) -> TradeoffSolution:
+                              transforms=None, lp_backend=None) -> TradeoffSolution:
     """4-approximation for min-makespan with recursive binary splitting (Theorem 3.10).
 
     ``transforms`` optionally supplies a precomputed ``(arc_dag, node_map,
@@ -119,7 +119,8 @@ def solve_min_makespan_binary(dag: TradeoffDAG, budget: float,
         expansion = expand_to_two_tuples(arc_dag)
     expanded = expansion.arc_dag
 
-    lp = solve_min_makespan_lp(expanded, budget)
+    lp = (lp_backend.solve_min_makespan(expanded, budget) if lp_backend is not None
+          else solve_min_makespan_lp(expanded, budget))
     if lp.status != "optimal":
         return TradeoffSolution(makespan=math.inf, budget_used=math.inf,
                                 algorithm="binary-4approx",
@@ -138,7 +139,7 @@ def solve_min_makespan_binary(dag: TradeoffDAG, budget: float,
 
 
 def solve_min_makespan_binary_improved(dag: TradeoffDAG, budget: float,
-                                       transforms=None) -> TradeoffSolution:
+                                       transforms=None, lp_backend=None) -> TradeoffSolution:
     """(4/3, 14/5) bi-criteria algorithm for recursive binary splitting (Theorem 3.16).
 
     Returns a solution whose makespan is at most ``14/5`` times the LP lower
@@ -154,7 +155,8 @@ def solve_min_makespan_binary_improved(dag: TradeoffDAG, budget: float,
         expansion = expand_to_two_tuples(arc_dag)
     expanded = expansion.arc_dag
 
-    lp = solve_min_makespan_lp(expanded, budget)
+    lp = (lp_backend.solve_min_makespan(expanded, budget) if lp_backend is not None
+          else solve_min_makespan_lp(expanded, budget))
     if lp.status != "optimal":
         return TradeoffSolution(makespan=math.inf, budget_used=math.inf,
                                 algorithm="binary-improved-bicriteria",

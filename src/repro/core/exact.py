@@ -92,12 +92,16 @@ def exact_min_makespan(dag: TradeoffDAG, budget: float,
     arc_dag, mapping = node_to_arc_dag(dag)
     jobs = list(levels)
     best: Optional[TradeoffSolution] = None
+    pruned = 0
+    flow_checks = 0
     for combo in itertools.product(*(levels[j] for j in jobs)):
         allocation = dict(zip(jobs, combo))
         makespan = dag.makespan_value(allocation)
         if best is not None and makespan >= best.makespan:
+            pruned += 1
             continue
         lower = {mapping.job_arc[j]: allocation[j] for j in jobs if allocation[j] > 0}
+        flow_checks += 1
         try:
             result = min_flow_with_lower_bounds(arc_dag, lower)
         except InfeasibleFlowError:
@@ -110,8 +114,12 @@ def exact_min_makespan(dag: TradeoffDAG, budget: float,
             allocation=dict(allocation),
             algorithm="exact-enumeration",
             lower_bound=makespan,
-            metadata={"budget": budget, "combinations": count},
+            metadata={"budget": budget, "combinations": count,
+                      "pruned": pruned, "flow_checks": flow_checks},
         )
+    if best is not None:
+        best.metadata["pruned"] = pruned
+        best.metadata["flow_checks"] = flow_checks
     if best is None:
         # budget 0 / no feasible routing: the empty allocation is always feasible
         makespan = dag.makespan_value({})
@@ -136,12 +144,23 @@ def exact_min_resource(dag: TradeoffDAG, target_makespan: float,
     arc_dag, mapping = node_to_arc_dag(dag)
     jobs = list(levels)
     best: Optional[TradeoffSolution] = None
+    pruned = 0
+    flow_checks = 0
     for combo in itertools.product(*(levels[j] for j in jobs)):
         allocation = dict(zip(jobs, combo))
         makespan = dag.makespan_value(allocation)
         if makespan > target_makespan + 1e-9:
             continue
+        # Bound on the running best: every unit allocated to a job must be
+        # routed through its arc, so the min-flow value is at least the
+        # largest single-job allocation.  A combination whose peak
+        # allocation already matches or exceeds the incumbent budget cannot
+        # improve it -- skip the (expensive) min-flow computation.
+        if best is not None and max(combo, default=0.0) >= best.budget_used:
+            pruned += 1
+            continue
         lower = {mapping.job_arc[j]: allocation[j] for j in jobs if allocation[j] > 0}
+        flow_checks += 1
         try:
             result = min_flow_with_lower_bounds(arc_dag, lower)
         except InfeasibleFlowError:
@@ -153,8 +172,12 @@ def exact_min_resource(dag: TradeoffDAG, target_makespan: float,
                 allocation=dict(allocation),
                 algorithm="exact-enumeration-minresource",
                 resource_lower_bound=result.value,
-                metadata={"target_makespan": target_makespan, "combinations": count},
+                metadata={"target_makespan": target_makespan, "combinations": count,
+                          "pruned": pruned, "flow_checks": flow_checks},
             )
+    if best is not None:
+        best.metadata["pruned"] = pruned
+        best.metadata["flow_checks"] = flow_checks
     if best is None:
         return TradeoffSolution(makespan=math.inf, budget_used=math.inf, allocation={},
                                 algorithm="exact-enumeration-minresource",

@@ -74,7 +74,7 @@ def reduce_kway_allocation(rounded_resource: float, fractional_resource: float,
 
 
 def solve_min_makespan_kway(dag: TradeoffDAG, budget: float,
-                            transforms=None) -> TradeoffSolution:
+                            transforms=None, lp_backend=None) -> TradeoffSolution:
     """5-approximation for the minimum-makespan problem with k-way splitting.
 
     Every job's duration function is expected to be a
@@ -91,7 +91,8 @@ def solve_min_makespan_kway(dag: TradeoffDAG, budget: float,
         expansion = expand_to_two_tuples(arc_dag)
     expanded = expansion.arc_dag
 
-    lp = solve_min_makespan_lp(expanded, budget)
+    lp = (lp_backend.solve_min_makespan(expanded, budget) if lp_backend is not None
+          else solve_min_makespan_lp(expanded, budget))
     if lp.status != "optimal":
         return TradeoffSolution(makespan=math.inf, budget_used=math.inf,
                                 algorithm="kway-5approx",

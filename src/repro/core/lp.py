@@ -21,6 +21,21 @@ The solver is ``scipy.optimize.linprog`` (HiGHS).  Infinite base durations
 (used by the hardness gadgets) are replaced by a "big M" exceeding the sum
 of all finite durations, which preserves optima for every instance in which
 a finite-makespan solution exists.
+
+**Batched solves.**  Everything about the LP except the budget / makespan
+target is a function of the arc DAG alone: the relaxed arcs, the
+variable-index maps, the sparse constraint matrices, the bounds and both
+cost vectors.  :class:`LPModelSkeleton` precomputes all of it once; each
+:meth:`~LPModelSkeleton.solve_min_makespan` /
+:meth:`~LPModelSkeleton.solve_min_resource` call then only swaps the RHS of
+the budget row (or the sink's upper bound) before handing the model to
+HiGHS.  The one-shot :func:`solve_min_makespan_lp` /
+:func:`solve_min_resource_lp` entry points build a fresh skeleton per call
+(identical behaviour to the historical scalar path); sweeps over the same
+DAG should reuse one skeleton -- the engine's batching layer
+(:mod:`repro.engine.batch`) caches skeletons per arc-DAG fingerprint.
+:func:`lp_kernel_counters` exposes machine-independent work counters
+(skeleton builds vs. solves) so benchmarks can assert the elimination.
 """
 
 from __future__ import annotations
@@ -36,8 +51,28 @@ from scipy.sparse import csr_matrix
 from repro.core.arcdag import Arc, ArcDAG
 from repro.utils.validation import check_non_negative, require
 
-__all__ = ["LPSolution", "RelaxedArc", "build_relaxed_arcs", "solve_min_makespan_lp",
-           "solve_min_resource_lp", "linear_relaxed_duration"]
+__all__ = ["LPSolution", "RelaxedArc", "LPModelSkeleton", "build_relaxed_arcs",
+           "solve_min_makespan_lp", "solve_min_resource_lp", "linear_relaxed_duration",
+           "lp_kernel_counters", "reset_lp_kernel_counters"]
+
+
+#: Machine-independent work counters for the LP kernel: ``skeleton_builds``
+#: counts full model constructions (relaxed arcs + index maps + CSR matrices
+#: + bounds + cost vectors), ``skeleton_solves`` counts HiGHS invocations.
+#: A budget sweep that reuses one skeleton performs 1 build and N solves;
+#: the per-scenario rebuild path performs N of each.
+_KERNEL_COUNTERS: Dict[str, int] = {"skeleton_builds": 0, "skeleton_solves": 0}
+
+
+def lp_kernel_counters() -> Dict[str, int]:
+    """A snapshot of the LP kernel's work counters (see module docstring)."""
+    return dict(_KERNEL_COUNTERS)
+
+
+def reset_lp_kernel_counters() -> None:
+    """Zero the LP kernel work counters (used by benchmarks and tests)."""
+    for key in _KERNEL_COUNTERS:
+        _KERNEL_COUNTERS[key] = 0
 
 
 @dataclass(frozen=True)
@@ -133,126 +168,194 @@ class LPSolution:
         return linear_relaxed_duration(self.relaxed_arcs[arc_id], self.flows.get(arc_id, 0.0))
 
 
-def _solve(arc_dag: ArcDAG, budget: Optional[float], makespan_cap: Optional[float],
-           objective: str, big_m: Optional[float]) -> LPSolution:
-    arc_dag.validate()
-    relaxed = build_relaxed_arcs(arc_dag, big_m)
-    arcs = arc_dag.arcs
-    vertices = arc_dag.vertices
-    arc_index = {a.arc_id: i for i, a in enumerate(arcs)}
-    vertex_index = {v: len(arcs) + j for j, v in enumerate(vertices)}
-    n_vars = len(arcs) + len(vertices)
+RowSpec = Tuple[Dict[int, float], float]
 
-    rows_ub: List[Tuple[Dict[int, float], float]] = []
-    rows_eq: List[Tuple[Dict[int, float], float]] = []
 
-    # Precedence constraints (constraint 7): the relaxed duration of arc e is
-    # t0 - slope * f_e, so  T_tail + t0 - slope * f_e <= T_head, i.e.
-    #   T_tail - T_head - slope * f_e <= -t0 .
-    for arc in arcs:
-        rel = relaxed[arc.arc_id]
-        row: Dict[int, float] = {
-            vertex_index[arc.tail]: 1.0,
-            vertex_index[arc.head]: -1.0,
-        }
-        t0 = rel.base_time
-        if rel.capped and rel.full_resource > 0:
-            t_full = arc.duration.tuples()[1][1]
-            slope = (t0 - t_full) / rel.full_resource
-            row[arc_index[arc.arc_id]] = -slope
+def _to_sparse(rows: List[RowSpec], n_vars: int) -> Tuple[Optional[csr_matrix],
+                                                          Optional[np.ndarray]]:
+    """CSR matrix + RHS vector from ``(coefficient dict, rhs)`` rows."""
+    if not rows:
+        return None, None
+    data: List[float] = []
+    indices: List[int] = []
+    indptr: List[int] = [0]
+    rhs: List[float] = []
+    for row, b in rows:
+        for idx, coeff in row.items():
+            data.append(coeff)
+            indices.append(idx)
+        indptr.append(len(data))
+        rhs.append(b)
+    mat = csr_matrix((data, indices, indptr), shape=(len(rows), n_vars))
+    return mat, np.array(rhs)
+
+
+class LPModelSkeleton:
+    """The scenario-independent half of LP (6)-(10), built once per arc DAG.
+
+    The skeleton validates the DAG and precomputes:
+
+    * the relaxed arcs (:func:`build_relaxed_arcs`),
+    * the variable-index maps (one flow variable per arc, one event-time
+      variable per vertex),
+    * the precedence-constraint CSR block and its RHS (constraint 7),
+    * the flow-conservation CSR block (constraint 8),
+    * the variable bounds template and both objective cost vectors.
+
+    Per-scenario work is then limited to swapping the budget row's RHS
+    (min-makespan) or the sink's upper bound (min-resource) and calling
+    HiGHS -- the matrices handed to scipy are identical, entry for entry,
+    to what the historical per-call construction produced, so a skeleton
+    solve is bit-for-bit equivalent to :func:`solve_min_makespan_lp` /
+    :func:`solve_min_resource_lp` on a fresh model.
+
+    Skeletons assume the arc DAG is not mutated afterwards (arc DAGs
+    produced by the Section 2 / 3.1 transformations never are); the
+    engine's batching layer caches them per content fingerprint.
+    """
+
+    def __init__(self, arc_dag: ArcDAG, big_m: Optional[float] = None):
+        arc_dag.validate()
+        self.arc_dag = arc_dag
+        self.relaxed: Dict[str, RelaxedArc] = build_relaxed_arcs(arc_dag, big_m)
+        arcs = arc_dag.arcs
+        vertices = arc_dag.vertices
+        self.arc_index: Dict[str, int] = {a.arc_id: i for i, a in enumerate(arcs)}
+        self.vertex_index: Dict[Hashable, int] = {v: len(arcs) + j
+                                                  for j, v in enumerate(vertices)}
+        self.n_vars: int = len(arcs) + len(vertices)
+        self._arcs = arcs
+        self._vertices = vertices
+
+        # Precedence constraints (constraint 7): the relaxed duration of arc
+        # e is t0 - slope * f_e, so  T_tail + t0 - slope * f_e <= T_head, i.e.
+        #   T_tail - T_head - slope * f_e <= -t0 .
+        rows_ub: List[RowSpec] = []
+        for arc in arcs:
+            rel = self.relaxed[arc.arc_id]
+            row: Dict[int, float] = {
+                self.vertex_index[arc.tail]: 1.0,
+                self.vertex_index[arc.head]: -1.0,
+            }
+            t0 = rel.base_time
+            if rel.capped and rel.full_resource > 0:
+                t_full = arc.duration.tuples()[1][1]
+                slope = (t0 - t_full) / rel.full_resource
+                row[self.arc_index[arc.arc_id]] = -slope
             rows_ub.append((row, -t0))
-        else:
-            rows_ub.append((row, -t0))
 
-    # Flow conservation at internal vertices.
-    for v in vertices:
-        if v in (arc_dag.source, arc_dag.sink):
-            continue
-        row = {}
-        for a in arc_dag.out_arcs(v):
-            row[arc_index[a.arc_id]] = row.get(arc_index[a.arc_id], 0.0) + 1.0
-        for a in arc_dag.in_arcs(v):
-            row[arc_index[a.arc_id]] = row.get(arc_index[a.arc_id], 0.0) - 1.0
-        rows_eq.append((row, 0.0))
+        # Flow conservation at internal vertices (constraint 8).
+        rows_eq: List[RowSpec] = []
+        for v in vertices:
+            if v in (arc_dag.source, arc_dag.sink):
+                continue
+            crow: Dict[int, float] = {}
+            for a in arc_dag.out_arcs(v):
+                crow[self.arc_index[a.arc_id]] = crow.get(self.arc_index[a.arc_id], 0.0) + 1.0
+            for a in arc_dag.in_arcs(v):
+                crow[self.arc_index[a.arc_id]] = crow.get(self.arc_index[a.arc_id], 0.0) - 1.0
+            rows_eq.append((crow, 0.0))
 
-    # Budget constraint on source outflow.
-    source_arcs = [arc_index[a.arc_id] for a in arc_dag.out_arcs(arc_dag.source)]
-    if budget is not None:
-        row = {i: 1.0 for i in source_arcs}
-        rows_ub.append((row, float(budget)))
+        self.source_arc_indices: List[int] = [
+            self.arc_index[a.arc_id] for a in arc_dag.out_arcs(arc_dag.source)]
+        self._sink_var: int = self.vertex_index[arc_dag.sink]
 
-    # Bounds.
-    bounds: List[Tuple[float, Optional[float]]] = []
-    for arc in arcs:
-        rel = relaxed[arc.arc_id]
-        if rel.capped:
-            bounds.append((0.0, rel.full_resource))
-        else:
-            bounds.append((0.0, None))
-    for v in vertices:
-        if v == arc_dag.source:
-            bounds.append((0.0, 0.0))
-        elif v == arc_dag.sink and makespan_cap is not None:
-            bounds.append((0.0, float(makespan_cap)))
-        else:
-            bounds.append((0.0, None))
+        # min-makespan appends the budget row (constraint 9) last, so only
+        # its RHS entry changes between scenarios.
+        budget_row: Dict[int, float] = {i: 1.0 for i in self.source_arc_indices}
+        self._A_ub_prec, self._b_ub_prec = _to_sparse(rows_ub, self.n_vars)
+        self._A_ub_budget, b_with_budget = _to_sparse(rows_ub + [(budget_row, 0.0)],
+                                                      self.n_vars)
+        assert b_with_budget is not None
+        self._b_ub_budget_template: np.ndarray = b_with_budget
+        self._A_eq, self._b_eq = _to_sparse(rows_eq, self.n_vars)
 
-    c = np.zeros(n_vars)
-    if objective == "makespan":
-        c[vertex_index[arc_dag.sink]] = 1.0
-    elif objective == "resource":
-        for i in source_arcs:
-            c[i] = 1.0
-    else:  # pragma: no cover - defensive
-        raise ValueError(f"unknown objective {objective!r}")
+        # Bounds template: per-arc flow caps, source pinned at time 0; the
+        # sink's upper bound is patched per scenario for min-resource.
+        bounds: List[Tuple[float, Optional[float]]] = []
+        for arc in arcs:
+            rel = self.relaxed[arc.arc_id]
+            if rel.capped:
+                bounds.append((0.0, rel.full_resource))
+            else:
+                bounds.append((0.0, None))
+        for v in vertices:
+            if v == arc_dag.source:
+                bounds.append((0.0, 0.0))
+            else:
+                bounds.append((0.0, None))
+        self._bounds_template: List[Tuple[float, Optional[float]]] = bounds
 
-    def to_sparse(rows):
-        if not rows:
-            return None, None
-        data, indices, indptr, rhs = [], [], [0], []
-        for row, b in rows:
-            for idx, coeff in row.items():
-                data.append(coeff)
-                indices.append(idx)
-            indptr.append(len(data))
-            rhs.append(b)
-        mat = csr_matrix((data, indices, indptr), shape=(len(rows), n_vars))
-        return mat, np.array(rhs)
+        self._c_makespan: np.ndarray = np.zeros(self.n_vars)
+        self._c_makespan[self._sink_var] = 1.0
+        self._c_resource: np.ndarray = np.zeros(self.n_vars)
+        for i in self.source_arc_indices:
+            self._c_resource[i] = 1.0
 
-    A_ub, b_ub = to_sparse(rows_ub)
-    A_eq, b_eq = to_sparse(rows_eq)
+        _KERNEL_COUNTERS["skeleton_builds"] += 1
 
-    res = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=A_eq, b_eq=b_eq, bounds=bounds,
-                  method="highs")
-    if res.status == 2:
-        return LPSolution(status="infeasible", objective=math.inf, relaxed_arcs=relaxed)
-    if not res.success:  # pragma: no cover - defensive
-        raise RuntimeError(f"LP solver failed: {res.message}")
+    # ------------------------------------------------------------------
+    # per-scenario solves (RHS swap + HiGHS call only)
+    # ------------------------------------------------------------------
+    def solve_min_makespan(self, budget: float) -> LPSolution:
+        """Solve LP (6)-(10) for one budget, reusing the prebuilt model."""
+        check_non_negative(budget, "budget")
+        b_ub = self._b_ub_budget_template.copy()
+        b_ub[-1] = float(budget)
+        return self._solve_highs(self._c_makespan, self._A_ub_budget, b_ub,
+                                 self._bounds_template)
 
-    x = res.x
-    flows = {a.arc_id: float(max(x[arc_index[a.arc_id]], 0.0)) for a in arcs}
-    times = {v: float(x[vertex_index[v]]) for v in vertices}
-    budget_used = float(sum(flows[a.arc_id] for a in arc_dag.out_arcs(arc_dag.source)))
-    return LPSolution(
-        status="optimal",
-        objective=float(res.fun),
-        flows=flows,
-        times=times,
-        makespan=times[arc_dag.sink],
-        budget_used=budget_used,
-        relaxed_arcs=relaxed,
-    )
+    def solve_min_resource(self, target_makespan: float) -> LPSolution:
+        """Solve the min-resource variant for one target, reusing the model."""
+        check_non_negative(target_makespan, "target_makespan")
+        bounds = list(self._bounds_template)
+        bounds[self._sink_var] = (0.0, float(target_makespan))
+        return self._solve_highs(self._c_resource, self._A_ub_prec,
+                                 self._b_ub_prec, bounds)
+
+    def _solve_highs(self, c: np.ndarray, A_ub: Optional[csr_matrix],
+                     b_ub: Optional[np.ndarray],
+                     bounds: List[Tuple[float, Optional[float]]]) -> LPSolution:
+        _KERNEL_COUNTERS["skeleton_solves"] += 1
+        res = linprog(c, A_ub=A_ub, b_ub=b_ub, A_eq=self._A_eq, b_eq=self._b_eq,
+                      bounds=bounds, method="highs")
+        if res.status == 2:
+            return LPSolution(status="infeasible", objective=math.inf,
+                              relaxed_arcs=self.relaxed)
+        if not res.success:  # pragma: no cover - defensive
+            raise RuntimeError(f"LP solver failed: {res.message}")
+
+        x = res.x
+        flows = {a.arc_id: float(max(x[self.arc_index[a.arc_id]], 0.0))
+                 for a in self._arcs}
+        times = {v: float(x[self.vertex_index[v]]) for v in self._vertices}
+        budget_used = float(sum(flows[a.arc_id]
+                                for a in self.arc_dag.out_arcs(self.arc_dag.source)))
+        return LPSolution(
+            status="optimal",
+            objective=float(res.fun),
+            flows=flows,
+            times=times,
+            makespan=times[self.arc_dag.sink],
+            budget_used=budget_used,
+            relaxed_arcs=self.relaxed,
+        )
 
 
-def solve_min_makespan_lp(arc_dag: ArcDAG, budget: float, big_m: Optional[float] = None) -> LPSolution:
-    """Solve LP (6)-(10): minimise the sink event time under a resource budget."""
+def solve_min_makespan_lp(arc_dag: ArcDAG, budget: float,
+                          big_m: Optional[float] = None) -> LPSolution:
+    """Solve LP (6)-(10): minimise the sink event time under a resource budget.
+
+    Builds a fresh :class:`LPModelSkeleton` per call; sweeps over the same
+    DAG should hold on to one skeleton (or go through
+    :mod:`repro.engine.batch`, which caches them per fingerprint).
+    """
     check_non_negative(budget, "budget")
-    return _solve(arc_dag, budget=budget, makespan_cap=None, objective="makespan", big_m=big_m)
+    return LPModelSkeleton(arc_dag, big_m).solve_min_makespan(budget)
 
 
 def solve_min_resource_lp(arc_dag: ArcDAG, target_makespan: float,
                           big_m: Optional[float] = None) -> LPSolution:
     """Solve the min-resource variant: minimise source outflow with ``T_t <= target``."""
     check_non_negative(target_makespan, "target_makespan")
-    return _solve(arc_dag, budget=None, makespan_cap=target_makespan,
-                  objective="resource", big_m=big_m)
+    return LPModelSkeleton(arc_dag, big_m).solve_min_resource(target_makespan)

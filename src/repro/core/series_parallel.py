@@ -171,16 +171,30 @@ def parallel(*nodes: SPNode) -> SPNode:
 # ----------------------------------------------------------------------
 # the dynamic program
 # ----------------------------------------------------------------------
-def _leaf_table(leaf: SPLeaf, budget: int) -> np.ndarray:
+def _leaf_table_scalar(leaf: SPLeaf, budget: int) -> np.ndarray:
+    """Reference scalar kernel: one ``duration()`` call per resource level."""
     return np.array([leaf.duration.duration(r) for r in range(budget + 1)], dtype=float)
 
 
-def _parallel_merge(t1: np.ndarray, t2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-    """min-max merge of two non-increasing tables.
+def _leaf_table(leaf: SPLeaf, budget: int) -> np.ndarray:
+    """``T(leaf, λ)`` for ``λ = 0 .. budget`` in one vectorized evaluation.
 
-    Returns the merged table and, for each λ, the amount given to the left
-    child by one optimal split (used to recover allocations).
+    Every duration family exposes its canonical breakpoint list (a
+    non-increasing step function), so evaluating the whole λ-range is a
+    single ``searchsorted`` of ``0..budget`` into the breakpoint resources:
+    ``duration(λ)`` is the time of the last breakpoint at resource ``<= λ``.
+    Bit-for-bit identical to :func:`_leaf_table_scalar` (the values are
+    picked from the same stored floats).
     """
+    tuples = leaf.duration.tuples()
+    breakpoints = np.array([r for r, _t in tuples], dtype=float)
+    times = np.array([t for _r, t in tuples], dtype=float)
+    idx = np.searchsorted(breakpoints, np.arange(budget + 1), side="right") - 1
+    return times[idx]
+
+
+def _parallel_merge_scalar(t1: np.ndarray, t2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference scalar kernel for the (min, max) merge: one λ per iteration."""
     budget = len(t1) - 1
     merged = np.empty(budget + 1, dtype=float)
     split = np.zeros(budget + 1, dtype=int)
@@ -191,6 +205,47 @@ def _parallel_merge(t1: np.ndarray, t2: np.ndarray) -> Tuple[np.ndarray, np.ndar
         idx = int(np.argmin(values))
         merged[lam] = values[idx]
         split[lam] = idx
+    return merged, split
+
+
+#: Rows (λ values) reduced per chunk by the vectorized parallel merge; bounds
+#: the transient ``chunk x (budget+1)`` matrix to a few megabytes at the
+#: engine's largest DP budget while keeping the reduction fully in numpy.
+_MERGE_CHUNK_ROWS = 256
+
+
+def _parallel_merge(t1: np.ndarray, t2: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """min-max merge of two non-increasing tables, vectorized over λ.
+
+    ``merged[λ] = min_i max(t1[i], t2[λ-i])`` is the minimum over the λ-th
+    anti-diagonal of the outer-max matrix of the two tables.  Instead of the
+    historical per-λ Python loop (O(B²) interpreter iterations), the merge
+    views every anti-diagonal as one row of a sliding window over the
+    reversed (and +inf-padded) right table and reduces whole chunks of rows
+    with a single ``np.maximum`` + ``argmin``.  The +inf padding marks the
+    ``i > λ`` cells, which can never win the argmin unless the whole row is
+    infinite -- in which case index 0 is returned, exactly like the scalar
+    kernel.  Returns the merged table and, for each λ, the amount given to
+    the left child by one optimal split (used to recover allocations);
+    both match :func:`_parallel_merge_scalar` bit for bit, tie-breaking
+    (first minimal index) included.
+    """
+    budget = len(t1) - 1
+    n = budget + 1
+    # t2pad[budget - λ + i] == t2[λ - i] for i <= λ, +inf beyond.
+    t2pad = np.concatenate([t2[::-1], np.full(budget, np.inf)])
+    windows = np.lib.stride_tricks.sliding_window_view(t2pad, n)
+    merged = np.empty(n, dtype=float)
+    split = np.zeros(n, dtype=int)
+    for start in range(0, n, _MERGE_CHUNK_ROWS):
+        stop = min(start + _MERGE_CHUNK_ROWS, n)
+        # Row λ of the reduction is windows[budget - λ]; slicing the window
+        # view keeps everything zero-copy until the chunk's maximum.
+        block = np.maximum(t1[np.newaxis, :],
+                           windows[budget - stop + 1: budget - start + 1][::-1])
+        idx = np.argmin(block, axis=1)
+        merged[start:stop] = block[np.arange(stop - start), idx]
+        split[start:stop] = idx
     return merged, split
 
 
@@ -206,7 +261,8 @@ def sp_min_makespan_table(tree: SPNode, budget: int) -> np.ndarray:
     return table[id(tree)]
 
 
-def _solve_tables(tree: SPNode, budget: int):
+def _solve_tables(tree: SPNode, budget: int) -> Tuple[Dict[int, np.ndarray],
+                                                      Dict[int, np.ndarray]]:
     tables: Dict[int, np.ndarray] = {}
     splits: Dict[int, np.ndarray] = {}
 
@@ -228,7 +284,9 @@ def _solve_tables(tree: SPNode, budget: int):
     return tables, splits
 
 
-def _recover_allocation(tree: SPNode, budget: int, tables, splits) -> Dict[Hashable, int]:
+def _recover_allocation(tree: SPNode, budget: int,
+                        tables: Dict[int, np.ndarray],
+                        splits: Dict[int, np.ndarray]) -> Dict[Hashable, int]:
     allocation: Dict[Hashable, int] = {}
 
     def walk(node: SPNode, lam: int) -> None:

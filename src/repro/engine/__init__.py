@@ -29,6 +29,9 @@ Layers (each its own module; see ``docs/architecture.md`` for the diagram):
   :class:`SolveLimits` and the two-tier solution cache (LRU + store);
 * :mod:`~repro.engine.store`       -- the persistent on-disk
   :class:`SolutionStore` (tier 2, sharded JSON);
+* :mod:`~repro.engine.batch`       -- batched solve kernels: cached
+  :class:`~repro.core.lp.LPModelSkeleton` per arc-DAG fingerprint and the
+  :func:`~repro.engine.batch.solve_lp_batch` shard entry point;
 * :mod:`~repro.engine.portfolio`   -- :class:`Portfolio` for racing solvers and
   sweeping scenarios concurrently (shard-aware ``map``);
 * :mod:`~repro.engine.service`     -- :class:`SweepService`: deduplicated,
@@ -74,6 +77,13 @@ from repro.engine.structure import ProblemStructure, analyze_dag, structure_cach
 
 # Importing the module registers every built-in solver family.
 import repro.engine.solvers  # noqa: F401  (side-effect import)
+
+from repro.engine.batch import (
+    CACHED_LP_BACKEND,
+    batch_kernel_info,
+    get_lp_skeleton,
+    solve_lp_batch,
+)
 
 from repro.engine.portfolio import Portfolio, PortfolioReport
 from repro.engine.service import SweepReport, SweepResult, SweepService, SweepStats

@@ -488,15 +488,20 @@ def request_key(problem: Optional[Problem] = None, method: str = "auto", *,
 
 
 def clear_caches(store: bool = False) -> None:
-    """Drop the in-process engine caches (structure probes and solutions).
+    """Drop the in-process engine caches (structure probes, LP skeletons
+    and solutions).
 
     With ``store=True`` the installed persistent
     :class:`~repro.engine.store.SolutionStore` is cleared as well --
     tier-2 survives a plain ``clear_caches()`` on purpose, since outliving
     the process is its job.
     """
+    # Imported lazily: batch sits above core in the layer diagram.
+    from repro.engine.batch import clear_lp_skeleton_cache
+
     _SOLUTION_CACHE.clear()
     clear_structure_cache()
+    clear_lp_skeleton_cache()
     if store and _SOLUTION_STORE is not None:
         _SOLUTION_STORE.clear()
 

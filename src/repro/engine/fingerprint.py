@@ -39,6 +39,7 @@ from repro.core.problem import TradeoffSolution
 
 __all__ = [
     "dag_fingerprint",
+    "arcdag_fingerprint",
     "problem_fingerprint",
     "request_fingerprint",
     "solution_to_payload",
@@ -77,6 +78,27 @@ def dag_fingerprint(dag: TradeoffDAG) -> str:
     hasher.update(b"|edges|")
     for edge in sorted(f"{u!r}->{v!r}" for u, v in dag.edges):
         hasher.update(edge.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+def arcdag_fingerprint(arc_dag) -> str:
+    """Return a stable hex digest identifying an :class:`~repro.core.arcdag.ArcDAG`.
+
+    Covers everything the LP kernel can observe: source/sink, and for every
+    arc its id, endpoints, canonical duration breakpoints and dummy flag.
+    Keys the engine's :class:`~repro.core.lp.LPModelSkeleton` cache
+    (:mod:`repro.engine.batch`), so two structurally identical expanded DAGs
+    -- e.g. the same workload rebuilt from its generator in another process
+    -- share one prebuilt LP model.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"{arc_dag.source!r}->{arc_dag.sink!r}".encode())
+    for token in sorted(
+            f"{arc.arc_id}|{arc.tail!r}->{arc.head!r}|"
+            f"{arc.duration.tuples()!r}|{arc.is_dummy}"
+            for arc in arc_dag.arcs):
+        hasher.update(token.encode())
         hasher.update(b"\x00")
     return hasher.hexdigest()
 

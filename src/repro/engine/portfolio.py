@@ -72,17 +72,17 @@ def _solve_shard_task(problems: Sequence[Problem], method: str, limits: SolveLim
                       ) -> List[Tuple[Optional[SolveReport], Optional[str]]]:
     """Batch worker: one ``(report, error)`` pair per scenario in the shard.
 
-    Per-scenario failures are captured as text instead of aborting the
-    shard, so one bad scenario cannot lose its shard-mates' results.
+    Dispatches to :func:`repro.engine.batch.solve_lp_batch`, which groups
+    the shard's scenarios by DAG fingerprint inside the worker process so
+    the structure probe and the LP model skeleton are paid once per group
+    instead of once per scenario.  Per-scenario failures are captured as
+    text instead of aborting the shard, so one bad scenario cannot lose
+    its shard-mates' results.
     """
-    results: List[Tuple[Optional[SolveReport], Optional[str]]] = []
-    for problem in problems:
-        try:
-            results.append((solve(problem, method=method, limits=limits,
-                                  validate=validate, **options), None))
-        except Exception as exc:  # noqa: BLE001 - reported per scenario
-            results.append((None, f"{type(exc).__name__}: {exc}"))
-    return results
+    from repro.engine.batch import solve_lp_batch
+
+    return solve_lp_batch(problems, method=method, limits=limits,
+                          options=options, validate=validate)
 
 
 @dataclass

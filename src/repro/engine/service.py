@@ -13,7 +13,11 @@ and the service
 3. **shards the rest** -- pending scenarios are partitioned into shards
    sized to the portfolio's worker pool
    (:meth:`~repro.engine.portfolio.Portfolio.shard_plan`) and submitted to
-   its *warm* executors;
+   its *warm* executors; inside each worker the shard is solved through
+   :func:`repro.engine.batch.solve_lp_batch`, which groups scenarios by
+   DAG fingerprint so the structure probe and the LP model skeleton are
+   paid once per group, not once per scenario (see
+   ``docs/performance.md``);
 4. **streams results** -- :meth:`SweepService.sweep` is a generator
    yielding a :class:`SweepResult` per scenario as soon as its shard
    finishes (store hits first); :meth:`SweepService.run` collects them and
@@ -245,6 +249,20 @@ class SweepService:
     @property
     def portfolio(self) -> Portfolio:
         return self._portfolio
+
+    @staticmethod
+    def kernel_info() -> dict:
+        """Work counters of the batched kernel layer (``docs/performance.md``).
+
+        Counters are per process: with a thread-executor portfolio they
+        reflect this service's sweeps directly; with the (default)
+        process-executor portfolio the shard work happens in the worker
+        processes, so the calling process only sees the skeletons and
+        probes it built itself (dedup, store lookups).
+        """
+        from repro.engine.batch import batch_kernel_info
+
+        return batch_kernel_info()
 
     def _warm_pool(self) -> Portfolio:
         if self._portfolio.pool is None:

@@ -40,6 +40,7 @@ from repro.core.exact import exact_min_makespan, exact_min_resource
 from repro.core.kway_approx import solve_min_makespan_kway
 from repro.core.problem import MinMakespanProblem
 from repro.core.series_parallel import sp_exact_min_makespan, sp_exact_min_resource
+from repro.engine.batch import CACHED_LP_BACKEND
 from repro.engine.registry import MIN_MAKESPAN, MIN_RESOURCE, register_solver
 from repro.utils.validation import require
 
@@ -143,7 +144,8 @@ def _run_exact(problem, structure, limits, **options):
 )
 def _run_kway(problem, structure, limits, **options):
     return solve_min_makespan_kway(structure.dag, _budget(problem),
-                                   transforms=_transforms(structure), **options)
+                                   transforms=_transforms(structure),
+                                   lp_backend=CACHED_LP_BACKEND, **options)
 
 
 @register_solver(
@@ -157,7 +159,8 @@ def _run_kway(problem, structure, limits, **options):
 )
 def _run_binary(problem, structure, limits, **options):
     return solve_min_makespan_binary(structure.dag, _budget(problem),
-                                     transforms=_transforms(structure), **options)
+                                     transforms=_transforms(structure),
+                                     lp_backend=CACHED_LP_BACKEND, **options)
 
 
 @register_solver(
@@ -171,7 +174,8 @@ def _run_binary(problem, structure, limits, **options):
 )
 def _run_binary_improved(problem, structure, limits, **options):
     return solve_min_makespan_binary_improved(structure.dag, _budget(problem),
-                                              transforms=_transforms(structure), **options)
+                                              transforms=_transforms(structure),
+                                              lp_backend=CACHED_LP_BACKEND, **options)
 
 
 @register_solver(
@@ -186,9 +190,11 @@ def _run_bicriteria(problem, structure, limits, alpha: float = 0.5, **options):
     transforms = _transforms(structure)
     if isinstance(problem, MinMakespanProblem):
         return solve_min_makespan_bicriteria(structure.dag, _budget(problem), alpha,
-                                             transforms=transforms, **options)
+                                             transforms=transforms,
+                                             lp_backend=CACHED_LP_BACKEND, **options)
     return solve_min_resource_bicriteria(structure.dag, _target(problem), alpha,
-                                         transforms=transforms, **options)
+                                         transforms=transforms,
+                                         lp_backend=CACHED_LP_BACKEND, **options)
 
 
 # ----------------------------------------------------------------------

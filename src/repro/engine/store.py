@@ -23,7 +23,11 @@ Guarantees:
   mismatch is counted (``info()``) and treated as empty: the affected
   requests recompute and the next write repairs the shard; nothing crashes;
 * **bounded shards** -- each shard keeps at most ``max_entries_per_shard``
-  entries, evicting the oldest (smallest insertion sequence) first.
+  entries, evicting the oldest (smallest insertion sequence) first;
+* **bounded stores** -- with ``max_total_entries`` set, any write pushing
+  the store past the cap triggers :meth:`SolutionStore.compact`, the GC
+  hook for long-lived deployments (oldest entries evicted first, counted
+  in ``info()["evictions"]`` / ``info()["compactions"]``).
 
 Usage:
 
@@ -156,22 +160,40 @@ class SolutionStore:
         Keep decoded shards in memory after first access.  Leave on for a
         single-writer process; call :meth:`refresh` to observe writes made
         by other processes.
+    max_total_entries:
+        Optional store-wide entry cap for long-lived deployments.  When
+        set, every write that pushes the store past the cap triggers
+        :meth:`compact`, which evicts the oldest entries (smallest
+        insertion sequence first) until the cap holds again.  ``None``
+        (the default) disables the GC; :meth:`compact` can still be called
+        manually with an explicit target.
     """
 
     def __init__(self, root: str, *, max_entries_per_shard: int = 4096,
-                 shard_width: int = 2, cache_shards: bool = True):
+                 shard_width: int = 2, cache_shards: bool = True,
+                 max_total_entries: Optional[int] = None):
         require(max_entries_per_shard > 0, "max_entries_per_shard must be positive")
         require(1 <= shard_width <= 8, "shard_width must be in [1, 8]")
+        require(max_total_entries is None or max_total_entries > 0,
+                "max_total_entries must be positive (or None to disable the GC)")
         self.root = os.path.abspath(root)
         self.max_entries_per_shard = max_entries_per_shard
         self.shard_width = shard_width
         self.cache_shards = cache_shards
+        self.max_total_entries = max_total_entries
         self._shards: Dict[str, Dict[str, Any]] = {}
+        #: Global insertion sequence (next value to assign) and cached total
+        #: entry count; both are established lazily by one full-store scan
+        #: (:meth:`_seq_floor_scan`) and kept incrementally afterwards, so
+        #: writes stay O(one shard).  ``None`` means "rescan before use".
+        self._next_seq: Optional[int] = None
+        self._entry_total: Optional[int] = None
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.writes = 0
         self.evictions = 0
+        self.compactions = 0
         self.corrupt_shards = 0
         self.schema_mismatches = 0
         self.skipped_writes = 0
@@ -255,11 +277,52 @@ class SolutionStore:
         if self.cache_shards:
             self._shards[shard_id] = entries
 
-    def _evict(self, entries: Dict[str, Any]) -> None:
+    def _evict(self, entries: Dict[str, Any]) -> int:
+        evicted = 0
         while len(entries) > self.max_entries_per_shard:
             oldest = min(entries, key=lambda k: entries[k].get("__seq__", 0))
             del entries[oldest]
             self.evictions += 1
+            evicted += 1
+        return evicted
+
+    # ------------------------------------------------------------------
+    # global insertion sequence + entry accounting
+    # ------------------------------------------------------------------
+    def _seq_floor_scan(self) -> None:
+        """One full-store scan establishing the sequence floor and count.
+
+        The insertion sequence is *store-global* (not per shard): eviction
+        order under :meth:`compact` follows true insertion order across
+        shards.  Reopening a store resumes above every persisted sequence,
+        so insertion order survives restarts.  Concurrent writer processes
+        allocate from independent counters seeded by the same floor, so
+        cross-process ordering is approximate (exactly like the shared
+        read-modify-write window documented in ``docs/caching.md``).
+        """
+        floor = 0
+        total = 0
+        for shard_id in self._shard_ids():
+            entries = self._load_shard(shard_id)
+            total += len(entries)
+            floor = max(floor, max((entry.get("__seq__", 0)
+                                    for entry in entries.values()), default=0))
+        if self._next_seq is None or self._next_seq <= floor:
+            self._next_seq = floor + 1
+        self._entry_total = total
+
+    def _allocate_seq(self) -> int:
+        if self._next_seq is None:
+            self._seq_floor_scan()
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _total_entries(self) -> int:
+        """The (cached) store-wide entry count -- O(1) after the first scan."""
+        if self._entry_total is None:
+            self._seq_floor_scan()
+        return self._entry_total
 
     # ------------------------------------------------------------------
     # public API
@@ -292,19 +355,23 @@ class SolutionStore:
             if self.cache_shards:
                 self._shards.pop(shard_id, None)
             entries = dict(self._load_shard(shard_id))
-            seq = 1 + max((e.get("__seq__", 0) for e in entries.values()), default=0)
+            fresh = key not in entries
             entry = dict(payload)
-            entry["__seq__"] = seq
+            entry["__seq__"] = self._allocate_seq()
             entries[key] = entry
-            self._evict(entries)
+            evicted = self._evict(entries)
             try:
                 self._write_shard(shard_id, entries)
             except (OSError, TypeError, ValueError):
                 self.skipped_writes += 1
                 if self.cache_shards:
                     self._shards.pop(shard_id, None)
+                self._entry_total = None  # count is uncertain; rescan lazily
                 return False
             self.writes += 1
+            if self._entry_total is not None:
+                self._entry_total += (1 if fresh else 0) - evicted
+            self._maybe_gc()
             return True
 
     def put_many(self, items: Sequence[Tuple[str, Dict[str, Any]]]) -> int:
@@ -325,22 +392,27 @@ class SolutionStore:
                 if self.cache_shards:
                     self._shards.pop(shard_id, None)
                 entries = dict(self._load_shard(shard_id))
-                seq = max((e.get("__seq__", 0) for e in entries.values()), default=0)
+                fresh = 0
                 for key, payload in pairs:
-                    seq += 1
+                    fresh += key not in entries
                     entry = dict(payload)
-                    entry["__seq__"] = seq
+                    entry["__seq__"] = self._allocate_seq()
                     entries[key] = entry
-                self._evict(entries)
+                evicted = self._evict(entries)
                 try:
                     self._write_shard(shard_id, entries)
                 except (OSError, TypeError, ValueError):
                     self.skipped_writes += len(pairs)
                     if self.cache_shards:
                         self._shards.pop(shard_id, None)
+                    self._entry_total = None  # count is uncertain; rescan lazily
                     continue
                 self.writes += len(pairs)
                 written += len(pairs)
+                if self._entry_total is not None:
+                    self._entry_total += fresh - evicted
+            if written:
+                self._maybe_gc()
         return written
 
     def put_reports(self, pairs) -> int:
@@ -389,6 +461,72 @@ class SolutionStore:
                 self.corrupt_shards += 1
             return None
 
+    def _maybe_gc(self) -> None:
+        """Run :meth:`compact` if the configured entry cap is exceeded.
+
+        Uses the incrementally-maintained entry count, so the per-write
+        overhead is O(1) after the store's first full scan.
+        """
+        if (self.max_total_entries is not None
+                and self._total_entries() > self.max_total_entries):
+            self.compact(self.max_total_entries)
+
+    def compact(self, max_entries: Optional[int] = None) -> int:
+        """Evict the oldest entries until at most ``max_entries`` remain.
+
+        The GC hook for long-lived deployments: entries are evicted in
+        insertion order (oldest first) following the store-global
+        insertion sequence, which is seeded above every persisted entry on
+        reopen -- so the order holds across shards and across restarts
+        (concurrent writer processes interleave approximately; see
+        :meth:`_seq_floor_scan`).  Touched shards are rewritten
+        atomically; a shard whose rewrite fails keeps its old blob (the
+        failure is counted in ``skipped_writes``, never raised).  Returns
+        the number of entries evicted and increments the ``compactions``
+        counter once per run.
+
+        ``max_entries`` defaults to the store's configured
+        ``max_total_entries`` (one of the two must be set).
+        """
+        cap = max_entries if max_entries is not None else self.max_total_entries
+        require(cap is not None and cap >= 0,
+                "compact() needs max_entries= or a store-level max_total_entries")
+        with self._lock:
+            shard_entries = {shard_id: dict(self._load_shard(shard_id))
+                             for shard_id in self._shard_ids()}
+            total = sum(len(entries) for entries in shard_entries.values())
+            self.compactions += 1
+            excess = total - cap
+            if excess <= 0:
+                return 0
+            oldest_first = sorted(
+                (entry.get("__seq__", 0), shard_id, key)
+                for shard_id, entries in shard_entries.items()
+                for key, entry in entries.items())
+            touched = set()
+            for _seq, shard_id, key in oldest_first[:excess]:
+                del shard_entries[shard_id][key]
+                touched.add(shard_id)
+            written_ok = set()
+            for shard_id in sorted(touched):
+                try:
+                    self._write_shard(shard_id, shard_entries[shard_id])
+                    written_ok.add(shard_id)
+                except (OSError, TypeError, ValueError):
+                    self.skipped_writes += 1
+                    if self.cache_shards:
+                        self._shards.pop(shard_id, None)
+            evicted = 0
+            for _seq, shard_id, _key in oldest_first[:excess]:
+                if shard_id in written_ok:
+                    self.evictions += 1
+                    evicted += 1
+            if written_ok == touched:
+                self._entry_total = total - evicted
+            else:
+                self._entry_total = None  # partial rewrite; rescan lazily
+            return evicted
+
     def __contains__(self, key: str) -> bool:
         with self._lock:
             return key in self._load_shard(self._shard_id(key))
@@ -397,9 +535,12 @@ class SolutionStore:
         return self.entry_count()
 
     def entry_count(self) -> int:
-        """Total entries across every shard on disk."""
+        """Total entries across every shard on disk (exact; refreshes the
+        cached count the GC trigger uses)."""
         with self._lock:
-            return sum(len(self._load_shard(s)) for s in self._shard_ids())
+            total = sum(len(self._load_shard(s)) for s in self._shard_ids())
+            self._entry_total = total
+            return total
 
     def _shard_ids(self):
         try:
@@ -420,6 +561,10 @@ class SolutionStore:
         """Drop the in-memory shard cache (re-read other processes' writes)."""
         with self._lock:
             self._shards.clear()
+            # Another process may have added entries (and higher sequence
+            # numbers); rescan both lazily on next use.
+            self._entry_total = None
+            self._next_seq = None
 
     def clear(self) -> None:
         """Delete every shard blob and reset the statistics."""
@@ -430,8 +575,10 @@ class SolutionStore:
                 except OSError:
                     pass
             self._shards.clear()
+            self._entry_total = 0
+            self._next_seq = None
             self.hits = self.misses = self.writes = 0
-            self.evictions = self.corrupt_shards = 0
+            self.evictions = self.compactions = self.corrupt_shards = 0
             self.schema_mismatches = self.skipped_writes = 0
 
     def info(self) -> dict:
@@ -443,10 +590,12 @@ class SolutionStore:
                 "entries": self.entry_count(),
                 "shards": len(self._shard_ids()),
                 "max_entries_per_shard": self.max_entries_per_shard,
+                "max_total_entries": self.max_total_entries,
                 "hits": self.hits,
                 "misses": self.misses,
                 "writes": self.writes,
                 "evictions": self.evictions,
+                "compactions": self.compactions,
                 "corrupt_shards": self.corrupt_shards,
                 "schema_mismatches": self.schema_mismatches,
                 "skipped_writes": self.skipped_writes,

@@ -149,6 +149,17 @@ def _probe(dag: TradeoffDAG, digest: str) -> ProblemStructure:
 
 _CACHE = LRUCache(maxsize=128)
 
+#: Identity fast path: ``id(dag) -> (dag, structure)``.  Keyed by object
+#: identity so the per-scenario calls of a batched shard (every scenario in
+#: a group shares one normalized DAG object) skip re-normalization,
+#: re-validation and re-hashing entirely.  Entries hold the DAG strongly,
+#: so a cached id cannot be recycled by a different object while the entry
+#: lives; the ``is`` check below guards evict-then-recycle races.
+_ID_CACHE = LRUCache(maxsize=256)
+
+#: How many fingerprint computations the identity fast path skipped.
+_PROBE_COUNTERS = {"identity_hits": 0, "probe_runs": 0}
+
 
 def analyze_dag(dag: TradeoffDAG) -> ProblemStructure:
     """Probe (or fetch the memoized probe of) a DAG's structure.
@@ -156,24 +167,58 @@ def analyze_dag(dag: TradeoffDAG) -> ProblemStructure:
     The DAG is normalized with
     :meth:`~repro.core.dag.TradeoffDAG.ensure_single_source_sink` first, so
     the recorded :attr:`ProblemStructure.dag` -- the one every registered
-    solver runs on -- always has unique terminals.
+    solver runs on -- always has unique terminals.  Two memoization tiers
+    apply: an identity fast path for the exact same DAG object (no hashing
+    at all -- the batched-shard hot path) and the content-fingerprint LRU
+    behind it.
     """
+    hit = _ID_CACHE.get(id(dag))
+    if (hit is not None and hit[0] is dag
+            and hit[2] == (dag.num_jobs, dag.num_edges)):
+        _PROBE_COUNTERS["identity_hits"] += 1
+        return hit[1]
+    original = dag
     dag = dag.ensure_single_source_sink()
     dag.validate()
     digest = dag_fingerprint(dag)
-    cached = _CACHE.get(digest)
-    if cached is not None:
-        return cached
-    structure = _probe(dag, digest)
-    _CACHE.put(digest, structure)
+    structure = _CACHE.get(digest)
+    if structure is None:
+        structure = _probe(dag, digest)
+        _PROBE_COUNTERS["probe_runs"] += 1
+        _CACHE.put(digest, structure)
+    # Entries carry the (num_jobs, num_edges) shape seen at probe time: a
+    # DAG mutated in place (add_job / add_edge) falls back to the content
+    # path, which re-fingerprints -- matching the pre-fast-path semantics.
+    # (Mutations preserving both counts, e.g. remove_edge + add_edge of a
+    # different edge, are not detected; rebuild the DAG instead.)
+    _ID_CACHE.put(id(original),
+                  (original, structure, (original.num_jobs, original.num_edges)))
+    if structure.dag is not original:
+        # Solvers re-enter analyze_dag with the *normalized* DAG the probe
+        # recorded; map that object too so the re-entry is an identity hit.
+        _ID_CACHE.put(id(structure.dag),
+                      (structure.dag, structure,
+                       (structure.dag.num_jobs, structure.dag.num_edges)))
     return structure
 
 
 def clear_structure_cache() -> None:
     """Drop every memoized structure probe (used by tests and sweeps)."""
     _CACHE.clear()
+    _ID_CACHE.clear()
+    for key in _PROBE_COUNTERS:
+        _PROBE_COUNTERS[key] = 0
 
 
 def structure_cache_info() -> dict:
-    """Hit/miss statistics of the structure cache."""
-    return _CACHE.info()
+    """Hit/miss statistics of the structure cache.
+
+    The fingerprint LRU's counters stay at the top level (back-compat);
+    ``identity_hits`` counts calls served by the object-identity fast path
+    (no normalization / validation / hashing performed at all) and
+    ``probe_runs`` counts actual structure probes executed.
+    """
+    info = _CACHE.info()
+    info["identity_hits"] = _PROBE_COUNTERS["identity_hits"]
+    info["probe_runs"] = _PROBE_COUNTERS["probe_runs"]
+    return info

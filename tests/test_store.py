@@ -384,3 +384,88 @@ class TestTwoTierSolve:
         reopened = SolutionStore(store.root, shard_width=3)
         assert reopened.shard_width == 2  # disk layout wins
         assert reopened.get(key) == {"v": 1}
+
+
+# ---------------------------------------------------------------------------
+# compaction / max-entries GC (long-lived deployments)
+# ---------------------------------------------------------------------------
+class TestStoreCompaction:
+    @staticmethod
+    def _key(prefix: str, index: int) -> str:
+        return prefix + f"{index:0{64 - len(prefix)}d}"
+
+    def test_auto_gc_keeps_newest_entries(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s"), max_total_entries=3)
+        for index in range(6):
+            store.put(self._key("aa", index), {"v": index})
+        assert store.entry_count() == 3
+        kept = sorted(key for key, _payload in store.payloads())
+        # oldest first: entries 0..2 evicted, 3..5 kept
+        assert kept == [self._key("aa", index) for index in (3, 4, 5)]
+        info = store.info()
+        assert info["evictions"] == 3
+        assert info["compactions"] >= 1
+        assert info["max_total_entries"] == 3
+
+    def test_eviction_order_is_insertion_order(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s"))
+        for index in range(5):
+            store.put(self._key("ab", index), {"v": index})
+        evicted = store.compact(2)
+        assert evicted == 3
+        kept = sorted(key for key, _payload in store.payloads())
+        assert kept == [self._key("ab", 3), self._key("ab", 4)]
+        # repeated compaction below the cap is a no-op (but still counted)
+        assert store.compact(2) == 0
+        assert store.info()["compactions"] == 2
+
+    def test_compact_spans_shards(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s"))
+        for index, prefix in enumerate(["aa", "bb", "cc", "dd"]):
+            store.put(self._key(prefix, index), {"v": index})
+        assert store.compact(2) == 2
+        assert store.entry_count() == 2
+
+    def test_eviction_order_is_global_across_shards(self, tmp_path):
+        # Insertion order must win even when it runs *against* shard-id
+        # order: writing dd, cc, bb, aa must evict dd and cc first.
+        store = SolutionStore(str(tmp_path / "s"))
+        for index, prefix in enumerate(["dd", "cc", "bb", "aa"]):
+            store.put(self._key(prefix, index), {"v": index})
+        assert store.compact(2) == 2
+        kept = sorted(key for key, _payload in store.payloads())
+        assert kept == [self._key("aa", 3), self._key("bb", 2)]
+
+    def test_insertion_order_survives_reopen(self, tmp_path):
+        # The sequence floor is re-established above every persisted entry,
+        # so entries written after a reopen are newer than all old ones.
+        store = SolutionStore(str(tmp_path / "s"))
+        store.put(self._key("zz", 0), {"v": 0})
+        reopened = SolutionStore(store.root)
+        reopened.put(self._key("aa", 1), {"v": 1})
+        assert reopened.compact(1) == 1
+        kept = [key for key, _payload in reopened.payloads()]
+        assert kept == [self._key("aa", 1)]  # the post-reopen write survives
+
+    def test_compact_requires_a_cap(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s"))
+        with pytest.raises(Exception):
+            store.compact()
+
+    def test_gc_survives_reopen(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s"), max_total_entries=2)
+        for index in range(4):
+            store.put(self._key("aa", index), {"v": index})
+        reopened = SolutionStore(store.root)
+        assert reopened.entry_count() == 2
+        assert reopened.get(self._key("aa", 3)) == {"v": 3}
+
+    def test_gc_preserves_reports_end_to_end(self, tmp_path):
+        store = set_solution_store(
+            SolutionStore(str(tmp_path / "tier2"), max_total_entries=2))
+        for budget in (1.0, 2.0, 3.0, 4.0):
+            solve(_problem(budget))
+        assert store.entry_count() == 2
+        # the surviving (newest) entries still decode into full reports
+        payload_keys = [key for key, _payload in store.payloads()]
+        assert all(store.get_report(key) is not None for key in payload_keys)
