@@ -1,0 +1,238 @@
+"""E19 -- spec-native scenario grids: declarative sweeps without DAG churn.
+
+A scenario sweep used to enter the system as a list of fully materialized
+``Problem`` objects: every cell's DAG built up front by the caller, every
+warm re-run paying the same construction cost just to discover the store
+already had the answers.  The scenario subsystem (``repro.scenarios``)
+replaces that with a declarative 3-axis :class:`~repro.scenarios.ScenarioGrid`
+(generator family x size x budget rule) flowing through
+:meth:`~repro.engine.service.SweepService.sweep` spec-natively:
+
+* **cold** -- cells are deduplicated and store-checked by spec content
+  (no DAG exists yet); pending cells materialize lazily inside worker
+  shards: exactly one DAG build per unique cell;
+* **warm** -- every cell resolves its request fingerprint through the
+  persistent spec alias and is answered from the store with **zero** DAG
+  builds, even in a fresh process;
+* **equivalence** -- the spec-native path reports the same request
+  fingerprints and bit-identical makespans as sweeping the materialized
+  problems.
+
+The gate is **machine-independent**: DAG-build counters
+(:func:`repro.scenarios.materialization_info`), store-hit counts, the
+fingerprint/result equivalence, and the wire-payload compression of
+shipping the grid instead of materialized problem payloads.  Wall-clock
+times are reported for humans but never gated on.
+
+Run standalone:  python benchmarks/bench_scenario_grid.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import time
+
+from repro import clear_caches
+from repro.analysis import format_table, render_grid_table
+from repro.engine.portfolio import Portfolio
+from repro.engine.service import SweepService
+from repro.engine.store import SolutionStore
+from repro.scenarios import (
+    Axis,
+    ScenarioGrid,
+    materialization_info,
+    reset_materialization_counters,
+)
+from repro.serve import problem_to_payload
+
+from bench_common import emit, parse_json_flag, write_json_artifact
+
+
+def build_grid(quick: bool) -> ScenarioGrid:
+    """The 3-axis grid: generator family x size x budget rule."""
+    sizes = [2, 4] if quick else [2, 4, 8]
+    chain_sizes = [2, 3] if quick else [2, 3, 4]
+    return ScenarioGrid(
+        generators=(
+            {"generator": "fork-join",
+             "params": {"width": Axis(sizes), "work": 16}},
+            {"generator": "adversarial-minresource-chain",
+             "params": {"num_variables": Axis(chain_sizes)}},
+        ),
+        seeds=(0,),
+        budget_rules=(("const", 6.0), ("per-job", 1.0)),
+    )
+
+
+def service_for(root: str) -> SweepService:
+    # Thread executor keeps the DAG-build counters in-process, so the gate
+    # observes exactly what the workers did.
+    return SweepService(store=SolutionStore(root),
+                        portfolio=Portfolio(executor="thread"))
+
+
+def run_comparison(quick: bool) -> dict:
+    grid = build_grid(quick)
+    store_root = tempfile.mkdtemp(prefix="bench-scenario-grid-")
+
+    # -- cold spec-native sweep ----------------------------------------
+    clear_caches()
+    reset_materialization_counters()
+    start = time.perf_counter()
+    with service_for(store_root) as service:
+        cold = service.run(grid)
+    t_cold = time.perf_counter() - start
+    cold_builds = materialization_info()["dag_builds"]
+
+    # -- warm spec-native sweep (fresh process state, same store) ------
+    clear_caches()
+    reset_materialization_counters()
+    start = time.perf_counter()
+    with service_for(store_root) as service:
+        warm = service.run(grid)
+    t_warm = time.perf_counter() - start
+    warm_builds = materialization_info()["dag_builds"]
+
+    # -- materialized reference path -----------------------------------
+    clear_caches()
+    reset_materialization_counters()
+    problems = [spec.materialize() for spec in grid.expand()]
+    with service_for(tempfile.mkdtemp(prefix="bench-mat-grid-")) as service:
+        materialized = service.run(problems)
+
+    identical = (
+        [r.key for r in cold.results] == [r.key for r in materialized.results]
+        and [r.report.makespan for r in cold.results]
+        == [r.report.makespan for r in materialized.results]
+        and [r.report.budget_used for r in cold.results]
+        == [r.report.budget_used for r in materialized.results])
+
+    spec_bytes = len(json.dumps(grid.to_payload()))
+    problem_bytes = len(json.dumps([problem_to_payload(p) for p in problems]))
+
+    return {
+        "cells": grid.size(),
+        "cold_computed": cold.stats.computed,
+        "cold_dag_builds": cold_builds,
+        "warm_store_hits": warm.stats.store_hits,
+        "warm_computed": warm.stats.computed,
+        "warm_dag_builds": warm_builds,
+        "identical": identical,
+        "spec_payload_bytes": spec_bytes,
+        "problem_payload_bytes": problem_bytes,
+        "payload_compression": problem_bytes / max(spec_bytes, 1),
+        "t_cold_s": t_cold,
+        "t_warm_s": t_warm,
+        "grid_table": render_grid_table(cold, by=("generator", "budget_rule")),
+    }
+
+
+#: The machine-independent acceptance conditions, shared by the standalone
+#: gate and the pytest entry point so the two can never diverge.
+GATE_CONDITIONS = [
+    ("spec-native results are bit-identical to the materialized path",
+     lambda s: s["identical"]),
+    ("cold sweep builds exactly one DAG per unique cell",
+     lambda s: s["cold_dag_builds"] == s["cells"]),
+    ("cold sweep computes every cell once",
+     lambda s: s["cold_computed"] == s["cells"]),
+    ("warm sweep answers every cell from the store",
+     lambda s: s["warm_store_hits"] == s["cells"]
+     and s["warm_computed"] == 0),
+    ("warm sweep builds zero DAGs (store hits resolve pre-materialization)",
+     lambda s: s["warm_dag_builds"] == 0),
+    ("the grid payload is at least 4x smaller than materialized problems",
+     lambda s: s["payload_compression"] >= 4.0),
+]
+
+
+def gate(stats) -> bool:
+    """The machine-independent acceptance predicate (counters only)."""
+    return all(condition(stats) for _label, condition in GATE_CONDITIONS)
+
+
+def render(stats) -> str:
+    rows = [
+        ["cold spec-native sweep", str(stats["cold_computed"]),
+         str(stats["cold_dag_builds"]), "0",
+         f"{stats['t_cold_s'] * 1000:.0f}"],
+        ["warm spec-native sweep", str(stats["warm_computed"]),
+         str(stats["warm_dag_builds"]), str(stats["warm_store_hits"]),
+         f"{stats['t_warm_s'] * 1000:.0f}"],
+    ]
+    header = (f"{stats['cells']}-cell grid (generator family x size x budget "
+              f"rule); identical to materialized path: {stats['identical']}; "
+              f"wire payload {stats['spec_payload_bytes']}B as a grid vs "
+              f"{stats['problem_payload_bytes']}B materialized "
+              f"({stats['payload_compression']:.1f}x smaller)")
+    table = format_table(
+        ["sweep", "computed", "DAG builds", "store hits", "wall time (ms)"],
+        rows)
+    return (header + "\n\n" + table + "\n\nper-axis quality (cold sweep):\n"
+            + stats["grid_table"])
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_spec_native_grid_sweeps_without_dag_churn(benchmark):
+    stats = run_comparison(quick=True)
+    emit("E19 / scenario grids -- spec-native sweeps vs materialized problems",
+         render(stats))
+    for label, condition in GATE_CONDITIONS:
+        assert condition(stats), f"{label} (stats: {stats})"
+
+    grid = build_grid(quick=True)
+    root = tempfile.mkdtemp(prefix="bench-scenario-grid-pytest-")
+    with service_for(root) as service:
+        service.run(grid)
+
+    def warm_spec_sweep():
+        clear_caches()
+        with service_for(root) as service:
+            return service.run(grid)
+
+    benchmark(warm_spec_sweep)
+
+
+# ---------------------------------------------------------------------------
+# standalone mode
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_scenario_grid.py [--quick] [--json PATH]")
+
+    stats = run_comparison(quick)
+    print(render(stats))
+    ok = gate(stats)
+    print(f"\nspec-native grid sweep: one lazy DAG build per cold cell, zero "
+          f"for warm store hits, bit-identical results: {ok}")
+
+    if json_path:
+        write_json_artifact(json_path, {
+            "benchmark": "bench_scenario_grid",
+            "quick": quick,
+            "cells": stats["cells"],
+            "cold_computed": stats["cold_computed"],
+            "cold_dag_builds": stats["cold_dag_builds"],
+            "warm_store_hits": stats["warm_store_hits"],
+            "warm_computed": stats["warm_computed"],
+            "warm_dag_builds": stats["warm_dag_builds"],
+            "identical": stats["identical"],
+            "spec_payload_bytes": stats["spec_payload_bytes"],
+            "problem_payload_bytes": stats["problem_payload_bytes"],
+            "payload_compression": stats["payload_compression"],
+            "t_cold_s": stats["t_cold_s"],
+            "t_warm_s": stats["t_warm_s"],
+            "ok": ok,
+        })
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -15,6 +15,10 @@ The package is organised as:
   and Appendix A, with verifiers based on the exact solvers.
 * :mod:`repro.generators` -- random instance generators used by the tests
   and benchmarks.
+* :mod:`repro.scenarios` -- declarative scenario production: the generator
+  registry, JSON-serializable :class:`~repro.scenarios.ScenarioSpec`
+  records and lazily-expanded :class:`~repro.scenarios.ScenarioGrid`
+  cross-products the serving layers consume natively.
 * :mod:`repro.analysis` -- approximation-ratio measurement and regeneration
   of the paper's tables.
 
@@ -71,9 +75,20 @@ from repro.engine import (  # noqa: F401 -- re-export the engine API
     solve_lp_batch,
     solver_ids,
     solver_specs,
+    spec_fingerprint,
+)
+from repro.scenarios import (  # noqa: F401 -- re-export the scenario API
+    Axis,
+    GeneratorSpec,
+    ScenarioGrid,
+    ScenarioSpec,
+    generator_ids,
+    generator_specs,
+    get_generator,
+    register_generator,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 _engine_all = [
     "solve", "exact_reference", "normalize_problem",
@@ -86,6 +101,9 @@ _engine_all = [
     "SolutionStore", "set_solution_store", "get_solution_store", "request_key",
     "analyze_dag", "dag_fingerprint", "clear_caches",
     "solve_lp_batch", "batch_kernel_info",
+    "spec_fingerprint",
+    "ScenarioSpec", "ScenarioGrid", "Axis", "GeneratorSpec",
+    "register_generator", "get_generator", "generator_ids", "generator_specs",
 ]
 
 __all__ = list(_core_all) + _engine_all + ["__version__"]

@@ -3,7 +3,14 @@ regeneration of the paper's tables."""
 
 from repro.analysis.ratios import RatioMeasurement, measure_ratios, summarize_measurements
 from repro.analysis.report import format_float, format_table
-from repro.analysis.sweep import render_sweep_table, summarize_sweep, sweep_records
+from repro.analysis.sweep import (
+    grid_records,
+    render_grid_table,
+    render_sweep_table,
+    summarize_grid,
+    summarize_sweep,
+    sweep_records,
+)
 from repro.analysis.tables import (
     TABLE1_ROWS,
     render_solver_table,
@@ -19,4 +26,5 @@ __all__ = [
     "TABLE1_ROWS", "table1_summary", "render_table1", "render_table2", "render_table3",
     "render_solver_table",
     "sweep_records", "summarize_sweep", "render_sweep_table",
+    "grid_records", "summarize_grid", "render_grid_table",
 ]

@@ -23,7 +23,8 @@ from repro.analysis.report import format_table
 from repro.engine.fingerprint import decode_payload_value
 from repro.engine.registry import MIN_MAKESPAN
 
-__all__ = ["sweep_records", "summarize_sweep", "render_sweep_table"]
+__all__ = ["sweep_records", "summarize_sweep", "render_sweep_table",
+           "grid_records", "summarize_grid", "render_grid_table"]
 
 
 def _record(solver_id: str, objective: str, makespan: float, budget_used: float,
@@ -63,6 +64,10 @@ def sweep_records(source) -> List[Dict[str, Any]]:
     records: List[Dict[str, Any]] = []
     if isinstance(source, SolutionStore):
         for _key, payload in source.payloads():
+            if "alias_of" in payload:
+                # Spec-to-fingerprint alias entries written by the
+                # spec-native sweep paths; they carry no solution.
+                continue
             solution = payload.get("solution", {})
             records.append(_record(
                 solver_id=payload.get("solver_id", "?"),
@@ -135,6 +140,115 @@ def summarize_sweep(source) -> Dict[str, Dict[str, Any]]:
                                if wall_times else 0.0),
         }
     return out
+
+
+def grid_records(results) -> List[Dict[str, Any]]:
+    """Flatten spec-native sweep results into axis-addressable records.
+
+    ``results`` is a :class:`~repro.engine.service.SweepReport` or an
+    iterable of :class:`~repro.engine.service.SweepResult` produced by a
+    spec-native sweep (each result carries its
+    :class:`~repro.scenarios.spec.ScenarioSpec`).  Every record holds the
+    quality fields of :func:`sweep_records` plus the cell's grid
+    coordinates: ``generator``, ``seed``, ``budget_rule`` (as
+    ``"name:value"``), ``objective`` and one column per generator
+    parameter -- the keys :func:`summarize_grid` groups on.  Failed cells
+    contribute no record; results without a spec raise.
+    """
+    from repro.engine.service import SweepReport
+
+    if isinstance(results, SweepReport):
+        results = results.results
+    records: List[Dict[str, Any]] = []
+    for result in results:
+        if result.report is None:
+            continue
+        if result.spec is None:
+            raise TypeError(
+                "grid_records() wants spec-native sweep results (run the "
+                "sweep over ScenarioSpecs or a ScenarioGrid)")
+        spec = result.spec
+        report = result.report
+        record = _record(
+            solver_id=report.solver_id,
+            objective=report.objective,
+            makespan=report.makespan,
+            budget_used=report.budget_used,
+            lower_bound=report.lower_bound,
+            parameter=report.parameter,
+            wall_time=report.wall_time,
+            source=result.source,
+        )
+        rule_name, rule_value = spec.budget_rule
+        record["generator"] = spec.generator
+        record["seed"] = spec.seed
+        record["budget_rule"] = f"{rule_name}:{rule_value:g}"
+        for name, value in spec.params.items():
+            record.setdefault(name, value if not isinstance(value, list)
+                              else tuple(value))
+        records.append(record)
+    return records
+
+
+def summarize_grid(results, by=("generator", "budget_rule")) -> Dict[tuple, Dict[str, Any]]:
+    """Aggregate a spec-native sweep along grid axes.
+
+    ``by`` names the grouping axes -- any :func:`grid_records` columns:
+    ``"generator"``, ``"budget_rule"``, ``"seed"``, ``"solver_id"`` or a
+    generator parameter (``"width"``, ``"num_layers"``, ...).  Returns
+    ``axis-value tuple -> {count, solvers, worst_ratio, mean_ratio,
+    worst_budget_ratio, mean_wall_time}`` with groups sorted by their axis
+    values; cells missing an axis column group under ``None`` for it.
+    """
+    groups: Dict[tuple, List[Dict[str, Any]]] = {}
+    for record in grid_records(results):
+        key = tuple(record.get(axis) for axis in by)
+        groups.setdefault(key, []).append(record)
+
+    out: Dict[tuple, Dict[str, Any]] = {}
+    for key in sorted(groups, key=repr):
+        rows = groups[key]
+        ratios = [r["ratio_vs_lower_bound"] for r in rows
+                  if r["ratio_vs_lower_bound"] is not None]
+        budget_ratios = [r["budget_ratio"] for r in rows
+                         if r["budget_ratio"] is not None]
+        wall_times = [r["wall_time"] for r in rows]
+        out[key] = {
+            "count": len(rows),
+            "solvers": sorted({r["solver_id"] for r in rows}),
+            "worst_ratio": max(ratios) if ratios else None,
+            "mean_ratio": sum(ratios) / len(ratios) if ratios else None,
+            "worst_budget_ratio": max(budget_ratios) if budget_ratios else None,
+            "mean_wall_time": (sum(wall_times) / len(wall_times)
+                               if wall_times else 0.0),
+        }
+    return out
+
+
+def render_grid_table(results, by=("generator", "budget_rule"),
+                      title: Optional[str] = None) -> str:
+    """Render the per-axis quality table of a spec-native sweep.
+
+    One row per combination of the ``by`` axes; columns mirror
+    :func:`render_sweep_table` plus the dispatched solver set, so a mixed
+    benign/adversarial grid shows at a glance where quality degrades.
+    """
+    summary = summarize_grid(results, by=by)
+    headers = [*by, "cells", "solvers", "worst ratio (vs LB)", "mean ratio",
+               "worst budget factor", "mean solve time (ms)"]
+    rows = []
+    for key, entry in summary.items():
+        rows.append([
+            *key,
+            entry["count"],
+            ", ".join(entry["solvers"]),
+            entry["worst_ratio"],
+            entry["mean_ratio"],
+            entry["worst_budget_ratio"],
+            entry["mean_wall_time"] * 1000.0,
+        ])
+    table = format_table(headers, rows)
+    return f"{title}\n\n{table}" if title else table
 
 
 def render_sweep_table(source, title: Optional[str] = None) -> str:

@@ -53,11 +53,14 @@ from repro.engine.core import (
 )
 from repro.engine.fingerprint import (
     UnserializableSolutionError,
+    cached_spec_fingerprint,
     dag_fingerprint,
     problem_fingerprint,
     request_fingerprint,
     solution_from_payload,
     solution_to_payload,
+    spec_alias_key,
+    spec_fingerprint,
 )
 from repro.engine.store import STORE_SCHEMA_VERSION, SolutionStore
 from repro.engine.registry import (
@@ -101,6 +104,7 @@ __all__ = [
     # structure + fingerprints + serialization
     "ProblemStructure", "analyze_dag", "dag_fingerprint", "problem_fingerprint",
     "request_fingerprint", "request_key",
+    "spec_fingerprint", "cached_spec_fingerprint", "spec_alias_key",
     "solution_to_payload", "solution_from_payload", "UnserializableSolutionError",
     # certificates
     "Certificate", "certify_solution",

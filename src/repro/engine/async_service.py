@@ -23,6 +23,13 @@ scenario batches at once and the service
    everything queued to finish, checkpoints the manifest and closes what it
    started.
 
+Declarative scenario batches go through :meth:`AsyncSweepService.submit_specs`
+(a :class:`~repro.scenarios.spec.ScenarioGrid` or
+:class:`~repro.scenarios.spec.ScenarioSpec` records): dedup, in-flight
+sharing and store lookups happen before any DAG exists, and pending cells
+materialize lazily inside the worker shards -- the substrate of the
+``sweep_spec`` wire op in :mod:`repro.serve`.
+
 Clients receive plain :class:`asyncio.Future` objects (one per scenario
 slot, shared per request key) resolving to
 :class:`~repro.engine.service.SweepResult`; nothing in the public API
@@ -65,9 +72,15 @@ from repro.engine.core import (
     normalize_problem,
     request_key,
 )
+from repro.engine.fingerprint import (
+    cached_spec_fingerprint,
+    record_spec_fingerprint,
+    spec_alias_key,
+)
 from repro.engine.portfolio import Portfolio
 from repro.engine.service import SweepResult, load_manifest_done, write_manifest
 from repro.engine.store import SolutionStore
+from repro.scenarios import ScenarioGrid, ScenarioSpec
 from repro.utils.validation import ValidationError, require
 
 __all__ = ["AsyncSweepService", "AsyncSweepStats", "SubmitTicket",
@@ -112,41 +125,61 @@ class AsyncSweepStats:
 
 @dataclass
 class _Inflight:
-    """One unique queued/solving request and everyone waiting on it."""
+    """One unique queued/solving request and everyone waiting on it.
+
+    Spec-native submissions (:meth:`AsyncSweepService.submit_specs`) fill
+    ``spec`` instead of ``problem``; their dedup/in-flight ``key`` is the
+    true request fingerprint when already resolved, else the spec alias
+    key -- the worker learns the true fingerprint while materializing and
+    :meth:`resolve` passes it through to the waiters' results.
+    """
 
     key: str
-    problem: Problem
+    problem: Optional[Problem]
     method: str
     options: Dict[str, Any]
-    #: ``(slot index, problem-as-submitted, per-slot future)`` per waiter.
-    waiters: List[Tuple[int, Problem, "asyncio.Future[SweepResult]"]] = \
+    #: The declarative cell (spec-native submissions only).
+    spec: Optional[ScenarioSpec] = None
+    #: ``(slot index, problem-as-submitted, spec-as-submitted, per-slot
+    #: future)`` per waiter.  The spec is tracked per waiter, not taken
+    #: from the entry: a spec-native waiter may deduplicate onto a
+    #: problem-kind in-flight entry (same request fingerprint) and must
+    #: still get its spec back on the result.
+    waiters: List[Tuple[int, Optional[Problem], Optional[ScenarioSpec],
+                        "asyncio.Future[SweepResult]"]] = \
         field(default_factory=list)
 
-    def add_waiter(self, index: int, problem: Problem,
-                   future: "asyncio.Future[SweepResult]") -> None:
-        self.waiters.append((index, problem, future))
+    def add_waiter(self, index: int, problem: Optional[Problem],
+                   future: "asyncio.Future[SweepResult]",
+                   spec: Optional[ScenarioSpec] = None) -> None:
+        self.waiters.append((index, problem, spec, future))
 
     def abandoned(self) -> bool:
         """Has every waiter cancelled (nobody wants the answer anymore)?"""
-        return all(future.cancelled() for _, _, future in self.waiters)
+        return all(future.cancelled() for _, _, _, future in self.waiters)
 
     def resolve(self, report: Optional[SolveReport], source: str,
-                error: Optional[str], cache_tier: str = "") -> None:
+                error: Optional[str], cache_tier: str = "",
+                key: Optional[str] = None) -> None:
         """Deliver one outcome to every still-listening waiter.
 
         Each live waiter gets its own defensively-copied report (consumers
         may edit allocations in place; deduplicated slots must not alias).
+        ``key`` overrides the recorded in-flight key in the delivered
+        results (spec entries: the worker-reported request fingerprint).
         """
-        for index, problem, future in self.waiters:
+        for index, problem, spec, future in self.waiters:
             if future.done():  # cancelled (or already failed) waiters
                 continue
             copy = None
             if report is not None:
                 copy = _clone_report(report, from_cache=bool(cache_tier),
                                      cache_tier=cache_tier)
-            future.set_result(SweepResult(index=index, key=self.key,
+            future.set_result(SweepResult(index=index,
+                                          key=key if key is not None else self.key,
                                           problem=problem, report=copy,
-                                          source=source, error=error))
+                                          source=source, error=error,
+                                          spec=spec))
 
 
 @dataclass
@@ -435,6 +468,98 @@ class AsyncSweepService:
                 raise
         return SubmitTicket(keys=keys, futures=futures)
 
+    async def submit_specs(self, scenarios: Union[ScenarioGrid,
+                                                  Sequence[ScenarioSpec]],
+                           method: str = "auto",
+                           **options: Any) -> SubmitTicket:
+        """Enqueue declarative scenario cells; futures per slot, no DAGs.
+
+        The spec-native counterpart of :meth:`submit`: ``scenarios`` is a
+        :class:`~repro.scenarios.spec.ScenarioGrid` (expanded lazily) or a
+        sequence of :class:`~repro.scenarios.spec.ScenarioSpec` records.
+        Dedup, in-flight sharing and store lookups all happen **before
+        materialization** -- a cell whose request fingerprint is already
+        known (spec-key memo or persistent alias) is answered from the
+        store without building its DAG; everything else is queued as a
+        spec and materialized inside the worker shard that solves it.
+
+        The ticket's ``keys`` carry each slot's request fingerprint when
+        already resolved, else its spec alias key; delivered
+        :class:`~repro.engine.service.SweepResult` objects always carry
+        the true request fingerprint (learned from the worker), except for
+        cells that failed before materializing.
+        """
+        self._require_open()
+        await self.start()
+        loop = asyncio.get_running_loop()
+        if isinstance(scenarios, ScenarioGrid):
+            scenarios = scenarios.expand()
+        specs = list(scenarios)
+        require(all(isinstance(s, ScenarioSpec) for s in specs),
+                "submit_specs() wants ScenarioSpecs (or a ScenarioGrid); "
+                "use submit() for materialized problems")
+        self.stats.batches += 1
+        store = self.store
+        keys: List[str] = []
+        futures: List[asyncio.Future] = []
+        fetched: Dict[str, Optional[SolveReport]] = {}
+        for index, spec in enumerate(specs):
+            self.stats.requests += 1
+            slot: asyncio.Future = loop.create_future()
+            futures.append(slot)
+            alias = spec_alias_key(spec, method, limits=self.limits,
+                                   validate=self.validate, **options)
+            key = cached_spec_fingerprint(spec, method, limits=self.limits,
+                                          validate=self.validate, **options)
+            if key is None and store is not None:
+                entry = store.get(alias)
+                if entry is not None and isinstance(entry.get("alias_of"), str):
+                    key = entry["alias_of"]
+                    record_spec_fingerprint(spec, key, method,
+                                            limits=self.limits,
+                                            validate=self.validate, **options)
+            inflight_key = key if key is not None else alias
+            keys.append(inflight_key)
+            # Tier 0: share an in-flight solve -- under either identity
+            # (an unresolved duplicate queued under its alias, or a
+            # resolved one under its true fingerprint).
+            entry_inflight = (self._inflight.get(inflight_key)
+                              or self._inflight.get(alias))
+            if entry_inflight is not None:
+                self.stats.deduped += 1
+                entry_inflight.add_waiter(index, None, slot, spec=spec)
+                continue
+            if key is not None:
+                if key in fetched:
+                    report = fetched[key]
+                else:
+                    report = store.get_report(key) if store is not None else None
+                    fetched[key] = report
+                if report is not None:
+                    self.stats.store_hits += 1
+                    slot.set_result(SweepResult(
+                        index=index, key=key, problem=None,
+                        report=_clone_report(report, from_cache=True,
+                                             cache_tier="store"),
+                        source="store", spec=spec))
+                    continue
+            entry = _Inflight(key=inflight_key, problem=None, method=method,
+                              options=dict(options), spec=spec)
+            entry.add_waiter(index, None, slot, spec=spec)
+            self._inflight[inflight_key] = entry
+            try:
+                # Backpressure: a full queue blocks the producer right here.
+                await self._queue.put(entry)
+            except asyncio.CancelledError:
+                # Same retraction contract as submit(): an entry that never
+                # reached the queue must not dedup future requests onto a
+                # dead in-flight record.
+                self._inflight.pop(inflight_key, None)
+                entry.resolve(None, "failed",
+                              "submission cancelled while waiting for queue space")
+                raise
+        return SubmitTicket(keys=keys, futures=futures)
+
     async def solve(self, problem: Problem, method: str = "auto",
                     **options: Any) -> SolveReport:
         """Submit one scenario and await its report (raises on failure)."""
@@ -448,7 +573,10 @@ class AsyncSweepService:
     # dispatch
     # ------------------------------------------------------------------
     def _group_token(self, entry: _Inflight) -> str:
-        return f"{entry.method}|{sorted(entry.options.items())!r}"
+        # Spec entries and materialized entries never share a shard: the
+        # executor task shapes differ (spec shards return key triples).
+        kind = "spec" if entry.spec is not None else "problem"
+        return f"{kind}|{entry.method}|{sorted(entry.options.items())!r}"
 
     async def _dispatch_loop(self) -> None:
         """Pop requests, batch compatible ones into shards, hand them to
@@ -487,12 +615,18 @@ class AsyncSweepService:
         loop = asyncio.get_running_loop()
         try:
             self.stats.shards += 1
+            spec_shard = entries[0].spec is not None
             try:
-                fn, args = self._portfolio.shard_task(
-                    [e.problem for e in entries], entries[0].method,
-                    validate=self.validate, **entries[0].options)
-                outcomes = await loop.run_in_executor(self._portfolio.pool,
-                                                      fn, *args)
+                if spec_shard:
+                    fn, args = self._portfolio.spec_shard_task(
+                        [e.spec for e in entries], entries[0].method,
+                        validate=self.validate, **entries[0].options)
+                else:
+                    fn, args = self._portfolio.shard_task(
+                        [e.problem for e in entries], entries[0].method,
+                        validate=self.validate, **entries[0].options)
+                raw = await loop.run_in_executor(self._portfolio.pool,
+                                                 fn, *args)
             except asyncio.CancelledError:
                 # Shutdown mid-flight: the executor work itself cannot be
                 # interrupted (it will finish or die with the pool), but
@@ -501,15 +635,44 @@ class AsyncSweepService:
                     entry.resolve(None, "failed", "service shut down")
                 raise
             except Exception as exc:  # noqa: BLE001 - reported per request
-                outcomes = [(None, f"{type(exc).__name__}: {exc}")] * len(entries)
+                raw = None
+                error_text = f"{type(exc).__name__}: {exc}"
+            # Normalize both shard shapes to (true_key, report, error):
+            # spec workers report each cell's request fingerprint learned
+            # while materializing; problem shards already know theirs.
+            if raw is None:
+                outcomes = [(None, None, error_text)] * len(entries)
+            elif spec_shard:
+                outcomes = list(raw)
+            else:
+                outcomes = [(entry.key, report, error)
+                            for entry, (report, error) in zip(entries, raw)]
 
             store = self.store
             if store is not None:
-                store.put_reports([(entry.key, report)
-                                   for entry, (report, _err) in zip(entries, outcomes)
+                store.put_reports([(key, report)
+                                   for key, report, _err in outcomes
                                    if report is not None])
-            newly_done = [entry.key for entry, (report, _err)
-                          in zip(entries, outcomes) if report is not None]
+                if spec_shard:
+                    # Persist the spec->fingerprint aliases so future spec
+                    # submissions resolve store keys without a DAG build.
+                    store.put_many(
+                        [(spec_alias_key(entry.spec, entry.method,
+                                         limits=self.limits,
+                                         validate=self.validate,
+                                         **entry.options),
+                          {"alias_of": key})
+                         for entry, (key, report, _err) in zip(entries, outcomes)
+                         if report is not None])
+            if spec_shard:
+                for entry, (key, _report, _err) in zip(entries, outcomes):
+                    if key is not None:
+                        record_spec_fingerprint(entry.spec, key, entry.method,
+                                                limits=self.limits,
+                                                validate=self.validate,
+                                                **entry.options)
+            newly_done = [key for key, report, _err in outcomes
+                          if report is not None]
             if self.manifest and newly_done:
                 fresh = [key for key in newly_done
                          if key not in self._manifest_done]
@@ -519,13 +682,13 @@ class AsyncSweepService:
                                sorted(self._manifest_keys),
                                self._manifest_done,
                                completed=False)
-            for entry, (report, error) in zip(entries, outcomes):
+            for entry, (key, report, error) in zip(entries, outcomes):
                 if report is not None:
                     self.stats.computed += 1
-                    entry.resolve(report, "computed", None)
+                    entry.resolve(report, "computed", None, key=key)
                 else:
                     self.stats.failed += 1
-                    entry.resolve(None, "failed", error)
+                    entry.resolve(None, "failed", error, key=key)
         finally:
             for entry in entries:
                 self._inflight.pop(entry.key, None)

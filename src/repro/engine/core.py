@@ -488,8 +488,8 @@ def request_key(problem: Optional[Problem] = None, method: str = "auto", *,
 
 
 def clear_caches(store: bool = False) -> None:
-    """Drop the in-process engine caches (structure probes, LP skeletons
-    and solutions).
+    """Drop the in-process engine caches (structure probes, LP skeletons,
+    spec-to-request-key memos and solutions).
 
     With ``store=True`` the installed persistent
     :class:`~repro.engine.store.SolutionStore` is cleared as well --
@@ -498,10 +498,12 @@ def clear_caches(store: bool = False) -> None:
     """
     # Imported lazily: batch sits above core in the layer diagram.
     from repro.engine.batch import clear_lp_skeleton_cache
+    from repro.engine.fingerprint import clear_spec_key_cache
 
     _SOLUTION_CACHE.clear()
     clear_structure_cache()
     clear_lp_skeleton_cache()
+    clear_spec_key_cache()
     if store and _SOLUTION_STORE is not None:
         _SOLUTION_STORE.clear()
 

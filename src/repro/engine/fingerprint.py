@@ -22,6 +22,18 @@ Three fingerprint granularities build on each other:
   validation flag (identifies a *solve request*; keys both the in-memory
   LRU and the on-disk :class:`~repro.engine.store.SolutionStore`).
 
+A fourth entry point serves the declarative scenario layer
+(:mod:`repro.scenarios`): :func:`spec_fingerprint` resolves a
+:class:`~repro.scenarios.spec.ScenarioSpec` to the *same* request
+fingerprint its materialized problem would get.  Registered generators are
+deterministic, so the mapping ``spec -> request fingerprint`` is a pure
+function; it is resolved by materializing **at most once per process** and
+memoized by the spec's content digest.  :func:`spec_alias_key` names the
+persistent form of that memo: serving layers store
+``{"alias_of": <request fingerprint>}`` under it, so a *warm* spec sweep
+resolves store keys without building a single DAG
+(:func:`cached_spec_fingerprint` + the alias is the no-DAG lookup path).
+
 :func:`solution_to_payload` / :func:`solution_from_payload` round-trip a
 :class:`~repro.core.problem.TradeoffSolution` through plain JSON types; see
 ``docs/caching.md`` for the stability guarantees this gives the store.
@@ -36,12 +48,18 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.core.dag import TradeoffDAG
 from repro.core.problem import TradeoffSolution
+from repro.engine.cache import LRUCache
 
 __all__ = [
     "dag_fingerprint",
     "arcdag_fingerprint",
     "problem_fingerprint",
     "request_fingerprint",
+    "spec_fingerprint",
+    "cached_spec_fingerprint",
+    "record_spec_fingerprint",
+    "spec_alias_key",
+    "clear_spec_key_cache",
     "solution_to_payload",
     "solution_from_payload",
     "decode_payload_value",
@@ -133,6 +151,99 @@ def request_fingerprint(problem_digest: str, method: str, limits_key: Tuple,
     hasher.update(problem_digest.encode())
     hasher.update(f"|{method}|{limits_key!r}|{options_key!r}|{validate!r}".encode())
     return hasher.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# spec fingerprints (the declarative scenario layer's key resolution)
+# ---------------------------------------------------------------------------
+
+#: ``spec request token -> request fingerprint``.  The token is pure spec
+#: content (no DAG); the value is the materialized problem's request
+#: fingerprint, learned by materializing once or seeded from a worker /
+#: store alias via :func:`record_spec_fingerprint`.
+_SPEC_KEY_CACHE = LRUCache(maxsize=4096)
+
+
+def _spec_request_token(spec: Any, method: str, limits: Any, validate: bool,
+                        options: Dict[str, Any]) -> str:
+    """The no-DAG identity of one spec-native solve request."""
+    from repro.engine.core import SolveLimits, _options_key
+    from repro.utils.validation import require
+
+    limits = limits if limits is not None else SolveLimits()
+    options_key = _options_key(dict(options))
+    require(not (options_key and options_key[0] == "__uncacheable__"),
+            "spec-native requests need content-keyable options; pass only "
+            "literal option values (str/int/float/bool/None and lists/tuples "
+            f"thereof) -- got {sorted(options)}")
+    return (f"{spec.cell_digest()}|{method}|{limits.cache_key()!r}|"
+            f"{options_key!r}|{validate!r}")
+
+
+def spec_fingerprint(spec: Any, method: str = "auto", *,
+                     limits: Any = None, validate: bool = True,
+                     **options: Any) -> str:
+    """The request fingerprint ``materialize(spec)`` would be keyed under.
+
+    Equal to ``request_key(spec.materialize(), method, ...)`` by
+    construction -- generators are deterministic, so the mapping is
+    resolved once (materializing the spec on first sight in this process)
+    and memoized by spec content thereafter.  Serving layers avoid even
+    the first materialization via :func:`cached_spec_fingerprint` plus the
+    persistent :func:`spec_alias_key` entries they write.
+    """
+    token = _spec_request_token(spec, method, limits, validate, options)
+    key = _SPEC_KEY_CACHE.get(token)
+    if key is not None:
+        return key
+    from repro.engine.core import request_key
+
+    key = request_key(spec.materialize(), method, limits=limits,
+                      validate=validate, **options)
+    _SPEC_KEY_CACHE.put(token, key)
+    return key
+
+
+def cached_spec_fingerprint(spec: Any, method: str = "auto", *,
+                            limits: Any = None, validate: bool = True,
+                            **options: Any) -> Optional[str]:
+    """The memoized :func:`spec_fingerprint`, or ``None`` -- never builds
+    a DAG."""
+    return _SPEC_KEY_CACHE.get(
+        _spec_request_token(spec, method, limits, validate, options))
+
+
+def record_spec_fingerprint(spec: Any, key: str, method: str = "auto", *,
+                            limits: Any = None, validate: bool = True,
+                            **options: Any) -> None:
+    """Seed the spec-key memo with an externally learned fingerprint.
+
+    Serving layers call this with the request fingerprint a worker (which
+    did materialize the spec) or a persistent alias entry reported, so
+    subsequent :func:`cached_spec_fingerprint` calls resolve without a
+    DAG build in this process either.
+    """
+    _SPEC_KEY_CACHE.put(
+        _spec_request_token(spec, method, limits, validate, options), key)
+
+
+def spec_alias_key(spec: Any, method: str = "auto", *,
+                   limits: Any = None, validate: bool = True,
+                   **options: Any) -> str:
+    """Store key of the persistent ``spec -> request fingerprint`` alias.
+
+    Distinct from the request fingerprint itself (aliases carry
+    ``{"alias_of": ...}`` payloads, not reports) but just as stable:
+    pure spec content, no DAG.  Also the pre-materialization dedup key of
+    the spec-native sweep paths.
+    """
+    token = _spec_request_token(spec, method, limits, validate, options)
+    return hashlib.sha256(f"spec-alias|{token}".encode()).hexdigest()
+
+
+def clear_spec_key_cache() -> None:
+    """Drop the in-process spec-to-request-key memo (tests, sweeps)."""
+    _SPEC_KEY_CACHE.clear()
 
 
 def _encode_key(key: Any) -> str:

@@ -85,6 +85,56 @@ def _solve_shard_task(problems: Sequence[Problem], method: str, limits: SolveLim
                           options=options, validate=validate)
 
 
+def _solve_spec_shard_task(spec_payloads: Sequence[Dict[str, Any]], method: str,
+                           limits: SolveLimits, options: Dict[str, Any],
+                           validate: bool = True,
+                           ) -> List[Tuple[Optional[str], Optional[SolveReport],
+                                           Optional[str]]]:
+    """Spec-native batch worker: materialize lazily, solve, report keys.
+
+    The shard arrives as plain :class:`~repro.scenarios.spec.ScenarioSpec`
+    payloads (a few hundred bytes each); the DAGs are built **here**, in
+    the worker, so a sweep's peak memory is one shard of DAGs regardless
+    of grid size.  Returns one ``(request_key, report, error)`` triple per
+    spec, in order: the worker learns each cell's true request fingerprint
+    as a by-product of materializing it, and the serving layers use it to
+    persist results and seed their spec-key memos/aliases.  Failures
+    (unknown generator, bad params, solve errors) are captured as text.
+    """
+    from repro.engine.batch import solve_lp_batch
+    from repro.engine.core import request_key
+    from repro.scenarios import ScenarioSpec
+
+    keys: List[Optional[str]] = []
+    problems: List[Optional[Problem]] = []
+    failures: List[Optional[str]] = []
+    for payload in spec_payloads:
+        try:
+            spec = ScenarioSpec.from_payload(payload)
+            problem = spec.materialize()
+            key = request_key(problem, method, limits=limits,
+                              validate=validate, **options)
+        except Exception as exc:  # noqa: BLE001 - reported per scenario
+            keys.append(None)
+            problems.append(None)
+            failures.append(f"{type(exc).__name__}: {exc}")
+            continue
+        keys.append(key)
+        problems.append(problem)
+        failures.append(None)
+    live = [p for p in problems if p is not None]
+    solved = iter(solve_lp_batch(live, method=method, limits=limits,
+                                 options=options, validate=validate))
+    results: List[Tuple[Optional[str], Optional[SolveReport], Optional[str]]] = []
+    for key, problem, failure in zip(keys, problems, failures):
+        if problem is None:
+            results.append((None, None, failure))
+            continue
+        report, error = next(solved)
+        results.append((key, report, error))
+    return results
+
+
 @dataclass
 class PortfolioReport:
     """Outcome of one portfolio race over a single problem.
@@ -435,4 +485,38 @@ class Portfolio:
                 "submit_shard() needs a persistent pool; call start() first "
                 "(or use the portfolio as a context manager)")
         fn, args = self.shard_task(problems, method, validate, **options)
+        return self._pool.submit(fn, *args)
+
+    def spec_shard_task(self, specs: Sequence[Any], method: str = "auto",
+                        validate: bool = True, **options: Any) -> Tuple[Any, Tuple]:
+        """Return ``(callable, args)`` solving one *spec* shard lazily.
+
+        The spec-native counterpart of :meth:`shard_task`:  ``specs`` are
+        :class:`~repro.scenarios.spec.ScenarioSpec` objects (or their
+        payload dicts), shipped to the worker as plain JSON-able dicts --
+        DAGs are materialized inside the worker, never pickled across.
+        The callable returns ``(request_key, report, error_text)`` triples,
+        one per spec, in order.
+        """
+        self._require_open("spec_shard_task()")
+        require(len(specs) > 0, "spec_shard_task() needs at least one spec")
+        payloads = [spec if isinstance(spec, dict) else spec.to_payload()
+                    for spec in specs]
+        return _solve_spec_shard_task, (payloads, method, self.limits,
+                                        options, validate)
+
+    def submit_spec_shard(self, specs: Sequence[Any], method: str = "auto",
+                          validate: bool = True, **options: Any) -> Future:
+        """Submit one spec shard to the *persistent* pool (see start()).
+
+        Returns the :class:`~concurrent.futures.Future` of the
+        ``(request_key, report, error_text)`` triples of
+        :meth:`spec_shard_task` -- the building block of the spec-native
+        :meth:`~repro.engine.service.SweepService.sweep` path.
+        """
+        self._require_open("submit_spec_shard()")
+        require(self._pool is not None,
+                "submit_spec_shard() needs a persistent pool; call start() "
+                "first (or use the portfolio as a context manager)")
+        fn, args = self.spec_shard_task(specs, method, validate, **options)
         return self._pool.submit(fn, *args)

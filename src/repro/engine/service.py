@@ -1,12 +1,15 @@
 """Batched scenario-sweep serving on top of the engine's two cache tiers.
 
 :class:`SweepService` turns the one-shot :func:`repro.solve` into a system
-for *repeated heavy workloads*: a batch of scenarios (problems) comes in,
-and the service
+for *repeated heavy workloads*: a batch of scenarios -- materialized
+problems, declarative :class:`~repro.scenarios.spec.ScenarioSpec` records
+or a lazily-expanded :class:`~repro.scenarios.spec.ScenarioGrid` -- comes
+in, and the service
 
-1. **deduplicates** it by :func:`~repro.engine.core.request_key` -- every
-   distinct request is solved (or fetched) exactly once, however often it
-   repeats in the batch;
+1. **deduplicates** it by :func:`~repro.engine.core.request_key` (spec
+   batches: by spec content, before any DAG exists) -- every distinct
+   request is solved (or fetched) exactly once, however often it repeats
+   in the batch;
 2. **consults the persistent store** -- scenarios already solved by any
    previous run, process or machine sharing the store are answered from
    disk without touching a solver;
@@ -70,8 +73,14 @@ from repro.engine.core import (
     normalize_problem,
     request_key,
 )
+from repro.engine.fingerprint import (
+    cached_spec_fingerprint,
+    record_spec_fingerprint,
+    spec_alias_key,
+)
 from repro.engine.portfolio import Portfolio
 from repro.engine.store import SolutionStore, atomic_write_json
+from repro.scenarios import ScenarioGrid, ScenarioSpec
 from repro.utils.validation import require
 
 __all__ = ["SweepService", "SweepResult", "SweepStats", "SweepReport",
@@ -127,14 +136,22 @@ class SweepResult:
     scenarios get one result each (sharing the underlying report).
     ``source`` is ``"store"`` (answered from the persistent store),
     ``"computed"`` (solved this sweep) or ``"failed"``.
+
+    Spec-native sweeps fill ``spec`` instead of ``problem``: a store-hit
+    cell was never materialized, so there is no problem object to carry
+    (``key`` is still the true request fingerprint -- the one the
+    materialized path would use -- except for cells that failed before
+    their fingerprint could be learned, which carry their spec alias key).
     """
 
     index: int
     key: str
-    problem: Problem
+    problem: Optional[Problem]
     report: Optional[SolveReport]
     source: str
     error: Optional[str] = None
+    #: The declarative cell this result answers (spec-native sweeps only).
+    spec: Optional[ScenarioSpec] = None
 
 
 @dataclass
@@ -313,11 +330,21 @@ class SweepService:
     # ------------------------------------------------------------------
     # sweeping
     # ------------------------------------------------------------------
-    def sweep(self, scenarios: Sequence[Problem], method: str = "auto", *,
+    def sweep(self, scenarios: Union[Sequence[Problem], Sequence[ScenarioSpec],
+                                     ScenarioGrid],
+              method: str = "auto", *,
               manifest: Optional[str] = None,
               shard_size: Optional[int] = None,
               **options: Any) -> Iterator[SweepResult]:
         """Stream :class:`SweepResult` objects for a scenario batch.
+
+        ``scenarios`` may be materialized problems, declarative
+        :class:`~repro.scenarios.spec.ScenarioSpec` records, or a whole
+        :class:`~repro.scenarios.spec.ScenarioGrid` (expanded lazily).
+        The spec-native forms deduplicate and consult the store **before
+        materialization** -- a store-hit cell never builds its DAG, and
+        pending cells are built lazily inside the worker shards, so peak
+        memory is one shard of DAGs regardless of grid size.
 
         Store-served scenarios are yielded first (in batch order), then
         computed ones as their shards finish (shard completion order).
@@ -330,6 +357,16 @@ class SweepService:
         values (:func:`~repro.engine.core.request_key` raises otherwise).
         """
         self._require_open()
+        if isinstance(scenarios, ScenarioGrid):
+            scenarios = scenarios.expand()
+        scenarios = list(scenarios)
+        if scenarios and isinstance(scenarios[0], ScenarioSpec):
+            require(all(isinstance(s, ScenarioSpec) for s in scenarios),
+                    "do not mix ScenarioSpecs and materialized problems in "
+                    "one sweep")
+            return self._sweep_specs_iter(scenarios, method,
+                                          manifest=manifest,
+                                          shard_size=shard_size, **options)
         return self._sweep_iter(scenarios, method, manifest=manifest,
                                 shard_size=shard_size, **options)
 
@@ -441,16 +478,158 @@ class SweepService:
                                      completed=completed)
         return stats
 
-    def run(self, scenarios: Sequence[Problem], method: str = "auto", *,
+    def _sweep_specs_iter(self, specs: List[ScenarioSpec], method: str, *,
+                          manifest: Optional[str], shard_size: Optional[int],
+                          **options: Any) -> Iterator[SweepResult]:
+        """The spec-native sweep generator (see :meth:`sweep`).
+
+        Phases:
+
+        1. **dedup, no DAGs** -- cells are grouped by
+           :func:`~repro.engine.fingerprint.spec_alias_key` (pure spec
+           content);
+        2. **store lookup, no DAGs** -- each unique cell resolves its true
+           request fingerprint through the in-process spec-key memo or the
+           persistent ``{"alias_of": ...}`` entry written by any previous
+           sweep, then probes the store; hits are yielded immediately;
+        3. **lazy compute** -- pending cells are sharded *as specs*
+           (:meth:`Portfolio.submit_spec_shard`); workers materialize
+           inside their shard and report each cell's request fingerprint
+           back, which is persisted as the alias the next sweep's phase 2
+           will hit.
+        """
+        start_time = time.perf_counter()
+        stats = SweepStats(scenarios=len(specs))
+        self.last_stats = stats
+
+        aliases: List[str] = [
+            spec_alias_key(spec, method, limits=self.limits,
+                           validate=self.validate, **options)
+            for spec in specs
+        ]
+        groups: Dict[str, List[int]] = {}
+        unique_aliases: List[str] = []
+        for index, alias in enumerate(aliases):
+            if alias not in groups:
+                groups[alias] = []
+                unique_aliases.append(alias)
+            groups[alias].append(index)
+        stats.unique = len(unique_aliases)
+        stats.duplicates = stats.scenarios - stats.unique
+
+        manifest_done = (self._load_manifest_done(manifest, method)
+                         if manifest else set())
+        done: set = set()
+        store = self.store
+
+        pending: List[str] = []
+        try:
+            for alias in unique_aliases:
+                spec = specs[groups[alias][0]]
+                key = cached_spec_fingerprint(spec, method, limits=self.limits,
+                                              validate=self.validate, **options)
+                if key is None and store is not None:
+                    entry = store.get(alias)
+                    if entry is not None and isinstance(entry.get("alias_of"), str):
+                        key = entry["alias_of"]
+                        record_spec_fingerprint(spec, key, method,
+                                                limits=self.limits,
+                                                validate=self.validate,
+                                                **options)
+                report = (store.get_report(key)
+                          if key is not None and store is not None else None)
+                if report is None:
+                    pending.append(alias)
+                    continue
+                stats.store_hits += 1
+                if alias in manifest_done:
+                    stats.resumed += 1
+                done.add(alias)
+                for index in groups[alias]:
+                    yield SweepResult(index=index, key=key, problem=None,
+                                      report=_clone_report(report, from_cache=True,
+                                                           cache_tier="store"),
+                                      source="store", spec=specs[index])
+
+            if pending:
+                portfolio = self._warm_pool()
+                size = shard_size or Portfolio.shard_plan(
+                    len(pending), portfolio.worker_count(), self.oversubscription)
+                stats.shard_size = size
+                futures = {}
+                for shard in _chunk(pending, size):
+                    shard_specs = [specs[groups[alias][0]] for alias in shard]
+                    future = portfolio.submit_spec_shard(shard_specs, method,
+                                                         validate=self.validate,
+                                                         **options)
+                    futures[future] = shard
+                stats.shards = len(futures)
+                try:
+                    for future in as_completed(futures):
+                        shard = futures.pop(future)
+                        outcomes = list(zip(shard, future.result()))
+                        # Persist reports AND the spec->key aliases before
+                        # yielding: the aliases are what make the *next*
+                        # sweep's store lookups DAG-free.
+                        if store is not None:
+                            store.put_reports(
+                                [(key, report)
+                                 for _alias, (key, report, _err) in outcomes
+                                 if report is not None])
+                            store.put_many(
+                                [(alias, {"alias_of": key})
+                                 for alias, (key, report, _err) in outcomes
+                                 if report is not None])
+                        for alias, (key, report, error) in outcomes:
+                            spec = specs[groups[alias][0]]
+                            if key is not None:
+                                record_spec_fingerprint(
+                                    spec, key, method, limits=self.limits,
+                                    validate=self.validate, **options)
+                            if report is not None:
+                                stats.computed += 1
+                                done.add(alias)
+                                source, err = "computed", None
+                            else:
+                                stats.failed += 1
+                                source, err = "failed", error
+                            for index in groups[alias]:
+                                copy = (_clone_report(report, from_cache=False)
+                                        if report is not None else None)
+                                yield SweepResult(index=index,
+                                                  key=key if key is not None else alias,
+                                                  problem=None, report=copy,
+                                                  source=source, error=err,
+                                                  spec=specs[index])
+                        if manifest:
+                            self._write_manifest(manifest, method,
+                                                 unique_aliases, done,
+                                                 completed=False)
+                finally:
+                    for future in futures:
+                        future.cancel()
+        finally:
+            stats.wall_time = time.perf_counter() - start_time
+            if manifest:
+                completed = len(done) + stats.failed >= stats.unique
+                self._write_manifest(manifest, method, unique_aliases, done,
+                                     completed=completed)
+        return stats
+
+    def run(self, scenarios: Union[Sequence[Problem], Sequence[ScenarioSpec],
+                                   ScenarioGrid],
+            method: str = "auto", *,
             manifest: Optional[str] = None,
             shard_size: Optional[int] = None,
             on_result: Optional[Callable[[SweepResult], None]] = None,
             **options: Any) -> SweepReport:
         """Run a full sweep and collect every result (batch order).
 
-        ``on_result`` is invoked on each :class:`SweepResult` as it
-        streams in -- the callback API for progress reporting or
-        incremental consumers that still want the final report.
+        Accepts the same scenario forms as :meth:`sweep` (problems, specs
+        or a :class:`~repro.scenarios.spec.ScenarioGrid`).  ``on_result``
+        is invoked on each :class:`SweepResult` as it streams in -- the
+        callback API for progress reporting or incremental consumers that
+        still want the final report.
         """
         results: List[SweepResult] = []
         generator = self.sweep(scenarios, method, manifest=manifest,

@@ -1,32 +1,60 @@
 """Named workload suite used by the benchmarks and EXPERIMENTS.md.
 
-Each workload is a small factory returning ``(dag, budget)`` pairs; keeping
-them named and centralised makes every benchmark row reproducible from a
-single identifier (the experiment index in DESIGN.md references these
-names).
+Since the scenario subsystem (:mod:`repro.scenarios`) every workload is a
+thin wrapper around a declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` -- the catalog below is pure
+data (generator id + params + seed + budget), so each benchmark row is
+reproducible from a single identifier *and* shippable over the serve wire
+as a few hundred bytes of spec.
+
+A :class:`Workload` memoizes its built DAG: registered generators are
+deterministic, so :meth:`Workload.build`, :meth:`Workload.fingerprint` and
+:meth:`Workload.problem` all share one instance per workload object
+instead of rebuilding the DAG per call -- repeated solves through one
+workload hit the engine's object-identity fast paths on top of its content
+caches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.core.dag import TradeoffDAG
-from repro.generators.fork_join import fork_join_dag, staged_fork_join_dag
-from repro.generators.random_dag import chain_dag, layered_random_dag
+from repro.core.problem import MinMakespanProblem
+from repro.scenarios import ScenarioSpec
 from repro.utils.validation import require
 
 __all__ = ["Workload", "WORKLOADS", "get_workload", "workload_names"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Workload:
-    """A named instance family: a builder plus the budget used in experiments."""
+    """A named instance family: a scenario spec plus its experiment budget."""
 
     name: str
     description: str
-    build: Callable[[], TradeoffDAG]
-    budget: float
+    spec: ScenarioSpec
+    _dag: Optional[TradeoffDAG] = field(default=None, repr=False, init=False)
+
+    @property
+    def budget(self) -> float:
+        """The budget used in experiments (the spec's const budget rule)."""
+        rule, value = self.spec.budget_rule
+        require(rule == "const",
+                f"workload {self.name!r} has a non-const budget rule {rule!r}")
+        return value
+
+    def build(self) -> TradeoffDAG:
+        """The workload's DAG, built once and memoized on the workload.
+
+        The spec's generator is deterministic and callers treat workload
+        DAGs as immutable, so every call shares one instance -- which also
+        makes repeated solves hit the engine's object-identity fast paths.
+        """
+        if self._dag is None:
+            object.__setattr__(self, "_dag", self.spec.build_dag())
+        return self._dag
 
     def fingerprint(self) -> str:
         """Content fingerprint of the built DAG (the engine's cache key).
@@ -39,76 +67,52 @@ class Workload:
 
         return dag_fingerprint(self.build())
 
-    def problem(self):
+    def problem(self) -> MinMakespanProblem:
         """The workload as a ready-to-solve min-makespan problem."""
-        from repro.core.problem import MinMakespanProblem
-
         return MinMakespanProblem(self.build(), self.budget)
 
 
-def _small_layered_general() -> TradeoffDAG:
-    return layered_random_dag(3, 3, family="general", seed=11)
-
-
-def _small_layered_binary() -> TradeoffDAG:
-    return layered_random_dag(3, 3, family="binary", seed=12)
-
-
-def _small_layered_kway() -> TradeoffDAG:
-    return layered_random_dag(3, 3, family="kway", seed=13)
-
-
-def _medium_layered_general() -> TradeoffDAG:
-    return layered_random_dag(5, 6, family="general", seed=21)
-
-
-def _medium_layered_binary() -> TradeoffDAG:
-    return layered_random_dag(5, 6, family="binary", seed=22)
-
-
-def _medium_layered_kway() -> TradeoffDAG:
-    return layered_random_dag(5, 6, family="kway", seed=23)
-
-
-def _deep_chain_binary() -> TradeoffDAG:
-    return chain_dag([32, 16, 48, 24, 40, 56, 20, 36], family="binary")
-
-
-def _deep_chain_kway() -> TradeoffDAG:
-    return chain_dag([36, 25, 49, 16, 64, 30, 42, 20], family="kway")
-
-
-def _matmul_like() -> TradeoffDAG:
-    return fork_join_dag(width=16, work=64, family="binary")
-
-
-def _pipeline() -> TradeoffDAG:
-    return staged_fork_join_dag([4, 8, 4], work=32, family="binary", seed=7)
+def _catalog(name: str, description: str, generator: str, params: dict,
+             budget: float, seed: int = 0) -> Workload:
+    return Workload(name, description,
+                    ScenarioSpec(generator=generator, params=params, seed=seed,
+                                 objective="min_makespan",
+                                 budget_rule=("const", budget)))
 
 
 WORKLOADS: Dict[str, Workload] = {
     w.name: w
     for w in [
-        Workload("small-layered-general", "3x3 layered DAG, general step durations",
-                 _small_layered_general, budget=6),
-        Workload("small-layered-binary", "3x3 layered DAG, recursive binary durations",
-                 _small_layered_binary, budget=8),
-        Workload("small-layered-kway", "3x3 layered DAG, k-way durations",
-                 _small_layered_kway, budget=8),
-        Workload("medium-layered-general", "5x6 layered DAG, general step durations",
-                 _medium_layered_general, budget=12),
-        Workload("medium-layered-binary", "5x6 layered DAG, recursive binary durations",
-                 _medium_layered_binary, budget=16),
-        Workload("medium-layered-kway", "5x6 layered DAG, k-way durations",
-                 _medium_layered_kway, budget=16),
-        Workload("deep-chain-binary", "8-job chain, binary durations (max path reuse)",
-                 _deep_chain_binary, budget=8),
-        Workload("deep-chain-kway", "8-job chain, k-way durations (max path reuse)",
-                 _deep_chain_kway, budget=8),
-        Workload("matmul-like", "16-way fork-join of work-64 jobs (Parallel-MM shape)",
-                 _matmul_like, budget=32),
-        Workload("pipeline", "3-stage fork-join pipeline (stages reuse the budget)",
-                 _pipeline, budget=16),
+        _catalog("small-layered-general", "3x3 layered DAG, general step durations",
+                 "layered-random", {"num_layers": 3, "jobs_per_layer": 3,
+                                    "family": "general"}, budget=6, seed=11),
+        _catalog("small-layered-binary", "3x3 layered DAG, recursive binary durations",
+                 "layered-random", {"num_layers": 3, "jobs_per_layer": 3,
+                                    "family": "binary"}, budget=8, seed=12),
+        _catalog("small-layered-kway", "3x3 layered DAG, k-way durations",
+                 "layered-random", {"num_layers": 3, "jobs_per_layer": 3,
+                                    "family": "kway"}, budget=8, seed=13),
+        _catalog("medium-layered-general", "5x6 layered DAG, general step durations",
+                 "layered-random", {"num_layers": 5, "jobs_per_layer": 6,
+                                    "family": "general"}, budget=12, seed=21),
+        _catalog("medium-layered-binary", "5x6 layered DAG, recursive binary durations",
+                 "layered-random", {"num_layers": 5, "jobs_per_layer": 6,
+                                    "family": "binary"}, budget=16, seed=22),
+        _catalog("medium-layered-kway", "5x6 layered DAG, k-way durations",
+                 "layered-random", {"num_layers": 5, "jobs_per_layer": 6,
+                                    "family": "kway"}, budget=16, seed=23),
+        _catalog("deep-chain-binary", "8-job chain, binary durations (max path reuse)",
+                 "chain", {"lengths": [32, 16, 48, 24, 40, 56, 20, 36],
+                           "family": "binary"}, budget=8),
+        _catalog("deep-chain-kway", "8-job chain, k-way durations (max path reuse)",
+                 "chain", {"lengths": [36, 25, 49, 16, 64, 30, 42, 20],
+                           "family": "kway"}, budget=8),
+        _catalog("matmul-like", "16-way fork-join of work-64 jobs (Parallel-MM shape)",
+                 "fork-join", {"width": 16, "work": 64, "family": "binary"},
+                 budget=32),
+        _catalog("pipeline", "3-stage fork-join pipeline (stages reuse the budget)",
+                 "staged-fork-join", {"stage_widths": [4, 8, 4], "work": 32,
+                                      "family": "binary"}, budget=16, seed=7),
     ]
 }
 

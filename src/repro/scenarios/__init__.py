@@ -1,0 +1,73 @@
+"""Declarative scenario production: generator registry, specs and grids.
+
+The scenario subsystem makes experiment *inputs* first-class the way the
+engine made solvers first-class (PR 1): DAG generators register in a
+capability registry (:mod:`~repro.scenarios.registry`), a scenario is a
+JSON-serializable :class:`ScenarioSpec` record ``(generator, params, seed,
+objective, budget_rule)``, and whole sweeps are :class:`ScenarioGrid`
+cross-products expanded lazily -- reproducible from identifiers alone and
+cheap enough to ship over the serve wire instead of materialized DAG
+payloads.
+
+The layers above consume specs natively: :mod:`repro.engine.fingerprint`
+resolves a spec to the exact request fingerprint its materialized problem
+would get (memoized, store-aliased -- warm lookups build no DAG),
+:class:`~repro.engine.service.SweepService` /
+:class:`~repro.engine.async_service.AsyncSweepService` dedup and answer
+store hits pre-materialization and hand pending cells to workers that
+build DAGs lazily inside their shard, and ``python -m repro.serve``
+accepts ``sweep_spec`` requests.  See ``docs/scenarios.md``.
+
+>>> from repro.scenarios import Axis, ScenarioGrid
+>>> grid = ScenarioGrid(
+...     generators=({"generator": "fork-join",
+...                  "params": {"width": Axis([2, 4]), "work": 16}},),
+...     seeds=(0,), budget_rules=(("const", 4.0), ("const", 8.0)))
+>>> grid.size()
+4
+>>> [spec.params["width"] for spec in grid.expand()]
+[2, 2, 4, 4]
+"""
+
+from repro.scenarios.registry import (
+    GeneratorSpec,
+    generator_ids,
+    generator_specs,
+    get_generator,
+    register_generator,
+    unregister_generator,
+    validate_params,
+)
+from repro.scenarios.spec import (
+    Axis,
+    BUDGET_RULE_NAMES,
+    OBJECTIVES,
+    ScenarioGrid,
+    ScenarioSpec,
+    derive_cell_seed,
+    materialization_info,
+    normalize_budget_rule,
+    reset_materialization_counters,
+)
+from repro.scenarios.adversarial import (
+    arc_dag_to_tradeoff_dag,
+    minresource_chain_dag,
+    partition_gadget_dag,
+)
+
+# Importing the module registers every built-in generator family.
+import repro.scenarios.builtin  # noqa: F401  (side-effect import)
+
+__all__ = [
+    # registry
+    "GeneratorSpec", "register_generator", "unregister_generator",
+    "get_generator", "generator_ids", "generator_specs", "validate_params",
+    # specs + grids
+    "ScenarioSpec", "ScenarioGrid", "Axis",
+    "BUDGET_RULE_NAMES", "OBJECTIVES", "normalize_budget_rule",
+    "derive_cell_seed",
+    "materialization_info", "reset_materialization_counters",
+    # adversarial families
+    "arc_dag_to_tradeoff_dag", "partition_gadget_dag",
+    "minresource_chain_dag",
+]

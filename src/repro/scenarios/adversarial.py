@@ -1,0 +1,134 @@
+"""Hardness-derived adversarial scenario families.
+
+The Section 4 reductions (:mod:`repro.hardness`) are the paper's designed
+worst cases: forced-supply arcs, exclusive choices and penalty durations
+that punish any solver routing resource greedily.  Sweeps that only ever
+see benign layered / fork-join instances overstate solver quality, so this
+module turns the two fully-constructive gadget builders into registered
+scenario generators -- one grid can then mix benign and worst-case cells.
+
+The gadget builders emit activity-on-*arc* DAGs
+(:class:`~repro.core.arcdag.ArcDAG`); scenario generators must produce the
+engine's activity-on-node :class:`~repro.core.dag.TradeoffDAG`.
+:func:`arc_dag_to_tradeoff_dag` is the faithful conversion (one job per
+arc, precedence between consecutive arcs -- the inverse direction of the
+Section 2 node-to-arc transformation), so the adversarial families reuse
+the verified hardness constructions instead of re-implementing them.
+
+Two families are registered by :mod:`repro.scenarios.builtin`:
+
+* ``adversarial-partition`` -- the Theorem 4.6 Partition gadget
+  (:func:`repro.hardness.partition.build_partition_dag`) over seeded random
+  element values: two accumulating chains of exclusive choice arcs behind
+  big-M forced-supply durations;
+* ``adversarial-minresource-chain`` -- the Theorem 4.4 / Figure 10 chained
+  variable gadgets
+  (:func:`repro.hardness.minresource_chain.build_variable_chain`): a single
+  unit of resource must walk the whole chain on time or pay big-M.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.arcdag import ArcDAG
+from repro.core.dag import TradeoffDAG
+from repro.core.duration import ConstantDuration
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "arc_dag_to_tradeoff_dag",
+    "partition_gadget_dag",
+    "minresource_chain_dag",
+    "partition_values",
+]
+
+#: Job names for the unique terminals added around the converted arcs.
+SOURCE_JOB = "source"
+SINK_JOB = "sink"
+
+
+def arc_dag_to_tradeoff_dag(arc_dag: ArcDAG) -> TradeoffDAG:
+    """Convert an activity-on-arc DAG into an equivalent node DAG.
+
+    Every arc becomes a job named by its ``arc_id`` carrying the arc's
+    duration function, with a precedence edge between consecutive arcs
+    (``a`` before ``b`` whenever ``head(a) == tail(b)``).  Source-to-sink
+    arc paths map one-to-one onto job paths, so path-reuse resource
+    routing is preserved.  Explicit zero-duration ``source`` / ``sink``
+    jobs bracket the arcs leaving the arc DAG's source and entering its
+    sink, keeping the terminals unique (and the job names strings, as the
+    serve wire codec requires).
+    """
+    dag = TradeoffDAG()
+    dag.add_job(SOURCE_JOB, ConstantDuration(0.0))
+    dag.add_job(SINK_JOB, ConstantDuration(0.0))
+    arcs = arc_dag.arcs
+    for arc in arcs:
+        dag.add_job(arc.arc_id, arc.duration)
+    by_tail: dict = {}
+    for arc in arcs:
+        by_tail.setdefault(arc.tail, []).append(arc.arc_id)
+    for arc in arcs:
+        if arc.tail == arc_dag.source:
+            dag.add_edge(SOURCE_JOB, arc.arc_id)
+        if arc.head == arc_dag.sink:
+            dag.add_edge(arc.arc_id, SINK_JOB)
+        for successor in by_tail.get(arc.head, ()):
+            dag.add_edge(arc.arc_id, successor)
+    dag.validate()
+    return dag
+
+
+def partition_values(num_values: int, max_value: int, seed: int) -> Tuple[int, ...]:
+    """Deterministic seeded element values for the Partition gadget.
+
+    Half the seeds produce partitionable multisets (an even total is
+    forced by flipping one element's parity), so sweeps over a seed axis
+    see both yes- and no-instances of the reduction.
+    """
+    check_positive(num_values, "num_values")
+    check_positive(max_value, "max_value")
+    rng = np.random.default_rng(seed)
+    values = [int(rng.integers(1, max_value + 1)) for _ in range(num_values)]
+    if seed % 2 == 0 and sum(values) % 2 == 1:
+        values[0] += 1 if values[0] < max_value else -1
+    return tuple(values)
+
+
+def partition_gadget_dag(num_values: int = 4, max_value: int = 7,
+                         seed: int = 0,
+                         values: Optional[Tuple[int, ...]] = None) -> TradeoffDAG:
+    """The Theorem 4.6 Partition reduction as an adversarial node DAG.
+
+    ``values`` overrides the seeded draw (the explicit-instance hook used
+    by tests); otherwise :func:`partition_values` draws ``num_values``
+    elements in ``[1, max_value]`` from ``seed``.  With budget
+    ``sum(values)`` the optimum makespan is ``sum(values) / 2`` iff the
+    multiset is partitionable -- greedy and rounding solvers that misroute
+    the forced supply pay big-M.
+    """
+    from repro.hardness.partition import PartitionInstance, build_partition_dag
+
+    if values is None:
+        values = partition_values(num_values, max_value, seed)
+    construction = build_partition_dag(PartitionInstance(tuple(values)))
+    return arc_dag_to_tradeoff_dag(construction.arc_dag)
+
+
+def minresource_chain_dag(num_variables: int = 4,
+                          big_m: Optional[float] = None) -> TradeoffDAG:
+    """The Figure 10 chained variable gadgets as an adversarial node DAG.
+
+    A single expedited unit must traverse every gadget of the chain on
+    schedule (entry of gadget ``i`` at time ``i - 1``); any solver that
+    fails to thread one unit through the whole chain pays the big-M
+    penalty on a link arc.  The construction is deterministic in
+    ``num_variables`` (and ``big_m``), so the generator is unseeded.
+    """
+    from repro.hardness.minresource_chain import build_variable_chain
+
+    construction = build_variable_chain(num_variables, big_m=big_m)
+    return arc_dag_to_tradeoff_dag(construction.arc_dag)

@@ -1,0 +1,153 @@
+"""Registration of the built-in scenario generator families.
+
+Importing this module (``repro.scenarios`` does it) populates the
+generator registry with the benign families from :mod:`repro.generators`
+-- fork-join, staged fork-join, layered random, chain, random / balanced
+series-parallel -- plus the two hardness-derived adversarial families of
+:mod:`repro.scenarios.adversarial`.  The underlying builder functions are
+imported lazily inside each build callable: ``repro.generators`` itself
+depends on this package (its workload catalog is written as scenario
+specs), and the lazy imports keep the two packages importable in either
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.scenarios.registry import register_generator
+
+__all__: list = []
+
+_FAMILY = {"type": "str", "default": "binary",
+           "choices": ("general", "binary", "kway")}
+
+
+@register_generator(
+    "fork-join",
+    summary="one fork-join: width independent equal-work jobs (Parallel-MM shape)",
+    families=("binary", "kway"),
+    params_schema={
+        "width": {"type": "int", "required": True},
+        "work": {"type": "int", "required": True},
+        "family": {"type": "str", "default": "binary",
+                   "choices": ("binary", "kway")},
+    })
+def _build_fork_join(**params: Any):
+    from repro.generators.fork_join import fork_join_dag
+
+    return fork_join_dag(**params)
+
+
+@register_generator(
+    "staged-fork-join",
+    summary="several fork-join stages in series (pipelined parallel loops)",
+    families=("general", "binary", "kway"),
+    seeded=True,
+    params_schema={
+        "stage_widths": {"type": "seq", "required": True},
+        "work": {"type": "int", "required": True},
+        "family": _FAMILY,
+    })
+def _build_staged_fork_join(**params: Any):
+    from repro.generators.fork_join import staged_fork_join_dag
+
+    return staged_fork_join_dag(**params)
+
+
+@register_generator(
+    "layered-random",
+    summary="layered random DAG with forward edges between consecutive layers",
+    families=("general", "binary", "kway"),
+    seeded=True,
+    params_schema={
+        "num_layers": {"type": "int", "required": True},
+        "jobs_per_layer": {"type": "int", "required": True},
+        "family": {"type": "str", "default": "general",
+                   "choices": ("general", "binary", "kway")},
+        "edge_probability": {"type": "float", "default": 0.5},
+        "max_base": {"type": "int", "default": 40},
+    })
+def _build_layered_random(**params: Any):
+    from repro.generators.random_dag import layered_random_dag
+
+    return layered_random_dag(**params)
+
+
+@register_generator(
+    "chain",
+    summary="a single chain of jobs (the extreme case for path reuse)",
+    families=("general", "binary", "kway"),
+    seeded=True,
+    params_schema={
+        "lengths": {"type": "seq", "required": True},
+        "family": _FAMILY,
+    })
+def _build_chain(**params: Any):
+    from repro.generators.random_dag import chain_dag
+
+    return chain_dag(**params)
+
+
+@register_generator(
+    "sp-random",
+    summary="random series-parallel DAG (Section 3.4 DP territory)",
+    families=("general", "binary", "kway"),
+    seeded=True,
+    params_schema={
+        "num_jobs": {"type": "int", "required": True},
+        "family": _FAMILY,
+        "series_probability": {"type": "float", "default": 0.5},
+        "max_base": {"type": "int", "default": 40},
+    })
+def _build_sp_random(**params: Any):
+    from repro.generators.series_parallel_gen import random_sp_tree
+
+    return random_sp_tree(**params).to_dag()
+
+
+@register_generator(
+    "sp-balanced",
+    summary="balanced series-parallel DAG of a given depth",
+    families=("general", "binary", "kway"),
+    seeded=True,
+    params_schema={
+        "depth": {"type": "int", "required": True},
+        "family": _FAMILY,
+        "max_base": {"type": "int", "default": 40},
+        "alternate": {"type": "bool", "default": True},
+    })
+def _build_sp_balanced(**params: Any):
+    from repro.generators.series_parallel_gen import balanced_sp_tree
+
+    return balanced_sp_tree(**params).to_dag()
+
+
+@register_generator(
+    "adversarial-partition",
+    summary="Theorem 4.6 Partition gadget: forced supply + exclusive choice chains",
+    families=("general",),
+    seeded=True,
+    adversarial=True,
+    params_schema={
+        "num_values": {"type": "int", "default": 4},
+        "max_value": {"type": "int", "default": 7},
+    })
+def _build_adversarial_partition(**params: Any):
+    from repro.scenarios.adversarial import partition_gadget_dag
+
+    return partition_gadget_dag(**params)
+
+
+@register_generator(
+    "adversarial-minresource-chain",
+    summary="Theorem 4.4 chained variable gadgets: one unit must walk the chain",
+    families=("general",),
+    adversarial=True,
+    params_schema={
+        "num_variables": {"type": "int", "default": 4},
+    })
+def _build_adversarial_minresource_chain(**params: Any):
+    from repro.scenarios.adversarial import minresource_chain_dag
+
+    return minresource_chain_dag(**params)

@@ -8,6 +8,8 @@ Requests (client -> server)::
 
     {"op": "sweep", "id": "r1", "scenarios": [<problem payload>, ...],
      "method": "auto", "options": {"alpha": 0.5}}
+    {"op": "sweep_spec", "id": "r4", "grid": {<grid payload>},
+     "method": "auto"}                          # or "specs": [<spec>, ...]
     {"op": "stats", "id": "r2"}
     {"op": "ping", "id": "r3"}
 
@@ -38,6 +40,18 @@ clients share cache entries with in-process callers.  Reports on the wire
 use the same stable encoding as the persistent store
 (:func:`~repro.engine.store.report_to_payload`).
 
+``sweep_spec`` is the **spec-native** request: instead of materialized
+problem payloads the client ships a declarative
+:class:`~repro.scenarios.spec.ScenarioGrid` (or a list of
+:class:`~repro.scenarios.spec.ScenarioSpec` payloads) -- a few hundred
+bytes however many cells it expands to.  The server expands the grid,
+deduplicates and answers store-hit cells *before any DAG exists*, and
+materializes the rest lazily inside worker shards
+(:meth:`~repro.engine.async_service.AsyncSweepService.submit_specs`).
+Each per-cell response line carries the cell's true request fingerprint --
+the same key a ``sweep`` over the materialized problems would report, so
+the two paths are interchangeable and share every cache tier.
+
 Run it::
 
     python -m repro.serve --port 7341 --store var/solutions
@@ -64,6 +78,7 @@ from repro.engine.async_service import AsyncSweepService
 from repro.engine.core import Problem, SolveLimits
 from repro.engine.portfolio import Portfolio
 from repro.engine.store import report_to_payload
+from repro.scenarios import ScenarioGrid, ScenarioSpec
 from repro.utils.validation import ValidationError, require
 
 __all__ = [
@@ -72,6 +87,7 @@ __all__ = [
     "problem_from_payload",
     "SweepServer",
     "request_sweep",
+    "request_sweep_spec",
     "main",
 ]
 
@@ -282,12 +298,40 @@ class SweepServer:
                 await send({"id": request_id, "stats": stats})
             elif op == "sweep":
                 await self._serve_sweep(request_id, request, send)
+            elif op == "sweep_spec":
+                await self._serve_sweep_spec(request_id, request, send)
             else:
                 await send({"id": request_id, "error": f"unknown op {op!r}"})
         except (ValidationError, ValueError, TypeError, KeyError,
                 RuntimeError) as exc:
             await send({"id": request_id,
                         "error": f"{type(exc).__name__}: {exc}"})
+
+    async def _relay_ticket(self, request_id: Any, ticket, send,
+                            extra_fields=None) -> None:
+        """Stream one line per slot future as it resolves, then ``done``.
+
+        The single owner of the per-slot response shape for every sweep
+        flavour; ``extra_fields(index) -> dict`` contributes
+        flavour-specific fields (the spec path's ``"cell"`` digest).
+        """
+        async def relay(index: int, future: "asyncio.Future") -> None:
+            result = await future
+            report = None
+            if result.report is not None:
+                report = report_to_payload(result.report, result.key)
+            line = {"id": request_id, "index": index, "key": result.key,
+                    "source": result.source, "error": result.error,
+                    "report": report}
+            if extra_fields is not None:
+                line.update(extra_fields(index))
+            await send(line)
+
+        await asyncio.gather(*[relay(i, f)
+                               for i, f in enumerate(ticket.futures)])
+        await send({"id": request_id, "done": True,
+                    "count": len(ticket.futures),
+                    "protocol": PROTOCOL_VERSION})
 
     async def _serve_sweep(self, request_id: Any, request: Dict[str, Any],
                            send) -> None:
@@ -300,48 +344,50 @@ class SweepServer:
         ticket = await self.service.submit(problems,
                                            request.get("method", "auto"),
                                            **options)
+        await self._relay_ticket(request_id, ticket, send)
 
-        async def relay(index: int, future: "asyncio.Future") -> None:
-            result = await future
-            report = None
-            if result.report is not None:
-                report = report_to_payload(result.report, result.key)
-            await send({"id": request_id, "index": index, "key": result.key,
-                        "source": result.source, "error": result.error,
-                        "report": report})
-
-        await asyncio.gather(*[relay(i, f)
-                               for i, f in enumerate(ticket.futures)])
-        await send({"id": request_id, "done": True, "count": len(problems),
-                    "protocol": PROTOCOL_VERSION})
+    async def _serve_sweep_spec(self, request_id: Any, request: Dict[str, Any],
+                                send) -> None:
+        """Serve one spec-native sweep: expand, submit, stream per cell."""
+        grid_payload = request.get("grid")
+        spec_payloads = request.get("specs")
+        require((grid_payload is None) != (spec_payloads is None),
+                "sweep_spec requests need exactly one of 'grid' or 'specs'")
+        options = request.get("options") or {}
+        require(isinstance(options, dict), "'options' must be an object")
+        if grid_payload is not None:
+            specs = list(ScenarioGrid.from_payload(grid_payload).expand())
+        else:
+            require(isinstance(spec_payloads, list) and spec_payloads,
+                    "'specs' must be a non-empty list of spec payloads")
+            specs = [ScenarioSpec.from_payload(p) for p in spec_payloads]
+        require(len(specs) > 0, "the grid expands to zero cells")
+        ticket = await self.service.submit_specs(
+            specs, request.get("method", "auto"), **options)
+        await self._relay_ticket(
+            request_id, ticket, send,
+            extra_fields=lambda index: {"cell": specs[index].cell_digest()})
 
 
 # ---------------------------------------------------------------------------
 # client helper
 # ---------------------------------------------------------------------------
 
-async def request_sweep(problems: Sequence[Problem], *,
-                        host: str = "127.0.0.1", port: Optional[int] = None,
-                        unix_socket: Optional[str] = None,
-                        method: str = "auto",
-                        options: Optional[Dict[str, Any]] = None,
-                        request_id: str = "sweep-1",
-                        ) -> List[Dict[str, Any]]:
-    """One-shot asyncio client: sweep ``problems`` against a running server.
+async def _stream_request(payload: Dict[str, Any], expected: int, *,
+                          host: str, port: Optional[int],
+                          unix_socket: Optional[str]) -> List[Dict[str, Any]]:
+    """Send one request line, collect its streamed per-slot responses.
 
-    Returns the per-scenario response dicts in batch order (the streamed
-    order may differ; this helper reassembles it).  Raises
+    Returns the per-slot response dicts in batch order (the streamed order
+    may differ; this helper reassembles it).  Raises
     :class:`ValidationError` on a server-reported request error.
     """
     if unix_socket:
         reader, writer = await asyncio.open_unix_connection(unix_socket)
     else:
-        require(port is not None, "request_sweep needs port= or unix_socket=")
+        require(port is not None, "the client helpers need port= or unix_socket=")
         reader, writer = await asyncio.open_connection(host, port)
     try:
-        payload = {"op": "sweep", "id": request_id,
-                   "scenarios": [problem_to_payload(p) for p in problems],
-                   "method": method, "options": options or {}}
         writer.write(json.dumps(payload).encode() + b"\n")
         await writer.drain()
         results: Dict[int, Dict[str, Any]] = {}
@@ -358,15 +404,68 @@ async def request_sweep(problems: Sequence[Problem], *,
                 raise ValidationError(f"server error: {response['error']}")
             if response.get("done"):
                 break
-        require(len(results) == len(problems),
-                f"server answered {len(results)}/{len(problems)} scenarios")
-        return [results[i] for i in range(len(problems))]
+        require(len(results) == expected,
+                f"server answered {len(results)}/{expected} scenarios")
+        return [results[i] for i in range(expected)]
     finally:
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover - teardown race
             pass
+
+
+async def request_sweep(problems: Sequence[Problem], *,
+                        host: str = "127.0.0.1", port: Optional[int] = None,
+                        unix_socket: Optional[str] = None,
+                        method: str = "auto",
+                        options: Optional[Dict[str, Any]] = None,
+                        request_id: str = "sweep-1",
+                        ) -> List[Dict[str, Any]]:
+    """One-shot asyncio client: sweep ``problems`` against a running server.
+
+    Returns the per-scenario response dicts in batch order.  Raises
+    :class:`ValidationError` on a server-reported request error.
+    """
+    payload = {"op": "sweep", "id": request_id,
+               "scenarios": [problem_to_payload(p) for p in problems],
+               "method": method, "options": options or {}}
+    return await _stream_request(payload, len(problems), host=host,
+                                 port=port, unix_socket=unix_socket)
+
+
+async def request_sweep_spec(scenarios: Union[ScenarioGrid,
+                                              Sequence[ScenarioSpec]], *,
+                             host: str = "127.0.0.1",
+                             port: Optional[int] = None,
+                             unix_socket: Optional[str] = None,
+                             method: str = "auto",
+                             options: Optional[Dict[str, Any]] = None,
+                             request_id: str = "sweep-spec-1",
+                             ) -> List[Dict[str, Any]]:
+    """One-shot spec-native client: ship a grid (or specs), not DAGs.
+
+    ``scenarios`` is a :class:`~repro.scenarios.spec.ScenarioGrid` --
+    serialized whole, a few hundred bytes however many cells it expands to
+    -- or a sequence of :class:`~repro.scenarios.spec.ScenarioSpec`
+    records.  Returns the per-cell response dicts in expansion order; each
+    carries the cell's request fingerprint under ``"key"`` (identical to
+    what :func:`request_sweep` over the materialized problems reports) and
+    its spec content digest under ``"cell"``.
+    """
+    if isinstance(scenarios, ScenarioGrid):
+        expected = scenarios.size()
+        payload: Dict[str, Any] = {"op": "sweep_spec", "id": request_id,
+                                   "grid": scenarios.to_payload()}
+    else:
+        specs = list(scenarios)
+        expected = len(specs)
+        payload = {"op": "sweep_spec", "id": request_id,
+                   "specs": [spec.to_payload() for spec in specs]}
+    payload["method"] = method
+    payload["options"] = options or {}
+    return await _stream_request(payload, expected, host=host, port=port,
+                                 unix_socket=unix_socket)
 
 
 # ---------------------------------------------------------------------------

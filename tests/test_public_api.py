@@ -58,6 +58,10 @@ PUBLIC_MODULES = [
     "repro.hardness.matching3d",
     "repro.hardness.verify",
     "repro.generators",
+    "repro.scenarios",
+    "repro.scenarios.registry",
+    "repro.scenarios.spec",
+    "repro.scenarios.adversarial",
     "repro.analysis",
     "repro.utils",
 ]
@@ -70,7 +74,7 @@ def test_module_imports_and_has_docstring(module_name):
 
 
 def test_version_exposed():
-    assert repro.__version__ == "1.4.0"
+    assert repro.__version__ == "1.5.0"
 
 
 def test_top_level_reexports_core_api():

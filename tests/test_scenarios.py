@@ -1,0 +1,391 @@
+"""Tests for the declarative scenario subsystem (registry, specs, grids,
+adversarial generators, spec fingerprints and the workload catalog)."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import request_key, spec_fingerprint
+from repro.engine.core import clear_caches
+from repro.engine.fingerprint import (
+    cached_spec_fingerprint,
+    record_spec_fingerprint,
+    spec_alias_key,
+)
+from repro.generators import get_workload, workload_names
+from repro.hardness.partition import PartitionInstance
+from repro.scenarios import (
+    Axis,
+    ScenarioGrid,
+    ScenarioSpec,
+    arc_dag_to_tradeoff_dag,
+    generator_ids,
+    generator_specs,
+    get_generator,
+    materialization_info,
+    minresource_chain_dag,
+    partition_gadget_dag,
+    register_generator,
+    reset_materialization_counters,
+    unregister_generator,
+)
+from repro.scenarios.adversarial import partition_values
+from repro.utils.validation import ValidationError
+
+
+class TestRegistry:
+    def test_builtin_generators_registered(self):
+        ids = generator_ids()
+        for expected in ["fork-join", "staged-fork-join", "layered-random",
+                         "chain", "sp-random", "sp-balanced",
+                         "adversarial-partition",
+                         "adversarial-minresource-chain"]:
+            assert expected in ids
+
+    def test_adversarial_flag(self):
+        flags = {spec.generator_id: spec.adversarial
+                 for spec in generator_specs()}
+        assert flags["adversarial-partition"]
+        assert not flags["fork-join"]
+
+    def test_unknown_generator(self):
+        with pytest.raises(ValidationError, match="unknown generator"):
+            get_generator("does-not-exist")
+
+    def test_register_and_unregister(self):
+        @register_generator("test-tiny", summary="one-job dag",
+                            families=("binary",),
+                            params_schema={"work": {"type": "int",
+                                                    "default": 8}})
+        def _build(work):
+            from repro.core.dag import TradeoffDAG
+            from repro.core.duration import RecursiveBinarySplitDuration
+
+            dag = TradeoffDAG()
+            dag.add_job("s")
+            dag.add_job("x", RecursiveBinarySplitDuration(work))
+            dag.add_job("t")
+            dag.add_edge("s", "x")
+            dag.add_edge("x", "t")
+            return dag
+
+        try:
+            with pytest.raises(ValidationError, match="already registered"):
+                register_generator("test-tiny", summary="dup",
+                                   families=("binary",),
+                                   params_schema={})(lambda: None)
+            spec = ScenarioSpec("test-tiny", budget_rule=("const", 4))
+            assert spec.params == {"work": 8}
+            assert spec.materialize().dag.num_jobs == 3
+        finally:
+            assert unregister_generator("test-tiny") is not None
+        assert unregister_generator("test-tiny") is None
+
+    def test_param_validation(self):
+        gen = get_generator("fork-join")
+        with pytest.raises(ValidationError, match="needs param"):
+            gen.validate_params({"width": 4})  # work missing
+        with pytest.raises(ValidationError, match="does not accept"):
+            gen.validate_params({"width": 4, "work": 8, "bogus": 1})
+        with pytest.raises(ValidationError, match="must be int"):
+            gen.validate_params({"width": "wide", "work": 8})
+        with pytest.raises(ValidationError, match="must be int"):
+            gen.validate_params({"width": True, "work": 8})  # bools are not ints
+        with pytest.raises(ValidationError, match="must be one of"):
+            gen.validate_params({"width": 4, "work": 8, "family": "exotic"})
+        with pytest.raises(ValidationError, match="seeds through the spec"):
+            get_generator("chain").validate_params({"lengths": [4], "seed": 3})
+
+    def test_seq_params_canonicalised(self):
+        gen = get_generator("chain")
+        assert gen.validate_params({"lengths": (8, 16)})["lengths"] == [8, 16]
+
+    def test_unseeded_generator_rejects_seed(self):
+        with pytest.raises(ValidationError, match="unseeded"):
+            get_generator("fork-join").build_dag({"width": 2, "work": 8},
+                                                 seed=3)
+
+
+class TestScenarioSpec:
+    def test_canonical_params_and_digest(self):
+        a = ScenarioSpec("fork-join", {"work": 16, "width": 4},
+                         budget_rule=("const", 8))
+        b = ScenarioSpec("fork-join", {"width": 4, "work": 16},
+                         budget_rule=["const", 8.0])
+        assert a == b
+        assert a.cell_digest() == b.cell_digest()
+        assert a.params == {"family": "binary", "width": 4, "work": 16}
+
+    def test_payload_round_trip(self):
+        spec = ScenarioSpec("layered-random",
+                            {"num_layers": 2, "jobs_per_layer": 3}, seed=5,
+                            objective="min_resource",
+                            budget_rule=("makespan-factor", 0.5))
+        clone = ScenarioSpec.from_payload(spec.to_payload())
+        assert clone == spec
+        assert clone.cell_digest() == spec.cell_digest()
+
+    def test_payload_rejects_unknown_fields(self):
+        with pytest.raises(ValidationError, match="unknown fields"):
+            ScenarioSpec.from_payload({"generator": "chain",
+                                       "params": {"lengths": [4]},
+                                       "dag": "smuggled"})
+
+    def test_bad_budget_rule_and_objective(self):
+        with pytest.raises(ValidationError, match="unknown budget rule"):
+            ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                         budget_rule=("triple", 1))
+        with pytest.raises(ValidationError, match="unknown objective"):
+            ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                         objective="max_fun", budget_rule=("const", 1))
+
+    def test_budget_rules(self):
+        chain = {"lengths": [8, 8], "family": "binary"}
+        const = ScenarioSpec("chain", chain, budget_rule=("const", 5)).materialize()
+        assert const.budget == 5.0
+        factor = ScenarioSpec("chain", chain,
+                              budget_rule=("makespan-factor", 0.5)).materialize()
+        assert factor.budget == 8.0  # zero-resource makespan 16 * 0.5
+        per_job = ScenarioSpec("chain", chain,
+                               budget_rule=("per-job", 2.0)).materialize()
+        assert per_job.budget == 4.0  # 2 improvable (non-constant) jobs
+
+    def test_min_resource_objective(self):
+        problem = ScenarioSpec("chain", {"lengths": [8, 8]},
+                               objective="min_resource",
+                               budget_rule=("const", 10)).materialize()
+        assert problem.target_makespan == 10.0
+
+    def test_materialization_is_deterministic_and_counted(self):
+        spec = ScenarioSpec("layered-random",
+                            {"num_layers": 2, "jobs_per_layer": 2}, seed=9,
+                            budget_rule=("const", 4))
+        reset_materialization_counters()
+        from repro.engine.fingerprint import dag_fingerprint
+
+        assert dag_fingerprint(spec.build_dag()) == dag_fingerprint(spec.build_dag())
+        assert materialization_info()["dag_builds"] == 2
+
+
+class TestScenarioGrid:
+    def grid(self):
+        return ScenarioGrid(
+            generators=({"generator": "fork-join",
+                         "params": {"width": Axis([2, 4]), "work": 16}},
+                        {"generator": "chain",
+                         "params": {"lengths": [8, 16]}}),
+            seeds=(0, 1),
+            budget_rules=(("const", 4.0), ("per-job", 1.0)))
+
+    def test_size_matches_expansion(self):
+        grid = self.grid()
+        specs = list(grid.expand())
+        assert grid.size() == len(specs) == (2 + 1) * 2 * 2
+
+    def test_expansion_is_deterministic(self):
+        a = [s.cell_digest() for s in self.grid().expand()]
+        b = [s.cell_digest() for s in self.grid().expand()]
+        assert a == b
+
+    def test_payload_round_trip(self):
+        grid = self.grid()
+        clone = ScenarioGrid.from_payload(grid.to_payload())
+        assert ([s.cell_digest() for s in clone.expand()]
+                == [s.cell_digest() for s in grid.expand()])
+
+    def test_axis_values_expand_sorted_by_name(self):
+        grid = ScenarioGrid(
+            generators=({"generator": "fork-join",
+                         "params": {"width": Axis([2, 4]),
+                                    "work": Axis([8, 16])}},),
+            budget_rules=(("const", 4.0),))
+        cells = [(s.params["width"], s.params["work"]) for s in grid.expand()]
+        assert cells == [(2, 8), (2, 16), (4, 8), (4, 16)]
+
+    def test_unseeded_generators_collapse_the_seed_axis(self):
+        grid = ScenarioGrid(
+            generators=({"generator": "fork-join",
+                         "params": {"width": 2, "work": 8}},),
+            seeds=(0, 1, 2), budget_rules=(("const", 4.0),))
+        digests = {s.cell_digest() for s in grid.expand()}
+        assert len(digests) == 1  # dedup downstream collapses them
+
+    def test_base_seed_derives_distinct_per_cell_seeds(self):
+        grid = ScenarioGrid(
+            generators=({"generator": "layered-random",
+                         "params": {"num_layers": Axis([2, 3]),
+                                    "jobs_per_layer": 2}},),
+            seeds=7, budget_rules=(("const", 4.0), ("const", 8.0)))
+        seeds = [s.seed for s in grid.expand()]
+        assert len(set(seeds)) == len(seeds) == 4
+        assert seeds == [s.seed for s in grid.expand()]
+
+    def test_derived_seeds_ignore_spelled_out_defaults(self):
+        implicit = ScenarioGrid(
+            generators=({"generator": "layered-random",
+                         "params": {"num_layers": 2, "jobs_per_layer": 2}},),
+            seeds=7, budget_rules=(("const", 4.0),))
+        explicit = ScenarioGrid(
+            generators=({"generator": "layered-random",
+                         "params": {"num_layers": 2, "jobs_per_layer": 2,
+                                    "family": "general",
+                                    "edge_probability": 0.5,
+                                    "max_base": 40}},),
+            seeds=7, budget_rules=(("const", 4.0),))
+        assert ([s.cell_digest() for s in implicit.expand()]
+                == [s.cell_digest() for s in explicit.expand()])
+
+    def test_same_seed_grids_expand_identically_across_processes(self):
+        grid = self.grid()
+        local = [s.cell_digest() for s in grid.expand()]
+        script = (
+            "import json, sys\n"
+            "from repro.scenarios import ScenarioGrid\n"
+            "grid = ScenarioGrid.from_payload(json.loads(sys.argv[1]))\n"
+            "print(json.dumps([s.cell_digest() for s in grid.expand()]))\n"
+        )
+        import json
+
+        output = subprocess.run(
+            [sys.executable, "-c", script, json.dumps(grid.to_payload())],
+            capture_output=True, text=True, check=True, timeout=120)
+        assert json.loads(output.stdout) == local
+
+    def test_grid_validation(self):
+        with pytest.raises(ValidationError, match="at least one generator"):
+            ScenarioGrid(generators=())
+        with pytest.raises(ValidationError, match="unknown generator"):
+            ScenarioGrid(generators=("nope",))
+        with pytest.raises(ValidationError, match="at least one seed"):
+            ScenarioGrid(generators=("sp-random",), seeds=())
+
+
+class TestAdversarialGenerators:
+    def test_partition_gadget_matches_theorem(self):
+        from repro import MinMakespanProblem, exact_reference
+
+        yes = partition_gadget_dag(values=(1, 1, 2))
+        yes.validate()
+        report = exact_reference(MinMakespanProblem(yes, 4.0))
+        assert report is not None and report.makespan == 2.0  # B/2
+        no = partition_gadget_dag(values=(1, 1, 3))
+        report = exact_reference(MinMakespanProblem(no, 5.0))
+        assert report is not None and report.makespan == 3.0  # > B/2
+
+    def test_partition_values_deterministic(self):
+        assert partition_values(5, 9, 3) == partition_values(5, 9, 3)
+        assert partition_values(5, 9, 3) != partition_values(5, 9, 4)
+        assert sum(partition_values(5, 9, 2)) % 2 == 0  # even seeds balance
+
+    def test_minresource_chain_walks_on_time(self):
+        from repro import MinMakespanProblem, solve
+
+        dag = minresource_chain_dag(num_variables=3)
+        dag.validate()
+        # Two units of resource thread the chain: both arrive at time n.
+        assert solve(MinMakespanProblem(dag, 2.0)).makespan == 3.0
+        # Starved of the second unit, a penalty arc goes unexpedited.
+        assert solve(MinMakespanProblem(dag, 0.0)).makespan > 3.0
+
+    def test_arc_to_node_conversion_preserves_paths(self):
+        construction = PartitionInstance((2, 3))
+        from repro.hardness.partition import build_partition_dag
+
+        built = build_partition_dag(construction)
+        dag = arc_dag_to_tradeoff_dag(built.arc_dag)
+        dag.validate()
+        assert dag.num_jobs == built.arc_dag.num_arcs + 2
+        assert dag.source == "source" and dag.sink == "sink"
+        # Zero-allocation makespan equals the sum of unexpedited forced
+        # durations on the heaviest chain, identical to the arc view.
+        assert dag.makespan_value({}) > 0
+
+    def test_registered_adversarial_cells_materialize(self):
+        spec = ScenarioSpec("adversarial-partition",
+                            {"num_values": 3, "max_value": 5}, seed=4,
+                            budget_rule=("const", 6.0))
+        problem = spec.materialize()
+        problem.dag.validate()
+        spec2 = ScenarioSpec("adversarial-minresource-chain",
+                             {"num_variables": 2},
+                             budget_rule=("const", 2.0))
+        spec2.materialize().dag.validate()
+
+
+class TestSpecFingerprint:
+    def setup_method(self):
+        clear_caches()
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from(["fork-join", "chain", "layered-random"]),
+           st.integers(0, 3), st.sampled_from([("const", 6.0),
+                                               ("per-job", 1.0)]))
+    def test_spec_fingerprint_equals_materialized_request_key(
+            self, generator, seed, rule):
+        params = {
+            "fork-join": {"width": 2, "work": 8},
+            "chain": {"lengths": [4, 8]},
+            "layered-random": {"num_layers": 2, "jobs_per_layer": 2},
+        }[generator]
+        if generator == "fork-join":
+            seed = 0
+        spec = ScenarioSpec(generator, params, seed=seed, budget_rule=rule)
+        assert spec_fingerprint(spec) == request_key(spec.materialize())
+
+    def test_cached_and_recorded_fingerprints(self):
+        clear_caches()
+        spec = ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                            budget_rule=("const", 4.0))
+        assert cached_spec_fingerprint(spec) is None
+        key = spec_fingerprint(spec)
+        assert cached_spec_fingerprint(spec) == key
+        clear_caches()
+        assert cached_spec_fingerprint(spec) is None
+        record_spec_fingerprint(spec, key)
+        assert cached_spec_fingerprint(spec) == key
+
+    def test_alias_key_is_stable_and_distinct(self):
+        spec = ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                            budget_rule=("const", 4.0))
+        assert spec_alias_key(spec) == spec_alias_key(spec)
+        assert spec_alias_key(spec) != spec_fingerprint(spec)
+        assert spec_alias_key(spec) != spec_alias_key(spec, "bicriteria-lp")
+
+    def test_uncacheable_options_are_rejected(self):
+        spec = ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                            budget_rule=("const", 4.0))
+        with pytest.raises(ValidationError, match="content-keyable"):
+            spec_fingerprint(spec, probe=object())
+
+
+class TestWorkloadCatalog:
+    def test_build_is_memoized_across_fingerprint_and_problem(self):
+        workload = get_workload("small-layered-binary")
+        dag = workload.build()
+        assert workload.build() is dag
+        assert workload.problem().dag is dag
+        workload.fingerprint()
+        assert workload.build() is dag
+
+    def test_catalog_matches_direct_generators(self):
+        from repro.engine.fingerprint import dag_fingerprint
+        from repro.generators.random_dag import chain_dag, layered_random_dag
+
+        assert (get_workload("medium-layered-kway").fingerprint()
+                == dag_fingerprint(layered_random_dag(5, 6, family="kway",
+                                                      seed=23)))
+        assert (get_workload("deep-chain-binary").fingerprint()
+                == dag_fingerprint(chain_dag([32, 16, 48, 24, 40, 56, 20, 36],
+                                             family="binary")))
+
+    def test_workloads_are_spec_backed(self):
+        for name in workload_names():
+            workload = get_workload(name)
+            assert isinstance(workload.spec, ScenarioSpec)
+            assert workload.spec.budget_rule == ("const", workload.budget)
+            payload = workload.spec.to_payload()
+            assert ScenarioSpec.from_payload(payload) == workload.spec

@@ -1,0 +1,287 @@
+"""Tests for the spec-native sweep paths: SweepService over grids,
+AsyncSweepService.submit_specs and the ``sweep_spec`` wire protocol --
+including the bit-identical-to-materialized equivalence the refactor
+promises."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.dag import TradeoffDAG
+from repro.engine.core import clear_caches
+from repro.engine.portfolio import Portfolio
+from repro.engine.service import SweepService
+from repro.engine.store import SolutionStore
+from repro.scenarios import (
+    Axis,
+    ScenarioGrid,
+    ScenarioSpec,
+    materialization_info,
+    register_generator,
+    reset_materialization_counters,
+    unregister_generator,
+)
+from repro.utils.validation import ValidationError
+
+
+@pytest.fixture
+def grid():
+    return ScenarioGrid(
+        generators=({"generator": "fork-join",
+                     "params": {"width": Axis([2, 3]), "work": 16}},
+                    {"generator": "chain",
+                     "params": {"lengths": [8, 16]}}),
+        seeds=(0,),
+        budget_rules=(("const", 4.0), ("const", 8.0)))
+
+
+def fresh_state():
+    clear_caches()
+    reset_materialization_counters()
+
+
+def thread_service(root) -> SweepService:
+    return SweepService(store=SolutionStore(str(root)),
+                        portfolio=Portfolio(executor="thread"))
+
+
+class TestSpecSweepService:
+    def test_cold_sweep_solves_every_cell_lazily(self, grid, tmp_path):
+        fresh_state()
+        with thread_service(tmp_path / "store") as service:
+            report = service.run(grid)
+        assert report.stats.scenarios == grid.size() == 6
+        assert report.stats.computed == 6 and report.stats.failed == 0
+        assert all(r.source == "computed" and r.spec is not None
+                   and r.problem is None for r in report.results)
+        # Lazy materialization: one DAG build per unique cell, in-shard.
+        assert materialization_info()["dag_builds"] == 6
+
+    def test_warm_sweep_builds_zero_dags(self, grid, tmp_path):
+        fresh_state()
+        with thread_service(tmp_path / "store") as service:
+            service.run(grid)
+        fresh_state()  # drop every in-process memo: only the store survives
+        with thread_service(tmp_path / "store") as service:
+            warm = service.run(grid)
+        assert warm.stats.store_hits == 6 and warm.stats.computed == 0
+        assert materialization_info()["dag_builds"] == 0
+        assert all(r.source == "store" for r in warm.results)
+
+    def test_results_bit_identical_to_materialized_path(self, grid, tmp_path):
+        fresh_state()
+        with thread_service(tmp_path / "spec-store") as service:
+            spec_report = service.run(grid)
+        fresh_state()
+        problems = [spec.materialize() for spec in grid.expand()]
+        with thread_service(tmp_path / "mat-store") as service:
+            mat_report = service.run(problems)
+        assert ([r.key for r in spec_report.results]
+                == [r.key for r in mat_report.results])
+        assert ([r.report.makespan for r in spec_report.results]
+                == [r.report.makespan for r in mat_report.results])
+        assert ([r.report.budget_used for r in spec_report.results]
+                == [r.report.budget_used for r in mat_report.results])
+
+    def test_duplicate_cells_deduplicate_before_materialization(self, tmp_path):
+        fresh_state()
+        spec = ScenarioSpec("fork-join", {"width": 2, "work": 16},
+                            budget_rule=("const", 4.0))
+        with thread_service(tmp_path / "store") as service:
+            report = service.run([spec] * 5)
+        assert report.stats.scenarios == 5
+        assert report.stats.unique == 1 and report.stats.duplicates == 4
+        assert materialization_info()["dag_builds"] == 1
+
+    def test_spec_manifest_resume(self, grid, tmp_path):
+        fresh_state()
+        manifest = str(tmp_path / "manifest.json")
+        with thread_service(tmp_path / "store") as service:
+            service.run(grid, manifest=manifest)
+        fresh_state()
+        with thread_service(tmp_path / "store") as service:
+            warm = service.run(grid, manifest=manifest)
+        assert warm.stats.resumed == warm.stats.store_hits == 6
+
+    def test_failing_cells_report_per_cell(self, tmp_path):
+        @register_generator("test-broken", summary="always raises",
+                            families=("binary",), params_schema={})
+        def _build():
+            raise RuntimeError("deliberately broken generator")
+
+        try:
+            fresh_state()
+            bad = ScenarioSpec("test-broken", budget_rule=("const", 1.0))
+            good = ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                                budget_rule=("const", 4.0))
+            with thread_service(tmp_path / "store") as service:
+                report = service.run([bad, good])
+            by_index = {r.index: r for r in report.results}
+            assert by_index[0].source == "failed"
+            assert "deliberately broken" in by_index[0].error
+            assert by_index[1].source == "computed"
+        finally:
+            unregister_generator("test-broken")
+
+    def test_mixed_specs_and_problems_rejected(self, grid, tmp_path):
+        from repro.core.duration import RecursiveBinarySplitDuration
+        from repro.core.problem import MinMakespanProblem
+
+        dag = TradeoffDAG()
+        dag.add_job("s")
+        dag.add_job("x", RecursiveBinarySplitDuration(8))
+        dag.add_job("t")
+        dag.add_edge("s", "x")
+        dag.add_edge("x", "t")
+        spec = ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                            budget_rule=("const", 4.0))
+        with thread_service(tmp_path / "store") as service:
+            with pytest.raises(ValidationError, match="do not mix"):
+                list(service.sweep([spec, MinMakespanProblem(dag, 2.0)]))
+
+
+class TestAsyncSpecService:
+    def test_submit_specs_dedups_in_flight(self, grid, tmp_path):
+        from repro.engine.async_service import AsyncSweepService
+
+        async def tour():
+            fresh_state()
+            async with AsyncSweepService(
+                    store=str(tmp_path / "store"),
+                    portfolio=Portfolio(executor="thread")) as service:
+                first = await service.submit_specs(grid)
+                second = await service.submit_specs(grid)
+                results_a = await first.results()
+                results_b = await second.results()
+            return results_a, results_b, service.stats
+
+        results_a, results_b, stats = asyncio.run(tour())
+        assert stats.deduped == 6 and stats.computed == 6
+        assert [r.key for r in results_a] == [r.key for r in results_b]
+        assert all(r.report is not None for r in results_a + results_b)
+
+    def test_spec_waiter_on_problem_inflight_keeps_its_spec(self, tmp_path):
+        """A spec submission deduplicated onto a problem-kind in-flight
+        solve (same request fingerprint) must still get its spec back --
+        and the problem waiter must not inherit the spec."""
+        from repro import request_key
+        from repro.engine.async_service import AsyncSweepService
+        from repro.engine.fingerprint import record_spec_fingerprint
+
+        spec = ScenarioSpec("fork-join", {"width": 2, "work": 16},
+                            budget_rule=("const", 4.0))
+        problem = spec.materialize()
+
+        async def tour():
+            fresh_state()
+            # Pre-resolve the spec's fingerprint so submit_specs dedups
+            # onto the problem entry under the true request key.
+            record_spec_fingerprint(spec, request_key(problem))
+            async with AsyncSweepService(
+                    store=str(tmp_path / "store"),
+                    portfolio=Portfolio(executor="thread")) as service:
+                problem_ticket = await service.submit([problem])
+                spec_ticket = await service.submit_specs([spec])
+                problem_result = (await problem_ticket.results())[0]
+                spec_result = (await spec_ticket.results())[0]
+            return problem_result, spec_result, service.stats
+
+        problem_result, spec_result, stats = asyncio.run(tour())
+        assert stats.deduped == 1 and stats.computed == 1
+        assert spec_result.spec == spec and problem_result.spec is None
+        assert spec_result.key == problem_result.key
+        assert spec_result.report.makespan == problem_result.report.makespan
+
+    def test_submit_specs_warm_store_builds_no_dags(self, grid, tmp_path):
+        from repro.engine.async_service import AsyncSweepService
+
+        async def run_once():
+            async with AsyncSweepService(
+                    store=str(tmp_path / "store"),
+                    portfolio=Portfolio(executor="thread")) as service:
+                ticket = await service.submit_specs(grid)
+                return await ticket.results()
+
+        fresh_state()
+        cold = asyncio.run(run_once())
+        fresh_state()
+        warm = asyncio.run(run_once())
+        assert all(r.source == "store" for r in warm)
+        assert materialization_info()["dag_builds"] == 0
+        assert [r.key for r in warm] == [r.key for r in cold]
+
+
+class TestSweepSpecWire:
+    def run_server(self, coroutine):
+        return asyncio.run(coroutine)
+
+    def test_wire_results_bit_identical_to_local_materialized_sweep(
+            self, grid, tmp_path):
+        from repro.engine.async_service import AsyncSweepService
+        from repro.serve import SweepServer, request_sweep_spec
+
+        async def spec_over_socket():
+            service = AsyncSweepService(store=str(tmp_path / "wire-store"),
+                                        portfolio=Portfolio(executor="thread"))
+            async with SweepServer(service, port=0) as server:
+                return await request_sweep_spec(grid, port=server.port)
+
+        fresh_state()
+        wire_lines = self.run_server(spec_over_socket())
+
+        fresh_state()
+        problems = [spec.materialize() for spec in grid.expand()]
+        with thread_service(tmp_path / "local-store") as service:
+            local = service.run(problems)
+
+        assert [line["key"] for line in wire_lines] == \
+               [r.key for r in local.results]
+        assert [line["report"]["solution"]["makespan"] for line in wire_lines] \
+               == [r.report.makespan for r in local.results]
+        assert [line["cell"] for line in wire_lines] == \
+               [s.cell_digest() for s in grid.expand()]
+
+    def test_wire_accepts_spec_lists_and_rejects_bad_requests(self, tmp_path):
+        from repro.engine.async_service import AsyncSweepService
+        from repro.serve import SweepServer, request_sweep_spec
+
+        specs = [ScenarioSpec("fork-join", {"width": 2, "work": 8},
+                              budget_rule=("const", 4.0))]
+
+        async def tour():
+            service = AsyncSweepService(store=str(tmp_path / "store"),
+                                        portfolio=Portfolio(executor="thread"))
+            async with SweepServer(service, port=0) as server:
+                lines = await request_sweep_spec(specs, port=server.port)
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b'{"op": "sweep_spec", "id": "bad"}\n')
+                await writer.drain()
+                error_line = await reader.readline()
+                writer.close()
+                await writer.wait_closed()
+            return lines, error_line
+
+        fresh_state()
+        lines, error_line = self.run_server(tour())
+        assert lines[0]["source"] == "computed"
+        assert b"error" in error_line and b"exactly one of" in error_line
+
+    def test_grid_analysis_tables_group_by_axes(self, grid, tmp_path):
+        from repro.analysis import grid_records, render_grid_table, summarize_grid
+
+        fresh_state()
+        with thread_service(tmp_path / "store") as service:
+            report = service.run(grid)
+        records = grid_records(report)
+        assert len(records) == 6
+        assert {r["generator"] for r in records} == {"fork-join", "chain"}
+        summary = summarize_grid(report, by=("generator", "budget_rule"))
+        assert set(summary) == {("fork-join", "const:4"),
+                                ("fork-join", "const:8"),
+                                ("chain", "const:4"), ("chain", "const:8")}
+        assert summary[("fork-join", "const:4")]["count"] == 2
+        table = render_grid_table(report, by=("generator",))
+        assert "fork-join" in table and "chain" in table
