@@ -1,0 +1,249 @@
+"""E20 -- warm-started LP sweeps: one skeleton, warm re-solves vs cold scalar.
+
+PR 4 eliminated per-scenario model *construction* (shared skeletons); every
+budget still paid a cold simplex start inside ``scipy.optimize.linprog``.
+The warm sweep kernels (:func:`repro.core.lp.solve_min_makespan_sweep` /
+``solve_min_resource_sweep``) solve an ordered parameter sweep on ONE
+skeleton with per-skeleton warm state: repeated RHS values are answered
+from the sweep memo without a solver call, and with the optional
+``highspy`` backend installed the loaded model re-solves RHS-only from the
+previous optimal basis.  This benchmark compares:
+
+* **cold scalar** -- the historical path: a fresh model + cold solve per
+  budget (:func:`~repro.core.lp.solve_min_makespan_lp`);
+* **warm sweep** -- one skeleton driven across the ordered budgets.
+
+The gate is **machine-independent** (the ISSUE 6 acceptance criteria): a
+same-skeleton sweep of N budgets must report >= N-1 warm-start hits out of
+N sweep solves on exactly one skeleton build, with results bit-identical
+to the scalar scipy path, and the engine-level certificate checks must
+pass on every available backend.  Wall-clock speedup and simplex-iteration
+totals are reported for humans but never gated on.
+
+Run standalone:  python benchmarks/bench_warm_lp.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import MinMakespanProblem, clear_caches
+from repro.analysis import format_table
+from repro.core.lp import (
+    available_lp_backends,
+    lp_kernel_counters,
+    solve_min_makespan_lp,
+    solve_min_makespan_sweep,
+    solve_min_resource_lp,
+    solve_min_resource_sweep,
+)
+from repro.engine.core import solve
+from repro.engine.structure import analyze_dag
+from repro.generators import get_workload
+
+from bench_common import emit, parse_json_flag, write_json_artifact
+
+WORKLOAD = "medium-layered-general"
+BUDGET_FACTORS = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 2.5, 3.0, 4.0, 5.0]
+QUICK_FACTORS = BUDGET_FACTORS[:6]
+
+
+def build_sweep(factors):
+    workload = get_workload(WORKLOAD)
+    dag = workload.build()
+    arc_dag = analyze_dag(dag).expansion().arc_dag
+    budgets = sorted(workload.budget * factor for factor in factors)
+    targets = sorted(solve_min_makespan_lp(arc_dag, budget).makespan
+                     for budget in budgets)
+    return arc_dag, budgets, targets
+
+
+def run_cold_scalar(arc_dag, budgets, targets):
+    """The historical path: fresh model + cold simplex start per value."""
+    clear_caches()
+    start = time.perf_counter()
+    makespan_solutions = [solve_min_makespan_lp(arc_dag, budget)
+                          for budget in budgets]
+    resource_solutions = [solve_min_resource_lp(arc_dag, target)
+                          for target in targets]
+    wall = time.perf_counter() - start
+    return makespan_solutions, resource_solutions, lp_kernel_counters(), wall
+
+
+def run_warm_sweep(arc_dag, budgets, targets):
+    """One skeleton, ordered warm re-solves (basis reuse under highspy)."""
+    clear_caches()
+    start = time.perf_counter()
+    makespan_solutions = solve_min_makespan_sweep(arc_dag, budgets)
+    resource_solutions = solve_min_resource_sweep(arc_dag, targets)
+    wall = time.perf_counter() - start
+    return makespan_solutions, resource_solutions, lp_kernel_counters(), wall
+
+
+def _identical(got, want):
+    return (got.status == want.status and got.objective == want.objective
+            and got.flows == want.flows and got.times == want.times
+            and got.makespan == want.makespan
+            and got.budget_used == want.budget_used)
+
+
+def run_certificates(factors):
+    """Engine-level: warm-routed solves must keep their certificates green
+    on every backend the host offers (scipy always; highspy if installed)."""
+    workload = get_workload(WORKLOAD)
+    dag = workload.build()
+    passed = {}
+    for backend in available_lp_backends():
+        clear_caches()
+        reports = [solve(MinMakespanProblem(dag, workload.budget * factor),
+                         method="bicriteria-lp", alpha=0.5, use_cache=False)
+                   for factor in factors[:3]]
+        passed[backend] = all(r.certificate is not None and r.certificate.passed
+                              for r in reports)
+    return passed
+
+
+def run_comparison(factors):
+    arc_dag, budgets, targets = build_sweep(factors)
+    cold_mk, cold_rs, cold_counters, t_cold = \
+        run_cold_scalar(arc_dag, budgets, targets)
+    warm_mk, warm_rs, warm_counters, t_warm = \
+        run_warm_sweep(arc_dag, budgets, targets)
+
+    identical = (all(_identical(w, c) for w, c in zip(warm_mk, cold_mk))
+                 and all(_identical(w, c) for w, c in zip(warm_rs, cold_rs)))
+    certificates = run_certificates(factors)
+    n = len(budgets) + len(targets)
+    return {
+        "scenarios": n,
+        "budgets": len(budgets),
+        "targets": len(targets),
+        "sweep_solves": warm_counters["sweep_solves"],
+        "warm_start_hits": warm_counters["warm_start_hits"],
+        "warm_reuse_hits": warm_counters["warm_reuse_hits"],
+        "warm_skeleton_builds": warm_counters["skeleton_builds"],
+        "warm_simplex_iterations": warm_counters["simplex_iterations"],
+        "cold_skeleton_builds": cold_counters["skeleton_builds"],
+        "cold_simplex_iterations": cold_counters["simplex_iterations"],
+        "highs_rhs_resolves": warm_counters["highs_rhs_resolves"],
+        "backends": list(available_lp_backends()),
+        "certificates_pass": all(certificates.values()),
+        "certificates_by_backend": certificates,
+        "identical": identical,
+        "build_elimination": (cold_counters["skeleton_builds"]
+                              / max(warm_counters["skeleton_builds"], 1)),
+        "t_cold_s": t_cold,
+        "t_warm_s": t_warm,
+    }
+
+
+#: The machine-independent acceptance conditions, shared by the standalone
+#: gate and the pytest entry point so the two can never diverge.
+GATE_CONDITIONS = [
+    ("warm sweep matches the cold scalar scipy path bit for bit",
+     lambda s: s["identical"]),
+    ("warm sweep counts one sweep solve per requested value",
+     lambda s: s["sweep_solves"] == s["scenarios"]),
+    (">= N-1 warm-start hits out of N solves (per objective sweep)",
+     lambda s: s["warm_start_hits"] >= s["scenarios"] - 2),
+    ("warm sweep builds exactly two skeletons -- one per objective sweep "
+     "call pair sharing one model",
+     lambda s: s["warm_skeleton_builds"] <= 2),
+    ("cold path builds one model per value",
+     lambda s: s["cold_skeleton_builds"] == s["scenarios"]),
+    ("certificate checks pass on every available backend",
+     lambda s: s["certificates_pass"]),
+    ("model-build elimination is at least 3x",
+     lambda s: s["build_elimination"] >= 3.0),
+]
+
+
+def gate(stats) -> bool:
+    """The machine-independent acceptance predicate (counters only)."""
+    return all(condition(stats) for _label, condition in GATE_CONDITIONS)
+
+
+def render(stats) -> str:
+    rows = [
+        ["cold scalar", str(stats["cold_skeleton_builds"]),
+         "0", str(stats["cold_simplex_iterations"]),
+         f"{stats['t_cold_s'] * 1000:.0f}", "1.00"],
+        ["warm sweep", str(stats["warm_skeleton_builds"]),
+         str(stats["warm_start_hits"]),
+         str(stats["warm_simplex_iterations"]),
+         f"{stats['t_warm_s'] * 1000:.0f}",
+         f"{stats['t_cold_s'] / max(stats['t_warm_s'], 1e-9):.2f}"],
+    ]
+    header = (f"{stats['budgets']}-budget + {stats['targets']}-target sweep "
+              f"over one '{WORKLOAD}' skeleton "
+              f"(identical to scalar: {stats['identical']}; backends: "
+              f"{', '.join(stats['backends'])}; certificates pass: "
+              f"{stats['certificates_pass']}); "
+              f"warm-start hits: {stats['warm_start_hits']}/"
+              f"{stats['sweep_solves']} solves, "
+              f"memo reuse: {stats['warm_reuse_hits']}")
+    return header + "\n\n" + format_table(
+        ["strategy", "model builds", "warm-start hits", "simplex iterations",
+         "wall time (ms)", "speedup vs cold"], rows)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_warm_sweeps_reuse_state_bit_identically(benchmark):
+    stats = run_comparison(QUICK_FACTORS)
+    emit("E20 / warm-started LP sweeps -- warm re-solves vs cold scalar",
+         render(stats))
+    for label, condition in GATE_CONDITIONS:
+        assert condition(stats), f"{label} (stats: {stats})"
+
+    arc_dag, budgets, targets = build_sweep(QUICK_FACTORS)
+
+    def warm_sweep():
+        clear_caches()
+        return solve_min_makespan_sweep(arc_dag, budgets)
+
+    benchmark(warm_sweep)
+
+
+# ---------------------------------------------------------------------------
+# standalone mode
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_warm_lp.py [--quick] [--json PATH]")
+
+    factors = QUICK_FACTORS if quick else BUDGET_FACTORS
+    stats = run_comparison(factors)
+    print(render(stats))
+    ok = gate(stats)
+    print(f"\nwarm sweeps reuse solver state on counters (>= N-1 warm "
+          f"hits, <= 2 skeleton builds, identical results, certificates "
+          f"green): {ok}")
+
+    if json_path:
+        write_json_artifact(json_path, {
+            "benchmark": "bench_warm_lp",
+            "quick": quick,
+            "scenarios": stats["scenarios"],
+            "sweep_solves": stats["sweep_solves"],
+            "warm_start_hits": stats["warm_start_hits"],
+            "warm_reuse_hits": stats["warm_reuse_hits"],
+            "warm_skeleton_builds": stats["warm_skeleton_builds"],
+            "cold_skeleton_builds": stats["cold_skeleton_builds"],
+            "build_elimination": stats["build_elimination"],
+            "certificates_pass": stats["certificates_pass"],
+            "identical": stats["identical"],
+            "t_cold_s": stats["t_cold_s"],
+            "t_warm_s": stats["t_warm_s"],
+            "ok": ok,
+        })
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -63,11 +63,11 @@ def sweep_records(source) -> List[Dict[str, Any]]:
 
     records: List[Dict[str, Any]] = []
     if isinstance(source, SolutionStore):
-        for _key, payload in source.payloads():
-            if "alias_of" in payload:
-                # Spec-to-fingerprint alias entries written by the
-                # spec-native sweep paths; they carry no solution.
-                continue
+        # One bulk scan() pass: packed v2 shards stream each payload with a
+        # single decode and skip the spec-to-fingerprint alias entries (which
+        # carry no solution) straight from the record flags, without decoding
+        # their payloads at all.
+        for _key, payload in source.scan(include_aliases=False):
             solution = payload.get("solution", {})
             records.append(_record(
                 solver_id=payload.get("solver_id", "?"),

@@ -41,7 +41,15 @@ from repro.core.minflow import (
     allocation_min_budget,
     min_flow_with_lower_bounds,
 )
-from repro.core.lp import LPSolution, solve_min_makespan_lp, solve_min_resource_lp
+from repro.core.lp import (
+    LPSolution,
+    available_lp_backends,
+    lp_kernel_counters,
+    solve_min_makespan_lp,
+    solve_min_makespan_sweep,
+    solve_min_resource_lp,
+    solve_min_resource_sweep,
+)
 from repro.core.rounding import RoundedRequirements, round_lp_solution
 from repro.core.problem import MinMakespanProblem, MinResourceProblem, TradeoffSolution
 from repro.core.bicriteria import (
@@ -94,6 +102,8 @@ __all__ = [
     "MinFlowResult", "InfeasibleFlowError", "min_flow_with_lower_bounds", "allocation_min_budget",
     # LP + rounding
     "LPSolution", "solve_min_makespan_lp", "solve_min_resource_lp",
+    "solve_min_makespan_sweep", "solve_min_resource_sweep",
+    "available_lp_backends", "lp_kernel_counters",
     "RoundedRequirements", "round_lp_solution",
     # problems / solutions
     "MinMakespanProblem", "MinResourceProblem", "TradeoffSolution",

@@ -62,7 +62,7 @@ from repro.engine.fingerprint import (
     spec_alias_key,
     spec_fingerprint,
 )
-from repro.engine.store import STORE_SCHEMA_VERSION, SolutionStore
+from repro.engine.store import STORE_SCHEMA_VERSION, SolutionStore, atomic_write_json
 from repro.engine.registry import (
     MIN_MAKESPAN,
     MIN_RESOURCE,
@@ -114,6 +114,6 @@ __all__ = [
     "AsyncSweepService", "AsyncSweepStats", "SubmitTicket",
     # caches (two tiers)
     "clear_caches", "solution_cache_info", "structure_cache_info",
-    "SolutionStore", "STORE_SCHEMA_VERSION",
+    "SolutionStore", "STORE_SCHEMA_VERSION", "atomic_write_json",
     "set_solution_store", "get_solution_store",
 ]

@@ -250,6 +250,9 @@ class AsyncSweepService:
         shard (see :func:`~repro.engine.service.write_manifest`); the store
         stays the source of truth on resume, exactly as for
         :class:`~repro.engine.service.SweepService`.
+    durable:
+        Fsync manifest checkpoints and open a path-constructed store with
+        ``durable=True`` (see :class:`~repro.engine.store.SolutionStore`).
 
     Notes
     -----
@@ -267,13 +270,15 @@ class AsyncSweepService:
                  queue_size: int = 64,
                  shard_size: int = 1,
                  validate: bool = True,
-                 manifest: Optional[str] = None):
+                 manifest: Optional[str] = None,
+                 durable: bool = False):
         require(queue_size > 0, "queue_size must be positive")
         require(shard_size > 0, "shard_size must be positive")
         require(max_concurrency is None or max_concurrency > 0,
                 "max_concurrency must be positive")
+        self.durable = durable
         if isinstance(store, str):
-            store = SolutionStore(store)
+            store = SolutionStore(store, durable=durable)
         self._explicit_store = store
         self._owns_portfolio = portfolio is None
         self._portfolio = portfolio if portfolio is not None else Portfolio(executor="process")
@@ -392,7 +397,8 @@ class AsyncSweepService:
             if self.manifest:
                 write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
                                sorted(self._manifest_keys),
-                               self._manifest_done, completed=True)
+                               self._manifest_done, completed=True,
+                               durable=self.durable)
             if self._owns_portfolio or self._started_pool:
                 self._portfolio.close()
                 self._started_pool = False
@@ -681,7 +687,7 @@ class AsyncSweepService:
                 write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
                                sorted(self._manifest_keys),
                                self._manifest_done,
-                               completed=False)
+                               completed=False, durable=self.durable)
             for entry, (key, report, error) in zip(entries, outcomes):
                 if report is not None:
                     self.stats.computed += 1

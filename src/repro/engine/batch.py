@@ -87,17 +87,24 @@ class CachedLPBackend:
     """``lp_backend`` implementation backed by :func:`get_lp_skeleton`.
 
     Injected by :mod:`repro.engine.solvers` into every registered LP
-    pipeline; results are bit-for-bit identical to the scalar
-    :func:`~repro.core.lp.solve_min_makespan_lp` /
-    :func:`~repro.core.lp.solve_min_resource_lp` paths (same matrices,
-    entry for entry -- only their construction is amortised).
+    pipeline.  Solves are routed through the skeleton's *warm* sweep
+    kernel (:meth:`~repro.core.lp.LPModelSkeleton.warm_solve_min_makespan`),
+    so consecutive same-skeleton solves -- a sweep shard, a grid column --
+    share warm state automatically: repeated RHS values are answered from
+    the sweep memo without a solver call, and with ``highspy`` installed
+    the loaded model re-solves RHS-only from the previous optimal basis.
+    Under the default scipy backend every distinct RHS produces exactly
+    the scalar :func:`~repro.core.lp.solve_min_makespan_lp` /
+    :func:`~repro.core.lp.solve_min_resource_lp` call, so results stay
+    bit-for-bit identical to the historical per-call path (memo answers
+    repeat inputs of a deterministic solver -- identical by construction).
     """
 
     def solve_min_makespan(self, arc_dag: ArcDAG, budget: float) -> LPSolution:
-        return get_lp_skeleton(arc_dag).solve_min_makespan(budget)
+        return get_lp_skeleton(arc_dag).warm_solve_min_makespan(budget)
 
     def solve_min_resource(self, arc_dag: ArcDAG, target_makespan: float) -> LPSolution:
-        return get_lp_skeleton(arc_dag).solve_min_resource(target_makespan)
+        return get_lp_skeleton(arc_dag).warm_solve_min_resource(target_makespan)
 
 
 #: The shared backend instance the engine passes to LP-based solvers.

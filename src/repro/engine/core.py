@@ -513,8 +513,15 @@ def solution_cache_info() -> dict:
 
     The in-memory LRU's counters stay at the top level (back-compat); the
     ``"store"`` key holds the persistent store's :meth:`~SolutionStore.info`
-    dict, or ``None`` when no store is installed.
+    dict (decode/scan counters included), or ``None`` when no store is
+    installed, and the ``"lp"`` key holds the LP kernel counters
+    (:func:`~repro.core.lp.lp_kernel_counters` -- skeleton reuse plus the
+    warm-start / simplex-iteration totals), so one call surfaces every
+    cache tier a metrics endpoint would export.
     """
+    from repro.core.lp import lp_kernel_counters
+
     info = _SOLUTION_CACHE.info()
     info["store"] = _SOLUTION_STORE.info() if _SOLUTION_STORE is not None else None
+    info["lp"] = lp_kernel_counters()
     return info

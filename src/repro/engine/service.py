@@ -114,8 +114,14 @@ def load_manifest_done(path: str, method: str) -> set:
 
 
 def write_manifest(path: str, method: str, keys: List[str],
-                   done: set, completed: bool) -> None:
-    """Atomically checkpoint a sweep manifest (best effort, never raises)."""
+                   done: set, completed: bool, *,
+                   durable: bool = False) -> None:
+    """Atomically checkpoint a sweep manifest (best effort, never raises).
+
+    ``durable=True`` fsyncs the manifest through the rename (matching a
+    ``durable`` store), so a crash right after a shard completes cannot
+    roll the resume point back past that shard.
+    """
     try:
         atomic_write_json(path, {
             "schema": MANIFEST_SCHEMA_VERSION,
@@ -123,7 +129,7 @@ def write_manifest(path: str, method: str, keys: List[str],
             "keys": keys,
             "done": sorted(done),
             "completed": completed,
-        })
+        }, fsync=durable)
     except OSError:  # pragma: no cover - manifest IO is best-effort
         pass
 
@@ -226,16 +232,24 @@ class SweepService:
         (:meth:`Portfolio.shard_plan`).
     validate:
         Run certificate checks on computed solutions (part of the key).
+    durable:
+        Fsync the resume manifest through its atomic rename, and open a
+        path-constructed store with ``durable=True`` -- crash-consistent
+        checkpoints for deployments that resume sweeps after power loss.
+        (A store passed as an object keeps whatever durability it was
+        built with.)
     """
 
     def __init__(self, store: Union[SolutionStore, str, None] = None, *,
                  portfolio: Optional[Portfolio] = None,
                  limits: Optional[SolveLimits] = None,
                  oversubscription: int = 4,
-                 validate: bool = True):
+                 validate: bool = True,
+                 durable: bool = False):
         require(oversubscription > 0, "oversubscription must be positive")
+        self.durable = durable
         if isinstance(store, str):
-            store = SolutionStore(store)
+            store = SolutionStore(store, durable=durable)
         self._explicit_store = store
         self._owns_portfolio = portfolio is None
         self._portfolio = portfolio if portfolio is not None else Portfolio(executor="process")
@@ -325,7 +339,8 @@ class SweepService:
 
     def _write_manifest(self, path: str, method: str, keys: List[str],
                         done: set, completed: bool) -> None:
-        write_manifest(path, method, keys, done, completed)
+        write_manifest(path, method, keys, done, completed,
+                       durable=self.durable)
 
     # ------------------------------------------------------------------
     # sweeping

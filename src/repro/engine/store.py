@@ -1,27 +1,41 @@
 """Persistent on-disk solution store -- tier 2 of the engine's cache.
 
 The in-memory LRU of :mod:`repro.engine.core` dies with the process; the
-:class:`SolutionStore` persists solved reports as **sharded JSON blobs** so
-repeated sweeps -- across runs, processes and machines sharing a filesystem
--- are served from disk instead of recomputed.  ``repro.solve`` consults it
-automatically once installed with
-:func:`repro.engine.core.set_solution_store`; the
+:class:`SolutionStore` persists solved reports so repeated sweeps -- across
+runs, processes and machines sharing a filesystem -- are served from disk
+instead of recomputed.  ``repro.solve`` consults it automatically once
+installed with :func:`repro.engine.core.set_solution_store`; the
 :class:`~repro.engine.service.SweepService` uses it as its system of record.
 
 On-disk format (see ``docs/caching.md`` for the full specification):
 
 * ``<root>/meta.json`` -- store-level metadata (schema version, creator);
-* ``<root>/shards/<prefix>.json`` -- one blob per key prefix, each
-  ``{"schema": N, "entries": {request_key: payload}}``.
+* ``<root>/shards/<prefix>.rps`` -- the **packed binary v2** shard format
+  (the default): a fixed-width, key-sorted record table (key bytes +
+  insertion sequence + payload offset/length + flags) followed by a
+  payload region of per-entry JSON blobs.  A ``get()`` binary-searches the
+  record table and decodes *one* payload; alias entries
+  (``{"alias_of": key}``) keep their target in the payload region as raw
+  key bytes and resolve without any JSON decode; :meth:`SolutionStore.scan`
+  streams every entry in one pass, skipping alias payloads untouched.
+* ``<root>/shards/<prefix>.json`` -- the legacy sharded-JSON v1 format,
+  still fully readable *and* writable (``shard_format="json"``); each blob
+  is ``{"schema": 1, "entries": {request_key: payload}}``.  The format is
+  negotiated per shard file, so mixed stores work; a write rewrites its
+  shard in the store's configured format and :meth:`SolutionStore.migrate`
+  converts a whole store at once.
 
 Guarantees:
 
 * **atomic writes** -- every blob is written to a temp file in the same
   directory and ``os.replace``d into place, so readers never observe a
-  half-written shard;
-* **corruption tolerance** -- a truncated/unparseable shard or a schema
-  mismatch is counted (``info()``) and treated as empty: the affected
-  requests recompute and the next write repairs the shard; nothing crashes;
+  half-written shard; with ``durable=True`` the temp file is fsynced
+  before the rename and the shard directory after it (crash-consistent,
+  covering ``meta.json`` too);
+* **corruption tolerance** -- a truncated/unparseable shard (either
+  format) or a schema mismatch is counted (``info()``) and treated as
+  empty: the affected requests recompute and the next write repairs the
+  shard; nothing crashes;
 * **bounded shards** -- each shard keeps at most ``max_entries_per_shard``
   entries, evicting the oldest (smallest insertion sequence) first;
 * **bounded stores** -- with ``max_total_entries`` set, any write pushing
@@ -48,9 +62,12 @@ True
 from __future__ import annotations
 
 import json
+import mmap
 import os
+import struct
 import tempfile
 import threading
+from bisect import bisect_left
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine.fingerprint import (
@@ -62,26 +79,240 @@ from repro.utils.validation import require
 
 __all__ = [
     "STORE_SCHEMA_VERSION",
+    "STORE_SCHEMA_V1",
     "SolutionStore",
     "report_to_payload",
     "report_from_payload",
     "atomic_write_json",
 ]
 
-#: Version of the on-disk payload layout.  Bump on incompatible changes;
-#: entries written under another version are ignored (recomputed), never
-#: misread.
-STORE_SCHEMA_VERSION = 1
+#: Version of the on-disk payload layout.  ``2`` is the packed binary shard
+#: format; ``1`` (legacy sharded JSON) stays fully readable and writable.
+#: Entries written under an *unknown* version are ignored (recomputed),
+#: never misread.
+STORE_SCHEMA_VERSION = 2
+
+#: The legacy sharded-JSON schema (the only schema JSON shard blobs carry).
+STORE_SCHEMA_V1 = 1
+
+#: Schema versions this code can read; anything else is a mismatch.
+_KNOWN_SCHEMAS = (STORE_SCHEMA_V1, STORE_SCHEMA_VERSION)
+
+# ---------------------------------------------------------------------------
+# packed binary shard format (v2)
+# ---------------------------------------------------------------------------
+#
+#   header   <8sHHIIQ>  magic  b"RPSHARD2", version (2), flags, entry count,
+#                       key slot width, payload-region offset
+#   records  count x (key_width bytes, NUL-padded key)  +  <QQII>
+#                       insertion seq, payload offset (relative to the
+#                       region), payload length, flags (bit 0 = alias)
+#   payloads concatenated blobs: raw UTF-8 target-key bytes for alias
+#            entries, compact JSON for everything else
+#
+# Records are sorted by (padded) key bytes, so a lookup is a binary search
+# over fixed-width slots on the mmapped file -- no parsing beyond the
+# 28-byte header, and exactly one JSON decode per payload actually read.
+
+_SHARD_MAGIC = b"RPSHARD2"
+_HEADER = struct.Struct("<8sHHIIQ")
+_RECORD_FIXED = struct.Struct("<QQII")
+_FLAG_ALIAS = 1
 
 
-def atomic_write_json(path: str, payload: Any) -> None:
-    """Serialize ``payload`` to ``path`` atomically (temp file + rename)."""
+class _ShardCorrupt(Exception):
+    """A binary shard that cannot be trusted (bad magic, bounds, struct)."""
+
+
+class _ShardSchemaMismatch(Exception):
+    """A binary shard written under an unknown format version."""
+
+
+def _is_alias_payload(payload: Dict[str, Any]) -> bool:
+    return len(payload) == 1 and isinstance(payload.get("alias_of"), str)
+
+
+def _pack_shard(entries: Dict[str, Dict[str, Any]]) -> bytes:
+    """Serialize ``entries`` (values carry ``__seq__``) into a v2 shard.
+
+    Raises ``TypeError``/``ValueError`` for unpackable keys or payloads --
+    the same failure class the JSON writer raises, which callers already
+    count as skipped writes.
+    """
+    encoded: List[Tuple[bytes, int, bytes, int]] = []
+    for key in sorted(entries):
+        entry = entries[key]
+        key_bytes = key.encode("utf-8")
+        if not key_bytes or b"\x00" in key_bytes:
+            raise ValueError(f"store key not packable: {key!r}")
+        seq = int(entry.get("__seq__", 0))
+        payload = {k: v for k, v in entry.items() if k != "__seq__"}
+        if _is_alias_payload(payload):
+            blob, flags = payload["alias_of"].encode("utf-8"), _FLAG_ALIAS
+        else:
+            blob = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode("utf-8")
+            flags = 0
+        encoded.append((key_bytes, seq, blob, flags))
+
+    key_width = max((len(k) for k, _s, _b, _f in encoded), default=1)
+    record_size = key_width + _RECORD_FIXED.size
+    payload_offset = _HEADER.size + record_size * len(encoded)
+    parts = [_HEADER.pack(_SHARD_MAGIC, STORE_SCHEMA_VERSION, 0,
+                          len(encoded), key_width, payload_offset)]
+    blobs: List[bytes] = []
+    offset = 0
+    for key_bytes, seq, blob, flags in encoded:
+        parts.append(key_bytes.ljust(key_width, b"\x00"))
+        parts.append(_RECORD_FIXED.pack(seq, offset, len(blob), flags))
+        blobs.append(blob)
+        offset += len(blob)
+    return b"".join(parts + blobs)
+
+
+class _PackedShardReader:
+    """Lazy, mmap-backed view of one packed binary shard.
+
+    Parses only the 28-byte header eagerly; key lookups binary-search the
+    fixed-width record table directly on the mapped buffer and payloads
+    are decoded one at a time, on demand (memoized per key).  Every offset
+    is bounds-checked -- a mangled file raises :class:`_ShardCorrupt`
+    (whole-file distrust) which the store decays to "empty shard".
+    """
+
+    __slots__ = ("path", "buf", "count", "key_width", "payload_offset",
+                 "_record_size", "_records_off", "decoded")
+
+    def __init__(self, path: str):
+        self.path = path
+        with open(path, "rb") as handle:
+            try:
+                self.buf: Any = mmap.mmap(handle.fileno(), 0,
+                                          access=mmap.ACCESS_READ)
+            except (ValueError, OSError):  # empty file / mmap-hostile fs
+                handle.seek(0)
+                self.buf = handle.read()
+        try:
+            magic, version, _flags, count, key_width, payload_offset = \
+                _HEADER.unpack_from(self.buf, 0)
+        except struct.error as exc:
+            raise _ShardCorrupt(str(exc)) from exc
+        if magic != _SHARD_MAGIC:
+            raise _ShardCorrupt("bad magic")
+        if version != STORE_SCHEMA_VERSION:
+            raise _ShardSchemaMismatch(f"shard version {version}")
+        self.count = count
+        self.key_width = key_width
+        self.payload_offset = payload_offset
+        self._record_size = key_width + _RECORD_FIXED.size
+        self._records_off = _HEADER.size
+        if (key_width < 1
+                or self._records_off + self._record_size * count > payload_offset
+                or payload_offset > len(self.buf)):
+            raise _ShardCorrupt("record table out of bounds")
+        self.decoded: Dict[str, Dict[str, Any]] = {}
+
+    # -- record access ---------------------------------------------------
+    def _key_bytes_at(self, index: int) -> bytes:
+        start = self._records_off + index * self._record_size
+        return bytes(self.buf[start:start + self.key_width])
+
+    def record(self, index: int) -> Tuple[str, int, int, int, int]:
+        """``(key, seq, offset, length, flags)`` of record ``index``."""
+        start = self._records_off + index * self._record_size
+        key = self._key_bytes_at(index).rstrip(b"\x00").decode("utf-8")
+        seq, offset, length, flags = _RECORD_FIXED.unpack_from(
+            self.buf, start + self.key_width)
+        return key, seq, offset, length, flags
+
+    def find(self, key: str) -> Optional[int]:
+        """Record index of ``key`` via binary search, or ``None``."""
+        key_bytes = key.encode("utf-8")
+        if len(key_bytes) > self.key_width:
+            return None
+        probe = key_bytes.ljust(self.key_width, b"\x00")
+        lo = bisect_left(range(self.count), probe,
+                         key=self._key_bytes_at)  # type: ignore[call-overload]
+        if lo < self.count and self._key_bytes_at(lo) == probe:
+            return lo
+        return None
+
+    def blob(self, offset: int, length: int) -> bytes:
+        start = self.payload_offset + offset
+        end = start + length
+        if offset < 0 or length < 0 or end > len(self.buf):
+            raise _ShardCorrupt("payload out of bounds")
+        return bytes(self.buf[start:end])
+
+    def seq_stats(self) -> Tuple[int, int]:
+        """``(count, max_seq)`` straight from the record table -- no
+        payload decode."""
+        max_seq = 0
+        for index in range(self.count):
+            start = (self._records_off + index * self._record_size
+                     + self.key_width)
+            seq = _RECORD_FIXED.unpack_from(self.buf, start)[0]
+            max_seq = max(max_seq, seq)
+        return self.count, max_seq
+
+
+# ---------------------------------------------------------------------------
+# durable atomic writers
+# ---------------------------------------------------------------------------
+
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory entry (rename durability); best effort."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_json(path: str, payload: Any, *, fsync: bool = False) -> None:
+    """Serialize ``payload`` to ``path`` atomically (temp file + rename).
+
+    With ``fsync=True`` the temp file is flushed to disk *before* the
+    rename and the containing directory *after* it, so a crash between
+    rename and the kernel's next writeback cannot lose the file.
+    """
     directory = os.path.dirname(path) or "."
     fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_path, path)
+        if fsync:
+            _fsync_dir(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _atomic_write_bytes(path: str, data: bytes, *, fsync: bool = False) -> None:
+    """The binary-shard counterpart of :func:`atomic_write_json`."""
+    directory = os.path.dirname(path) or "."
+    fd, tmp_path = tempfile.mkstemp(prefix=".tmp-", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        if fsync:
+            _fsync_dir(directory)
     except BaseException:
         try:
             os.unlink(tmp_path)
@@ -145,7 +376,7 @@ def report_from_payload(payload: Dict[str, Any]):
 
 
 class SolutionStore:
-    """Sharded-JSON persistent key/payload store with cache accounting.
+    """Sharded persistent key/payload store with cache accounting.
 
     Parameters
     ----------
@@ -167,21 +398,43 @@ class SolutionStore:
         insertion sequence first) until the cap holds again.  ``None``
         (the default) disables the GC; :meth:`compact` can still be called
         manually with an explicit target.
+    shard_format:
+        ``"binary"`` (default) writes the packed v2 shard format;
+        ``"json"`` writes the legacy v1 sharded JSON.  *Reads* always
+        negotiate per shard file, so either handle serves a mixed store.
+    durable:
+        Fsync shard and meta writes (temp file before the rename, shard
+        directory after it).  Off by default -- atomicity alone already
+        guarantees readers never see torn blobs; ``durable=True`` adds
+        power-loss durability at the cost of one fsync pair per write.
     """
 
     def __init__(self, root: str, *, max_entries_per_shard: int = 4096,
                  shard_width: int = 2, cache_shards: bool = True,
-                 max_total_entries: Optional[int] = None):
+                 max_total_entries: Optional[int] = None,
+                 shard_format: str = "binary", durable: bool = False):
         require(max_entries_per_shard > 0, "max_entries_per_shard must be positive")
         require(1 <= shard_width <= 8, "shard_width must be in [1, 8]")
         require(max_total_entries is None or max_total_entries > 0,
                 "max_total_entries must be positive (or None to disable the GC)")
+        require(shard_format in ("binary", "json"),
+                "shard_format must be 'binary' or 'json'")
         self.root = os.path.abspath(root)
         self.max_entries_per_shard = max_entries_per_shard
         self.shard_width = shard_width
         self.cache_shards = cache_shards
         self.max_total_entries = max_total_entries
+        self.shard_format = shard_format
+        self.durable = durable
         self._shards: Dict[str, Dict[str, Any]] = {}
+        #: Lazy binary readers: shard id -> reader (only shards whose sole
+        #: on-disk form is packed v2; anything mixed falls back to a full
+        #: decode).  Invalidated together with ``_shards``.
+        self._readers: Dict[str, _PackedShardReader] = {}
+        #: Shards whose packed blob failed to open (corrupt / unknown
+        #: version): remembered so the failure is counted once, not on
+        #: every lookup.  Cleared when the shard is rewritten.
+        self._failed_readers: set = set()
         #: Global insertion sequence (next value to assign) and cached total
         #: entry count; both are established lazily by one full-store scan
         #: (:meth:`_seq_floor_scan`) and kept incrementally afterwards, so
@@ -197,6 +450,19 @@ class SolutionStore:
         self.corrupt_shards = 0
         self.schema_mismatches = 0
         self.skipped_writes = 0
+        # Decode/scan accounting (the raw-speed counters benchmarks gate
+        # on): how many JSON *shard files* were fully parsed, how many
+        # individual payload blobs were JSON-decoded, how many alias
+        # entries resolved straight from the record table, and the bulk
+        # scan traffic.
+        self.full_shard_parses = 0
+        self.payload_decodes = 0
+        self.alias_fast_hits = 0
+        self.binary_shard_opens = 0
+        self.scans = 0
+        self.scan_entries = 0
+        self.scan_alias_skips = 0
+        self.migrated_shards = 0
         os.makedirs(self._shard_dir, exist_ok=True)
         self._write_meta_if_absent()
 
@@ -216,15 +482,26 @@ class SolutionStore:
                 f"store keys must be strings of >= {self.shard_width} chars")
         return key[:self.shard_width]
 
-    def _shard_path(self, shard_id: str) -> str:
+    def _json_path(self, shard_id: str) -> str:
         return os.path.join(self._shard_dir, f"{shard_id}.json")
+
+    def _binary_path(self, shard_id: str) -> str:
+        return os.path.join(self._shard_dir, f"{shard_id}.rps")
+
+    def _shard_files(self, shard_id: str) -> Tuple[bool, bool]:
+        """``(has_json, has_binary)`` for one shard id."""
+        return (os.path.exists(self._json_path(shard_id)),
+                os.path.exists(self._binary_path(shard_id)))
 
     def _write_meta_if_absent(self) -> None:
         if os.path.exists(self._meta_path):
             try:
                 with open(self._meta_path, "r", encoding="utf-8") as handle:
                     meta = json.load(handle)
-                if meta.get("schema") != STORE_SCHEMA_VERSION:
+                # Version negotiation: v1 and v2 stores are both first-class
+                # (shard formats are negotiated per file); only an *unknown*
+                # schema counts as a mismatch.
+                if meta.get("schema") not in _KNOWN_SCHEMAS:
                     self.schema_mismatches += 1
                 # The layout on disk wins: reopening with a different
                 # shard_width must not orphan the existing shards.
@@ -236,46 +513,150 @@ class SolutionStore:
             return
         atomic_write_json(self._meta_path, {
             "schema": STORE_SCHEMA_VERSION,
-            "format": "repro-solution-store/sharded-json",
+            "format": "repro-solution-store/packed-v2",
             "shard_width": self.shard_width,
-        })
+            "shard_format": self.shard_format,
+        }, fsync=self.durable)
 
     # ------------------------------------------------------------------
     # shard IO
     # ------------------------------------------------------------------
+    def _load_json_entries(self, shard_id: str) -> Dict[str, Any]:
+        """Fully parse one v1 JSON shard blob (corruption decays to empty)."""
+        path = self._json_path(shard_id)
+        entries: Dict[str, Any] = {}
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                blob = json.load(handle)
+            self.full_shard_parses += 1
+            if not isinstance(blob, dict) or not isinstance(blob.get("entries"), dict):
+                raise ValueError("malformed shard blob")
+            if blob.get("schema") != STORE_SCHEMA_V1:
+                self.schema_mismatches += 1
+            else:
+                # Entry values must be payload dicts; anything else is
+                # per-entry corruption (counted, skipped, repaired on
+                # the shard's next write).
+                entries = {k: v for k, v in blob["entries"].items()
+                           if isinstance(v, dict)}
+                if len(entries) != len(blob["entries"]):
+                    self.corrupt_shards += 1
+        except (OSError, json.JSONDecodeError, ValueError):
+            self.corrupt_shards += 1
+        return entries
+
+    def _reader(self, shard_id: str) -> Optional[_PackedShardReader]:
+        """The (cached) packed reader for one v2 shard, or ``None``."""
+        reader = self._readers.get(shard_id)
+        if reader is not None:
+            return reader
+        if shard_id in self._failed_readers:
+            return None
+        path = self._binary_path(shard_id)
+        if not os.path.exists(path):
+            return None
+        try:
+            reader = _PackedShardReader(path)
+            self.binary_shard_opens += 1
+        except _ShardSchemaMismatch:
+            self.schema_mismatches += 1
+            self._failed_readers.add(shard_id)
+            return None
+        except (_ShardCorrupt, OSError, UnicodeDecodeError):
+            self.corrupt_shards += 1
+            self._failed_readers.add(shard_id)
+            return None
+        if self.cache_shards:
+            self._readers[shard_id] = reader
+        return reader
+
+    def _decode_record(self, reader: _PackedShardReader,
+                       index: int) -> Optional[Tuple[str, Dict[str, Any]]]:
+        """``(key, entry-with-__seq__)`` for one record; ``None`` on
+        per-entry corruption (counted)."""
+        try:
+            key, seq, offset, length, flags = reader.record(index)
+            blob = reader.blob(offset, length)
+            if flags & _FLAG_ALIAS:
+                payload: Dict[str, Any] = {"alias_of": blob.decode("utf-8")}
+            else:
+                payload = json.loads(blob.decode("utf-8"))
+                self.payload_decodes += 1
+                if not isinstance(payload, dict):
+                    raise ValueError("payload is not an object")
+        except (_ShardCorrupt, struct.error, UnicodeDecodeError,
+                json.JSONDecodeError, ValueError):
+            self.corrupt_shards += 1
+            return None
+        entry = dict(payload)
+        entry["__seq__"] = seq
+        return key, entry
+
+    def _load_binary_entries(self, shard_id: str) -> Dict[str, Any]:
+        """Fully decode one packed shard (the write/compact/migrate path)."""
+        reader = self._reader(shard_id)
+        entries: Dict[str, Any] = {}
+        if reader is None:
+            return entries
+        for index in range(reader.count):
+            decoded = self._decode_record(reader, index)
+            if decoded is not None:
+                entries[decoded[0]] = decoded[1]
+        return entries
+
     def _load_shard(self, shard_id: str) -> Dict[str, Any]:
-        """Entries of one shard; corruption / schema drift decays to empty."""
+        """Entries of one shard, fully decoded; corruption decays to empty.
+
+        Negotiates the format per file.  When both a ``.json`` and a
+        ``.rps`` blob exist (a crash between a format-converting rewrite
+        and the old file's unlink), the two are merged with the higher
+        insertion sequence winning per key.
+        """
         if self.cache_shards and shard_id in self._shards:
             return self._shards[shard_id]
-        path = self._shard_path(shard_id)
+        has_json, has_binary = self._shard_files(shard_id)
         entries: Dict[str, Any] = {}
-        if os.path.exists(path):
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    blob = json.load(handle)
-                if not isinstance(blob, dict) or not isinstance(blob.get("entries"), dict):
-                    raise ValueError("malformed shard blob")
-                if blob.get("schema") != STORE_SCHEMA_VERSION:
-                    self.schema_mismatches += 1
-                else:
-                    # Entry values must be payload dicts; anything else is
-                    # per-entry corruption (counted, skipped, repaired on
-                    # the shard's next write).
-                    entries = {k: v for k, v in blob["entries"].items()
-                               if isinstance(v, dict)}
-                    if len(entries) != len(blob["entries"]):
-                        self.corrupt_shards += 1
-            except (OSError, json.JSONDecodeError, ValueError):
-                self.corrupt_shards += 1
+        if has_json:
+            entries = self._load_json_entries(shard_id)
+        if has_binary:
+            for key, entry in self._load_binary_entries(shard_id).items():
+                current = entries.get(key)
+                if (current is None or current.get("__seq__", 0)
+                        <= entry.get("__seq__", 0)):
+                    entries[key] = entry
         if self.cache_shards:
             self._shards[shard_id] = entries
         return entries
 
     def _write_shard(self, shard_id: str, entries: Dict[str, Any]) -> None:
-        atomic_write_json(self._shard_path(shard_id),
-                          {"schema": STORE_SCHEMA_VERSION, "entries": entries})
+        """Rewrite one shard in the store's configured format (atomic).
+
+        The other-format file, if any, is removed *after* the new blob is
+        in place -- a crash in between leaves both, which reads merge by
+        sequence number.
+        """
+        if self.shard_format == "binary":
+            _atomic_write_bytes(self._binary_path(shard_id),
+                                _pack_shard(entries), fsync=self.durable)
+            stale = self._json_path(shard_id)
+        else:
+            atomic_write_json(self._json_path(shard_id),
+                              {"schema": STORE_SCHEMA_V1, "entries": entries},
+                              fsync=self.durable)
+            stale = self._binary_path(shard_id)
+        try:
+            os.unlink(stale)
+        except OSError:
+            pass
+        self._readers.pop(shard_id, None)
+        self._failed_readers.discard(shard_id)
         if self.cache_shards:
             self._shards[shard_id] = entries
+
+    def _invalidate_shard(self, shard_id: str) -> None:
+        self._shards.pop(shard_id, None)
+        self._readers.pop(shard_id, None)
+        self._failed_readers.discard(shard_id)
 
     def _evict(self, entries: Dict[str, Any]) -> int:
         evicted = 0
@@ -289,6 +670,25 @@ class SolutionStore:
     # ------------------------------------------------------------------
     # global insertion sequence + entry accounting
     # ------------------------------------------------------------------
+    def _shard_stats(self, shard_id: str) -> Tuple[int, int]:
+        """``(entry count, max seq)`` of one shard, as cheaply as possible.
+
+        Pure-binary shards answer from the record table without a single
+        payload decode; JSON (or mixed) shards pay the full parse they
+        would pay anyway.
+        """
+        if self.cache_shards and shard_id in self._shards:
+            entries = self._shards[shard_id]
+            return len(entries), max((e.get("__seq__", 0)
+                                      for e in entries.values()), default=0)
+        has_json, has_binary = self._shard_files(shard_id)
+        if has_binary and not has_json:
+            reader = self._reader(shard_id)
+            return reader.seq_stats() if reader is not None else (0, 0)
+        entries = self._load_shard(shard_id)
+        return len(entries), max((e.get("__seq__", 0)
+                                  for e in entries.values()), default=0)
+
     def _seq_floor_scan(self) -> None:
         """One full-store scan establishing the sequence floor and count.
 
@@ -303,10 +703,9 @@ class SolutionStore:
         floor = 0
         total = 0
         for shard_id in self._shard_ids():
-            entries = self._load_shard(shard_id)
-            total += len(entries)
-            floor = max(floor, max((entry.get("__seq__", 0)
-                                    for entry in entries.values()), default=0))
+            count, max_seq = self._shard_stats(shard_id)
+            total += count
+            floor = max(floor, max_seq)
         if self._next_seq is None or self._next_seq <= floor:
             self._next_seq = floor + 1
         self._entry_total = total
@@ -327,11 +726,41 @@ class SolutionStore:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
+    def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
+        """The entry for ``key`` (``__seq__`` included), or ``None``.
+
+        The fast path: a pure-binary shard resolves through the packed
+        record table -- a binary search plus at most one payload decode
+        (none at all for alias entries).  JSON or mixed shards fall back
+        to the full decode they always required.
+        """
+        shard_id = self._shard_id(key)
+        if self.cache_shards and shard_id in self._shards:
+            return self._shards[shard_id].get(key)
+        has_json, has_binary = self._shard_files(shard_id)
+        if has_binary and not has_json:
+            reader = self._reader(shard_id)
+            if reader is None:
+                return None
+            cached = reader.decoded.get(key)
+            if cached is not None:
+                return cached
+            index = reader.find(key)
+            if index is None:
+                return None
+            decoded = self._decode_record(reader, index)
+            if decoded is None:
+                return None
+            if decoded[1].keys() == {"alias_of", "__seq__"}:
+                self.alias_fast_hits += 1
+            reader.decoded[key] = decoded[1]
+            return decoded[1]
+        return self._load_shard(shard_id).get(key)
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload for ``key``, or ``None`` (counted as a miss)."""
         with self._lock:
-            entries = self._load_shard(self._shard_id(key))
-            entry = entries.get(key)
+            entry = self._lookup(key)
             if entry is None:
                 self.misses += 1
                 return None
@@ -352,8 +781,7 @@ class SolutionStore:
             # copy, so entries another process wrote since our first read
             # are kept (the remaining read-modify-write window is
             # documented in docs/caching.md).
-            if self.cache_shards:
-                self._shards.pop(shard_id, None)
+            self._invalidate_shard(shard_id)
             entries = dict(self._load_shard(shard_id))
             fresh = key not in entries
             entry = dict(payload)
@@ -364,8 +792,7 @@ class SolutionStore:
                 self._write_shard(shard_id, entries)
             except (OSError, TypeError, ValueError):
                 self.skipped_writes += 1
-                if self.cache_shards:
-                    self._shards.pop(shard_id, None)
+                self._invalidate_shard(shard_id)
                 self._entry_total = None  # count is uncertain; rescan lazily
                 return False
             self.writes += 1
@@ -389,8 +816,7 @@ class SolutionStore:
         written = 0
         with self._lock:
             for shard_id, pairs in by_shard.items():
-                if self.cache_shards:
-                    self._shards.pop(shard_id, None)
+                self._invalidate_shard(shard_id)
                 entries = dict(self._load_shard(shard_id))
                 fresh = 0
                 for key, payload in pairs:
@@ -403,8 +829,7 @@ class SolutionStore:
                     self._write_shard(shard_id, entries)
                 except (OSError, TypeError, ValueError):
                     self.skipped_writes += len(pairs)
-                    if self.cache_shards:
-                        self._shards.pop(shard_id, None)
+                    self._invalidate_shard(shard_id)
                     self._entry_total = None  # count is uncertain; rescan lazily
                     continue
                 self.writes += len(pairs)
@@ -514,8 +939,7 @@ class SolutionStore:
                     written_ok.add(shard_id)
                 except (OSError, TypeError, ValueError):
                     self.skipped_writes += 1
-                    if self.cache_shards:
-                        self._shards.pop(shard_id, None)
+                    self._invalidate_shard(shard_id)
             evicted = 0
             for _seq, shard_id, _key in oldest_first[:excess]:
                 if shard_id in written_ok:
@@ -527,9 +951,58 @@ class SolutionStore:
                 self._entry_total = None  # partial rewrite; rescan lazily
             return evicted
 
+    def migrate(self, target_format: Optional[str] = None) -> Dict[str, int]:
+        """Rewrite every shard into ``target_format`` (default: the store's
+        configured ``shard_format``).
+
+        The v1 -> v2 upgrade path (and, symmetrically, the v2 -> v1
+        escape hatch): each shard is fully decoded -- whatever format it
+        is in -- and rewritten atomically in the target format, preserving
+        every payload and the global insertion sequence bit for bit.
+        ``meta.json`` is refreshed afterwards.  Returns
+        ``{"shards": rewritten, "entries": carried, "failed": skipped}``;
+        failed shard rewrites keep their old blob (counted in
+        ``skipped_writes`` as usual) so a partial migration is still a
+        fully readable mixed-format store.
+        """
+        target = target_format if target_format is not None else self.shard_format
+        require(target in ("binary", "json"),
+                "target_format must be 'binary' or 'json'")
+        with self._lock:
+            previous_format = self.shard_format
+            self.shard_format = target
+            shards = entries_carried = failed = 0
+            try:
+                for shard_id in self._shard_ids():
+                    entries = dict(self._load_shard(shard_id))
+                    try:
+                        self._write_shard(shard_id, entries)
+                    except (OSError, TypeError, ValueError):
+                        self.skipped_writes += 1
+                        self._invalidate_shard(shard_id)
+                        failed += 1
+                        continue
+                    shards += 1
+                    entries_carried += len(entries)
+                    self.migrated_shards += 1
+            except BaseException:
+                self.shard_format = previous_format
+                raise
+            try:
+                atomic_write_json(self._meta_path, {
+                    "schema": STORE_SCHEMA_VERSION,
+                    "format": "repro-solution-store/packed-v2",
+                    "shard_width": self.shard_width,
+                    "shard_format": self.shard_format,
+                }, fsync=self.durable)
+            except OSError:
+                self.skipped_writes += 1
+            return {"shards": shards, "entries": entries_carried,
+                    "failed": failed}
+
     def __contains__(self, key: str) -> bool:
         with self._lock:
-            return key in self._load_shard(self._shard_id(key))
+            return self._lookup(key) is not None
 
     def __len__(self) -> int:
         return self.entry_count()
@@ -538,7 +1011,8 @@ class SolutionStore:
         """Total entries across every shard on disk (exact; refreshes the
         cached count the GC trigger uses)."""
         with self._lock:
-            total = sum(len(self._load_shard(s)) for s in self._shard_ids())
+            total = sum(self._shard_stats(shard_id)[0]
+                        for shard_id in self._shard_ids())
             self._entry_total = total
             return total
 
@@ -547,20 +1021,98 @@ class SolutionStore:
             names = os.listdir(self._shard_dir)
         except OSError:
             return []
-        return sorted(name[:-5] for name in names
-                      if name.endswith(".json") and not name.startswith(".tmp-"))
+        ids = {name[:-5] for name in names
+               if name.endswith(".json") and not name.startswith(".tmp-")}
+        ids.update(name[:-4] for name in names
+                   if name.endswith(".rps") and not name.startswith(".tmp-"))
+        return sorted(ids)
 
     def payloads(self) -> Iterator[Tuple[str, Dict[str, Any]]]:
-        """Iterate ``(key, payload)`` over every stored entry (all shards)."""
+        """Iterate ``(key, payload)`` over every stored entry (all shards).
+
+        Fully decodes every entry (alias payloads included); use
+        :meth:`scan` for the bulk path that skips alias entries without
+        decoding them.
+        """
         with self._lock:
             for shard_id in self._shard_ids():
                 for key, entry in sorted(self._load_shard(shard_id).items()):
                     yield key, {k: v for k, v in entry.items() if k != "__seq__"}
 
+    def scan(self, *, include_aliases: bool = False) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Bulk-iterate ``(key, payload)`` across the whole store, lazily.
+
+        The one-pass feeder for table regeneration
+        (:func:`repro.analysis.sweep.sweep_records`): packed v2 shards
+        stream straight off the record table -- one JSON decode per
+        non-alias payload, **zero** full-shard parses and **zero** decodes
+        for alias entries, which are skipped from the record flags alone
+        (counted in ``scan_alias_skips``).  With ``include_aliases=True``
+        alias entries are yielded as ``{"alias_of": key}``, still without
+        touching JSON.  Legacy JSON shards fall back to the full parse
+        they always required.  ``scans`` / ``scan_entries`` count the
+        traffic.
+        """
+        with self._lock:
+            self.scans += 1
+            for shard_id in self._shard_ids():
+                if self.cache_shards and shard_id in self._shards:
+                    source = self._shards[shard_id]
+                elif self._shard_files(shard_id) == (False, True):
+                    yield from self._scan_binary(shard_id,
+                                                 include_aliases=include_aliases)
+                    continue
+                else:
+                    source = self._load_shard(shard_id)
+                for key, entry in sorted(source.items()):
+                    payload = {k: v for k, v in entry.items() if k != "__seq__"}
+                    if _is_alias_payload(payload) and not include_aliases:
+                        self.scan_alias_skips += 1
+                        continue
+                    self.scan_entries += 1
+                    yield key, payload
+
+    def _scan_binary(self, shard_id: str, *,
+                     include_aliases: bool) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """One packed shard's slice of :meth:`scan` (no full decode)."""
+        reader = self._reader(shard_id)
+        if reader is None:
+            return
+        for index in range(reader.count):
+            try:
+                key, _seq, offset, length, flags = reader.record(index)
+            except (struct.error, UnicodeDecodeError):
+                self.corrupt_shards += 1
+                continue
+            if flags & _FLAG_ALIAS:
+                if not include_aliases:
+                    self.scan_alias_skips += 1
+                    continue
+                try:
+                    payload = {"alias_of":
+                               reader.blob(offset, length).decode("utf-8")}
+                except (_ShardCorrupt, UnicodeDecodeError):
+                    self.corrupt_shards += 1
+                    continue
+            else:
+                try:
+                    payload = json.loads(reader.blob(offset, length).decode("utf-8"))
+                    self.payload_decodes += 1
+                    if not isinstance(payload, dict):
+                        raise ValueError("payload is not an object")
+                except (_ShardCorrupt, UnicodeDecodeError,
+                        json.JSONDecodeError, ValueError):
+                    self.corrupt_shards += 1
+                    continue
+            self.scan_entries += 1
+            yield key, payload
+
     def refresh(self) -> None:
         """Drop the in-memory shard cache (re-read other processes' writes)."""
         with self._lock:
             self._shards.clear()
+            self._readers.clear()
+            self._failed_readers.clear()
             # Another process may have added entries (and higher sequence
             # numbers); rescan both lazily on next use.
             self._entry_total = None
@@ -570,16 +1122,24 @@ class SolutionStore:
         """Delete every shard blob and reset the statistics."""
         with self._lock:
             for shard_id in self._shard_ids():
-                try:
-                    os.unlink(self._shard_path(shard_id))
-                except OSError:
-                    pass
+                for path in (self._json_path(shard_id),
+                             self._binary_path(shard_id)):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
             self._shards.clear()
+            self._readers.clear()
+            self._failed_readers.clear()
             self._entry_total = 0
             self._next_seq = None
             self.hits = self.misses = self.writes = 0
             self.evictions = self.compactions = self.corrupt_shards = 0
             self.schema_mismatches = self.skipped_writes = 0
+            self.full_shard_parses = self.payload_decodes = 0
+            self.alias_fast_hits = self.binary_shard_opens = 0
+            self.scans = self.scan_entries = self.scan_alias_skips = 0
+            self.migrated_shards = 0
 
     def info(self) -> dict:
         """Statistics dict mirroring :meth:`LRUCache.info` plus store extras."""
@@ -587,6 +1147,8 @@ class SolutionStore:
             return {
                 "root": self.root,
                 "schema": STORE_SCHEMA_VERSION,
+                "shard_format": self.shard_format,
+                "durable": self.durable,
                 "entries": self.entry_count(),
                 "shards": len(self._shard_ids()),
                 "max_entries_per_shard": self.max_entries_per_shard,
@@ -599,6 +1161,14 @@ class SolutionStore:
                 "corrupt_shards": self.corrupt_shards,
                 "schema_mismatches": self.schema_mismatches,
                 "skipped_writes": self.skipped_writes,
+                "full_shard_parses": self.full_shard_parses,
+                "payload_decodes": self.payload_decodes,
+                "alias_fast_hits": self.alias_fast_hits,
+                "binary_shard_opens": self.binary_shard_opens,
+                "scans": self.scans,
+                "scan_entries": self.scan_entries,
+                "scan_alias_skips": self.scan_alias_skips,
+                "migrated_shards": self.migrated_shards,
             }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

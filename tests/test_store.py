@@ -149,7 +149,14 @@ class TestStoreBasics:
         store.put("aa" + "0" * 62, {"v": 1})
         store.put("ab" + "0" * 62, {"v": 2})
         shard_files = os.listdir(os.path.join(store.root, "shards"))
-        assert sorted(shard_files) == ["aa.json", "ab.json"]
+        assert sorted(shard_files) == ["aa.rps", "ab.rps"]
+
+    def test_json_format_still_writable(self, tmp_path):
+        store = SolutionStore(str(tmp_path / "s"), shard_format="json")
+        store.put("aa" + "0" * 62, {"v": 1})
+        shard_files = os.listdir(os.path.join(store.root, "shards"))
+        assert shard_files == ["aa.json"]
+        assert SolutionStore(store.root).get("aa" + "0" * 62) == {"v": 1}
 
     def test_eviction_keeps_newest(self, tmp_path):
         store = SolutionStore(str(tmp_path / "s"), max_entries_per_shard=3)
@@ -195,6 +202,12 @@ class TestStoreBasics:
 # ---------------------------------------------------------------------------
 
 class TestStoreCorruption:
+    # The hand-editing tests below target the legacy v1 JSON shards
+    # explicitly; the packed v2 equivalents live in test_store_format.py.
+    @pytest.fixture()
+    def store(self, tmp_path):
+        return SolutionStore(str(tmp_path / "store"), shard_format="json")
+
     def test_truncated_shard_blob_is_a_miss(self, store):
         key = "aa" + "0" * 62
         store.put(key, {"v": 1})
@@ -308,8 +321,15 @@ class TestTwoTierSolve:
     def test_cache_info_reports_store(self, tmp_path):
         assert solution_cache_info()["store"] is None
         set_solution_store(str(tmp_path / "tier2"))
-        assert solution_cache_info()["store"]["entries"] == 0
+        info = solution_cache_info()
+        assert info["store"]["entries"] == 0
         assert get_solution_store() is not None
+        # the raw-speed counters a metrics endpoint would scrape
+        for counter in ("payload_decodes", "alias_fast_hits", "scans",
+                        "full_shard_parses"):
+            assert info["store"][counter] == 0
+        assert info["lp"]["warm_start_hits"] == 0
+        assert "simplex_iterations" in info["lp"]
 
     def test_distinct_requests_get_distinct_keys(self):
         problem = _problem()

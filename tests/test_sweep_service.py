@@ -266,10 +266,11 @@ class TestReviewRegressions:
 
         store = SolutionStore(str(tmp_path / "failing"))
 
-        def _disk_full(path, payload):
+        def _disk_full(path, payload, **kwargs):
             raise OSError(28, "No space left on device")
 
         monkeypatch.setattr(store_mod, "atomic_write_json", _disk_full)
+        monkeypatch.setattr(store_mod, "_atomic_write_bytes", _disk_full)
         assert not store.put("aa" + "0" * 62, {"v": 1})  # skipped, not raised
         assert store.info()["skipped_writes"] == 1
         # the two-tier solve path survives the same failure

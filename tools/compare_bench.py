@@ -38,8 +38,15 @@ file looks like::
 Improvements beyond the baseline never fail; refresh the baseline JSONs
 when a PR legitimately moves a metric (they are plain committed files).
 
+With ``--write-trajectory PATH`` the tool additionally consolidates every
+compared artifact plus the per-metric verdicts into one JSON file -- the
+perf-history entry committed at the repo root (``BENCH_<n>.json``) so
+future PRs can diff the whole benchmark surface in one place.  ``--label``
+names the entry (defaults to the trajectory file's stem).
+
 Usage: python tools/compare_bench.py [--baselines DIR] [--current DIR]
                                      [--max-regression FRACTION]
+                                     [--write-trajectory PATH] [--label NAME]
 """
 
 from __future__ import annotations
@@ -125,8 +132,30 @@ def format_row(cells: List[str], widths: List[int]) -> str:
     return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
 
 
+def write_trajectory(path: str, label: str, rows: List[List[str]],
+                     artifacts: Dict[str, Dict[str, Any]],
+                     failures: int) -> None:
+    """Consolidate one compare run into a committed perf-history entry."""
+    entry = {
+        "label": label,
+        "gate": "fail" if failures else "pass",
+        "regressions": failures,
+        "metrics": [
+            {"benchmark": row[0], "metric": row[1], "baseline": row[2],
+             "current": row[3], "delta": row[4], "status": row[6]}
+            for row in rows
+        ],
+        "artifacts": artifacts,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote trajectory entry {path}")
+
+
 def compare(baseline_dir: str, current_dir: str,
-            default_tolerance: float) -> int:
+            default_tolerance: float, trajectory: Optional[str] = None,
+            label: Optional[str] = None) -> int:
     try:
         names = sorted(name for name in os.listdir(baseline_dir)
                        if name.endswith(".json"))
@@ -138,6 +167,7 @@ def compare(baseline_dir: str, current_dir: str,
         return 2
 
     rows: List[List[str]] = []
+    artifacts: Dict[str, Dict[str, Any]] = {}
     failures = 0
     for name in names:
         baseline = load_json(os.path.join(baseline_dir, name))
@@ -147,6 +177,7 @@ def compare(baseline_dir: str, current_dir: str,
             raise GateError(f"missing benchmark artifact {artifact_path} "
                             f"(did the quick run produce it?)")
         artifact = load_json(artifact_path)
+        artifacts[artifact_name.replace(".json", "")] = artifact
         metrics = baseline.get("metrics")
         if not isinstance(metrics, list) or not metrics:
             raise GateError(f"{name}: baseline needs a non-empty 'metrics' list")
@@ -174,6 +205,9 @@ def compare(baseline_dir: str, current_dir: str,
     print("-+-".join("-" * width for width in widths))
     for row in rows:
         print(format_row(row, widths))
+    if trajectory:
+        stem = os.path.splitext(os.path.basename(trajectory))[0]
+        write_trajectory(trajectory, label or stem, rows, artifacts, failures)
     if failures:
         print(f"\ncompare_bench: {failures} metric(s) regressed beyond "
               f"tolerance -- failing the trend gate")
@@ -197,9 +231,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--max-regression", type=float,
                         default=DEFAULT_MAX_REGRESSION,
                         help="default relative tolerance (default 0.25)")
+    parser.add_argument("--write-trajectory", default=None, metavar="PATH",
+                        help="consolidate artifacts + verdicts into one "
+                             "perf-history JSON entry")
+    parser.add_argument("--label", default=None,
+                        help="trajectory entry label (default: PATH stem)")
     args = parser.parse_args(argv)
     try:
-        return compare(args.baselines, args.current, args.max_regression)
+        return compare(args.baselines, args.current, args.max_regression,
+                       trajectory=args.write_trajectory, label=args.label)
     except GateError as exc:
         print(f"compare_bench: {exc}")
         return 2
