@@ -1,0 +1,241 @@
+"""E19 -- the serve stack under open-loop load: SLOs, dedup, admission.
+
+The load harness (:mod:`repro.loadgen`) replays a *seeded* open-loop
+schedule -- Poisson arrivals, Zipf hot-key skew over a small scenario
+grid -- against a live unix-socket :class:`~repro.serve.SweepServer`,
+then reconciles what the clients measured against the server's own
+``metrics`` counters.  Two phases:
+
+* **traffic** -- a cold-store replay.  Every machine-independent number
+  is exact by construction: the seeded schedule fixes the request mix,
+  so unique cells, the dedup ratio, and fresh solves (``computed`` ==
+  unique) must reproduce bit-for-bit on any machine.  Latency
+  percentiles are recorded for the report but never gated (wall clock is
+  machine-dependent).
+* **admission** -- an event-gated solver pins the service's only
+  admission slot and the harness replays probe arrivals: with
+  ``admission_limit=1`` every probe must bounce with a structured
+  ``rejected`` line, deterministically, and still reconcile.
+
+Run standalone:  python benchmarks/bench_serve_load.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import tempfile
+import threading
+
+from repro import Portfolio, clear_caches
+from repro.core.problem import TradeoffSolution
+from repro.engine import (
+    MIN_MAKESPAN,
+    register_solver,
+    set_solution_store,
+    unregister_solver,
+)
+from repro.engine.async_service import AsyncSweepService
+from repro.loadgen import build_schedule, render_report, run_load
+from repro.scenarios import Axis, ScenarioGrid
+from repro.serve import SweepServer
+
+from bench_common import emit, parse_json_flag, write_json_artifact
+
+REQUESTS = 300
+QUICK_REQUESTS = 60
+RATE = 200.0
+SKEW = 1.2
+SEED = 0
+CONNECTIONS = 4
+PROBES = 5
+
+GRID = ScenarioGrid(
+    generators=({"generator": "fork-join",
+                 "params": {"width": Axis([2, 3, 4]), "work": Axis([4, 8])}},),
+    budget_rules=(("makespan-factor", 0.5), ("makespan-factor", 0.75)),
+)
+
+
+def _fresh_state():
+    clear_caches()
+    set_solution_store(None)
+
+
+def run_traffic_phase(requests: int):
+    """Cold-store open-loop replay; returns the reconciled LoadReport."""
+    schedule = build_schedule("poisson", rate=RATE, count=requests,
+                              num_cells=GRID.size(), skew=SKEW, seed=SEED)
+    # the determinism contract: rebuilding the schedule reproduces it
+    rebuilt = build_schedule("poisson", rate=RATE, count=requests,
+                             num_cells=GRID.size(), skew=SKEW, seed=SEED)
+    deterministic = schedule.signature() == rebuilt.signature()
+
+    async def body():
+        with tempfile.TemporaryDirectory(prefix="bench-load-") as tmp:
+            service = AsyncSweepService(
+                store=f"{tmp}/store",
+                portfolio=Portfolio(executor="thread", max_workers=2))
+            async with SweepServer(service,
+                                   unix_socket=f"{tmp}/sweep.sock") as server:
+                return await run_load(schedule, GRID,
+                                      unix_socket=server.unix_socket,
+                                      connections=CONNECTIONS,
+                                      time_scale=0.0)
+
+    _fresh_state()
+    return asyncio.run(body()), deterministic
+
+
+def run_admission_phase():
+    """Saturate a 1-slot server; every probe must bounce deterministically."""
+    name = "bench-load-blocking"
+    started = threading.Event()
+    release = threading.Event()
+
+    @register_solver(name, summary="event-gated load-bench solver",
+                     objectives=(MIN_MAKESPAN,), kind="baseline",
+                     theorem="-", guarantee="none", priority=996,
+                     can_solve=lambda p, s, lim: True)
+    def _gated(problem, structure, limits, **options):
+        started.set()
+        release.wait(30.0)
+        return TradeoffSolution(makespan=float(problem.budget),
+                                budget_used=0.0, algorithm=name)
+
+    probe_schedule = build_schedule("poisson", rate=RATE, count=PROBES,
+                                    num_cells=GRID.size(), skew=SKEW,
+                                    seed=SEED + 1)
+
+    async def body():
+        with tempfile.TemporaryDirectory(prefix="bench-load-") as tmp:
+            service = AsyncSweepService(
+                store=f"{tmp}/store",
+                portfolio=Portfolio(executor="thread", max_workers=2))
+            async with SweepServer(service, unix_socket=f"{tmp}/sweep.sock",
+                                   admission_limit=1) as server:
+                # pin the only admission slot with a gated in-process solve
+                holder = await service.submit(
+                    [next(iter(GRID.expand())).materialize()], name)
+                loop = asyncio.get_running_loop()
+                assert await loop.run_in_executor(None, started.wait, 10.0)
+                report = await run_load(probe_schedule, GRID,
+                                        unix_socket=server.unix_socket,
+                                        connections=2, method=name,
+                                        time_scale=0.0)
+                release.set()
+                await holder.results()
+                return report
+
+    _fresh_state()
+    try:
+        return asyncio.run(body())
+    finally:
+        release.set()
+        unregister_solver(name)
+
+
+def run_comparison(requests: int):
+    traffic, deterministic = run_traffic_phase(requests)
+    admission = run_admission_phase()
+    metrics = traffic.machine_independent()
+    return {
+        "traffic": traffic,
+        "admission": admission,
+        "requests": metrics["requests"],
+        "delivered": metrics["delivered"],
+        "unique_cells": metrics["unique_cells"],
+        "dedup_ratio": metrics["dedup_ratio"],
+        "cells_solved": metrics["cells_solved"],
+        "cells_per_request": metrics["cells_per_request"],
+        "shared_hits": metrics["shared_hits"],
+        "schedule_deterministic": deterministic,
+        "traffic_reconciled": metrics["reconciled"],
+        "rejected_probes": admission.counts["rejected"],
+        "admission_reconciled": not admission.reconcile(),
+    }
+
+
+def check(stats) -> bool:
+    return (stats["schedule_deterministic"]
+            and stats["traffic_reconciled"]
+            and stats["admission_reconciled"]
+            and stats["delivered"] == stats["requests"]
+            # a cold store means every unique cell is one fresh solve --
+            # and nothing more (dedup absorbed every repeat)
+            and stats["cells_solved"] == stats["unique_cells"]
+            and stats["rejected_probes"] == PROBES)
+
+
+def render(stats) -> str:
+    return (render_report(stats["traffic"])
+            + "\n\nadmission phase: "
+            + f"{stats['rejected_probes']}/{PROBES} probes rejected at the "
+              f"saturated server (reconciled: "
+              f"{stats['admission_reconciled']})")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_load_harness_reconciles_and_dedups(benchmark):
+    stats = run_comparison(QUICK_REQUESTS)
+    emit("E19 / serve stack under open-loop load -- SLOs, dedup, admission",
+         render(stats))
+    assert check(stats), stats
+    assert stats["dedup_ratio"] > 0.5, \
+        "Zipf-skewed traffic over a small grid must dedup most requests"
+    benchmark(lambda: stats["dedup_ratio"])
+
+
+def test_same_seed_load_runs_report_identical_metrics():
+    first, _ = run_traffic_phase(QUICK_REQUESTS)
+    second, _ = run_traffic_phase(QUICK_REQUESTS)
+    assert first.machine_independent() == second.machine_independent()
+    assert first.reconcile() == [] and second.reconcile() == []
+
+
+# ---------------------------------------------------------------------------
+# standalone mode
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_serve_load.py [--quick] [--json PATH]")
+
+    stats = run_comparison(QUICK_REQUESTS if quick else REQUESTS)
+    print(render(stats))
+
+    ok = check(stats)
+    print(f"\nload harness deterministic, reconciled, dedup-exact: {ok}")
+
+    if json_path:
+        latency = stats["traffic"].latency_ms
+        write_json_artifact(json_path, {
+            "benchmark": "bench_serve_load",
+            "quick": quick,
+            "requests": stats["requests"],
+            "delivered": stats["delivered"],
+            "unique_cells": stats["unique_cells"],
+            "dedup_ratio": stats["dedup_ratio"],
+            "cells_solved": stats["cells_solved"],
+            "cells_per_request": stats["cells_per_request"],
+            "shared_hits": stats["shared_hits"],
+            "rejected_probes": stats["rejected_probes"],
+            "schedule_deterministic": stats["schedule_deterministic"],
+            "reconciled": (stats["traffic_reconciled"]
+                           and stats["admission_reconciled"]),
+            # recorded for the curious, never gated (machine-dependent)
+            "latency_p50_ms": latency["p50"],
+            "latency_p95_ms": latency["p95"],
+            "latency_p99_ms": latency["p99"],
+            "wall_s": stats["traffic"].wall_s,
+            "ok": ok,
+        })
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -331,6 +331,48 @@ class AsyncSweepService:
         """Unique requests currently queued or solving."""
         return len(self._inflight)
 
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-safe dict aggregating every counter a deployment has.
+
+        The substrate of the ``metrics`` wire op in :mod:`repro.serve`
+        (and of the load harness's before/after deltas in
+        :mod:`repro.loadgen`): the service's rolling
+        :class:`AsyncSweepStats` plus live queue/in-flight gauges under
+        ``"service"``, the persistent store's work counters under
+        ``"store"`` (``None`` without a store), the in-memory solution
+        LRU under ``"lru"``, the batched-kernel counters (LP skeleton
+        cache, warm-start totals, structure probes) under ``"kernels"``
+        and the scenario DAG-build counters under ``"materializations"``.
+
+        Every leaf is a number (or a short string), deliberately
+        machine-independent: two runs doing the same work report the
+        same snapshot deltas whatever the hardware, which is what lets
+        the load report reconcile its client-side accounting against the
+        server's own counters.
+        """
+        # Imported lazily: batch and core sit beside/below this module in
+        # the engine layering and core's cache state is process-global.
+        from repro.engine.batch import batch_kernel_info
+        from repro.engine.core import solution_cache_info
+        from repro.scenarios.spec import materialization_info
+
+        service = vars(self.stats).copy()
+        service["queue_depth"] = self.queue_depth()
+        service["inflight"] = self.inflight_count()
+        service["queue_size"] = self.queue_size
+        lru = solution_cache_info()
+        lru.pop("store", None)   # the service's own store is reported below
+        lru.pop("lp", None)      # kernels carry the LP counters
+        store = self.store
+        return {
+            "snapshot_schema": 1,
+            "service": service,
+            "store": store.counters() if store is not None else None,
+            "lru": lru,
+            "kernels": batch_kernel_info(),
+            "materializations": materialization_info(),
+        }
+
     async def start(self) -> "AsyncSweepService":
         """Warm the pool and start the dispatcher (idempotent)."""
         self._require_open()

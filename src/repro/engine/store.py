@@ -1171,6 +1171,30 @@ class SolutionStore:
                 "migrated_shards": self.migrated_shards,
             }
 
+    #: The numeric-counter subset of :meth:`info` exported to metrics
+    #: snapshots: machine-independent work counts plus the two gauges a
+    #: dashboard wants next to them (``entries``, ``shards``).  No paths,
+    #: formats or configuration -- the snapshot stays comparable across
+    #: hosts and deployments.
+    COUNTER_FIELDS = (
+        "entries", "shards", "hits", "misses", "writes", "evictions",
+        "compactions", "corrupt_shards", "schema_mismatches",
+        "skipped_writes", "full_shard_parses", "payload_decodes",
+        "alias_fast_hits", "binary_shard_opens", "scans", "scan_entries",
+        "scan_alias_skips", "migrated_shards",
+    )
+
+    def counters(self) -> Dict[str, int]:
+        """Just the counters of :meth:`info` (see :data:`COUNTER_FIELDS`).
+
+        This is what :meth:`AsyncSweepService.snapshot
+        <repro.engine.async_service.AsyncSweepService.snapshot>` embeds
+        under ``"store"`` and what the ``metrics`` wire op therefore
+        exports -- keep it JSON-safe and host-independent.
+        """
+        info = self.info()
+        return {name: info[name] for name in self.COUNTER_FIELDS}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"SolutionStore(root={self.root!r}, entries={self.entry_count()}, "
                 f"hits={self.hits}, misses={self.misses})")

@@ -1,0 +1,55 @@
+"""Traffic-realism harness for the serving stack.
+
+``repro.loadgen`` replays seeded, deterministic open-loop request
+schedules (:mod:`~repro.loadgen.arrivals`) against a live
+``python -m repro.serve`` instance (:mod:`~repro.loadgen.client`),
+optionally injecting wire-layer faults (:mod:`~repro.loadgen.chaos`),
+and folds what the clients saw together with the server's own
+``metrics`` counters into one reconciled report
+(:mod:`~repro.loadgen.report`).
+
+Run it: ``python -m repro.loadgen --quick`` spins an in-process
+unix-socket server and prints the report; point it at an external
+server with ``--unix PATH`` or ``--host/--port``.  See
+``docs/serving.md`` for the full harness guide.
+"""
+
+from repro.loadgen.arrivals import (
+    ARRIVAL_PROCESSES,
+    Arrival,
+    ArrivalSchedule,
+    ZipfCells,
+    build_schedule,
+)
+from repro.loadgen.chaos import (
+    ChaosConfig,
+    malformed_line,
+    non_object_line,
+    oversized_line,
+)
+from repro.loadgen.client import LoadClient, RequestOutcome, run_load
+from repro.loadgen.report import (
+    LoadReport,
+    build_report,
+    percentile,
+    render_report,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "Arrival",
+    "ArrivalSchedule",
+    "ChaosConfig",
+    "LoadClient",
+    "LoadReport",
+    "RequestOutcome",
+    "ZipfCells",
+    "build_report",
+    "build_schedule",
+    "malformed_line",
+    "non_object_line",
+    "oversized_line",
+    "percentile",
+    "render_report",
+    "run_load",
+]

@@ -1,0 +1,254 @@
+"""Seeded, deterministic arrival processes and hot-key skew.
+
+The load harness is **open-loop**: requests fire at schedule times decided
+*before* the run, never paced by server responses -- the arrival process
+a production deployment actually faces (a closed loop, where each client
+waits for its previous answer, self-throttles exactly when the server
+degrades and hides every overload).  A schedule is therefore data: a
+seeded list of ``(time, cell)`` pairs built once, hashable, replayable,
+and identical across processes and platforms (``random.Random`` is the
+Mersenne Twister, stable by contract; nothing here touches wall clocks).
+
+Three arrival processes cover the shapes that matter:
+
+* ``poisson`` -- memoryless open-loop traffic at a constant rate
+  (exponential inter-arrival gaps), the null hypothesis of load testing;
+* ``bursty`` -- the same mean rate delivered in bursts: short in-burst
+  gaps, long quiet gaps, stressing the queue bound and admission control;
+* ``ramp`` -- the instantaneous rate climbs linearly across the run
+  (slow start to overload), stressing warm-up and backpressure onset.
+
+Hot-key skew is a Zipf distribution over the cells of a scenario
+universe (``P(rank r) ~ 1/(r+1)**skew``): with skew > 0 a few cells take
+most of the traffic, which is exactly what makes the serving stack's
+tier-0 in-flight dedup and tier-1/2 cache hit rates *mean something*
+under load.  ``skew=0`` degrades to uniform traffic (every request cold,
+caches useless) -- both extremes are worth measuring.
+
+Everything is pure computation; :mod:`repro.loadgen.client` replays a
+schedule against a live server.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.utils.validation import require
+
+__all__ = [
+    "Arrival",
+    "ArrivalSchedule",
+    "ARRIVAL_PROCESSES",
+    "ZipfCells",
+    "build_schedule",
+]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: fire at ``time`` seconds, ask for ``cell``."""
+
+    time: float
+    cell: int
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """A fully-determined open-loop request schedule.
+
+    ``arrivals`` is sorted by time (t=0 is the start of the run); ``cell``
+    indexes into whatever scenario universe the replayer pairs the
+    schedule with (the load client uses :class:`~repro.scenarios.spec.
+    ScenarioGrid` cells in expansion order).
+    """
+
+    process: str
+    seed: int
+    rate: float
+    skew: float
+    num_cells: int
+    arrivals: Tuple[Arrival, ...]
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def times(self) -> List[float]:
+        return [a.time for a in self.arrivals]
+
+    def cells(self) -> List[int]:
+        return [a.cell for a in self.arrivals]
+
+    def duration(self) -> float:
+        """Time of the last arrival (0.0 for an empty schedule)."""
+        return self.arrivals[-1].time if self.arrivals else 0.0
+
+    def unique_cells(self) -> int:
+        return len(set(a.cell for a in self.arrivals))
+
+    def dedup_ratio(self) -> float:
+        """Fraction of requests repeating an earlier cell (0 when empty).
+
+        The *schedule-side* prediction of how much work the serving
+        stack's dedup/cache tiers can eliminate; the load report checks
+        the server's counters actually delivered it.
+        """
+        if not self.arrivals:
+            return 0.0
+        return 1.0 - self.unique_cells() / len(self.arrivals)
+
+    def signature(self) -> str:
+        """sha256 over the canonical schedule content.
+
+        Two schedules with equal signatures are identical request-for-
+        request -- the determinism contract (same seed, same parameters,
+        any machine) pinned by tests and the benchmark.
+        """
+        payload = {
+            "process": self.process,
+            "seed": self.seed,
+            "rate": self.rate,
+            "skew": self.skew,
+            "num_cells": self.num_cells,
+            "arrivals": [[repr(a.time), a.cell] for a in self.arrivals],
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# hot-key skew
+# ---------------------------------------------------------------------------
+
+class ZipfCells:
+    """Zipf-distributed cell sampler: ``P(rank r) ~ 1/(r+1)**skew``.
+
+    Rank 0 is the hottest cell; ranks map to cell indices identically
+    (the replayer pairs cell 0 with the grid's first expanded spec).
+    ``skew=0`` is the uniform distribution.  Sampling is inverse-CDF over
+    a precomputed cumulative table (``bisect``), so draws are exactly
+    reproducible from the caller's ``random.Random``.
+    """
+
+    def __init__(self, num_cells: int, skew: float = 1.1):
+        require(num_cells >= 1, "ZipfCells needs at least one cell")
+        require(skew >= 0, "skew must be >= 0")
+        self.num_cells = num_cells
+        self.skew = float(skew)
+        weights = [1.0 / math.pow(rank + 1, self.skew)
+                   for rank in range(num_cells)]
+        total = sum(weights)
+        cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # guard the fp tail
+        self._cumulative = cumulative
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one cell index using ``rng`` (deterministic per rng state)."""
+        return bisect.bisect_left(self._cumulative, rng.random())
+
+
+# ---------------------------------------------------------------------------
+# arrival-time processes
+# ---------------------------------------------------------------------------
+
+def _poisson_times(rate: float, count: int, rng: random.Random,
+                   **_: float) -> List[float]:
+    """Open-loop Poisson process: i.i.d. exponential inter-arrival gaps."""
+    times: List[float] = []
+    now = 0.0
+    for _i in range(count):
+        now += rng.expovariate(rate)
+        times.append(now)
+    return times
+
+
+def _bursty_times(rate: float, count: int, rng: random.Random, *,
+                  burst_size: int = 4, burst_factor: float = 0.1,
+                  **_: float) -> List[float]:
+    """Bursts of ``burst_size`` arrivals with compressed in-burst gaps.
+
+    In-burst gaps are exponential at ``rate / burst_factor`` (short);
+    the gap *between* bursts is stretched so the mean rate stays ``rate``
+    -- same total traffic as ``poisson``, delivered in spikes.
+    """
+    require(burst_size >= 1, "burst_size must be >= 1")
+    require(0 < burst_factor <= 1, "burst_factor must be in (0, 1]")
+    times: List[float] = []
+    now = 0.0
+    # Mean gap budget per arrival is 1/rate; a burst of k arrivals spends
+    # (k-1) * burst_factor/rate inside the burst, the rest up front.
+    lead_mean = (burst_size - (burst_size - 1) * burst_factor) / rate
+    while len(times) < count:
+        now += rng.expovariate(1.0 / lead_mean)
+        times.append(now)
+        for _i in range(burst_size - 1):
+            if len(times) >= count:
+                break
+            now += rng.expovariate(rate / burst_factor)
+            times.append(now)
+    return times
+
+
+def _ramp_times(rate: float, count: int, rng: random.Random, *,
+                ramp_from: float = 0.25, ramp_to: float = 2.0,
+                **_: float) -> List[float]:
+    """Linearly ramping rate: ``ramp_from * rate`` up to ``ramp_to * rate``.
+
+    Arrival ``i`` draws its gap at the interpolated instantaneous rate --
+    the run starts gentle and ends past nominal load, which is how
+    overload (queue growth, admission rejections) actually arrives.
+    """
+    require(ramp_from > 0 and ramp_to > 0, "ramp endpoints must be positive")
+    times: List[float] = []
+    now = 0.0
+    for index in range(count):
+        fraction = index / max(count - 1, 1)
+        instantaneous = rate * (ramp_from + (ramp_to - ramp_from) * fraction)
+        now += rng.expovariate(instantaneous)
+        times.append(now)
+    return times
+
+
+#: Registered arrival processes: name -> times(rate, count, rng, **params).
+ARRIVAL_PROCESSES: Dict[str, Callable[..., List[float]]] = {
+    "poisson": _poisson_times,
+    "bursty": _bursty_times,
+    "ramp": _ramp_times,
+}
+
+
+def build_schedule(process: str = "poisson", *, rate: float = 50.0,
+                   count: int = 100, num_cells: int = 16,
+                   skew: float = 1.1, seed: int = 0,
+                   **process_params: float) -> ArrivalSchedule:
+    """Build one deterministic schedule: seeded times x seeded Zipf cells.
+
+    ``process`` is a key of :data:`ARRIVAL_PROCESSES`; extra keyword
+    parameters go to the process (``burst_size``, ``ramp_to``, ...).
+    Times and cell choices come from *independent* seeded generators, so
+    changing the skew never perturbs the arrival times (and vice versa)
+    -- ablations stay comparable.
+    """
+    require(process in ARRIVAL_PROCESSES,
+            f"unknown arrival process {process!r}; "
+            f"known: {sorted(ARRIVAL_PROCESSES)}")
+    require(rate > 0, "rate must be positive (requests per second)")
+    require(count >= 0, "count must be >= 0")
+    time_rng = random.Random(f"times|{seed}")
+    cell_rng = random.Random(f"cells|{seed}")
+    times = ARRIVAL_PROCESSES[process](rate, count, time_rng,
+                                       **process_params)
+    sampler = ZipfCells(num_cells, skew)
+    arrivals = tuple(Arrival(time=t, cell=sampler.sample(cell_rng))
+                     for t in times)
+    return ArrivalSchedule(process=process, seed=seed, rate=rate, skew=skew,
+                           num_cells=num_cells, arrivals=arrivals)

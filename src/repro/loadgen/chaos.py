@@ -1,0 +1,113 @@
+"""Wire-layer fault injection: the chaos knobs of the load harness.
+
+Production clients misbehave in a small number of well-known ways, and a
+serving stack's graceful-degradation story is only real once each of them
+is *pinned by a test* rather than hoped for:
+
+* **malformed lines** -- truncated/garbage JSON, or valid JSON that is
+  not an object.  The server must answer a structured error and keep the
+  connection serving (``ServerStats.protocol_errors``).
+* **oversized payloads** -- a request line past the server's
+  ``max_line_bytes``.  The bytes must be discarded as they stream in
+  (never buffered or parsed) and the connection must survive.
+* **mid-stream disconnects** -- the client vanishes while its sweep is
+  streaming back.  In-flight solves finish and persist; other clients'
+  results are unaffected.
+* **slow readers** -- the client keeps the connection open but stops
+  reading.  With a ``drain_timeout`` the server drops the connection
+  instead of pinning response buffers forever.
+
+:class:`ChaosConfig` decides *when* the load client injects which fault
+(every k-th arrival, deterministic -- chaos runs are as replayable as
+clean ones); the module-level builders produce the actual fault bytes and
+are used directly by ``tests/test_serve_chaos.py`` for the fault matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.utils.validation import require
+
+__all__ = [
+    "ChaosConfig",
+    "malformed_line",
+    "non_object_line",
+    "oversized_line",
+]
+
+#: Fault kinds a chaos-mode request outcome is tagged with.
+FAULT_MALFORMED = "chaos-malformed"
+FAULT_OVERSIZE = "chaos-oversize"
+FAULT_DISCONNECT = "chaos-disconnect"
+
+
+def malformed_line() -> bytes:
+    """A truncated JSON request line (newline-terminated, unparseable)."""
+    return b'{"op": "sweep_spec", "id": "chaos", "specs": [{"gen\n'
+
+
+def non_object_line() -> bytes:
+    """A syntactically valid JSON line that is not an object."""
+    return b'[1, 2, 3]\n'
+
+
+def oversized_line(size: int) -> bytes:
+    """A single well-formed JSON line of at least ``size`` bytes.
+
+    Deliberately *valid* JSON: it checks the size bound rejects on
+    length alone, before any parse is attempted.
+    """
+    require(size >= 64, "oversized_line wants at least 64 bytes")
+    padding = "x" * size
+    return (b'{"op": "ping", "id": "chaos-oversize", "pad": "'
+            + padding.encode() + b'"}\n')
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """When the load client injects which wire fault (0 = never).
+
+    Injection is positional over the arrival index (``index % every ==
+    every - 1``), so a seeded schedule plus a chaos config is still a
+    fully deterministic run.  A chaos arrival *replaces* its sweep
+    request; its outcome is recorded under the fault kind and excluded
+    from latency percentiles and server-side reconciliation (the server
+    never accepted a sweep for it).
+    """
+
+    #: Every k-th arrival sends a malformed JSON line instead.
+    malformed_every: int = 0
+    #: Every k-th arrival sends an oversized line instead.
+    oversize_every: int = 0
+    #: Every k-th arrival opens a throwaway connection, starts a sweep
+    #: and disconnects without reading its results.
+    disconnect_every: int = 0
+    #: Bytes of the injected oversized line (must exceed the server's
+    #: ``max_line_bytes`` to actually trigger the bound).
+    oversize_bytes: int = 1 << 21
+
+    def __post_init__(self) -> None:
+        for name in ("malformed_every", "oversize_every", "disconnect_every"):
+            require(getattr(self, name) >= 0, f"{name} must be >= 0")
+        require(self.oversize_bytes >= 64, "oversize_bytes must be >= 64")
+
+    def fault_for(self, index: int) -> Optional[str]:
+        """The fault kind arrival ``index`` should inject, if any.
+
+        Checked in a fixed order (malformed, oversize, disconnect) so
+        overlapping cadences stay deterministic.
+        """
+        if self.malformed_every and index % self.malformed_every == self.malformed_every - 1:
+            return FAULT_MALFORMED
+        if self.oversize_every and index % self.oversize_every == self.oversize_every - 1:
+            return FAULT_OVERSIZE
+        if self.disconnect_every and index % self.disconnect_every == self.disconnect_every - 1:
+            return FAULT_DISCONNECT
+        return None
+
+    @property
+    def active(self) -> bool:
+        return bool(self.malformed_every or self.oversize_every
+                    or self.disconnect_every)

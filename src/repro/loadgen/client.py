@@ -1,0 +1,382 @@
+"""Open-loop JSON-lines load client for a live :class:`SweepServer`.
+
+The client replays an :class:`~repro.loadgen.arrivals.ArrivalSchedule`
+against a running ``python -m repro.serve`` instance: ``connections``
+persistent JSON-lines connections, each arrival fired *at its scheduled
+time* (open-loop -- a slow server never slows the arrival process, it
+just accumulates in-flight requests) as a single-cell ``sweep_spec``
+request.  Per request it records
+
+* **latency** -- send to terminating ``done`` line, wall seconds;
+* **outcome** -- report delivered / solve failed / admission-rejected /
+  connection lost / timed out;
+* **stream integrity** -- exactly one per-cell line and a ``done`` line
+  with the right count must arrive, in-order reassembly is checked.
+
+Chaos mode (:class:`~repro.loadgen.chaos.ChaosConfig`) replaces selected
+arrivals with wire faults on throwaway connections, so a chaos run
+exercises the server's degradation paths *while* normal traffic flows on
+the persistent connections.
+
+The module also owns :func:`run_load` -- the one-call harness used by
+``python -m repro.loadgen``, the benchmark and the tests: poll the
+``metrics`` op, replay the schedule, poll again, and hand both snapshots
+to :func:`repro.loadgen.report.build_report` so the report can reconcile
+client-side accounting against the server's own counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.loadgen.arrivals import ArrivalSchedule
+from repro.loadgen.chaos import (
+    FAULT_DISCONNECT,
+    FAULT_MALFORMED,
+    FAULT_OVERSIZE,
+    ChaosConfig,
+    malformed_line,
+    oversized_line,
+)
+from repro.loadgen.report import LoadReport, build_report
+from repro.scenarios import ScenarioGrid, ScenarioSpec
+from repro.serve import request_metrics
+from repro.utils.validation import require
+
+__all__ = ["LoadClient", "RequestOutcome", "run_load"]
+
+
+@dataclass
+class RequestOutcome:
+    """What one replayed arrival came back as."""
+
+    #: Arrival index in the schedule.
+    index: int
+    #: Cell index the arrival asked for (-1 for pure wire faults).
+    cell: int
+    #: ``"sweep"`` for normal traffic, else the injected fault kind.
+    kind: str
+    #: A report was delivered for the cell.
+    ok: bool
+    #: The server refused the sweep at its admission limit.
+    rejected: bool
+    #: Send-to-``done`` wall seconds (faults: send-to-error-line).
+    latency_s: float
+    #: ``"computed"`` / ``"store"`` from the per-cell line (ok only).
+    source: Optional[str] = None
+    #: The cell's request fingerprint from the per-cell line (ok only).
+    key: Optional[str] = None
+    #: Failure/rejection/fault detail.
+    error: Optional[str] = None
+
+
+class _Pending:
+    """Response collector for one in-flight request id."""
+
+    __slots__ = ("lines", "event")
+
+    def __init__(self) -> None:
+        self.lines: List[Dict[str, Any]] = []
+        self.event = asyncio.Event()
+
+
+class _Connection:
+    """One persistent JSON-lines connection with id-routed responses."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+        self.pending: Dict[str, _Pending] = {}
+        self.lost: Optional[str] = None
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self.reader.readline()
+                if not line:
+                    self.lost = "server closed the connection"
+                    break
+                try:
+                    response = json.loads(line)
+                except json.JSONDecodeError:
+                    self.lost = "unparseable response line from server"
+                    break
+                entry = self.pending.get(response.get("id"))
+                if entry is None:
+                    continue  # e.g. {"id": null} protocol notices
+                entry.lines.append(response)
+                if (response.get("done") or response.get("rejected")
+                        or ("error" in response and response.get("error")
+                            and "index" not in response)):
+                    entry.event.set()
+        except (ConnectionError, OSError) as exc:
+            self.lost = f"connection lost: {exc}"
+        finally:
+            for entry in self.pending.values():
+                entry.event.set()
+
+    async def send_line(self, payload: Dict[str, Any]) -> None:
+        async with self._write_lock:
+            self.writer.write(json.dumps(payload).encode() + b"\n")
+            await self.writer.drain()
+
+    async def aclose(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, ConnectionError, OSError):
+            pass
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class LoadClient:
+    """Replays arrival schedules against one server (see module docs).
+
+    ``time_scale`` multiplies every scheduled arrival time (0 fires the
+    whole schedule as fast as the event loop allows -- maximum stress,
+    no realism; 1.0 replays in real time).  ``options`` and ``method``
+    are passed through to every ``sweep_spec`` request and therefore
+    become part of each cell's request fingerprint.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1",
+                 port: Optional[int] = None,
+                 unix_socket: Optional[str] = None,
+                 connections: int = 4,
+                 method: str = "auto",
+                 options: Optional[Dict[str, Any]] = None,
+                 time_scale: float = 1.0,
+                 request_timeout: float = 60.0,
+                 chaos: Optional[ChaosConfig] = None):
+        require(connections >= 1, "the load client needs >= 1 connection")
+        require(time_scale >= 0, "time_scale must be >= 0")
+        require(request_timeout > 0, "request_timeout must be positive")
+        require(port is not None or unix_socket is not None,
+                "LoadClient needs port= or unix_socket=")
+        self.host = host
+        self.port = port
+        self.unix_socket = unix_socket
+        self.connections = connections
+        self.method = method
+        self.options = dict(options or {})
+        self.time_scale = time_scale
+        self.request_timeout = request_timeout
+        self.chaos = chaos
+
+    async def _open(self) -> _Connection:
+        if self.unix_socket:
+            reader, writer = await asyncio.open_unix_connection(self.unix_socket)
+        else:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+        return _Connection(reader, writer)
+
+    # ------------------------------------------------------------------
+    async def run(self, schedule: ArrivalSchedule,
+                  specs: Sequence[ScenarioSpec]) -> List[RequestOutcome]:
+        """Replay ``schedule`` over ``specs``; outcomes in arrival order.
+
+        ``specs`` is the cell universe: arrival ``cell`` indexes into it
+        (build it from the same grid every run -- expansion order is
+        deterministic -- and fingerprints line up across runs and with
+        in-process sweeps).
+        """
+        specs = list(specs)
+        require(schedule.num_cells <= len(specs),
+                f"schedule addresses {schedule.num_cells} cells but only "
+                f"{len(specs)} specs were provided")
+        conns = [await self._open() for _ in range(self.connections)]
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        tasks: List[asyncio.Task] = []
+        try:
+            for index, arrival in enumerate(schedule.arrivals):
+                delay = (started + arrival.time * self.time_scale
+                         - loop.time())
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                fault = (self.chaos.fault_for(index)
+                         if self.chaos is not None else None)
+                if fault is not None:
+                    coro = self._fire_fault(index, arrival.cell, fault,
+                                            specs)
+                else:
+                    coro = self._fire_sweep(conns[index % len(conns)],
+                                            index, arrival.cell,
+                                            specs[arrival.cell])
+                tasks.append(asyncio.create_task(coro))
+            outcomes = list(await asyncio.gather(*tasks))
+        finally:
+            for task in tasks:
+                task.cancel()
+            for conn in conns:
+                await conn.aclose()
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
+
+    # -- normal traffic ------------------------------------------------
+    async def _fire_sweep(self, conn: _Connection, index: int, cell: int,
+                          spec: ScenarioSpec) -> RequestOutcome:
+        request_id = f"lg-{index}"
+        entry = _Pending()
+        conn.pending[request_id] = entry
+        payload = {"op": "sweep_spec", "id": request_id,
+                   "specs": [spec.to_payload()],
+                   "method": self.method, "options": self.options}
+        start = time.perf_counter()
+        try:
+            await conn.send_line(payload)
+            await asyncio.wait_for(entry.event.wait(), self.request_timeout)
+        except asyncio.TimeoutError:
+            return RequestOutcome(index=index, cell=cell, kind="sweep",
+                                  ok=False, rejected=False,
+                                  latency_s=time.perf_counter() - start,
+                                  error=f"timed out after "
+                                        f"{self.request_timeout}s")
+        except (ConnectionError, OSError) as exc:
+            return RequestOutcome(index=index, cell=cell, kind="sweep",
+                                  ok=False, rejected=False,
+                                  latency_s=time.perf_counter() - start,
+                                  error=f"connection lost: {exc}")
+        finally:
+            conn.pending.pop(request_id, None)
+        latency = time.perf_counter() - start
+        return self._classify(index, cell, entry.lines, conn.lost, latency)
+
+    @staticmethod
+    def _classify(index: int, cell: int, lines: List[Dict[str, Any]],
+                  lost: Optional[str], latency: float) -> RequestOutcome:
+        """Turn one request's response lines into a :class:`RequestOutcome`."""
+        rejected = next((ln for ln in lines if ln.get("rejected")), None)
+        if rejected is not None:
+            return RequestOutcome(index=index, cell=cell, kind="sweep",
+                                  ok=False, rejected=True, latency_s=latency,
+                                  error=rejected.get("error"))
+        request_error = next((ln for ln in lines
+                              if ln.get("error") and "index" not in ln
+                              and not ln.get("done")), None)
+        if request_error is not None:
+            return RequestOutcome(index=index, cell=cell, kind="sweep",
+                                  ok=False, rejected=False, latency_s=latency,
+                                  error=f"request error: "
+                                        f"{request_error['error']}")
+        if lost is not None and not any(ln.get("done") for ln in lines):
+            return RequestOutcome(index=index, cell=cell, kind="sweep",
+                                  ok=False, rejected=False, latency_s=latency,
+                                  error=lost)
+        slots = [ln for ln in lines if "index" in ln]
+        done = next((ln for ln in lines if ln.get("done")), None)
+        if done is None or len(slots) != 1 or done.get("count") != 1 \
+                or slots[0].get("index") != 0:
+            return RequestOutcome(
+                index=index, cell=cell, kind="sweep", ok=False,
+                rejected=False, latency_s=latency,
+                error=f"stream integrity: {len(slots)} slot lines, "
+                      f"done={done!r}")
+        slot = slots[0]
+        if slot.get("report") is None:
+            return RequestOutcome(index=index, cell=cell, kind="sweep",
+                                  ok=False, rejected=False, latency_s=latency,
+                                  source=slot.get("source"),
+                                  key=slot.get("key"),
+                                  error=slot.get("error") or "solve failed")
+        return RequestOutcome(index=index, cell=cell, kind="sweep", ok=True,
+                              rejected=False, latency_s=latency,
+                              source=slot.get("source"),
+                              key=slot.get("key"))
+
+    # -- chaos traffic -------------------------------------------------
+    async def _fire_fault(self, index: int, cell: int, fault: str,
+                          specs: Sequence[ScenarioSpec]) -> RequestOutcome:
+        """Inject one wire fault on a throwaway connection.
+
+        Malformed/oversized lines expect the server's structured error
+        back (the connection surviving is the server's part of the
+        contract; the matrix tests assert it).  Disconnects start a real
+        sweep and vanish without reading.
+        """
+        start = time.perf_counter()
+        try:
+            conn = await self._open()
+        except (ConnectionError, OSError) as exc:
+            return RequestOutcome(index=index, cell=-1, kind=fault, ok=False,
+                                  rejected=False,
+                                  latency_s=time.perf_counter() - start,
+                                  error=f"connect failed: {exc}")
+        error: Optional[str] = None
+        try:
+            if fault == FAULT_DISCONNECT:
+                request_id = f"lg-{index}"
+                entry = _Pending()
+                conn.pending[request_id] = entry
+                await conn.send_line({"op": "sweep_spec", "id": request_id,
+                                      "specs": [specs[cell].to_payload()],
+                                      "method": self.method,
+                                      "options": self.options})
+                # vanish mid-stream: no reads, just drop the connection
+            else:
+                raw = (malformed_line() if fault == FAULT_MALFORMED
+                       else oversized_line(self.chaos.oversize_bytes))
+                async with conn._write_lock:
+                    conn.writer.write(raw)
+                    await conn.writer.drain()
+                probe = _Pending()
+                conn.pending[None] = probe  # the error line has id null
+                try:
+                    await asyncio.wait_for(probe.event.wait(),
+                                           self.request_timeout)
+                except asyncio.TimeoutError:
+                    error = "no protocol-error response before timeout"
+        except (ConnectionError, OSError) as exc:
+            error = f"connection lost mid-fault: {exc}"
+        finally:
+            await conn.aclose()
+        return RequestOutcome(
+            index=index, cell=cell if fault == FAULT_DISCONNECT else -1,
+            kind=fault, ok=error is None, rejected=False,
+            latency_s=time.perf_counter() - start, error=error)
+
+
+# ---------------------------------------------------------------------------
+# the one-call harness
+# ---------------------------------------------------------------------------
+
+async def run_load(schedule: ArrivalSchedule,
+                   scenarios: Union[ScenarioGrid, Sequence[ScenarioSpec]], *,
+                   host: str = "127.0.0.1", port: Optional[int] = None,
+                   unix_socket: Optional[str] = None,
+                   connections: int = 4, method: str = "auto",
+                   options: Optional[Dict[str, Any]] = None,
+                   time_scale: float = 1.0, request_timeout: float = 60.0,
+                   chaos: Optional[ChaosConfig] = None) -> LoadReport:
+    """Metrics-before -> replay -> metrics-after -> reconciled report.
+
+    The returned :class:`~repro.loadgen.report.LoadReport` embeds the
+    server's full ``metrics`` snapshot and the before/after counter
+    deltas alongside the client-side percentiles, so one object answers
+    both "what did clients see" and "what did the server actually do".
+    """
+    specs = (list(scenarios.expand())
+             if isinstance(scenarios, ScenarioGrid) else list(scenarios))
+    client = LoadClient(host=host, port=port, unix_socket=unix_socket,
+                        connections=connections, method=method,
+                        options=options, time_scale=time_scale,
+                        request_timeout=request_timeout, chaos=chaos)
+    before = await request_metrics(host=host, port=port,
+                                   unix_socket=unix_socket)
+    start = time.perf_counter()
+    outcomes = await client.run(schedule, specs)
+    wall = time.perf_counter() - start
+    after = await request_metrics(host=host, port=port,
+                                  unix_socket=unix_socket)
+    return build_report(schedule, outcomes, before, after, wall)

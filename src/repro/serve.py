@@ -11,6 +11,7 @@ Requests (client -> server)::
     {"op": "sweep_spec", "id": "r4", "grid": {<grid payload>},
      "method": "auto"}                          # or "specs": [<spec>, ...]
     {"op": "stats", "id": "r2"}
+    {"op": "metrics", "id": "r5"}
     {"op": "ping", "id": "r3"}
 
 Responses (server -> client) -- a ``sweep`` streams one line per scenario
@@ -21,8 +22,25 @@ finish), then a terminating ``done`` line::
      "error": null, "report": {...}}                       # per scenario
     {"id": "r1", "done": true, "count": 3}                 # terminator
     {"id": "r2", "stats": {...}}                           # stats reply
+    {"id": "r5", "metrics": {...}}                         # counter snapshot
     {"id": "r3", "pong": true}                             # ping reply
     {"id": "r1", "error": "..."}                           # request error
+    {"id": "r1", "rejected": true, "error": "..."}         # admission reject
+
+Protocol faults never tear a connection down: a malformed JSON line, a
+non-object line, an unknown ``op`` or a line longer than the server's
+``max_line_bytes`` each get a structured ``{"error": ...}`` response (with
+``"id": null`` when no id could be parsed) and the connection keeps
+serving -- the fault is counted in the server's ``protocol_errors``.  The
+``metrics`` op returns the full counter snapshot
+(:meth:`~repro.engine.async_service.AsyncSweepService.snapshot` plus the
+server's own wire-level counters under ``"server"``); the load harness in
+:mod:`repro.loadgen` polls it before and after a run and reconciles the
+deltas against its client-side accounting.  With ``admission_limit`` set,
+a sweep arriving while that many unique requests are already queued or in
+flight is answered immediately with a ``rejected`` line instead of
+blocking at the backpressure point -- the overload story for open-loop
+traffic (see ``docs/serving.md``).
 
 A *problem payload* mirrors the engine's content model (see
 :func:`problem_to_payload`)::
@@ -68,8 +86,10 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import socket
 import sys
-from typing import Any, Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.dag import TradeoffDAG
 from repro.core.duration import ConstantDuration, GeneralStepDuration
@@ -85,14 +105,19 @@ __all__ = [
     "PROTOCOL_VERSION",
     "problem_to_payload",
     "problem_from_payload",
+    "ServerStats",
     "SweepServer",
     "request_sweep",
     "request_sweep_spec",
+    "request_metrics",
     "main",
 ]
 
 #: Version of the wire protocol; echoed in every ``done`` line.
 PROTOCOL_VERSION = 1
+
+#: Read granularity of the bounded line reader (bytes per ``read`` call).
+_READ_CHUNK = 65536
 
 MIN_MAKESPAN_WIRE = "min_makespan"
 MIN_RESOURCE_WIRE = "min_resource"
@@ -185,6 +210,34 @@ def _normalize(problem: Problem) -> Problem:
 # the server
 # ---------------------------------------------------------------------------
 
+@dataclass
+class ServerStats:
+    """Wire-level counters of one :class:`SweepServer` lifetime.
+
+    These sit *in front* of the service's
+    :class:`~repro.engine.async_service.AsyncSweepStats`: everything the
+    service never sees (protocol faults, admission rejections, dropped
+    slow readers) is only visible here.  Exported by the ``stats`` and
+    ``metrics`` ops under ``"server"``.
+    """
+
+    #: Client connections accepted.
+    connections: int = 0
+    #: Request lines parsed well enough to dispatch an op.
+    requests: int = 0
+    #: Wire-protocol faults answered with a structured error line
+    #: (malformed JSON, non-object line, unknown op, oversized line).
+    protocol_errors: int = 0
+    #: The subset of ``protocol_errors`` caused by lines longer than
+    #: ``max_line_bytes`` (their bytes are discarded, never parsed).
+    oversized_lines: int = 0
+    #: Sweeps refused at the admission limit (``rejected`` lines sent).
+    rejections: int = 0
+    #: Connections aborted because the client stalled reading past
+    #: ``drain_timeout`` while the server had responses to flush.
+    slow_reader_drops: int = 0
+
+
 class SweepServer:
     """Newline-delimited-JSON front end over an :class:`AsyncSweepService`.
 
@@ -192,15 +245,58 @@ class SweepServer:
     every request line inside a connection is served concurrently too
     (responses are tagged with the request's ``id`` and may interleave --
     per-scenario results stream back the moment their futures resolve).
+
+    Parameters
+    ----------
+    max_line_bytes:
+        Longest request line accepted; longer lines are discarded without
+        parsing and answered with a structured error (the connection
+        survives).  Bounds per-connection buffer memory against oversized
+        or hostile payloads.
+    drain_timeout:
+        With a value, a response write whose ``drain()`` stalls longer
+        than this many seconds aborts the connection (counted in
+        ``stats.slow_reader_drops``) -- a reader that stopped reading
+        must not pin server memory.  ``None`` (default) waits forever.
+    write_buffer_limit:
+        Optional transport high-water mark in bytes (per connection);
+        smaller values make ``drain()`` engage earlier.  Mostly for the
+        slow-reader chaos tests and the load harness.
+    socket_sndbuf:
+        Optional ``SO_SNDBUF`` for accepted connections; shrinking it
+        makes slow-reader behaviour reproducible (the kernel otherwise
+        absorbs hundreds of KB before ``drain()`` ever blocks).
+    admission_limit:
+        With a value, a sweep arriving while ``queue_depth() +
+        inflight_count()`` is at or above it is *rejected* immediately
+        (``{"rejected": true}`` line, ``stats.rejections``) instead of
+        blocking at the bounded queue.  ``None`` (default) keeps the pure
+        backpressure behaviour.
     """
 
     def __init__(self, service: AsyncSweepService, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 unix_socket: Optional[str] = None):
+                 unix_socket: Optional[str] = None,
+                 max_line_bytes: int = 1 << 20,
+                 drain_timeout: Optional[float] = None,
+                 write_buffer_limit: Optional[int] = None,
+                 socket_sndbuf: Optional[int] = None,
+                 admission_limit: Optional[int] = None):
+        require(max_line_bytes > 0, "max_line_bytes must be positive")
+        require(drain_timeout is None or drain_timeout > 0,
+                "drain_timeout must be positive (or None)")
+        require(admission_limit is None or admission_limit >= 0,
+                "admission_limit must be >= 0 (or None)")
         self.service = service
         self.host = host
         self.port = port
         self.unix_socket = unix_socket
+        self.max_line_bytes = max_line_bytes
+        self.drain_timeout = drain_timeout
+        self.write_buffer_limit = write_buffer_limit
+        self.socket_sndbuf = socket_sndbuf
+        self.admission_limit = admission_limit
+        self.stats = ServerStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._request_tasks: set = set()
 
@@ -248,24 +344,88 @@ class SweepServer:
         await self.aclose()
 
     # -- request handling ----------------------------------------------
+    async def _next_line(self, reader: asyncio.StreamReader,
+                         buffer: bytearray) -> Tuple[Optional[bytes], bool]:
+        """The next newline-terminated line, bounded by ``max_line_bytes``.
+
+        Returns ``(line, oversized)``; ``(None, _)`` on EOF (or a dead
+        transport).  An oversized line is *discarded as it streams in* --
+        its bytes are never accumulated past the bound nor parsed -- and
+        reported as ``(b"", True)`` once its terminating newline arrives,
+        so the caller can answer with a structured error and keep the
+        connection alive.
+        """
+        oversized = False
+        while True:
+            newline = buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(buffer[:newline])
+                del buffer[:newline + 1]
+                if oversized or len(line) > self.max_line_bytes:
+                    return b"", True
+                return line, False
+            if len(buffer) > self.max_line_bytes:
+                oversized = True
+                del buffer[:]
+            try:
+                chunk = await reader.read(_READ_CHUNK)
+            except (ConnectionError, OSError):
+                return None, oversized
+            if not chunk:
+                return None, oversized
+            buffer.extend(chunk)
+
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
+        self.stats.connections += 1
+        if self.socket_sndbuf is not None:
+            sock = writer.get_extra_info("socket")
+            if sock is not None:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                self.socket_sndbuf)
+        if self.write_buffer_limit is not None:
+            writer.transport.set_write_buffer_limits(
+                high=self.write_buffer_limit)
         write_lock = asyncio.Lock()
+        alive = True
 
         async def send(obj: Dict[str, Any]) -> None:
+            nonlocal alive
+            if not alive:
+                return  # dropped/dead connection; results stay persisted
             async with write_lock:
+                if not alive:
+                    return
                 try:
                     writer.write(json.dumps(obj, sort_keys=True).encode() + b"\n")
-                    await writer.drain()
+                    if self.drain_timeout is not None:
+                        await asyncio.wait_for(writer.drain(),
+                                               self.drain_timeout)
+                    else:
+                        await writer.drain()
+                except asyncio.TimeoutError:
+                    # The client stalled reading while we had output to
+                    # flush: drop it rather than pin buffers forever.
+                    alive = False
+                    self.stats.slow_reader_drops += 1
+                    writer.transport.abort()
                 except (ConnectionError, RuntimeError):
-                    pass  # client went away; the solve results stay persisted
+                    alive = False  # client went away; results stay persisted
 
+        buffer = bytearray()
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                raw, oversized = await self._next_line(reader, buffer)
+                if raw is None:
                     break
-                line = line.strip()
+                if oversized:
+                    self.stats.protocol_errors += 1
+                    self.stats.oversized_lines += 1
+                    await send({"id": None,
+                                "error": "oversized request line "
+                                         f"(> {self.max_line_bytes} bytes)"})
+                    continue
+                line = raw.strip()
                 if not line:
                     continue
                 try:
@@ -273,6 +433,7 @@ class SweepServer:
                     require(isinstance(request, dict),
                             "request lines must be JSON objects")
                 except (json.JSONDecodeError, ValidationError) as exc:
+                    self.stats.protocol_errors += 1
                     await send({"id": None, "error": f"bad request line: {exc}"})
                     continue
                 task = asyncio.create_task(self._serve_request(request, send))
@@ -285,9 +446,22 @@ class SweepServer:
             except (ConnectionError, OSError):
                 pass
 
+    def _overloaded(self) -> bool:
+        """Is the service at (or past) the admission limit right now?"""
+        return (self.admission_limit is not None
+                and (self.service.queue_depth()
+                     + self.service.inflight_count()) >= self.admission_limit)
+
+    async def _reject(self, request_id: Any, send) -> None:
+        self.stats.rejections += 1
+        await send({"id": request_id, "rejected": True,
+                    "error": "overloaded: admission limit reached "
+                             f"({self.admission_limit} requests pending)"})
+
     async def _serve_request(self, request: Dict[str, Any], send) -> None:
         request_id = request.get("id")
         op = request.get("op", "sweep")
+        self.stats.requests += 1
         try:
             if op == "ping":
                 await send({"id": request_id, "pong": True})
@@ -295,12 +469,18 @@ class SweepServer:
                 stats = vars(self.service.stats).copy()
                 stats["queue_depth"] = self.service.queue_depth()
                 stats["inflight"] = self.service.inflight_count()
+                stats["server"] = vars(self.stats).copy()
                 await send({"id": request_id, "stats": stats})
+            elif op == "metrics":
+                metrics = self.service.snapshot()
+                metrics["server"] = vars(self.stats).copy()
+                await send({"id": request_id, "metrics": metrics})
             elif op == "sweep":
                 await self._serve_sweep(request_id, request, send)
             elif op == "sweep_spec":
                 await self._serve_sweep_spec(request_id, request, send)
             else:
+                self.stats.protocol_errors += 1
                 await send({"id": request_id, "error": f"unknown op {op!r}"})
         except (ValidationError, ValueError, TypeError, KeyError,
                 RuntimeError) as exc:
@@ -335,6 +515,9 @@ class SweepServer:
 
     async def _serve_sweep(self, request_id: Any, request: Dict[str, Any],
                            send) -> None:
+        if self._overloaded():
+            await self._reject(request_id, send)
+            return
         scenarios = request.get("scenarios")
         require(isinstance(scenarios, list) and scenarios,
                 "sweep requests need a non-empty 'scenarios' list")
@@ -349,6 +532,9 @@ class SweepServer:
     async def _serve_sweep_spec(self, request_id: Any, request: Dict[str, Any],
                                 send) -> None:
         """Serve one spec-native sweep: expand, submit, stream per cell."""
+        if self._overloaded():
+            await self._reject(request_id, send)
+            return
         grid_payload = request.get("grid")
         spec_payloads = request.get("specs")
         require((grid_payload is None) != (spec_payloads is None),
@@ -468,6 +654,42 @@ async def request_sweep_spec(scenarios: Union[ScenarioGrid,
                                  unix_socket=unix_socket)
 
 
+async def request_metrics(*, host: str = "127.0.0.1",
+                          port: Optional[int] = None,
+                          unix_socket: Optional[str] = None,
+                          request_id: str = "metrics-1") -> Dict[str, Any]:
+    """One-shot asyncio client for the ``metrics`` op.
+
+    Returns the server's counter snapshot
+    (:meth:`~repro.engine.async_service.AsyncSweepService.snapshot` plus
+    the wire-level :class:`ServerStats` under ``"server"``).  Raises
+    :class:`ValidationError` on a server-reported error.
+    """
+    if unix_socket:
+        reader, writer = await asyncio.open_unix_connection(unix_socket)
+    else:
+        require(port is not None, "the client helpers need port= or unix_socket=")
+        reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps({"op": "metrics", "id": request_id}).encode()
+                     + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        require(bool(line), "server closed the connection mid-request")
+        response = json.loads(line)
+        if response.get("error"):
+            raise ValidationError(f"server error: {response['error']}")
+        require(isinstance(response.get("metrics"), dict),
+                "metrics reply must carry a 'metrics' object")
+        return response["metrics"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -498,6 +720,15 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="max scenarios per executor task")
     parser.add_argument("--time-limit", type=float, default=None,
                         help="per-solve soft time limit in seconds")
+    parser.add_argument("--admission-limit", type=int, default=None,
+                        help="reject sweeps (instead of blocking) once this "
+                             "many requests are queued or in flight")
+    parser.add_argument("--max-line-bytes", type=int, default=1 << 20,
+                        help="longest accepted request line (default 1 MiB); "
+                             "longer lines get a structured error")
+    parser.add_argument("--drain-timeout", type=float, default=None,
+                        help="drop a connection whose reader stalls longer "
+                             "than this many seconds (default: wait forever)")
     return parser
 
 
@@ -512,7 +743,10 @@ async def _run_server(args: argparse.Namespace) -> None:
         shard_size=args.shard_size,
         manifest=args.manifest)
     server = SweepServer(service, host=args.host, port=args.port,
-                         unix_socket=args.unix)
+                         unix_socket=args.unix,
+                         max_line_bytes=args.max_line_bytes,
+                         drain_timeout=args.drain_timeout,
+                         admission_limit=args.admission_limit)
     await server.start()
     print(f"repro.serve: listening on {server.address} "
           f"(executor={args.executor}, store={args.store or 'none'})",

@@ -387,6 +387,52 @@ class TestClosedStateErrors:
             portfolio.close()
 
 
+class TestMetricsSnapshot:
+    def test_snapshot_tiers_sum_to_requests_on_mixed_run(self, tmp_path):
+        """snapshot(): requests == deduped + store_hits + computed +
+        failed + cancelled after a mixed warm/cold submit_specs run."""
+        from repro.scenarios import Axis, ScenarioGrid
+
+        grid = ScenarioGrid(
+            generators=({"generator": "fork-join",
+                         "params": {"width": Axis([2, 3]), "work": 4}},),
+            budget_rules=(("makespan-factor", 0.5),))
+
+        async def body():
+            service = _service(tmp_path,
+                               limits=SolveLimits(max_exact_combinations=1))
+            async with service:
+                await (await service.submit_specs(grid)).results()  # cold
+                await (await service.submit_specs(grid)).results()  # warm
+                # in-batch duplicate -> tier-0 dedup
+                await (await service.submit(
+                    _scenarios((1.0, 2.0, 1.0)))).results()
+                # a failing slot -> failed
+                failing = await service.submit(_scenarios((9.0,)),
+                                               "exact-enumeration")
+                assert (await failing.results())[0].source == "failed"
+                await service.drain()
+                snapshot = service.snapshot()
+            stats = snapshot["service"]
+            assert stats["requests"] == (
+                stats["deduped"] + stats["store_hits"] + stats["computed"]
+                + stats["failed"] + stats["cancelled"])
+            assert stats["requests"] == 2 * grid.size() + 3 + 1
+            assert stats["store_hits"] == grid.size()
+            assert stats["computed"] == grid.size() + 2
+            assert stats["deduped"] == 1
+            assert stats["failed"] == 1
+            assert stats["queue_depth"] == 0 and stats["inflight"] == 0
+            assert snapshot["snapshot_schema"] == 1
+            assert snapshot["store"]["writes"] >= grid.size()
+            for section in ("service", "store", "lru", "kernels",
+                            "materializations"):
+                assert section in snapshot
+            # the snapshot is JSON-serializable as-is (the wire contract)
+            json.dumps(snapshot)
+        run_async(body())
+
+
 class TestWireProtocol:
     def test_problem_payload_round_trip_preserves_fingerprints(self):
         from repro.engine.fingerprint import dag_fingerprint
