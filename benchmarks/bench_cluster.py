@@ -1,0 +1,292 @@
+"""E20 -- the 3-runner cluster: routing affinity, store safety, parity.
+
+The cluster (:mod:`repro.cluster`) must be a pure *where* change: moving
+a sweep from one :class:`~repro.engine.async_service.AsyncSweepService`
+to N consistent-hash-routed runners over one shared store may change
+which process answers, never the answers.  Three phases, all gated on
+machine-independent counters (wall clock is recorded, never gated):
+
+* **parity** -- a single-runner sweep warms a store; a 3-runner cluster
+  sweep over the *same* root must return bit-identical ``(key, report)``
+  payloads (every cell a store hit), with routing affinity 1.0 (every
+  cell answered by its ring-primary runner) and zero re-routes.
+* **traffic** -- the seeded loadgen schedule replays against the cluster
+  (cold shared store, three runners writing concurrently).  The
+  aggregated dedup ratio must equal a single runner's on the identical
+  schedule -- consistent-hash routing keeps each unique cell on one
+  runner, so cluster-wide dedup loses nothing -- and the aggregated
+  store counters must show zero lock timeouts, zero corruption and zero
+  stale takeovers.
+* **failover** -- a runner dies mid-fleet; the re-routed sweep must
+  still deliver every cell (store-backed recovery) and the loss must be
+  visible in the router stats, not in the results.
+
+Run standalone:  python benchmarks/bench_cluster.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import tempfile
+
+from repro import Portfolio, clear_caches
+from repro.cluster import ClusterClient, LocalCluster
+from repro.engine import set_solution_store
+from repro.engine.async_service import AsyncSweepService
+from repro.engine.store import report_to_payload
+from repro.loadgen import build_schedule, run_load
+from repro.scenarios import Axis, ScenarioGrid
+from repro.serve import SweepServer
+
+from bench_common import emit, parse_json_flag, write_json_artifact
+
+RUNNERS = 3
+REQUESTS = 300
+QUICK_REQUESTS = 60
+RATE = 200.0
+SKEW = 1.2
+SEED = 0
+
+GRID = ScenarioGrid(
+    generators=({"generator": "fork-join",
+                 "params": {"width": Axis([2, 3, 4]), "work": Axis([4, 8])}},),
+    budget_rules=(("makespan-factor", 0.5), ("makespan-factor", 0.75)),
+)
+
+
+def _fresh_state():
+    clear_caches()
+    set_solution_store(None)
+
+
+def run_parity_phase():
+    """Single-runner sweep, then a cluster sweep over the same warm store."""
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        store_root = f"{tmp}/store"
+
+        async def single():
+            service = AsyncSweepService(
+                store=store_root,
+                portfolio=Portfolio(executor="thread", max_workers=2))
+            async with service:
+                ticket = await service.submit_specs(GRID)
+                return await ticket.results()
+
+        _fresh_state()
+        expected = [(r.key, report_to_payload(r.report, r.key))
+                    for r in asyncio.run(single())]
+
+        async def clustered():
+            async with LocalCluster(RUNNERS,
+                                    store_root=store_root) as cluster:
+                client = ClusterClient(cluster.addresses())
+                results = await client.sweep_specs(GRID)
+                return results, client.stats
+
+        _fresh_state()
+        results, stats = asyncio.run(clustered())
+
+    got = [(r["key"], r["report"]) for r in results]
+    return {
+        "bit_identical": (json.dumps(got, sort_keys=True)
+                          == json.dumps(expected, sort_keys=True)),
+        "store_sourced": sum(r["source"] == "store" for r in results),
+        "cells": stats.cells,
+        "affinity": round(stats.affinity(), 6),
+        "reroutes": stats.reroutes,
+        "answering_runners": len({r["runner"] for r in results}),
+    }
+
+
+def _load_once(schedule, *, cluster_size):
+    """One loadgen replay: against a cluster, or one plain server."""
+
+    async def clustered():
+        async with LocalCluster(cluster_size) as cluster:
+            return await run_load(schedule, GRID,
+                                  cluster=cluster.addresses(),
+                                  time_scale=0.0)
+
+    async def single():
+        with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+            service = AsyncSweepService(
+                store=f"{tmp}/store",
+                portfolio=Portfolio(executor="thread", max_workers=2))
+            async with SweepServer(service,
+                                   unix_socket=f"{tmp}/sweep.sock") as server:
+                return await run_load(schedule, GRID,
+                                      unix_socket=server.unix_socket,
+                                      time_scale=0.0)
+
+    _fresh_state()
+    return asyncio.run(clustered() if cluster_size else single())
+
+
+def run_traffic_phase(requests: int):
+    """Identical seeded schedule against the cluster and a single runner."""
+    schedule = build_schedule("poisson", rate=RATE, count=requests,
+                              num_cells=GRID.size(), skew=SKEW, seed=SEED)
+    cluster_report = _load_once(schedule, cluster_size=RUNNERS)
+    single_report = _load_once(schedule, cluster_size=0)
+    store = cluster_report.snapshot["store"]
+    cluster_metrics = cluster_report.machine_independent()
+    single_metrics = single_report.machine_independent()
+    return {
+        "requests": cluster_metrics["requests"],
+        "delivered": cluster_metrics["delivered"],
+        "unique_cells": cluster_metrics["unique_cells"],
+        "dedup_ratio": cluster_metrics["dedup_ratio"],
+        "cells_solved": cluster_metrics["cells_solved"],
+        "single_dedup_ratio": single_metrics["dedup_ratio"],
+        "dedup_matches_single": (cluster_metrics["dedup_ratio"]
+                                 == single_metrics["dedup_ratio"]),
+        "reconciled": (cluster_metrics["reconciled"]
+                       and single_metrics["reconciled"]),
+        "lock_timeouts": store["lock_timeouts"],
+        "corrupt_shards": store["corrupt_shards"],
+        "stale_locks_recovered": store["stale_locks_recovered"],
+        "reporting_runners": len(cluster_report.snapshot["runners"]),
+        "wall_s": cluster_report.wall_s,
+        "latency_ms": cluster_report.latency_ms,
+    }
+
+
+def run_failover_phase():
+    """Kill one runner between sweeps; the re-route must deliver all cells."""
+
+    async def body():
+        async with LocalCluster(RUNNERS) as cluster:
+            client = ClusterClient(cluster.addresses(), request_timeout=60.0)
+            warm = await client.sweep_specs(GRID)
+            cluster.kill(warm[0]["runner"])
+            again = await client.sweep_specs(GRID)
+            return warm, again, client.stats, len(client.healthy)
+
+    _fresh_state()
+    warm, again, stats, healthy = asyncio.run(body())
+    return {
+        "delivered_after_kill": sum(r["report"] is not None for r in again),
+        "keys_stable": [r["key"] for r in warm] == [r["key"] for r in again],
+        "store_recovered": sum(r["source"] == "store" for r in again),
+        "failover_reroutes": stats.reroutes,
+        "healthy_after_kill": healthy,
+    }
+
+
+def run_comparison(requests: int):
+    stats = {"runners": RUNNERS, "grid_cells": GRID.size()}
+    stats.update(run_parity_phase())
+    stats.update(run_traffic_phase(requests))
+    stats.update(run_failover_phase())
+    return stats
+
+
+def check(stats) -> bool:
+    return (stats["bit_identical"]
+            and stats["store_sourced"] == stats["grid_cells"]
+            # the acceptance gate: >= 95% affinity, achieved exactly
+            and stats["affinity"] >= 0.95
+            and stats["reroutes"] == 0
+            # store safety under three concurrent writer runners
+            and stats["lock_timeouts"] == 0
+            and stats["corrupt_shards"] == 0
+            and stats["stale_locks_recovered"] == 0
+            and stats["dedup_matches_single"]
+            and stats["reconciled"]
+            and stats["reporting_runners"] == RUNNERS
+            # failover: every cell still answered, from the shared store
+            and stats["delivered_after_kill"] == stats["grid_cells"]
+            and stats["keys_stable"]
+            and stats["store_recovered"] == stats["grid_cells"]
+            and stats["failover_reroutes"] > 0
+            and stats["healthy_after_kill"] == RUNNERS - 1)
+
+
+def render(stats) -> str:
+    return "\n".join([
+        f"parity:   {stats['cells']} cells over {stats['runners']} runners; "
+        f"bit-identical to single runner: {stats['bit_identical']} "
+        f"({stats['store_sourced']} store hits, affinity "
+        f"{stats['affinity']:.3f}, {stats['reroutes']} re-routes, "
+        f"{stats['answering_runners']} runners answering)",
+        f"traffic:  {stats['delivered']}/{stats['requests']} delivered, "
+        f"dedup {stats['dedup_ratio']:.4f} vs single-runner "
+        f"{stats['single_dedup_ratio']:.4f} (match: "
+        f"{stats['dedup_matches_single']}); store counters -- "
+        f"lock_timeouts={stats['lock_timeouts']} "
+        f"corrupt_shards={stats['corrupt_shards']} "
+        f"stale={stats['stale_locks_recovered']}",
+        f"failover: killed 1/{stats['runners']} runners; "
+        f"{stats['delivered_after_kill']}/{stats['grid_cells']} cells "
+        f"delivered ({stats['store_recovered']} from the shared store, "
+        f"{stats['failover_reroutes']} re-routed), keys stable: "
+        f"{stats['keys_stable']}",
+    ])
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_cluster_parity_affinity_and_store_safety(benchmark):
+    stats = run_comparison(QUICK_REQUESTS)
+    emit("E20 / 3-runner cluster -- parity, affinity, store safety",
+         render(stats))
+    assert check(stats), stats
+    benchmark(lambda: stats["affinity"])
+
+
+# ---------------------------------------------------------------------------
+# standalone mode
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_cluster.py [--quick] [--json PATH]")
+
+    stats = run_comparison(QUICK_REQUESTS if quick else REQUESTS)
+    print(render(stats))
+
+    ok = check(stats)
+    print(f"\ncluster bit-identical, affine, store-safe, failover-clean: {ok}")
+
+    if json_path:
+        write_json_artifact(json_path, {
+            "benchmark": "bench_cluster",
+            "quick": quick,
+            "runners": stats["runners"],
+            "grid_cells": stats["grid_cells"],
+            "bit_identical": stats["bit_identical"],
+            "store_sourced": stats["store_sourced"],
+            "affinity": stats["affinity"],
+            "reroutes": stats["reroutes"],
+            "requests": stats["requests"],
+            "delivered": stats["delivered"],
+            "unique_cells": stats["unique_cells"],
+            "dedup_ratio": stats["dedup_ratio"],
+            "single_dedup_ratio": stats["single_dedup_ratio"],
+            "dedup_matches_single": stats["dedup_matches_single"],
+            "reconciled": stats["reconciled"],
+            "lock_timeouts": stats["lock_timeouts"],
+            "corrupt_shards": stats["corrupt_shards"],
+            "stale_locks_recovered": stats["stale_locks_recovered"],
+            "reporting_runners": stats["reporting_runners"],
+            "delivered_after_kill": stats["delivered_after_kill"],
+            "keys_stable": stats["keys_stable"],
+            "store_recovered": stats["store_recovered"],
+            "failover_reroutes": stats["failover_reroutes"],
+            "healthy_after_kill": stats["healthy_after_kill"],
+            # recorded for the curious, never gated (machine-dependent)
+            "latency_p50_ms": stats["latency_ms"]["p50"],
+            "latency_p95_ms": stats["latency_ms"]["p95"],
+            "wall_s": stats["wall_s"],
+            "ok": ok,
+        })
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

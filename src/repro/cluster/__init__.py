@@ -1,0 +1,44 @@
+"""Multi-runner sweep cluster: consistent-hash routing over serve workers.
+
+``repro.serve`` is one process over one
+:class:`~repro.engine.async_service.AsyncSweepService`; this package turns
+N such processes into **one logical deployment** sharing a single
+:class:`~repro.engine.store.SolutionStore`:
+
+* :class:`~repro.cluster.ring.HashRing` -- deterministic consistent
+  hashing with virtual nodes; the same cell digest always routes to the
+  same runner, and a join/leave moves only the keys that must move.
+* :class:`~repro.cluster.router.ClusterClient` -- the client-side router:
+  groups a spec sweep by ring placement, fires per-runner sub-requests,
+  reassembles streamed results in expansion order, fails over unanswered
+  cells to the next runner in preference order when a runner dies
+  mid-sweep, and aggregates the ``metrics`` op across runners.
+* :class:`~repro.cluster.router.RouterServer` -- the same router as a
+  standalone JSON-lines front (``python -m repro.cluster``), so
+  unmodified single-server clients talk to the whole cluster.
+* :class:`~repro.cluster.runners.LocalCluster` -- N in-process
+  unix-socket :class:`~repro.serve.SweepServer` runners over one store
+  root, with ``kill()`` for failover tests; and
+  :class:`~repro.cluster.runners.RunnerAddress`, the one way every layer
+  names a runner endpoint.
+
+Cross-process write safety for the shared store (per-shard advisory file
+locks, single-writer compaction election) lives in
+:mod:`repro.engine.store`; the cluster layer only *observes* it through
+store counters (``lock_timeouts``, ``stale_locks_recovered``,
+``compactions_skipped``).  See ``docs/serving.md`` ("Running a cluster").
+"""
+
+from repro.cluster.ring import HashRing
+from repro.cluster.router import ClusterClient, ClusterStats, RouterServer, aggregate_metrics
+from repro.cluster.runners import LocalCluster, RunnerAddress
+
+__all__ = [
+    "HashRing",
+    "RunnerAddress",
+    "LocalCluster",
+    "ClusterClient",
+    "ClusterStats",
+    "RouterServer",
+    "aggregate_metrics",
+]

@@ -1,0 +1,160 @@
+"""``python -m repro.cluster`` -- run the router front of a sweep cluster.
+
+Two deployment shapes:
+
+* ``--spawn N --store DIR`` -- fork N ``python -m repro.serve`` runner
+  *subprocesses* on unix sockets sharing ``DIR`` (the store's per-shard
+  advisory locking makes their concurrent writes safe), then serve the
+  router in front of them.  One command, a whole cluster::
+
+      python -m repro.cluster --spawn 3 --store var/solutions --port 7430
+
+* ``--runner SPEC`` (repeatable) -- front already-running runners
+  (``unix:/path``, ``host:port`` or bare ``port``)::
+
+      python -m repro.cluster --runner unix:/tmp/r0.sock \\
+                              --runner unix:/tmp/r1.sock --port 7430
+
+The router listens on TCP (``--port``) or a unix socket (``--unix``) and
+speaks the single-server JSON-lines protocol (``docs/serving.md``), so
+every existing client works unchanged against the cluster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from typing import List, Optional, Sequence
+
+from repro.cluster.router import ClusterClient, RouterServer
+from repro.cluster.runners import RunnerAddress
+from repro.utils.validation import require
+
+__all__ = ["main"]
+
+#: Seconds to wait for a spawned runner's socket to appear.
+_SPAWN_WAIT = 30.0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster",
+        description="Consistent-hash router front for N repro.serve runners.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7430,
+                        help="router TCP port (0 picks a free one)")
+    parser.add_argument("--unix", metavar="PATH", default=None,
+                        help="serve the router on a unix socket instead")
+    parser.add_argument("--runner", metavar="SPEC", action="append",
+                        default=[],
+                        help="existing runner endpoint (unix:/path, "
+                             "host:port or port); repeatable")
+    parser.add_argument("--spawn", type=int, metavar="N", default=0,
+                        help="spawn N repro.serve runner subprocesses on "
+                             "unix sockets (requires --store)")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="shared SolutionStore directory for --spawn "
+                             "runners")
+    parser.add_argument("--executor", choices=("process", "thread"),
+                        default="process",
+                        help="executor for --spawn runners")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker pool size per --spawn runner")
+    parser.add_argument("--vnodes", type=int, default=128,
+                        help="virtual nodes per runner on the hash ring")
+    parser.add_argument("--request-timeout", type=float, default=60.0,
+                        help="seconds before a runner sub-request fails over")
+    return parser
+
+
+def _spawn_runners(count: int, store: str, socket_dir: str, *,
+                   executor: str, workers: Optional[int]
+                   ) -> List[subprocess.Popen]:
+    """Start ``count`` serve subprocesses; blocks until sockets exist."""
+    processes: List[subprocess.Popen] = []
+    for i in range(count):
+        path = os.path.join(socket_dir, f"runner-{i}.sock")
+        command = [sys.executable, "-m", "repro.serve", "--unix", path,
+                   "--store", store, "--executor", executor,
+                   "--runner-id", f"runner-{i}"]
+        if workers is not None:
+            command.extend(["--workers", str(workers)])
+        processes.append(subprocess.Popen(command))
+    deadline = time.monotonic() + _SPAWN_WAIT
+    for i, process in enumerate(processes):
+        path = os.path.join(socket_dir, f"runner-{i}.sock")
+        while not os.path.exists(path):
+            require(process.poll() is None,
+                    f"runner-{i} exited with {process.returncode} "
+                    "before binding its socket")
+            require(time.monotonic() < deadline,
+                    f"runner-{i} did not bind {path} within {_SPAWN_WAIT}s")
+            time.sleep(0.05)
+    return processes
+
+
+async def _run_router(args: argparse.Namespace,
+                      addresses: List[RunnerAddress]) -> None:
+    client = ClusterClient(addresses, vnodes=args.vnodes,
+                           request_timeout=args.request_timeout)
+    health = await client.check_health()
+    down = sorted(name for name, ok in health.items() if not ok)
+    require(len(client.healthy) > 0,
+            f"no runner answered the initial health check: {down}")
+    router = RouterServer(client, host=args.host, port=args.port,
+                          unix_socket=args.unix)
+    await router.start()
+    print(f"repro.cluster: routing on {router.address} over "
+          f"{len(client.healthy)}/{len(addresses)} runners"
+          + (f" (down: {', '.join(down)})" if down else ""), flush=True)
+    try:
+        await router.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - Ctrl-C path
+        pass
+    finally:
+        await router.aclose()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.cluster``."""
+    args = _build_parser().parse_args(argv)
+    require(bool(args.runner) != (args.spawn > 0),
+            "need exactly one of --runner ... or --spawn N")
+    processes: List[subprocess.Popen] = []
+    socket_dir: Optional[tempfile.TemporaryDirectory] = None
+    if args.spawn:
+        require(args.store is not None, "--spawn requires --store DIR")
+        socket_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        processes = _spawn_runners(args.spawn, args.store, socket_dir.name,
+                                   executor=args.executor,
+                                   workers=args.workers)
+        addresses = [RunnerAddress(name=f"runner-{i}",
+                                   unix_socket=os.path.join(
+                                       socket_dir.name, f"runner-{i}.sock"))
+                     for i in range(args.spawn)]
+    else:
+        addresses = [RunnerAddress.parse(spec) for spec in args.runner]
+    try:
+        asyncio.run(_run_router(args, addresses))
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        print("repro.cluster: shutting down", flush=True)
+    finally:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                process.kill()
+        if socket_dir is not None:
+            socket_dir.cleanup()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Consistent-hash ring with virtual nodes -- the cluster's placement law.
+
+The router's one job is answering "which runner owns this cell?" the same
+way every time, from every process, with no shared state.  A
+:class:`HashRing` does it with the classic construction: each node is
+hashed onto a circle at ``vnodes`` positions (sha256 of ``"{node}#{i}"``),
+a key routes to the first node position clockwise from the key's own hash,
+and adding or removing a node only moves the keys whose clockwise arc
+changed -- in expectation ``1/n`` of the key space, never a full reshuffle.
+That *minimal movement* property is what keeps the surviving runners' warm
+LRU/skeleton caches warm across a join or leave.
+
+Everything is derived from sha256 of stable strings: two
+:class:`HashRing` instances built from the same node names agree exactly,
+whether they live in the router process, a client library, or a test --
+there is no registration protocol to drift.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.utils.validation import require
+
+__all__ = ["HashRing", "DEFAULT_VNODES"]
+
+#: Virtual nodes per runner.  128 keeps the per-runner share of a 3-5 node
+#: ring within a few percent of uniform while the ring stays tiny
+#: (hundreds of 8-byte positions) and O(log) to probe.
+DEFAULT_VNODES = 128
+
+
+def _position(token: str) -> int:
+    """A stable 64-bit ring position for one token."""
+    return int.from_bytes(hashlib.sha256(token.encode("utf-8")).digest()[:8],
+                          "big")
+
+
+class HashRing:
+    """Deterministic consistent hashing over named nodes.
+
+    Nodes are plain strings (runner names); keys are plain strings (spec
+    cell digests / request fingerprints).  The ring is cheap to copy and
+    rebuild -- mutation (:meth:`add` / :meth:`remove`) exists for
+    join/leave, not for performance.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), *,
+                 vnodes: int = DEFAULT_VNODES):
+        require(vnodes >= 1, "vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: List[str] = []
+        #: Sorted vnode positions and the node owning each (parallel lists).
+        self._positions: List[int] = []
+        self._owners: List[str] = []
+        for node in nodes:
+            self.add(node)
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """The member node names, in insertion order."""
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def _rebuild(self) -> None:
+        pairs: List[Tuple[int, str]] = []
+        for node in self._nodes:
+            for i in range(self.vnodes):
+                pairs.append((_position(f"{node}#{i}"), node))
+        # Ties (astronomically unlikely) resolve by node name so every
+        # replica of the ring still agrees.
+        pairs.sort()
+        self._positions = [p for p, _ in pairs]
+        self._owners = [n for _, n in pairs]
+
+    def add(self, node: str) -> None:
+        """Join one node (idempotent)."""
+        require(isinstance(node, str) and bool(node),
+                "ring nodes must be non-empty strings")
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        """Leave one node (idempotent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> str:
+        """The node owning ``key`` (the first vnode clockwise)."""
+        require(len(self._nodes) > 0, "cannot route on an empty ring")
+        index = bisect.bisect_right(self._positions, _position(key))
+        if index == len(self._positions):  # wrap past 2**64
+            index = 0
+        return self._owners[index]
+
+    def preference(self, key: str, limit: Optional[int] = None) -> List[str]:
+        """Distinct nodes in failover order for ``key``.
+
+        The first entry is :meth:`route`'s answer (the primary); each
+        subsequent entry is the next *distinct* owner clockwise -- exactly
+        where the key would live if every earlier entry left the ring, so
+        walking this list IS the deterministic rebalancing rule.
+        """
+        require(len(self._nodes) > 0, "cannot route on an empty ring")
+        want = len(self._nodes) if limit is None else min(limit, len(self._nodes))
+        start = bisect.bisect_right(self._positions, _position(key))
+        order: List[str] = []
+        seen: set = set()
+        for step in range(len(self._positions)):
+            owner = self._owners[(start + step) % len(self._positions)]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) >= want:
+                    break
+        return order
+
+    def shares(self, keys: Iterable[str]) -> Dict[str, int]:
+        """How many of ``keys`` each node owns (distribution diagnostics)."""
+        counts: Dict[str, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -253,6 +253,11 @@ class AsyncSweepService:
     durable:
         Fsync manifest checkpoints and open a path-constructed store with
         ``durable=True`` (see :class:`~repro.engine.store.SolutionStore`).
+    runner_id:
+        Optional stable name of this service inside a multi-runner
+        cluster (see :mod:`repro.cluster`); reported by :meth:`snapshot`
+        under ``"runner"`` so an aggregating router can attribute
+        counters per runner.
 
     Notes
     -----
@@ -271,7 +276,8 @@ class AsyncSweepService:
                  shard_size: int = 1,
                  validate: bool = True,
                  manifest: Optional[str] = None,
-                 durable: bool = False):
+                 durable: bool = False,
+                 runner_id: Optional[str] = None):
         require(queue_size > 0, "queue_size must be positive")
         require(shard_size > 0, "shard_size must be positive")
         require(max_concurrency is None or max_concurrency > 0,
@@ -293,6 +299,7 @@ class AsyncSweepService:
         self.shard_size = shard_size
         self.validate = validate
         self.manifest = manifest
+        self.runner_id = runner_id
         self.stats = AsyncSweepStats()
 
         self._queue: Optional[asyncio.Queue] = None
@@ -366,6 +373,7 @@ class AsyncSweepService:
         store = self.store
         return {
             "snapshot_schema": 1,
+            "runner": self.runner_id,
             "service": service,
             "store": store.counters() if store is not None else None,
             "lru": lru,

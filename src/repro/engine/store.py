@@ -32,6 +32,20 @@ Guarantees:
   half-written shard; with ``durable=True`` the temp file is fsynced
   before the rename and the shard directory after it (crash-consistent,
   covering ``meta.json`` too);
+* **cross-process write safety** -- with ``locking=True`` (the default)
+  every shard's read-modify-write cycle runs under a per-shard advisory
+  file lock (``fcntl.lockf`` with a timeout, plus a process-wide thread
+  lock because POSIX record locks do not exclude threads of one
+  process), so concurrent writer processes -- the multi-runner cluster
+  in :mod:`repro.cluster` -- never lose each other's entries; a holder
+  killed mid-write is taken over via its pid breadcrumb
+  (``stale_locks_recovered``), and a lock that cannot be acquired within
+  ``lock_timeout`` falls back to the lock-free atomic write (counted in
+  ``lock_timeouts``, availability over strictness);
+* **single-writer GC** -- :meth:`SolutionStore.compact` first wins a
+  store-wide compaction election (the same lock machinery); a store
+  that loses the election skips the run (``compactions_skipped``) so
+  only one runner compacts a shared store at a time;
 * **corruption tolerance** -- a truncated/unparseable shard (either
   format) or a schema mismatch is counted (``info()``) and treated as
   empty: the affected requests recompute and the next write repairs the
@@ -67,8 +81,16 @@ import os
 import struct
 import tempfile
 import threading
+import time
 from bisect import bisect_left
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # POSIX advisory record locks; gated so non-posix hosts still import
+    import fcntl
+    _HAS_FCNTL = True
+except ImportError:  # pragma: no cover - non-posix platform
+    fcntl = None  # type: ignore[assignment]
+    _HAS_FCNTL = False
 
 from repro.engine.fingerprint import (
     UnserializableSolutionError,
@@ -321,6 +343,178 @@ def _atomic_write_bytes(path: str, data: bytes, *, fsync: bool = False) -> None:
         raise
 
 
+# ---------------------------------------------------------------------------
+# cross-process advisory locking
+# ---------------------------------------------------------------------------
+#
+# Two layers, because POSIX record locks are *per process*: a process-wide
+# ``threading.Lock`` keyed by (store root, lock name) serialises store
+# instances inside one process (a second ``lockf`` from the same process
+# would succeed, and closing any fd to the file drops the process's
+# locks), and an ``fcntl.lockf`` on ``<root>/locks/<name>.lock``
+# serialises across processes.  The lock file carries the holder's pid as
+# a breadcrumb, truncated away on clean release -- so a new holder that
+# finds a dead pid knows it took over from a killed writer (with fcntl
+# the kernel already freed the lock at death; on the O_EXCL fallback for
+# hosts without fcntl the breadcrumb is what makes takeover possible at
+# all).  Lock files are never unlinked (unlink + recreate races two
+# acquirers onto different inodes).
+
+_LOCK_POLL_INTERVAL = 0.005
+
+_PROCESS_LOCKS: Dict[Tuple[str, str], threading.Lock] = {}
+_PROCESS_LOCKS_GUARD = threading.Lock()
+
+
+def _process_lock(root: str, name: str) -> threading.Lock:
+    """The process-wide thread lock for one (store root, lock name)."""
+    key = (root, name)
+    with _PROCESS_LOCKS_GUARD:
+        lock = _PROCESS_LOCKS.get(key)
+        if lock is None:
+            lock = _PROCESS_LOCKS[key] = threading.Lock()
+        return lock
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is a process with this pid still running (best effort)?"""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other-user process
+        return True
+    except OSError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
+class _HeldLock:
+    """One successfully acquired advisory lock; call :meth:`release`."""
+
+    __slots__ = ("_fd", "_owner_path", "_thread_lock", "contended",
+                 "stale_takeover")
+
+    def __init__(self, fd: Optional[int], owner_path: Optional[str],
+                 thread_lock: threading.Lock, *, contended: bool,
+                 stale_takeover: bool):
+        self._fd = fd
+        self._owner_path = owner_path
+        self._thread_lock = thread_lock
+        #: Another holder was seen while acquiring (lock contention).
+        self.contended = contended
+        #: The previous holder died without releasing (pid breadcrumb).
+        self.stale_takeover = stale_takeover
+
+    def release(self) -> None:
+        if self._fd is not None:
+            try:
+                os.ftruncate(self._fd, 0)
+                fcntl.lockf(self._fd, fcntl.LOCK_UN)
+            except OSError:  # pragma: no cover - fs teardown race
+                pass
+            try:
+                os.close(self._fd)
+            except OSError:  # pragma: no cover - fs teardown race
+                pass
+            self._fd = None
+        elif self._owner_path is not None:
+            try:
+                os.unlink(self._owner_path)
+            except OSError:  # pragma: no cover - fs teardown race
+                pass
+            self._owner_path = None
+        self._thread_lock.release()
+
+
+def _read_breadcrumb(source) -> Optional[int]:
+    """The pid recorded in a lock file (fd or path), or ``None``."""
+    try:
+        if isinstance(source, int):
+            raw = os.pread(source, 32, 0)
+        else:
+            with open(source, "rb") as handle:
+                raw = handle.read(32)
+    except OSError:
+        return None
+    text = raw.decode("ascii", "replace").strip()
+    return int(text) if text.isdigit() else None
+
+
+def _acquire_file_lock(path: str, thread_lock: threading.Lock,
+                       timeout: float) -> Optional[_HeldLock]:
+    """Acquire the advisory lock at ``path``; ``None`` on timeout.
+
+    Polls non-blocking acquisitions until ``timeout`` seconds have
+    passed -- a timeout releases everything it touched, so the caller
+    can degrade to a lock-free write instead of wedging.
+    """
+    deadline = time.monotonic() + timeout
+    if not thread_lock.acquire(timeout=timeout):
+        return None
+    contended = False
+    stale = False
+    try:
+        if _HAS_FCNTL:
+            fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+            try:
+                while True:
+                    try:
+                        fcntl.lockf(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                        break
+                    except (BlockingIOError, PermissionError):
+                        contended = True
+                        if time.monotonic() >= deadline:
+                            os.close(fd)
+                            thread_lock.release()
+                            return None
+                        time.sleep(_LOCK_POLL_INTERVAL)
+            except BaseException:
+                os.close(fd)
+                raise
+            previous = _read_breadcrumb(fd)
+            if previous is not None and previous != os.getpid() \
+                    and not _pid_alive(previous):
+                stale = True
+            try:
+                os.ftruncate(fd, 0)
+                os.pwrite(fd, str(os.getpid()).encode("ascii"), 0)
+            except OSError:  # pragma: no cover - breadcrumb is best effort
+                pass
+            return _HeldLock(fd, None, thread_lock, contended=contended,
+                             stale_takeover=stale)
+        # Fallback without fcntl: an O_EXCL owner file IS the lock; a dead
+        # holder's file is removed (stale takeover) instead of waited on.
+        owner_path = path + ".owner"
+        while True:
+            try:
+                fd = os.open(owner_path,
+                             os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                os.close(fd)
+                return _HeldLock(None, owner_path, thread_lock,
+                                 contended=contended, stale_takeover=stale)
+            except FileExistsError:
+                contended = True
+                previous = _read_breadcrumb(owner_path)
+                if previous is not None and not _pid_alive(previous):
+                    try:
+                        os.unlink(owner_path)
+                    except OSError:  # pragma: no cover - lost the race
+                        pass
+                    stale = True
+                    continue
+                if time.monotonic() >= deadline:
+                    thread_lock.release()
+                    return None
+                time.sleep(_LOCK_POLL_INTERVAL)
+    except BaseException:  # pragma: no cover - unexpected OS failure
+        thread_lock.release()
+        raise
+
+
 def report_to_payload(report, key: str) -> Dict[str, Any]:
     """Encode a :class:`~repro.engine.core.SolveReport` as a store entry.
 
@@ -407,18 +601,30 @@ class SolutionStore:
         directory after it).  Off by default -- atomicity alone already
         guarantees readers never see torn blobs; ``durable=True`` adds
         power-loss durability at the cost of one fsync pair per write.
+    locking:
+        Serialise each shard's read-modify-write cycle (and the
+        compaction election) under per-shard advisory file locks, so
+        concurrent writer *processes* sharing the store never lose each
+        other's entries.  On by default; the lock directory lives at
+        ``<root>/locks`` beside the shards.
+    lock_timeout:
+        Seconds to wait for an advisory lock before degrading to the
+        lock-free atomic write (counted in ``lock_timeouts``); also the
+        compaction-election patience.
     """
 
     def __init__(self, root: str, *, max_entries_per_shard: int = 4096,
                  shard_width: int = 2, cache_shards: bool = True,
                  max_total_entries: Optional[int] = None,
-                 shard_format: str = "binary", durable: bool = False):
+                 shard_format: str = "binary", durable: bool = False,
+                 locking: bool = True, lock_timeout: float = 10.0):
         require(max_entries_per_shard > 0, "max_entries_per_shard must be positive")
         require(1 <= shard_width <= 8, "shard_width must be in [1, 8]")
         require(max_total_entries is None or max_total_entries > 0,
                 "max_total_entries must be positive (or None to disable the GC)")
         require(shard_format in ("binary", "json"),
                 "shard_format must be 'binary' or 'json'")
+        require(lock_timeout > 0, "lock_timeout must be positive")
         self.root = os.path.abspath(root)
         self.max_entries_per_shard = max_entries_per_shard
         self.shard_width = shard_width
@@ -426,6 +632,11 @@ class SolutionStore:
         self.max_total_entries = max_total_entries
         self.shard_format = shard_format
         self.durable = durable
+        self.locking = locking
+        self.lock_timeout = lock_timeout
+        #: Key of the process-wide lock registry: symlink-stable so two
+        #: instances opened through different paths still serialise.
+        self._lock_root = os.path.realpath(self.root)
         self._shards: Dict[str, Dict[str, Any]] = {}
         #: Lazy binary readers: shard id -> reader (only shards whose sole
         #: on-disk form is packed v2; anything mixed falls back to a full
@@ -435,6 +646,12 @@ class SolutionStore:
         #: version): remembered so the failure is counted once, not on
         #: every lookup.  Cleared when the shard is rewritten.
         self._failed_readers: set = set()
+        #: On-disk identity of each cached shard at the moment it was
+        #: read (see :meth:`_shard_signature`).  A lookup that misses in
+        #: the cache compares against this to detect rewrites by *other*
+        #: processes sharing the root (atomic renames always change the
+        #: inode) and reloads once instead of reporting a stale miss.
+        self._shard_sigs: Dict[str, Tuple] = {}
         #: Global insertion sequence (next value to assign) and cached total
         #: entry count; both are established lazily by one full-store scan
         #: (:meth:`_seq_floor_scan`) and kept incrementally afterwards, so
@@ -463,7 +680,22 @@ class SolutionStore:
         self.scan_entries = 0
         self.scan_alias_skips = 0
         self.migrated_shards = 0
+        # Cross-process locking accounting (the cluster bench gates on
+        # these): acquisitions, contended acquisitions, acquisitions that
+        # timed out (degraded to a lock-free write), takeovers from a
+        # killed holder, and compaction runs skipped because another
+        # writer holds the election.
+        self.lock_acquires = 0
+        self.lock_waits = 0
+        self.lock_timeouts = 0
+        self.stale_locks_recovered = 0
+        self.compactions_skipped = 0
+        # Read-side cross-process coherence: cached shards found stale
+        # against their on-disk signature and reloaded mid-lookup.
+        self.stale_shard_reloads = 0
         os.makedirs(self._shard_dir, exist_ok=True)
+        if self.locking:
+            os.makedirs(self._lock_dir, exist_ok=True)
         self._write_meta_if_absent()
 
     # ------------------------------------------------------------------
@@ -476,6 +708,47 @@ class SolutionStore:
     @property
     def _meta_path(self) -> str:
         return os.path.join(self.root, "meta.json")
+
+    @property
+    def _lock_dir(self) -> str:
+        return os.path.join(self.root, "locks")
+
+    def _lock_path(self, name: str) -> str:
+        return os.path.join(self._lock_dir, f"{name}.lock")
+
+    def _guard(self, name: str, *, timeout: Optional[float] = None,
+               count_timeout: bool = True) -> Optional[_HeldLock]:
+        """Acquire one named advisory lock, with counter accounting.
+
+        Returns ``None`` when locking is disabled *or* the acquisition
+        timed out -- the caller proceeds either way (a shard write
+        degrades to the plain atomic-rename path, which is merely
+        last-writer-wins, never corrupt).  ``count_timeout=False`` keeps
+        an *expected* loss -- the compaction election -- out of the
+        ``lock_timeouts`` counter the benchmarks gate at zero.
+        """
+        if not self.locking:
+            return None
+        try:
+            os.makedirs(self._lock_dir, exist_ok=True)
+            held = _acquire_file_lock(
+                self._lock_path(name),
+                _process_lock(self._lock_root, name),
+                self.lock_timeout if timeout is None else timeout)
+        except OSError:  # pragma: no cover - unlockable filesystem
+            if count_timeout:
+                self.lock_timeouts += 1
+            return None
+        if held is None:
+            if count_timeout:
+                self.lock_timeouts += 1
+            return None
+        self.lock_acquires += 1
+        if held.contended:
+            self.lock_waits += 1
+        if held.stale_takeover:
+            self.stale_locks_recovered += 1
+        return held
 
     def _shard_id(self, key: str) -> str:
         require(isinstance(key, str) and len(key) >= self.shard_width,
@@ -492,6 +765,27 @@ class SolutionStore:
         """``(has_json, has_binary)`` for one shard id."""
         return (os.path.exists(self._json_path(shard_id)),
                 os.path.exists(self._binary_path(shard_id)))
+
+    @staticmethod
+    def _stat_sig(path: str) -> Optional[Tuple[int, int, int]]:
+        try:
+            stat = os.stat(path)
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_size, stat.st_mtime_ns)
+
+    def _shard_signature(self, shard_id: str) -> Tuple[Optional[Tuple[int, int, int]],
+                                                       Optional[Tuple[int, int, int]]]:
+        """On-disk identity of one shard: ``(json_sig, binary_sig)``.
+
+        Each side is ``(st_ino, st_size, st_mtime_ns)`` or ``None`` for
+        an absent file.  Every store write goes through an atomic
+        temp-file + rename, which allocates a fresh inode, so a rewrite
+        by any process -- including same-size, same-mtime ones -- always
+        changes the signature.
+        """
+        return (self._stat_sig(self._json_path(shard_id)),
+                self._stat_sig(self._binary_path(shard_id)))
 
     def _write_meta_if_absent(self) -> None:
         if os.path.exists(self._meta_path):
@@ -555,6 +849,10 @@ class SolutionStore:
         path = self._binary_path(shard_id)
         if not os.path.exists(path):
             return None
+        # Signature taken *before* the open: if the file is swapped
+        # mid-open we record the older identity and the next miss simply
+        # revalidates again (conservative, never stale-forever).
+        signature = self._shard_signature(shard_id)
         try:
             reader = _PackedShardReader(path)
             self.binary_shard_opens += 1
@@ -568,6 +866,7 @@ class SolutionStore:
             return None
         if self.cache_shards:
             self._readers[shard_id] = reader
+            self._shard_sigs[shard_id] = signature
         return reader
 
     def _decode_record(self, reader: _PackedShardReader,
@@ -614,6 +913,9 @@ class SolutionStore:
         """
         if self.cache_shards and shard_id in self._shards:
             return self._shards[shard_id]
+        # Signature before the read, so a concurrent rewrite makes the
+        # cached copy look stale (and reload) rather than current.
+        signature = self._shard_signature(shard_id)
         has_json, has_binary = self._shard_files(shard_id)
         entries: Dict[str, Any] = {}
         if has_json:
@@ -626,6 +928,7 @@ class SolutionStore:
                     entries[key] = entry
         if self.cache_shards:
             self._shards[shard_id] = entries
+            self._shard_sigs[shard_id] = signature
         return entries
 
     def _write_shard(self, shard_id: str, entries: Dict[str, Any]) -> None:
@@ -652,11 +955,13 @@ class SolutionStore:
         self._failed_readers.discard(shard_id)
         if self.cache_shards:
             self._shards[shard_id] = entries
+            self._shard_sigs[shard_id] = self._shard_signature(shard_id)
 
     def _invalidate_shard(self, shard_id: str) -> None:
         self._shards.pop(shard_id, None)
         self._readers.pop(shard_id, None)
         self._failed_readers.discard(shard_id)
+        self._shard_sigs.pop(shard_id, None)
 
     def _evict(self, entries: Dict[str, Any]) -> int:
         evicted = 0
@@ -729,12 +1034,39 @@ class SolutionStore:
     def _lookup(self, key: str) -> Optional[Dict[str, Any]]:
         """The entry for ``key`` (``__seq__`` included), or ``None``.
 
+        A miss against *cached* shard state is revalidated against the
+        on-disk signature before it is believed: when another process
+        sharing the root rewrote the shard since we cached it, the shard
+        is reloaded and the lookup retried once
+        (``stale_shard_reloads``).  Hits are served straight from the
+        cache -- entries are immutable once written, so a cached hit can
+        never be wrong, and the hot path stays stat-free.
+        """
+        shard_id = self._shard_id(key)
+        entry = self._lookup_once(shard_id, key)
+        if entry is not None or not self.cache_shards:
+            return entry
+        recorded = self._shard_sigs.get(shard_id)
+        if recorded is None:
+            # Nothing cached for this shard -- the miss came straight
+            # from disk and is genuine.
+            return None
+        if self._shard_signature(shard_id) == recorded:
+            return None
+        self._invalidate_shard(shard_id)
+        entry = self._lookup_once(shard_id, key)
+        if entry is not None:
+            self.stale_shard_reloads += 1
+        return entry
+
+    def _lookup_once(self, shard_id: str, key: str) -> Optional[Dict[str, Any]]:
+        """One lookup pass, trusting whatever shard state is cached.
+
         The fast path: a pure-binary shard resolves through the packed
         record table -- a binary search plus at most one payload decode
         (none at all for alias entries).  JSON or mixed shards fall back
         to the full decode they always required.
         """
-        shard_id = self._shard_id(key)
         if self.cache_shards and shard_id in self._shards:
             return self._shards[shard_id].get(key)
         has_json, has_binary = self._shard_files(shard_id)
@@ -779,22 +1111,29 @@ class SolutionStore:
             shard_id = self._shard_id(key)
             # Merge against the shard on disk, not a possibly-stale memory
             # copy, so entries another process wrote since our first read
-            # are kept (the remaining read-modify-write window is
-            # documented in docs/caching.md).
-            self._invalidate_shard(shard_id)
-            entries = dict(self._load_shard(shard_id))
-            fresh = key not in entries
-            entry = dict(payload)
-            entry["__seq__"] = self._allocate_seq()
-            entries[key] = entry
-            evicted = self._evict(entries)
+            # are kept; the per-shard advisory lock holds the whole
+            # read-modify-write cycle, closing the cross-process window
+            # (a timed-out lock degrades to the old last-writer-wins
+            # atomic write, counted in ``lock_timeouts``).
+            held = self._guard(shard_id)
             try:
-                self._write_shard(shard_id, entries)
-            except (OSError, TypeError, ValueError):
-                self.skipped_writes += 1
                 self._invalidate_shard(shard_id)
-                self._entry_total = None  # count is uncertain; rescan lazily
-                return False
+                entries = dict(self._load_shard(shard_id))
+                fresh = key not in entries
+                entry = dict(payload)
+                entry["__seq__"] = self._allocate_seq()
+                entries[key] = entry
+                evicted = self._evict(entries)
+                try:
+                    self._write_shard(shard_id, entries)
+                except (OSError, TypeError, ValueError):
+                    self.skipped_writes += 1
+                    self._invalidate_shard(shard_id)
+                    self._entry_total = None  # count uncertain; rescan lazily
+                    return False
+            finally:
+                if held is not None:
+                    held.release()
             self.writes += 1
             if self._entry_total is not None:
                 self._entry_total += (1 if fresh else 0) - evicted
@@ -816,22 +1155,27 @@ class SolutionStore:
         written = 0
         with self._lock:
             for shard_id, pairs in by_shard.items():
-                self._invalidate_shard(shard_id)
-                entries = dict(self._load_shard(shard_id))
-                fresh = 0
-                for key, payload in pairs:
-                    fresh += key not in entries
-                    entry = dict(payload)
-                    entry["__seq__"] = self._allocate_seq()
-                    entries[key] = entry
-                evicted = self._evict(entries)
+                held = self._guard(shard_id)
                 try:
-                    self._write_shard(shard_id, entries)
-                except (OSError, TypeError, ValueError):
-                    self.skipped_writes += len(pairs)
                     self._invalidate_shard(shard_id)
-                    self._entry_total = None  # count is uncertain; rescan lazily
-                    continue
+                    entries = dict(self._load_shard(shard_id))
+                    fresh = 0
+                    for key, payload in pairs:
+                        fresh += key not in entries
+                        entry = dict(payload)
+                        entry["__seq__"] = self._allocate_seq()
+                        entries[key] = entry
+                    evicted = self._evict(entries)
+                    try:
+                        self._write_shard(shard_id, entries)
+                    except (OSError, TypeError, ValueError):
+                        self.skipped_writes += len(pairs)
+                        self._invalidate_shard(shard_id)
+                        self._entry_total = None  # uncertain; rescan lazily
+                        continue
+                finally:
+                    if held is not None:
+                        held.release()
                 self.writes += len(pairs)
                 written += len(pairs)
                 if self._entry_total is not None:
@@ -917,39 +1261,71 @@ class SolutionStore:
         require(cap is not None and cap >= 0,
                 "compact() needs max_entries= or a store-level max_total_entries")
         with self._lock:
-            shard_entries = {shard_id: dict(self._load_shard(shard_id))
-                             for shard_id in self._shard_ids()}
-            total = sum(len(entries) for entries in shard_entries.values())
-            self.compactions += 1
-            excess = total - cap
-            if excess <= 0:
-                return 0
-            oldest_first = sorted(
-                (entry.get("__seq__", 0), shard_id, key)
-                for shard_id, entries in shard_entries.items()
-                for key, entry in entries.items())
-            touched = set()
-            for _seq, shard_id, key in oldest_first[:excess]:
-                del shard_entries[shard_id][key]
-                touched.add(shard_id)
-            written_ok = set()
-            for shard_id in sorted(touched):
-                try:
-                    self._write_shard(shard_id, shard_entries[shard_id])
-                    written_ok.add(shard_id)
-                except (OSError, TypeError, ValueError):
-                    self.skipped_writes += 1
-                    self._invalidate_shard(shard_id)
-            evicted = 0
-            for _seq, shard_id, _key in oldest_first[:excess]:
-                if shard_id in written_ok:
-                    self.evictions += 1
-                    evicted += 1
-            if written_ok == touched:
-                self._entry_total = total - evicted
-            else:
-                self._entry_total = None  # partial rewrite; rescan lazily
-            return evicted
+            election = None
+            if self.locking:
+                # Single-writer election: exactly one runner compacts a
+                # shared store at a time.  Losing is normal under a
+                # cluster (counted, never an error) -- the cap re-checks
+                # on this store's next write.
+                election = self._guard(
+                    "compaction", timeout=min(self.lock_timeout, 0.1),
+                    count_timeout=False)
+                if election is None:
+                    self.compactions_skipped += 1
+                    return 0
+            try:
+                shard_entries = {shard_id: dict(self._load_shard(shard_id))
+                                 for shard_id in self._shard_ids()}
+                total = sum(len(entries)
+                            for entries in shard_entries.values())
+                self.compactions += 1
+                excess = total - cap
+                if excess <= 0:
+                    return 0
+                oldest_first = sorted(
+                    (entry.get("__seq__", 0), shard_id, key)
+                    for shard_id, entries in shard_entries.items()
+                    for key, entry in entries.items())
+                victims: Dict[str, List[str]] = {}
+                for _seq, shard_id, key in oldest_first[:excess]:
+                    victims.setdefault(shard_id, []).append(key)
+                evicted = 0
+                clean = True
+                for shard_id in sorted(victims):
+                    # Each touched shard is re-read fresh under its own
+                    # advisory lock before the rewrite: entries a
+                    # concurrent writer added since victim selection are
+                    # carried, never clobbered.
+                    held = self._guard(shard_id)
+                    try:
+                        self._invalidate_shard(shard_id)
+                        entries = dict(self._load_shard(shard_id))
+                        removed = [key for key in victims[shard_id]
+                                   if key in entries]
+                        for key in removed:
+                            del entries[key]
+                        try:
+                            self._write_shard(shard_id, entries)
+                        except (OSError, TypeError, ValueError):
+                            self.skipped_writes += 1
+                            self._invalidate_shard(shard_id)
+                            clean = False
+                            continue
+                    finally:
+                        if held is not None:
+                            held.release()
+                    self.evictions += len(removed)
+                    evicted += len(removed)
+                if clean and not self.locking:
+                    self._entry_total = total - evicted
+                else:
+                    # Concurrent writers may have moved the count while we
+                    # compacted (or a rewrite failed); rescan lazily.
+                    self._entry_total = None
+                return evicted
+            finally:
+                if election is not None:
+                    election.release()
 
     def migrate(self, target_format: Optional[str] = None) -> Dict[str, int]:
         """Rewrite every shard into ``target_format`` (default: the store's
@@ -1113,6 +1489,7 @@ class SolutionStore:
             self._shards.clear()
             self._readers.clear()
             self._failed_readers.clear()
+            self._shard_sigs.clear()
             # Another process may have added entries (and higher sequence
             # numbers); rescan both lazily on next use.
             self._entry_total = None
@@ -1131,6 +1508,7 @@ class SolutionStore:
             self._shards.clear()
             self._readers.clear()
             self._failed_readers.clear()
+            self._shard_sigs.clear()
             self._entry_total = 0
             self._next_seq = None
             self.hits = self.misses = self.writes = 0
@@ -1140,6 +1518,9 @@ class SolutionStore:
             self.alias_fast_hits = self.binary_shard_opens = 0
             self.scans = self.scan_entries = self.scan_alias_skips = 0
             self.migrated_shards = 0
+            self.lock_acquires = self.lock_waits = self.lock_timeouts = 0
+            self.stale_locks_recovered = self.compactions_skipped = 0
+            self.stale_shard_reloads = 0
 
     def info(self) -> dict:
         """Statistics dict mirroring :meth:`LRUCache.info` plus store extras."""
@@ -1169,6 +1550,13 @@ class SolutionStore:
                 "scan_entries": self.scan_entries,
                 "scan_alias_skips": self.scan_alias_skips,
                 "migrated_shards": self.migrated_shards,
+                "locking": self.locking,
+                "lock_acquires": self.lock_acquires,
+                "lock_waits": self.lock_waits,
+                "lock_timeouts": self.lock_timeouts,
+                "stale_locks_recovered": self.stale_locks_recovered,
+                "compactions_skipped": self.compactions_skipped,
+                "stale_shard_reloads": self.stale_shard_reloads,
             }
 
     #: The numeric-counter subset of :meth:`info` exported to metrics
@@ -1181,7 +1569,9 @@ class SolutionStore:
         "compactions", "corrupt_shards", "schema_mismatches",
         "skipped_writes", "full_shard_parses", "payload_decodes",
         "alias_fast_hits", "binary_shard_opens", "scans", "scan_entries",
-        "scan_alias_skips", "migrated_shards",
+        "scan_alias_skips", "migrated_shards", "lock_acquires",
+        "lock_waits", "lock_timeouts", "stale_locks_recovered",
+        "compactions_skipped", "stale_shard_reloads",
     )
 
     def counters(self) -> Dict[str, int]:

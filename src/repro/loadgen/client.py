@@ -18,6 +18,14 @@ arrivals with wire faults on throwaway connections, so a chaos run
 exercises the server's degradation paths *while* normal traffic flows on
 the persistent connections.
 
+Cluster mode (``cluster=[RunnerAddress, ...]``) drives a whole
+:mod:`repro.cluster` deployment instead of one server: the client keeps
+one persistent connection per runner and routes every arrival on the same
+consistent-hash ring the cluster router uses (key: the cell's spec
+digest), so each cell's traffic lands on the runner whose caches are warm
+for it; :func:`run_load` then polls and aggregates ``metrics`` across all
+runners, and the report reconciles against the cluster-wide sums.
+
 The module also owns :func:`run_load` -- the one-call harness used by
 ``python -m repro.loadgen``, the benchmark and the tests: poll the
 ``metrics`` op, replay the schedule, poll again, and hand both snapshots
@@ -30,14 +38,15 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.cluster.ring import HashRing
+from repro.cluster.runners import RunnerAddress
 from repro.loadgen.arrivals import ArrivalSchedule
 from repro.loadgen.chaos import (
     FAULT_DISCONNECT,
     FAULT_MALFORMED,
-    FAULT_OVERSIZE,
     ChaosConfig,
     malformed_line,
     oversized_line,
@@ -148,6 +157,11 @@ class LoadClient:
     no realism; 1.0 replays in real time).  ``options`` and ``method``
     are passed through to every ``sweep_spec`` request and therefore
     become part of each cell's request fingerprint.
+
+    With ``cluster=`` the client targets N runners instead of one
+    server: one persistent connection per runner, each arrival routed by
+    consistent hash of its cell's spec digest (``connections`` is then
+    ignored -- the cluster topology decides the connection count).
     """
 
     def __init__(self, *, host: str = "127.0.0.1",
@@ -158,12 +172,22 @@ class LoadClient:
                  options: Optional[Dict[str, Any]] = None,
                  time_scale: float = 1.0,
                  request_timeout: float = 60.0,
-                 chaos: Optional[ChaosConfig] = None):
+                 chaos: Optional[ChaosConfig] = None,
+                 cluster: Optional[Sequence[RunnerAddress]] = None):
         require(connections >= 1, "the load client needs >= 1 connection")
         require(time_scale >= 0, "time_scale must be >= 0")
         require(request_timeout > 0, "request_timeout must be positive")
-        require(port is not None or unix_socket is not None,
-                "LoadClient needs port= or unix_socket=")
+        require(port is not None or unix_socket is not None
+                or cluster is not None,
+                "LoadClient needs port=, unix_socket= or cluster=")
+        self.cluster = list(cluster) if cluster is not None else None
+        self._ring: Optional[HashRing] = None
+        if self.cluster is not None:
+            require(len(self.cluster) >= 1, "cluster= needs >= 1 runner")
+            names = [r.name for r in self.cluster]
+            require(len(set(names)) == len(names),
+                    f"duplicate runner names: {sorted(names)}")
+            self._ring = HashRing(names)
         self.host = host
         self.port = port
         self.unix_socket = unix_socket
@@ -174,12 +198,23 @@ class LoadClient:
         self.request_timeout = request_timeout
         self.chaos = chaos
 
-    async def _open(self) -> _Connection:
-        if self.unix_socket:
-            reader, writer = await asyncio.open_unix_connection(self.unix_socket)
+    async def _open(self, address: Optional[RunnerAddress] = None
+                    ) -> _Connection:
+        unix_socket = self.unix_socket
+        host, port = self.host, self.port
+        if address is not None:
+            unix_socket = address.unix_socket
+            host, port = address.host, address.port
+        if unix_socket:
+            reader, writer = await asyncio.open_unix_connection(unix_socket)
         else:
-            reader, writer = await asyncio.open_connection(self.host, self.port)
+            reader, writer = await asyncio.open_connection(host, port)
         return _Connection(reader, writer)
+
+    def _route(self, spec: ScenarioSpec) -> str:
+        """The owning runner's name for one cell (cluster mode only)."""
+        assert self._ring is not None
+        return self._ring.route(spec.cell_digest())
 
     # ------------------------------------------------------------------
     async def run(self, schedule: ArrivalSchedule,
@@ -195,7 +230,21 @@ class LoadClient:
         require(schedule.num_cells <= len(specs),
                 f"schedule addresses {schedule.num_cells} cells but only "
                 f"{len(specs)} specs were provided")
-        conns = [await self._open() for _ in range(self.connections)]
+        if self.cluster is not None:
+            # One persistent connection per runner; arrivals route by the
+            # cell's ring placement (the cluster router's placement law),
+            # so each cell's traffic keeps hitting its warm runner.
+            by_runner = {address.name: await self._open(address)
+                         for address in self.cluster}
+            conns = list(by_runner.values())
+
+            def pick(index: int, cell: int) -> _Connection:
+                return by_runner[self._route(specs[cell])]
+        else:
+            conns = [await self._open() for _ in range(self.connections)]
+
+            def pick(index: int, cell: int) -> _Connection:
+                return conns[index % len(conns)]
         loop = asyncio.get_running_loop()
         started = loop.time()
         tasks: List[asyncio.Task] = []
@@ -211,7 +260,7 @@ class LoadClient:
                     coro = self._fire_fault(index, arrival.cell, fault,
                                             specs)
                 else:
-                    coro = self._fire_sweep(conns[index % len(conns)],
+                    coro = self._fire_sweep(pick(index, arrival.cell),
                                             index, arrival.cell,
                                             specs[arrival.cell])
                 tasks.append(asyncio.create_task(coro))
@@ -306,8 +355,14 @@ class LoadClient:
         sweep and vanish without reading.
         """
         start = time.perf_counter()
+        address = None
+        if self.cluster is not None:
+            # Faults follow the same placement as real traffic: a chaos
+            # disconnect's sweep must land on the cell's owning runner.
+            address = next(a for a in self.cluster
+                           if a.name == self._route(specs[cell]))
         try:
-            conn = await self._open()
+            conn = await self._open(address)
         except (ConnectionError, OSError) as exc:
             return RequestOutcome(index=index, cell=-1, kind=fault, ok=False,
                                   rejected=False,
@@ -351,6 +406,25 @@ class LoadClient:
 # the one-call harness
 # ---------------------------------------------------------------------------
 
+async def _poll_metrics(host: str, port: Optional[int],
+                        unix_socket: Optional[str],
+                        cluster: Optional[Sequence[RunnerAddress]]
+                        ) -> Dict[str, Any]:
+    """One ``metrics`` snapshot: a single server's, or the cluster sum."""
+    if cluster is None:
+        return await request_metrics(host=host, port=port,
+                                     unix_socket=unix_socket)
+    # Imported lazily: the router sits above this module in the layering
+    # (it routes *sweeps*; the load client only borrows its aggregation).
+    from repro.cluster.router import aggregate_metrics
+
+    snapshots = {address.name: await request_metrics(
+                     host=address.host, port=address.port,
+                     unix_socket=address.unix_socket)
+                 for address in cluster}
+    return aggregate_metrics(snapshots)
+
+
 async def run_load(schedule: ArrivalSchedule,
                    scenarios: Union[ScenarioGrid, Sequence[ScenarioSpec]], *,
                    host: str = "127.0.0.1", port: Optional[int] = None,
@@ -358,25 +432,30 @@ async def run_load(schedule: ArrivalSchedule,
                    connections: int = 4, method: str = "auto",
                    options: Optional[Dict[str, Any]] = None,
                    time_scale: float = 1.0, request_timeout: float = 60.0,
-                   chaos: Optional[ChaosConfig] = None) -> LoadReport:
+                   chaos: Optional[ChaosConfig] = None,
+                   cluster: Optional[Sequence[RunnerAddress]] = None
+                   ) -> LoadReport:
     """Metrics-before -> replay -> metrics-after -> reconciled report.
 
     The returned :class:`~repro.loadgen.report.LoadReport` embeds the
     server's full ``metrics`` snapshot and the before/after counter
     deltas alongside the client-side percentiles, so one object answers
     both "what did clients see" and "what did the server actually do".
+    With ``cluster=`` the replay routes across the runners (see
+    :class:`LoadClient`) and both snapshots are the cluster-wide
+    aggregates -- the reconciliation then checks the *sum* of every
+    runner's counters against the client's accounting.
     """
     specs = (list(scenarios.expand())
              if isinstance(scenarios, ScenarioGrid) else list(scenarios))
     client = LoadClient(host=host, port=port, unix_socket=unix_socket,
                         connections=connections, method=method,
                         options=options, time_scale=time_scale,
-                        request_timeout=request_timeout, chaos=chaos)
-    before = await request_metrics(host=host, port=port,
-                                   unix_socket=unix_socket)
+                        request_timeout=request_timeout, chaos=chaos,
+                        cluster=cluster)
+    before = await _poll_metrics(host, port, unix_socket, cluster)
     start = time.perf_counter()
     outcomes = await client.run(schedule, specs)
     wall = time.perf_counter() - start
-    after = await request_metrics(host=host, port=port,
-                                  unix_socket=unix_socket)
+    after = await _poll_metrics(host, port, unix_socket, cluster)
     return build_report(schedule, outcomes, before, after, wall)

@@ -272,6 +272,11 @@ class SweepServer:
         (``{"rejected": true}`` line, ``stats.rejections``) instead of
         blocking at the bounded queue.  ``None`` (default) keeps the pure
         backpressure behaviour.
+    runner_id:
+        Optional stable name of this runner inside a cluster (see
+        :mod:`repro.cluster`); echoed in every ``ping`` reply and stamped
+        on the service's ``metrics`` snapshot so an aggregating router
+        can attribute counters per runner.
     """
 
     def __init__(self, service: AsyncSweepService, *,
@@ -281,7 +286,8 @@ class SweepServer:
                  drain_timeout: Optional[float] = None,
                  write_buffer_limit: Optional[int] = None,
                  socket_sndbuf: Optional[int] = None,
-                 admission_limit: Optional[int] = None):
+                 admission_limit: Optional[int] = None,
+                 runner_id: Optional[str] = None):
         require(max_line_bytes > 0, "max_line_bytes must be positive")
         require(drain_timeout is None or drain_timeout > 0,
                 "drain_timeout must be positive (or None)")
@@ -296,9 +302,13 @@ class SweepServer:
         self.write_buffer_limit = write_buffer_limit
         self.socket_sndbuf = socket_sndbuf
         self.admission_limit = admission_limit
+        self.runner_id = runner_id
+        if runner_id is not None and service.runner_id is None:
+            service.runner_id = runner_id
         self.stats = ServerStats()
         self._server: Optional[asyncio.AbstractServer] = None
         self._request_tasks: set = set()
+        self._connections: set = set()
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> "SweepServer":
@@ -325,6 +335,23 @@ class SweepServer:
         require(self._server is not None, "call start() before serve_forever()")
         async with self._server:
             await self._server.serve_forever()
+
+    def abort(self) -> None:
+        """Hard-stop, as if the runner process died: no drain, no goodbyes.
+
+        Closes the listener and severs every live connection at the
+        transport (clients see a reset, not EOF).  Shards already running
+        in the pool still finish and persist -- exactly the store-backed
+        recovery a cluster router relies on when it re-routes the cells
+        this runner never answered.  The failover tests in
+        ``tests/test_cluster.py`` are the contract.
+        """
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._connections):
+            transport = writer.transport
+            if transport is not None:
+                transport.abort()
 
     async def aclose(self) -> None:
         """Stop accepting connections, finish pending requests, close."""
@@ -378,6 +405,7 @@ class SweepServer:
     async def _handle_client(self, reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         self.stats.connections += 1
+        self._connections.add(writer)
         if self.socket_sndbuf is not None:
             sock = writer.get_extra_info("socket")
             if sock is not None:
@@ -440,6 +468,7 @@ class SweepServer:
                 self._request_tasks.add(task)
                 task.add_done_callback(self._request_tasks.discard)
         finally:
+            self._connections.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -464,7 +493,10 @@ class SweepServer:
         self.stats.requests += 1
         try:
             if op == "ping":
-                await send({"id": request_id, "pong": True})
+                reply = {"id": request_id, "pong": True}
+                if self.runner_id is not None:
+                    reply["runner"] = self.runner_id
+                await send(reply)
             elif op == "stats":
                 stats = vars(self.service.stats).copy()
                 stats["queue_depth"] = self.service.queue_depth()
@@ -729,6 +761,9 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drain-timeout", type=float, default=None,
                         help="drop a connection whose reader stalls longer "
                              "than this many seconds (default: wait forever)")
+    parser.add_argument("--runner-id", default=None,
+                        help="stable runner name inside a cluster; echoed "
+                             "in ping replies and metrics snapshots")
     return parser
 
 
@@ -741,12 +776,14 @@ async def _run_server(args: argparse.Namespace) -> None:
         max_concurrency=args.concurrency,
         queue_size=args.queue_size,
         shard_size=args.shard_size,
-        manifest=args.manifest)
+        manifest=args.manifest,
+        runner_id=args.runner_id)
     server = SweepServer(service, host=args.host, port=args.port,
                          unix_socket=args.unix,
                          max_line_bytes=args.max_line_bytes,
                          drain_timeout=args.drain_timeout,
-                         admission_limit=args.admission_limit)
+                         admission_limit=args.admission_limit,
+                         runner_id=args.runner_id)
     await server.start()
     print(f"repro.serve: listening on {server.address} "
           f"(executor={args.executor}, store={args.store or 'none'})",

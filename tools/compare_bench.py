@@ -166,16 +166,32 @@ def compare(baseline_dir: str, current_dir: str,
         print(f"compare_bench: no baselines in {baseline_dir}")
         return 2
 
-    rows: List[List[str]] = []
-    artifacts: Dict[str, Dict[str, Any]] = {}
-    failures = 0
+    # Resolve every baseline -> artifact pair up front and fail on the
+    # FULL list of missing artifacts: a quick-bench step that silently
+    # skipped would otherwise drop its metrics from the table (and from
+    # the --write-trajectory entry) one file at a time.
+    pairs: List[Tuple[str, Dict[str, Any], str]] = []
+    missing: List[str] = []
     for name in names:
         baseline = load_json(os.path.join(baseline_dir, name))
         artifact_name = baseline.get("artifact", name)
         artifact_path = os.path.join(current_dir, artifact_name)
-        if not os.path.exists(artifact_path):
-            raise GateError(f"missing benchmark artifact {artifact_path} "
-                            f"(did the quick run produce it?)")
+        if os.path.exists(artifact_path):
+            pairs.append((name, baseline, artifact_path))
+        else:
+            missing.append(f"{artifact_path} (baseline {name})")
+    if missing:
+        raise GateError(
+            f"{len(missing)} baseline(s) have no benchmark artifact -- a "
+            f"quick-bench run was skipped or its --json path is wrong; the "
+            f"trajectory would silently lose these metrics:\n  "
+            + "\n  ".join(missing))
+
+    rows: List[List[str]] = []
+    artifacts: Dict[str, Dict[str, Any]] = {}
+    failures = 0
+    for name, baseline, artifact_path in pairs:
+        artifact_name = baseline.get("artifact", name)
         artifact = load_json(artifact_path)
         artifacts[artifact_name.replace(".json", "")] = artifact
         metrics = baseline.get("metrics")
