@@ -1,0 +1,286 @@
+"""E21 -- the incremental sweep engine: edit a grid, pay only for the edit.
+
+A 100+-cell grid that has already been swept should cost nothing to
+sweep again, and an *edited* grid (one axis value swapped) should cost
+exactly its new cells: the planning tier (:mod:`repro.engine.plan`)
+classifies every cell against the store and the v2 resume manifest in
+one batched pass before any shard forms, so unchanged cells never build
+a DAG, never enter a shard and never cross a cluster wire.  Four phases,
+all gated on machine-independent counters (wall clock is recorded,
+never gated):
+
+* **cold** -- sweep the original grid with a resume manifest: one DAG
+  build and one solve per unique cell;
+* **diff** -- :func:`repro.scenarios.grid_diff` against the edited grid
+  (one axis value swapped) reports the exact gained/lost/shared split
+  while building **zero** DAGs;
+* **warm edit** -- a fresh process sweeps the edited grid over the same
+  store + manifest: every shared cell resumes from the manifest with
+  zero DAG builds, only the gained cells are materialized and solved,
+  and the shared cells' stored payloads are bit-identical to the cold
+  sweep's;
+* **cluster** -- the swept grid re-submitted through a store-aware
+  :class:`~repro.cluster.ClusterClient` is answered entirely by the
+  router's local planning tier: zero cells cross the wire.
+
+Run standalone:  python benchmarks/bench_incremental.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro import clear_caches
+from repro.analysis import format_table
+from repro.cluster import ClusterClient, LocalCluster
+from repro.engine.portfolio import Portfolio
+from repro.engine.service import SweepService, load_manifest_state
+from repro.engine.store import SolutionStore, report_to_payload
+from repro.scenarios import (
+    Axis,
+    ScenarioGrid,
+    grid_diff,
+    materialization_info,
+    reset_materialization_counters,
+)
+
+from bench_common import emit, parse_json_flag, write_json_artifact
+
+#: 12 budget rules x the width axis = 12 cells per width value.
+BUDGET_RULES = tuple(("const", float(b)) for b in range(2, 14))
+
+
+def build_grid(widths) -> ScenarioGrid:
+    return ScenarioGrid(
+        generators=({"generator": "fork-join",
+                     "params": {"width": Axis(list(widths)), "work": 8}},),
+        seeds=(0,),
+        budget_rules=BUDGET_RULES)
+
+
+def grids(quick: bool):
+    """The original grid and its edit (last width value swapped)."""
+    top = 10 if quick else 16
+    original = build_grid(range(2, top + 1))
+    edited = build_grid(list(range(2, top)) + [top + 1])
+    return original, edited
+
+
+def service_for(root: str) -> SweepService:
+    # Thread executor keeps DAG-build counters in-process, so the gates
+    # observe exactly what the workers did.
+    return SweepService(store=SolutionStore(root),
+                        portfolio=Portfolio(executor="thread"))
+
+
+def _shared_payloads(store_root: str, digests, key_by_digest):
+    store = SolutionStore(store_root)
+    payloads = {}
+    for digest in digests:
+        key = key_by_digest[digest]
+        _key, report = store.get_reports_many([key])[key]
+        payloads[digest] = json.dumps(report_to_payload(report, key),
+                                      sort_keys=True)
+    return payloads
+
+
+def run_phases(quick: bool) -> dict:
+    original, edited = grids(quick)
+    store_root = tempfile.mkdtemp(prefix="bench-incremental-")
+    manifest = os.path.join(store_root, "manifest.json")
+
+    # -- phase 1: cold sweep of the original grid ----------------------
+    clear_caches()
+    reset_materialization_counters()
+    start = time.perf_counter()
+    with service_for(store_root) as service:
+        cold = service.run(original, manifest=manifest)
+    t_cold = time.perf_counter() - start
+    cold_builds = materialization_info()["dag_builds"]
+    cold_keys = {r.spec.cell_digest(): r.key for r in cold.results}
+
+    # -- phase 2: grid diff (pure spec arithmetic) ---------------------
+    reset_materialization_counters()
+    diff = grid_diff(original, edited)
+    diff_builds = materialization_info()["dag_builds"]
+    counts = diff.counts()
+    shared_digests = sorted(s.cell_digest() for s in diff.shared)
+    before = _shared_payloads(store_root, shared_digests, cold_keys)
+
+    # -- phase 3: warm sweep of the edited grid (fresh process state) --
+    clear_caches()
+    reset_materialization_counters()
+    start = time.perf_counter()
+    with service_for(store_root) as service:
+        warm = service.run(edited, manifest=manifest)
+    t_warm = time.perf_counter() - start
+    warm_builds = materialization_info()["dag_builds"]
+    warm_keys = {r.spec.cell_digest(): r.key for r in warm.results}
+    after = _shared_payloads(store_root, shared_digests,
+                             {**cold_keys, **warm_keys})
+    identical = before == after
+    manifest_state = load_manifest_state(manifest, "auto")
+
+    # -- phase 4: swept grid through a store-aware cluster router ------
+    clear_caches()
+
+    async def clustered():
+        async with LocalCluster(2, store_root=store_root) as cluster:
+            client = ClusterClient(cluster.addresses(), store=store_root)
+            results = await client.sweep_specs(edited)
+            return results, client.stats
+
+    start = time.perf_counter()
+    cluster_results, cluster_stats = asyncio.run(clustered())
+    t_cluster = time.perf_counter() - start
+
+    return {
+        "cells": original.size(),
+        "gained": counts["gained"],
+        "lost": counts["lost"],
+        "shared": counts["shared"],
+        "cold_computed": cold.stats.computed,
+        "cold_dag_builds": cold_builds,
+        "diff_dag_builds": diff_builds,
+        "warm_store_hits": warm.stats.store_hits,
+        "warm_resumed": warm.stats.resumed,
+        "warm_computed": warm.stats.computed,
+        "warm_dag_builds": warm_builds,
+        "warm_shards": warm.stats.shards,
+        "warm_shard_size": warm.stats.shard_size,
+        "shared_bit_identical": identical,
+        "manifest_cells": len(manifest_state.cells),
+        "manifest_write_errors": warm.stats.manifest_write_errors,
+        "cluster_wire_cells": cluster_stats.wire_cells,
+        "cluster_planned_local": cluster_stats.planned_local,
+        "cluster_answered": len(cluster_results),
+        "t_cold_s": t_cold,
+        "t_warm_s": t_warm,
+        "t_cluster_s": t_cluster,
+    }
+
+
+#: The machine-independent acceptance conditions, shared by the standalone
+#: gate and the pytest entry point so the two can never diverge.
+GATE_CONDITIONS = [
+    ("the grid is 100+ cells (the incremental claim is about scale)",
+     lambda s: s["cells"] >= 100),
+    ("grid_diff reports the exact one-axis-edit split without DAG builds",
+     lambda s: s["gained"] == s["lost"] == len(BUDGET_RULES)
+     and s["shared"] == s["cells"] - s["lost"]
+     and s["diff_dag_builds"] == 0),
+    ("cold sweep builds and solves exactly one of each unique cell",
+     lambda s: s["cold_computed"] == s["cells"]
+     and s["cold_dag_builds"] == s["cells"]),
+    ("the edited sweep solves only the gained cells",
+     lambda s: s["warm_computed"] == s["gained"]
+     and s["warm_store_hits"] == s["shared"]),
+    ("unchanged cells build zero DAGs on the edited sweep",
+     lambda s: s["warm_dag_builds"] == s["gained"]),
+    ("shared cells resume from the v2 manifest, not just the store",
+     lambda s: s["warm_resumed"] == s["shared"]
+     and s["manifest_write_errors"] == 0),
+    ("shards carry only pending cells (adaptive size covers exactly them)",
+     lambda s: s["warm_shards"] >= 1
+     and (s["warm_shards"] - 1) * s["warm_shard_size"] < s["gained"] <=
+     s["warm_shards"] * s["warm_shard_size"]),
+    ("shared cells' stored payloads are bit-identical after the edit",
+     lambda s: s["shared_bit_identical"]),
+    ("the final manifest covers every cell of the edited grid",
+     lambda s: s["manifest_cells"] >= s["cells"]),
+    ("re-submitting the swept grid sends zero cells over the cluster wire",
+     lambda s: s["cluster_wire_cells"] == 0
+     and s["cluster_planned_local"] == s["cells"]
+     and s["cluster_answered"] == s["cells"]),
+]
+
+
+def gate(stats) -> bool:
+    """The machine-independent acceptance predicate (counters only)."""
+    return all(condition(stats) for _label, condition in GATE_CONDITIONS)
+
+
+def render(stats) -> str:
+    header = (f"{stats['cells']}-cell grid, one width value swapped: "
+              f"+{stats['gained']} / -{stats['lost']} / "
+              f"{stats['shared']} shared (diff built "
+              f"{stats['diff_dag_builds']} DAGs); shared payloads "
+              f"bit-identical after the edit: "
+              f"{stats['shared_bit_identical']}")
+    table = format_table(
+        ["phase", "computed", "DAG builds", "store hits", "resumed",
+         "wall time (ms)"],
+        [["cold original sweep", str(stats["cold_computed"]),
+          str(stats["cold_dag_builds"]), "0", "0",
+          f"{stats['t_cold_s'] * 1000:.0f}"],
+         ["warm edited sweep", str(stats["warm_computed"]),
+          str(stats["warm_dag_builds"]), str(stats["warm_store_hits"]),
+          str(stats["warm_resumed"]),
+          f"{stats['t_warm_s'] * 1000:.0f}"]])
+    cluster = (f"cluster re-submit: {stats['cluster_planned_local']} cells "
+               f"answered by the router's planning tier, "
+               f"{stats['cluster_wire_cells']} over the wire "
+               f"({stats['t_cluster_s'] * 1000:.0f} ms, 2 runners); "
+               f"edited sweep sharded as {stats['warm_shards']} x "
+               f"{stats['warm_shard_size']} over {stats['gained']} pending")
+    return header + "\n\n" + table + "\n\n" + cluster
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_edited_grid_costs_only_the_edit(benchmark):
+    stats = run_phases(quick=True)
+    emit("E21 / incremental sweeps -- grid-diff planning + manifest resume",
+         render(stats))
+    for label, condition in GATE_CONDITIONS:
+        assert condition(stats), f"{label} (stats: {stats})"
+
+    original, _edited = grids(quick=True)
+    root = tempfile.mkdtemp(prefix="bench-incremental-pytest-")
+    with service_for(root) as service:
+        service.run(original)
+
+    def warm_resweep():
+        clear_caches()
+        with service_for(root) as service:
+            return service.run(original)
+
+    benchmark(warm_resweep)
+
+
+# ---------------------------------------------------------------------------
+# standalone mode
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_incremental.py [--quick] [--json PATH]")
+
+    stats = run_phases(quick)
+    print(render(stats))
+    ok = gate(stats)
+    if not ok:
+        for label, condition in GATE_CONDITIONS:
+            if not condition(stats):
+                print(f"GATE FAILED: {label}")
+    print(f"\nincremental sweep: edited grid pays only for its edit "
+          f"(plan -> manifest resume -> pending-only shards/wire): {ok}")
+
+    if json_path:
+        payload = {"benchmark": "bench_incremental", "quick": quick,
+                   "ok": ok}
+        payload.update(stats)
+        write_json_artifact(json_path, payload)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

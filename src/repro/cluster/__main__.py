@@ -58,8 +58,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="spawn N repro.serve runner subprocesses on "
                              "unix sockets (requires --store)")
     parser.add_argument("--store", metavar="DIR", default=None,
-                        help="shared SolutionStore directory for --spawn "
-                             "runners")
+                        help="shared SolutionStore directory: required for "
+                             "--spawn runners, and (either mode) lets the "
+                             "router answer already-solved cells locally "
+                             "instead of routing them")
     parser.add_argument("--executor", choices=("process", "thread"),
                         default="process",
                         help="executor for --spawn runners")
@@ -101,7 +103,8 @@ def _spawn_runners(count: int, store: str, socket_dir: str, *,
 async def _run_router(args: argparse.Namespace,
                       addresses: List[RunnerAddress]) -> None:
     client = ClusterClient(addresses, vnodes=args.vnodes,
-                           request_timeout=args.request_timeout)
+                           request_timeout=args.request_timeout,
+                           store=args.store)
     health = await client.check_health()
     down = sorted(name for name, ok in health.items() if not ok)
     require(len(client.healthy) > 0,

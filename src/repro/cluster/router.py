@@ -36,7 +36,10 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cluster.ring import DEFAULT_VNODES, HashRing
 from repro.cluster.runners import RunnerAddress
-from repro.engine.core import Problem
+from repro.engine.core import Problem, SolveLimits
+from repro.engine.fingerprint import spec_alias_key
+from repro.engine.plan import build_sweep_plan
+from repro.engine.store import SolutionStore, report_to_payload
 from repro.scenarios import ScenarioGrid, ScenarioSpec
 from repro.serve import PROTOCOL_VERSION, problem_to_payload
 from repro.utils.validation import ValidationError, require
@@ -72,6 +75,12 @@ class ClusterStats:
     requests: int = 0
     #: Cells routed (duplicates included).
     cells: int = 0
+    #: Cells shipped over the cluster wire (= routed cells; kept as its
+    #: own counter so incremental-sweep gates can pin it to 0).
+    wire_cells: int = 0
+    #: Cells answered client-side from the shared store by the planning
+    #: tier -- never shipped to any runner.
+    planned_local: int = 0
     #: Cells answered by their ring-primary runner.
     primary_cells: int = 0
     #: Cells re-routed to a failover runner after a runner failure.
@@ -99,11 +108,26 @@ class ClusterClient:
     request_timeout:
         Seconds one runner sub-request may take end to end before it is
         treated as a runner failure (and its cells fail over).
+    store:
+        Optional handle on (or path to) the cluster's **shared**
+        :class:`~repro.engine.store.SolutionStore` root.  With it, spec
+        sweeps run the incremental planning tier client-side
+        (:func:`~repro.engine.plan.build_sweep_plan`): cells the shared
+        store already answers are delivered locally (``planned_local``)
+        and only pending cells ship over the wire (``wire_cells``).
+        Without it every cell routes as before.
+    limits / validate:
+        The solve context the runners use, baked into every plan lookup
+        -- they must match the runners' own configuration or the
+        client-side plan simply misses (correct, just not incremental).
     """
 
     def __init__(self, runners: Sequence[RunnerAddress], *,
                  vnodes: int = DEFAULT_VNODES,
-                 request_timeout: float = 60.0):
+                 request_timeout: float = 60.0,
+                 store: Union[SolutionStore, str, None] = None,
+                 limits: Optional[SolveLimits] = None,
+                 validate: bool = True):
         runners = list(runners)
         require(len(runners) >= 1, "a cluster client needs >= 1 runner")
         names = [r.name for r in runners]
@@ -116,6 +140,11 @@ class ClusterClient:
         #: where a cell *should* live, even while a runner is down.
         self._full_ring = HashRing(names, vnodes=vnodes)
         self.request_timeout = request_timeout
+        if isinstance(store, str):
+            store = SolutionStore(store)
+        self.store = store
+        self.limits = limits
+        self.validate = validate
         self.stats = ClusterStats()
         self._unhealthy: set = set()
         self._sub_ids = 0
@@ -208,6 +237,10 @@ class ClusterClient:
         ``on_line`` (if given) sees each line the moment it arrives, which
         is how :class:`RouterServer` streams.  Raises
         :class:`ValidationError` when a cell exhausts every runner.
+
+        With a shared ``store`` configured, the sweep is planned first:
+        store-answered cells are delivered locally (``source: "store"``,
+        ``runner: null``) and only pending cells are routed.
         """
         if isinstance(scenarios, ScenarioGrid):
             scenarios = scenarios.expand()
@@ -215,11 +248,70 @@ class ClusterClient:
         require(all(isinstance(s, ScenarioSpec) for s in specs),
                 "sweep_specs() wants ScenarioSpecs (or a ScenarioGrid)")
         require(len(specs) > 0, "the sweep expands to zero cells")
-        keys = [spec_route_key(spec) for spec in specs]
-        payloads = [spec.to_payload() for spec in specs]
-        return await self._routed_sweep(
+
+        answered = self._plan_local(specs, method, options or {}, on_line)
+        pending = [i for i in range(len(specs)) if i not in answered]
+        if not pending:
+            self.stats.requests += 1
+            return [answered[i] for i in range(len(specs))]
+
+        keys = [spec_route_key(specs[i]) for i in pending]
+        payloads = [specs[i].to_payload() for i in pending]
+
+        def remap_line(sub_index: int, line: Dict[str, Any]) -> None:
+            line = dict(line)
+            line["index"] = pending[sub_index]
+            if on_line is not None:
+                on_line(pending[sub_index], line)
+
+        routed = await self._routed_sweep(
             op="sweep_spec", field="specs", payloads=payloads, keys=keys,
-            method=method, options=options, on_line=on_line)
+            method=method, options=options, on_line=remap_line)
+        for sub_index, line in enumerate(routed):
+            line = dict(line)
+            line["index"] = pending[sub_index]
+            answered[pending[sub_index]] = line
+        return [answered[i] for i in range(len(specs))]
+
+    def _plan_local(self, specs: Sequence[ScenarioSpec], method: str,
+                    options: Dict[str, Any],
+                    on_line: Optional[LineCallback],
+                    ) -> Dict[int, Dict[str, Any]]:
+        """Answer what the shared store already holds; ``{index: line}``.
+
+        Best-effort by design: without a store handle -- or when the
+        sweep's options defeat alias hashing -- nothing is answered and
+        every cell routes (correct, just not incremental).
+        """
+        if self.store is None:
+            return {}
+        try:
+            aliases = [spec_alias_key(spec, method, limits=self.limits,
+                                      validate=self.validate, **options)
+                       for spec in specs]
+        except ValidationError:
+            return {}
+        unique: Dict[str, ScenarioSpec] = {}
+        for alias, spec in zip(aliases, specs):
+            unique.setdefault(alias, spec)
+        plan = build_sweep_plan(list(unique.items()), method,
+                                store=self.store, limits=self.limits,
+                                validate=self.validate, **options)
+        cell_by_alias = {cell.alias: cell for cell in plan.cells}
+        answered: Dict[int, Dict[str, Any]] = {}
+        for index, alias in enumerate(aliases):
+            cell = cell_by_alias[alias]
+            if cell.report is None:
+                continue
+            line = {"index": index, "key": cell.key, "source": "store",
+                    "error": None,
+                    "report": report_to_payload(cell.report, cell.key),
+                    "cell": cell.digest, "runner": None}
+            answered[index] = line
+            self.stats.planned_local += 1
+            if on_line is not None:
+                on_line(index, line)
+        return answered
 
     async def sweep(self, problems: Sequence[Problem],
                     method: str = "auto", *,
@@ -251,6 +343,7 @@ class ClusterClient:
                             ) -> List[Dict[str, Any]]:
         self.stats.requests += 1
         self.stats.cells += len(payloads)
+        self.stats.wire_cells += len(payloads)
         require(len(self.healthy) > 0, "no healthy runners in the cluster")
         primaries = [self._full_ring.route(key) for key in keys]
         tried: List[set] = [set() for _ in payloads]

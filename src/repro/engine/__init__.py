@@ -88,6 +88,12 @@ from repro.engine.batch import (
     solve_lp_batch,
 )
 
+from repro.engine.plan import (
+    PlannedCell,
+    SweepPlan,
+    build_sweep_plan,
+    recommend_shard_size,
+)
 from repro.engine.portfolio import Portfolio, PortfolioReport
 from repro.engine.service import SweepReport, SweepResult, SweepService, SweepStats
 from repro.engine.async_service import AsyncSweepService, AsyncSweepStats, SubmitTicket
@@ -108,6 +114,8 @@ __all__ = [
     "solution_to_payload", "solution_from_payload", "UnserializableSolutionError",
     # certificates
     "Certificate", "certify_solution",
+    # planning tier
+    "PlannedCell", "SweepPlan", "build_sweep_plan", "recommend_shard_size",
     # portfolio + sweep service (sync and async fronts)
     "Portfolio", "PortfolioReport",
     "SweepService", "SweepReport", "SweepResult", "SweepStats",

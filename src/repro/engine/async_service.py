@@ -72,13 +72,10 @@ from repro.engine.core import (
     normalize_problem,
     request_key,
 )
-from repro.engine.fingerprint import (
-    cached_spec_fingerprint,
-    record_spec_fingerprint,
-    spec_alias_key,
-)
+from repro.engine.fingerprint import record_spec_fingerprint, spec_alias_key
+from repro.engine.plan import CELL_MANIFEST_DONE, build_sweep_plan
 from repro.engine.portfolio import Portfolio
-from repro.engine.service import SweepResult, load_manifest_done, write_manifest
+from repro.engine.service import SweepResult, load_manifest_state, write_manifest
 from repro.engine.store import SolutionStore
 from repro.scenarios import ScenarioGrid, ScenarioSpec
 from repro.utils.validation import ValidationError, require
@@ -90,6 +87,11 @@ __all__ = ["AsyncSweepService", "AsyncSweepStats", "SubmitTicket",
 #: may serve mixed methods (each request key already encodes its own), so
 #: the manifest is scoped to the service rather than to a single method.
 ASYNC_MANIFEST_METHOD = "async-mixed"
+
+#: Longest an async shard waits on another process's solve claim before
+#: solving the cell itself anyway (correct either way, just duplicated).
+CLAIM_WAIT_SECONDS = 30.0
+_CLAIM_POLL_SECONDS = 0.05
 
 
 @dataclass
@@ -108,12 +110,19 @@ class AsyncSweepStats:
     deduped: int = 0
     #: Slots answered straight from the persistent store (tier-2 hits).
     store_hits: int = 0
+    #: Store hits that the resume manifest had marked completed.
+    resumed: int = 0
     computed: int = 0
     failed: int = 0
     #: Queued requests dropped because every waiter cancelled before dispatch.
     cancelled: int = 0
     #: Executor shards dispatched to the worker pool.
     shards: int = 0
+    #: Solves short-circuited to a store read because another process
+    #: solved (or was solving) the same cell concurrently.
+    dup_solves_avoided: int = 0
+    #: Manifest checkpoints that failed to land (write_manifest errors).
+    manifest_write_errors: int = 0
 
     def summary(self) -> str:
         """One-line human-readable description (used by the benchmarks)."""
@@ -140,6 +149,10 @@ class _Inflight:
     options: Dict[str, Any]
     #: The declarative cell (spec-native submissions only).
     spec: Optional[ScenarioSpec] = None
+    #: The cell's spec alias key (spec-native submissions only) -- the
+    #: persistent dedup identity, kept so shard completion can write the
+    #: alias entry and manifest cell without recomputing it.
+    alias: Optional[str] = None
     #: ``(slot index, problem-as-submitted, spec-as-submitted, per-slot
     #: future)`` per waiter.  The spec is tracked per waiter, not taken
     #: from the entry: a spec-native waiter may deduplicate onto a
@@ -309,6 +322,12 @@ class AsyncSweepService:
         self._inflight: Dict[str, _Inflight] = {}
         self._manifest_keys: List[str] = []
         self._manifest_done: set = set()
+        #: Expanded consultation tokens (done tokens + per-cell
+        #: keys/digests); what resume checks match against.
+        self._manifest_tokens: set = set()
+        #: v2 per-cell identities (``{alias: {"cell", "key"}}``) of every
+        #: completed spec cell -- what a restarted deployment resumes from.
+        self._manifest_cells: Dict[str, Dict[str, str]] = {}
         self._closed = False
         self._started = False
 
@@ -395,11 +414,22 @@ class AsyncSweepService:
         self._dispatcher = asyncio.create_task(self._dispatch_loop(),
                                                name="repro-async-sweep-dispatch")
         if self.manifest:
-            self._manifest_done = load_manifest_done(self.manifest,
-                                                     ASYNC_MANIFEST_METHOD)
-            self._manifest_keys = sorted(self._manifest_done)
+            state = load_manifest_state(self.manifest, ASYNC_MANIFEST_METHOD)
+            self._manifest_done = state.done
+            self._manifest_tokens = set(state.tokens)
+            self._manifest_cells = dict(state.cells)
+            self._manifest_keys = sorted(state.done)
         self._started = True
         return self
+
+    @property
+    def resume_cells(self) -> int:
+        """Cells the loaded resume manifest already marks as completed.
+
+        Zero until :meth:`start` reads the manifest (or when no manifest
+        is configured); grows as further cells finish.
+        """
+        return len(self._manifest_done)
 
     async def __aenter__(self) -> "AsyncSweepService":
         return await self.start()
@@ -412,6 +442,24 @@ class AsyncSweepService:
             raise RuntimeError(
                 "AsyncSweepService is closed; create a new service to "
                 "submit further scenarios")
+
+    def _record_manifest_cell(self, alias: str, digest: str, key: str) -> None:
+        """Mark a spec cell done in the in-memory resume state.
+
+        Flushed to disk by the next shard checkpoint (or :meth:`aclose`);
+        until then the store itself still answers a restart, so nothing
+        is lost if the process dies first.
+        """
+        if not self.manifest:
+            return
+        if alias not in self._manifest_done:
+            self._manifest_done.add(alias)
+            self._manifest_keys.append(alias)
+        self._manifest_cells[alias] = {"cell": digest, "key": key}
+        self._manifest_tokens.add(alias)
+        self._manifest_tokens.add(digest)
+        if key:
+            self._manifest_tokens.add(key)
 
     async def drain(self) -> None:
         """Wait until everything queued and in flight has resolved."""
@@ -445,10 +493,13 @@ class AsyncSweepService:
                     dispatcher_error = exc
                 self._dispatcher = None
             if self.manifest:
-                write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
-                               sorted(self._manifest_keys),
-                               self._manifest_done, completed=True,
-                               durable=self.durable)
+                ok = write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
+                                    sorted(self._manifest_keys),
+                                    self._manifest_done, completed=True,
+                                    cells=self._manifest_cells,
+                                    durable=self.durable)
+                if not ok:
+                    self.stats.manifest_write_errors += 1
             if self._owns_portfolio or self._started_pool:
                 self._portfolio.close()
                 self._started_pool = False
@@ -498,6 +549,8 @@ class AsyncSweepService:
                 fetched[key] = report
             if report is not None:
                 self.stats.store_hits += 1
+                if key in self._manifest_tokens:
+                    self.stats.resumed += 1
                 slot.set_result(SweepResult(
                     index=index, key=key, problem=problem,
                     report=_clone_report(report, from_cache=True,
@@ -558,23 +611,25 @@ class AsyncSweepService:
         store = self.store
         keys: List[str] = []
         futures: List[asyncio.Future] = []
-        fetched: Dict[str, Optional[SolveReport]] = {}
-        for index, spec in enumerate(specs):
+        # The incremental planning tier: classify every unique cell of the
+        # batch in one batched store pass (store-hit / alias-hit /
+        # manifest-done / pending) before walking the slots.
+        aliases = [spec_alias_key(spec, method, limits=self.limits,
+                                  validate=self.validate, **options)
+                   for spec in specs]
+        unique: Dict[str, ScenarioSpec] = {}
+        for alias, spec in zip(aliases, specs):
+            unique.setdefault(alias, spec)
+        plan = build_sweep_plan(list(unique.items()), method, store=store,
+                                limits=self.limits, validate=self.validate,
+                                manifest_done=self._manifest_tokens, **options)
+        cell_by_alias = {cell.alias: cell for cell in plan.cells}
+        for index, (alias, spec) in enumerate(zip(aliases, specs)):
             self.stats.requests += 1
             slot: asyncio.Future = loop.create_future()
             futures.append(slot)
-            alias = spec_alias_key(spec, method, limits=self.limits,
-                                   validate=self.validate, **options)
-            key = cached_spec_fingerprint(spec, method, limits=self.limits,
-                                          validate=self.validate, **options)
-            if key is None and store is not None:
-                entry = store.get(alias)
-                if entry is not None and isinstance(entry.get("alias_of"), str):
-                    key = entry["alias_of"]
-                    record_spec_fingerprint(spec, key, method,
-                                            limits=self.limits,
-                                            validate=self.validate, **options)
-            inflight_key = key if key is not None else alias
+            cell = cell_by_alias[alias]
+            inflight_key = cell.key if cell.key is not None else alias
             keys.append(inflight_key)
             # Tier 0: share an in-flight solve -- under either identity
             # (an unresolved duplicate queued under its alias, or a
@@ -585,22 +640,19 @@ class AsyncSweepService:
                 self.stats.deduped += 1
                 entry_inflight.add_waiter(index, None, slot, spec=spec)
                 continue
-            if key is not None:
-                if key in fetched:
-                    report = fetched[key]
-                else:
-                    report = store.get_report(key) if store is not None else None
-                    fetched[key] = report
-                if report is not None:
-                    self.stats.store_hits += 1
-                    slot.set_result(SweepResult(
-                        index=index, key=key, problem=None,
-                        report=_clone_report(report, from_cache=True,
-                                             cache_tier="store"),
-                        source="store", spec=spec))
-                    continue
+            if cell.report is not None:
+                self.stats.store_hits += 1
+                if cell.status == CELL_MANIFEST_DONE:
+                    self.stats.resumed += 1
+                self._record_manifest_cell(alias, cell.digest, cell.key or "")
+                slot.set_result(SweepResult(
+                    index=index, key=cell.key, problem=None,
+                    report=_clone_report(cell.report, from_cache=True,
+                                         cache_tier="store"),
+                    source="store", spec=spec))
+                continue
             entry = _Inflight(key=inflight_key, problem=None, method=method,
-                              options=dict(options), spec=spec)
+                              options=dict(options), spec=spec, alias=alias)
             entry.add_waiter(index, None, slot, spec=spec)
             self._inflight[inflight_key] = entry
             try:
@@ -661,33 +713,92 @@ class AsyncSweepService:
                 self._shard_tasks.add(task)
                 task.add_done_callback(self._shard_tasks.discard)
 
+    def _resolve_from_store(self, entry: _Inflight, key: str,
+                            report: SolveReport) -> None:
+        """Answer one queued entry from a concurrently-written store row."""
+        self.stats.store_hits += 1
+        self.stats.dup_solves_avoided += 1
+        if entry.spec is not None:
+            record_spec_fingerprint(entry.spec, key, entry.method,
+                                    limits=self.limits,
+                                    validate=self.validate, **entry.options)
+            if entry.alias is not None:
+                self._record_manifest_cell(entry.alias,
+                                           entry.spec.cell_digest(), key)
+        entry.resolve(report, "store", None, cache_tier="store", key=key)
+
     async def _run_shard(self, entries: List[_Inflight]) -> None:
         """Solve one shard in the pool, persist, then resolve waiters.
 
         Persistence (store + manifest) happens strictly *before* any waiter
         is resolved, so a client that cancels or crashes the moment its
         future fires can never leave a computed result unpersisted.
+
+        Before dispatching, the shard rechecks the store (one batched
+        pass) and claims each still-cold cell: a cell another process
+        solved since submission short-circuits to its report, and a cell
+        another *live* process is solving right now is waited on
+        (bounded by :data:`CLAIM_WAIT_SECONDS`) then re-read -- the
+        cross-runner duplicate-compute fix, counted as
+        ``dup_solves_avoided``.
         """
         loop = asyncio.get_running_loop()
+        store = self.store
+        claimed: List[str] = []
         try:
-            self.stats.shards += 1
             spec_shard = entries[0].spec is not None
+            to_solve: List[_Inflight] = entries
+            if store is not None:
+                to_solve = []
+                contended: List[_Inflight] = []
+                recheck = store.get_reports_many([e.key for e in entries])
+                for entry in entries:
+                    true_key, report = recheck.get(entry.key, (None, None))
+                    if report is not None:
+                        self._resolve_from_store(entry, true_key or entry.key,
+                                                 report)
+                    elif store.claim_solve(entry.key):
+                        claimed.append(entry.key)
+                        to_solve.append(entry)
+                    else:
+                        contended.append(entry)
+                if contended:
+                    waited = 0.0
+                    while (waited < CLAIM_WAIT_SECONDS
+                           and any(store.solve_claim_holder(e.key) is not None
+                                   for e in contended)):
+                        await asyncio.sleep(_CLAIM_POLL_SECONDS)
+                        waited += _CLAIM_POLL_SECONDS
+                    recheck = store.get_reports_many(
+                        [e.key for e in contended])
+                    for entry in contended:
+                        true_key, report = recheck.get(entry.key, (None, None))
+                        if report is not None:
+                            self._resolve_from_store(
+                                entry, true_key or entry.key, report)
+                        else:
+                            # Claimant died or overran the wait: solve it
+                            # ourselves (correct, just not deduplicated).
+                            to_solve.append(entry)
+            if not to_solve:
+                return
+            self.stats.shards += 1
             try:
                 if spec_shard:
                     fn, args = self._portfolio.spec_shard_task(
-                        [e.spec for e in entries], entries[0].method,
-                        validate=self.validate, **entries[0].options)
+                        [e.spec for e in to_solve], to_solve[0].method,
+                        validate=self.validate, **to_solve[0].options)
                 else:
                     fn, args = self._portfolio.shard_task(
-                        [e.problem for e in entries], entries[0].method,
-                        validate=self.validate, **entries[0].options)
+                        [e.problem for e in to_solve], to_solve[0].method,
+                        validate=self.validate, **to_solve[0].options)
                 raw = await loop.run_in_executor(self._portfolio.pool,
                                                  fn, *args)
             except asyncio.CancelledError:
                 # Shutdown mid-flight: the executor work itself cannot be
                 # interrupted (it will finish or die with the pool), but
                 # nothing gets recorded as done and waiters learn why.
-                for entry in entries:
+                for entry in to_solve:
                     entry.resolve(None, "failed", "service shut down")
                 raise
             except Exception as exc:  # noqa: BLE001 - reported per request
@@ -697,14 +808,13 @@ class AsyncSweepService:
             # spec workers report each cell's request fingerprint learned
             # while materializing; problem shards already know theirs.
             if raw is None:
-                outcomes = [(None, None, error_text)] * len(entries)
+                outcomes = [(None, None, error_text)] * len(to_solve)
             elif spec_shard:
                 outcomes = list(raw)
             else:
                 outcomes = [(entry.key, report, error)
-                            for entry, (report, error) in zip(entries, raw)]
+                            for entry, (report, error) in zip(to_solve, raw)]
 
-            store = self.store
             if store is not None:
                 store.put_reports([(key, report)
                                    for key, report, _err in outcomes
@@ -713,32 +823,39 @@ class AsyncSweepService:
                     # Persist the spec->fingerprint aliases so future spec
                     # submissions resolve store keys without a DAG build.
                     store.put_many(
-                        [(spec_alias_key(entry.spec, entry.method,
-                                         limits=self.limits,
-                                         validate=self.validate,
-                                         **entry.options),
-                          {"alias_of": key})
-                         for entry, (key, report, _err) in zip(entries, outcomes)
-                         if report is not None])
+                        [(entry.alias, {"alias_of": key})
+                         for entry, (key, report, _err) in zip(to_solve, outcomes)
+                         if report is not None and entry.alias is not None])
             if spec_shard:
-                for entry, (key, _report, _err) in zip(entries, outcomes):
+                for entry, (key, _report, _err) in zip(to_solve, outcomes):
                     if key is not None:
                         record_spec_fingerprint(entry.spec, key, entry.method,
                                                 limits=self.limits,
                                                 validate=self.validate,
                                                 **entry.options)
-            newly_done = [key for key, report, _err in outcomes
-                          if report is not None]
-            if self.manifest and newly_done:
-                fresh = [key for key in newly_done
-                         if key not in self._manifest_done]
-                self._manifest_done.update(fresh)
-                self._manifest_keys.extend(fresh)
-                write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
-                               sorted(self._manifest_keys),
-                               self._manifest_done,
-                               completed=False, durable=self.durable)
-            for entry, (key, report, error) in zip(entries, outcomes):
+            if self.manifest:
+                fresh = False
+                for entry, (key, report, _err) in zip(to_solve, outcomes):
+                    if report is None:
+                        continue
+                    fresh = True
+                    if entry.spec is not None and entry.alias is not None:
+                        self._record_manifest_cell(
+                            entry.alias, entry.spec.cell_digest(), key or "")
+                    elif key is not None and key not in self._manifest_done:
+                        self._manifest_done.add(key)
+                        self._manifest_tokens.add(key)
+                        self._manifest_keys.append(key)
+                if fresh:
+                    ok = write_manifest(self.manifest, ASYNC_MANIFEST_METHOD,
+                                        sorted(self._manifest_keys),
+                                        self._manifest_done,
+                                        completed=False,
+                                        cells=self._manifest_cells,
+                                        durable=self.durable)
+                    if not ok:
+                        self.stats.manifest_write_errors += 1
+            for entry, (key, report, error) in zip(to_solve, outcomes):
                 if report is not None:
                     self.stats.computed += 1
                     entry.resolve(report, "computed", None, key=key)
@@ -746,6 +863,9 @@ class AsyncSweepService:
                     self.stats.failed += 1
                     entry.resolve(None, "failed", error, key=key)
         finally:
+            if store is not None:
+                for key in claimed:
+                    store.release_solve_claim(key)
             for entry in entries:
                 self._inflight.pop(entry.key, None)
                 self._queue.task_done()

@@ -1,0 +1,247 @@
+"""Incremental sweep planning: classify cells before any shard is formed.
+
+The sweep services historically resolved each unique cell against the
+store one key at a time, and sized shards from a static pool-width
+heuristic that never looked at what the store had already answered.
+This module is the planning tier that replaces both:
+
+* :func:`build_sweep_plan` takes a sweep's unique cells (``(alias,
+  spec)`` pairs -- the pre-materialization dedup the services already
+  perform) and classifies **every** cell in one batched store pass
+  (:meth:`SolutionStore.get_reports_many
+  <repro.engine.store.SolutionStore.get_reports_many>`) into
+
+  - ``store-hit`` -- the request fingerprint was memoized in-process and
+    the store holds the report;
+  - ``alias-hit`` -- the fingerprint came from the persistent
+    ``{"alias_of": ...}`` entry a previous process wrote; still zero DAG
+    builds;
+  - ``manifest-done`` -- a resume manifest marked the cell completed
+    *and* the store still holds the report (the store stays the source
+    of truth: a manifest entry whose report was lost re-pends);
+  - ``pending`` -- genuinely new work, the only cells a shard (or the
+    cluster wire) should ever carry.
+
+* :func:`recommend_shard_size` picks the shard size from the *plan*
+  (pending-cell count, measured hit rate, cluster runner count) instead
+  of the submitted batch size, so a warm 10k-cell grid with three cold
+  cells forms three one-cell shards instead of pool-width monsters.
+
+No DAG is ever materialized here: classification runs on spec content
+(:meth:`~repro.scenarios.spec.ScenarioSpec.cell_digest`), the spec-key
+memo (:func:`~repro.engine.fingerprint.cached_spec_fingerprint`) and
+store payloads.  Pair with :func:`repro.scenarios.grid_diff` to know the
+gained/lost cells of an edited grid before even planning it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.engine.fingerprint import (
+    cached_spec_fingerprint,
+    record_spec_fingerprint,
+)
+
+__all__ = [
+    "CELL_ALIAS_HIT",
+    "CELL_MANIFEST_DONE",
+    "CELL_PENDING",
+    "CELL_STORE_HIT",
+    "PlannedCell",
+    "SweepPlan",
+    "build_sweep_plan",
+    "recommend_shard_size",
+]
+
+#: Cell classifications, in the order the tiers are consulted.
+CELL_STORE_HIT = "store-hit"
+CELL_ALIAS_HIT = "alias-hit"
+CELL_MANIFEST_DONE = "manifest-done"
+CELL_PENDING = "pending"
+
+
+@dataclass
+class PlannedCell:
+    """One unique cell's classification (see :func:`build_sweep_plan`)."""
+
+    #: Pre-materialization dedup identity (``spec_alias_key``).
+    alias: str
+    #: The declarative cell itself.
+    spec: Any
+    #: Content digest of the spec (``spec.cell_digest()``).
+    digest: str
+    #: One of the ``CELL_*`` constants.
+    status: str
+    #: Resolved request fingerprint (``None`` for never-seen cells).
+    key: Optional[str] = None
+    #: The store's report for done cells (``None`` when pending).
+    report: Any = None
+
+    @property
+    def done(self) -> bool:
+        """Answered without solving (any non-pending status)."""
+        return self.status != CELL_PENDING
+
+
+@dataclass
+class SweepPlan:
+    """A classified sweep: what the caches answer, what actually runs.
+
+    ``cells`` holds one :class:`PlannedCell` per unique alias in
+    submission order.  The plan is *advice plus evidence*: the services
+    yield the carried reports for done cells and shard only
+    :attr:`pending`; the cluster router ships only :attr:`pending` over
+    the wire.
+    """
+
+    cells: List[PlannedCell] = field(default_factory=list)
+    method: str = "auto"
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> List[PlannedCell]:
+        """Cells that need a solver, in submission order."""
+        return [cell for cell in self.cells if cell.status == CELL_PENDING]
+
+    @property
+    def done(self) -> List[PlannedCell]:
+        """Cells the caches answered, in submission order."""
+        return [cell for cell in self.cells if cell.done]
+
+    def count(self, status: str) -> int:
+        return sum(1 for cell in self.cells if cell.status == status)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of unique cells answered without solving."""
+        return len(self.done) / len(self.cells) if self.cells else 0.0
+
+    def shard_size(self, worker_count: int, *, oversubscription: int = 4,
+                   runner_count: int = 1) -> int:
+        """Adaptive shard size for this plan's pending cells."""
+        return recommend_shard_size(
+            len(self.pending), worker_count,
+            oversubscription=oversubscription,
+            runner_count=runner_count, hit_rate=self.hit_rate)
+
+    def counts(self) -> Dict[str, int]:
+        """Classification histogram plus totals (for logs and metrics)."""
+        return {
+            "cells": len(self.cells),
+            "store_hit": self.count(CELL_STORE_HIT),
+            "alias_hit": self.count(CELL_ALIAS_HIT),
+            "manifest_done": self.count(CELL_MANIFEST_DONE),
+            "pending": len(self.pending),
+        }
+
+    def summary(self) -> str:
+        counts = self.counts()
+        return (f"{counts['cells']} cells: {counts['store_hit']} store-hit, "
+                f"{counts['alias_hit']} alias-hit, "
+                f"{counts['manifest_done']} manifest-done, "
+                f"{counts['pending']} pending "
+                f"({self.hit_rate:.0%} answered)")
+
+
+def recommend_shard_size(pending: int, worker_count: int, *,
+                         oversubscription: int = 4, runner_count: int = 1,
+                         hit_rate: float = 0.0) -> int:
+    """Shard size from the plan, not the submitted batch size.
+
+    Three inputs replace the static pool-width heuristic:
+
+    * only **pending** cells count -- cache-answered cells never reach a
+      shard, so they must not inflate shard sizes either;
+    * ``runner_count`` spreads the fan-out across every cluster runner's
+      pool, not just the local one;
+    * the measured ``hit_rate`` biases warm sweeps toward finer shards:
+      a mostly-answered sweep is latency-bound, and its few cold cells
+      should spread across the whole pool instead of queueing behind one
+      straggler shard.
+
+    With ``hit_rate=0`` and ``runner_count=1`` this reproduces the
+    historical :meth:`Portfolio.shard_plan
+    <repro.engine.portfolio.Portfolio.shard_plan>` sizing exactly, so
+    cold sweeps keep their pinned shard counts.
+    """
+    if pending <= 0:
+        return 1
+    lanes = max(1, worker_count) * max(1, runner_count)
+    # hit_rate scales oversubscription up smoothly, capped at 16x so a
+    # 100%-warm plan cannot divide by zero.
+    effective = max(1.0, oversubscription / max(1.0 - hit_rate, 1.0 / 16.0))
+    return max(1, math.ceil(pending / (lanes * effective)))
+
+
+def build_sweep_plan(cells: Sequence[Tuple[str, Any]], method: str = "auto", *,
+                     store: Any = None,
+                     limits: Any = None,
+                     validate: bool = True,
+                     manifest_done: Optional[Iterable[str]] = None,
+                     **options: Any) -> SweepPlan:
+    """Classify a sweep's unique cells in one batched store pass.
+
+    Parameters
+    ----------
+    cells:
+        ``(alias, spec)`` pairs, one per unique cell in submission order
+        (the services' existing pre-materialization dedup).
+    store:
+        The :class:`~repro.engine.store.SolutionStore` to consult; with
+        ``None`` every cell whose fingerprint is not memoized is simply
+        pending.
+    manifest_done:
+        Tokens a resume manifest recorded as completed.  Any of a cell's
+        identities may match -- its alias, its resolved request
+        fingerprint or its cell digest -- which is what lets v2
+        (digest-keyed) and legacy v1 (request-keyed) manifests both
+        drive resume.
+    method / limits / validate / options:
+        The sweep's solve context (part of every fingerprint).
+
+    Cells resolved through a persistent alias entry are recorded into
+    the in-process spec-key memo as a side effect, exactly as the
+    per-cell path did -- the next sweep in this process skips the store
+    round-trip for them.
+    """
+    marked: Set[str] = set(manifest_done or ())
+    planned: List[PlannedCell] = []
+    memo_keys: Dict[str, Optional[str]] = {}
+    for alias, spec in cells:
+        memo_keys[alias] = cached_spec_fingerprint(
+            spec, method, limits=limits, validate=validate, **options)
+        planned.append(PlannedCell(alias=alias, spec=spec,
+                                   digest=spec.cell_digest(),
+                                   status=CELL_PENDING,
+                                   key=memo_keys[alias]))
+
+    if store is not None and planned:
+        # One batched pass: cells with a memoized fingerprint probe it
+        # directly, the rest probe their alias entry (followed to its
+        # target inside the store, still batched per shard).
+        probes = [cell.key if cell.key is not None else cell.alias
+                  for cell in planned]
+        resolved = store.get_reports_many(probes)
+        for cell, probe in zip(planned, probes):
+            true_key, report = resolved.get(probe, (None, None))
+            via_alias = cell.key is None and true_key is not None
+            if via_alias:
+                cell.key = true_key
+                record_spec_fingerprint(cell.spec, true_key, method,
+                                        limits=limits, validate=validate,
+                                        **options)
+            if report is None:
+                continue
+            cell.report = report
+            if marked and not marked.isdisjoint(
+                    (cell.alias, cell.digest, cell.key or "")):
+                cell.status = CELL_MANIFEST_DONE
+            elif via_alias:
+                cell.status = CELL_ALIAS_HIT
+            else:
+                cell.status = CELL_STORE_HIT
+
+    return SweepPlan(cells=planned, method=method)

@@ -58,6 +58,7 @@ True
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from concurrent.futures import as_completed
@@ -73,10 +74,11 @@ from repro.engine.core import (
     normalize_problem,
     request_key,
 )
-from repro.engine.fingerprint import (
-    cached_spec_fingerprint,
-    record_spec_fingerprint,
-    spec_alias_key,
+from repro.engine.fingerprint import record_spec_fingerprint, spec_alias_key
+from repro.engine.plan import (
+    CELL_MANIFEST_DONE,
+    build_sweep_plan,
+    recommend_shard_size,
 )
 from repro.engine.portfolio import Portfolio
 from repro.engine.store import SolutionStore, atomic_write_json
@@ -84,54 +86,148 @@ from repro.scenarios import ScenarioGrid, ScenarioSpec
 from repro.utils.validation import require
 
 __all__ = ["SweepService", "SweepResult", "SweepStats", "SweepReport",
-           "MANIFEST_SCHEMA_VERSION", "load_manifest_done", "write_manifest"]
+           "ManifestState", "MANIFEST_SCHEMA_VERSION",
+           "load_manifest_done", "load_manifest_state", "write_manifest"]
 
-#: Version of the manifest file layout; mismatching manifests are ignored
-#: (the sweep starts fresh), never misread.
-MANIFEST_SCHEMA_VERSION = 1
+logger = logging.getLogger(__name__)
+
+#: Version of the manifest file layout.  v2 manifests record, next to the
+#: v1-compatible ``done`` token list, a ``cells`` map from each completed
+#: cell's spec alias to its content digest and resolved request
+#: fingerprint -- the digest-keyed identities that let *any* restarted
+#: process (sync service, async service, a killed ``serve`` deployment)
+#: resume the same grid payload.  v1 manifests are still readable;
+#: unknown future schemas are ignored (the sweep starts fresh), never
+#: misread.
+MANIFEST_SCHEMA_VERSION = 2
+
+#: Log the first failed manifest checkpoint only (the counter on
+#: :class:`SweepStats` / ``AsyncSweepStats`` carries the full tally).
+_manifest_write_warned = False
 
 
-def load_manifest_done(path: str, method: str) -> set:
-    """Completed request keys recorded by a compatible manifest at ``path``.
+@dataclass
+class ManifestState:
+    """What a resume manifest knows, normalized across schema versions.
+
+    ``done`` holds the canonical completion tokens exactly as recorded
+    (request keys for materialized sweeps, spec alias keys for spec
+    sweeps -- both encode the solve context).  ``tokens`` is the expanded
+    consultation set: ``done`` plus, from v2 ``cells`` entries, each done
+    cell's resolved request fingerprint and -- only when the manifest's
+    ``method`` matches, since a bare digest does not encode the method --
+    its content digest.  The planning tier matches a cell against *any*
+    of its identities (see :func:`repro.engine.plan.build_sweep_plan`);
+    writers persist ``done``, never ``tokens``.
+    """
+
+    done: set = field(default_factory=set)
+    #: Expanded matching tokens (``done`` + per-cell keys/digests).
+    tokens: set = field(default_factory=set)
+    #: ``{alias: {"cell": digest, "key": request_key}}`` from v2 manifests.
+    cells: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    completed: bool = False
+    schema: int = 0
+
+    def __post_init__(self) -> None:
+        self.tokens |= self.done
+
+
+def load_manifest_state(path: str, method: str) -> ManifestState:
+    """Read a v1 or v2 manifest at ``path`` into a :class:`ManifestState`.
 
     Shared by :class:`SweepService` and the asyncio serving layer
     (:mod:`repro.engine.async_service`).  A missing, torn or incompatible
-    manifest (different schema or ``method``) contributes nothing -- it
-    must never kill a sweep.
+    manifest contributes nothing -- it must never kill a sweep.  v1
+    manifests keep their historical gate (tokens trusted only when the
+    ``method`` matches); v2 ``done`` tokens are method-encoded keys or
+    aliases and are always trusted, while digest tokens from ``cells``
+    are added only same-method.
     """
     if not os.path.exists(path):
-        return set()
+        return ManifestState()
     try:
         with open(path, "r", encoding="utf-8") as handle:
             manifest = json.load(handle)
-        if (not isinstance(manifest, dict)
-                or manifest.get("schema") != MANIFEST_SCHEMA_VERSION
-                or manifest.get("method") != method):
-            return set()
-        return set(manifest.get("done", []))
     except (OSError, json.JSONDecodeError):
-        return set()
+        return ManifestState()
+    if not isinstance(manifest, dict):
+        return ManifestState()
+    schema = manifest.get("schema")
+    done_list = manifest.get("done", [])
+    if not isinstance(done_list, list):
+        return ManifestState()
+    completed = bool(manifest.get("completed", False))
+    if schema == 1:
+        if manifest.get("method") != method:
+            return ManifestState()
+        return ManifestState(done=set(done_list), completed=completed,
+                             schema=1)
+    if schema == MANIFEST_SCHEMA_VERSION:
+        done = set(done_list)
+        tokens = set(done)
+        cells = manifest.get("cells", {})
+        if not isinstance(cells, dict):
+            cells = {}
+        state_cells: Dict[str, Dict[str, str]] = {}
+        same_method = manifest.get("method") == method
+        for alias, entry in cells.items():
+            if not isinstance(entry, dict) or alias not in done:
+                continue
+            state_cells[alias] = {str(k): str(v) for k, v in entry.items()}
+            key = entry.get("key")
+            if isinstance(key, str) and key:
+                tokens.add(key)
+            digest = entry.get("cell")
+            if same_method and isinstance(digest, str):
+                tokens.add(digest)
+        return ManifestState(done=done, tokens=tokens, cells=state_cells,
+                             completed=completed,
+                             schema=MANIFEST_SCHEMA_VERSION)
+    return ManifestState()
+
+
+def load_manifest_done(path: str, method: str) -> set:
+    """Completion tokens of a compatible manifest (compat wrapper)."""
+    return load_manifest_state(path, method).tokens
 
 
 def write_manifest(path: str, method: str, keys: List[str],
                    done: set, completed: bool, *,
-                   durable: bool = False) -> None:
+                   cells: Optional[Dict[str, Dict[str, str]]] = None,
+                   durable: bool = False) -> bool:
     """Atomically checkpoint a sweep manifest (best effort, never raises).
 
-    ``durable=True`` fsyncs the manifest through the rename (matching a
-    ``durable`` store), so a crash right after a shard completes cannot
-    roll the resume point back past that shard.
+    ``cells`` carries the v2 per-cell identity map (spec sweeps only --
+    materialized-problem sweeps have no spec aliases to record).  Returns
+    whether the checkpoint landed; a failed write is logged once per
+    process and counted by the caller (``manifest_write_errors``), never
+    raised.  ``durable=True`` fsyncs the manifest through the rename
+    (matching a ``durable`` store), so a crash right after a shard
+    completes cannot roll the resume point back past that shard.
     """
+    global _manifest_write_warned
+    payload: Dict[str, Any] = {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "method": method,
+        "keys": keys,
+        "done": sorted(done),
+        "completed": completed,
+    }
+    if cells:
+        payload["cells"] = {alias: dict(entry)
+                            for alias, entry in sorted(cells.items())}
     try:
-        atomic_write_json(path, {
-            "schema": MANIFEST_SCHEMA_VERSION,
-            "method": method,
-            "keys": keys,
-            "done": sorted(done),
-            "completed": completed,
-        }, fsync=durable)
-    except OSError:  # pragma: no cover - manifest IO is best-effort
-        pass
+        atomic_write_json(path, payload, fsync=durable)
+        return True
+    except OSError as exc:
+        if not _manifest_write_warned:
+            _manifest_write_warned = True
+            logger.warning(
+                "sweep manifest checkpoint failed (%s: %s); resume state "
+                "is stale until a later checkpoint lands -- further "
+                "failures are counted, not logged", path, exc)
+        return False
 
 
 @dataclass
@@ -175,6 +271,11 @@ class SweepStats:
     failed: int = 0
     shards: int = 0
     shard_size: int = 0
+    #: Solves short-circuited to a store read because another process
+    #: held (or had just released) the solve claim for the same cell.
+    dup_solves_avoided: int = 0
+    #: Manifest checkpoints that failed to land (write_manifest errors).
+    manifest_write_errors: int = 0
     wall_time: float = 0.0
 
     @property
@@ -265,6 +366,9 @@ class SweepService:
         self.oversubscription = oversubscription
         self.validate = validate
         self.last_stats: Optional[SweepStats] = None
+        #: The classification of the most recent spec-native sweep
+        #: (:class:`~repro.engine.plan.SweepPlan`), for observability.
+        self.last_plan = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -333,14 +437,18 @@ class SweepService:
     # ------------------------------------------------------------------
     # manifest
     # ------------------------------------------------------------------
-    def _load_manifest_done(self, path: str, method: str) -> set:
-        """Completed request keys recorded by a compatible manifest."""
-        return load_manifest_done(path, method)
+    def _load_manifest_state(self, path: str, method: str) -> ManifestState:
+        """Resume state recorded by a compatible (v1 or v2) manifest."""
+        return load_manifest_state(path, method)
 
     def _write_manifest(self, path: str, method: str, keys: List[str],
-                        done: set, completed: bool) -> None:
-        write_manifest(path, method, keys, done, completed,
-                       durable=self.durable)
+                        done: set, completed: bool, *,
+                        cells: Optional[Dict[str, Dict[str, str]]] = None,
+                        stats: Optional[SweepStats] = None) -> None:
+        ok = write_manifest(path, method, keys, done, completed,
+                            cells=cells, durable=self.durable)
+        if not ok and stats is not None:
+            stats.manifest_write_errors += 1
 
     # ------------------------------------------------------------------
     # sweeping
@@ -411,16 +519,18 @@ class SweepService:
         stats.unique = len(unique_keys)
         stats.duplicates = stats.scenarios - stats.unique
 
-        manifest_done = (self._load_manifest_done(manifest, method)
+        manifest_done = (self._load_manifest_state(manifest, method).tokens
                          if manifest else set())
         done: set = set()
         store = self.store
 
-        # -- tier-2 lookup ----------------------------------------------
+        # -- tier-2 lookup (one batched store pass) ---------------------
         pending: List[str] = []
+        found = (store.get_reports_many(unique_keys)
+                 if store is not None else {})
         try:
             for key in unique_keys:
-                report = store.get_report(key) if store is not None else None
+                _resolved, report = found.get(key, (None, None))
                 if report is None:
                     pending.append(key)
                     continue
@@ -440,8 +550,10 @@ class SweepService:
             # -- shard + compute ------------------------------------------
             if pending:
                 portfolio = self._warm_pool()
-                size = shard_size or Portfolio.shard_plan(
-                    len(pending), portfolio.worker_count(), self.oversubscription)
+                size = shard_size or recommend_shard_size(
+                    len(pending), portfolio.worker_count(),
+                    oversubscription=self.oversubscription,
+                    hit_rate=stats.store_hits / stats.unique if stats.unique else 0.0)
                 stats.shard_size = size
                 shard_keys = _chunk(pending, size)
                 futures = {}
@@ -481,7 +593,8 @@ class SweepService:
                                                   error=err)
                         if manifest:
                             self._write_manifest(manifest, method, unique_keys,
-                                                 done, completed=False)
+                                                 done, completed=False,
+                                                 stats=stats)
                 finally:
                     for future in futures:
                         future.cancel()
@@ -490,7 +603,7 @@ class SweepService:
             if manifest:
                 completed = len(done) + stats.failed >= stats.unique
                 self._write_manifest(manifest, method, unique_keys, done,
-                                     completed=completed)
+                                     completed=completed, stats=stats)
         return stats
 
     def _sweep_specs_iter(self, specs: List[ScenarioSpec], method: str, *,
@@ -503,15 +616,18 @@ class SweepService:
         1. **dedup, no DAGs** -- cells are grouped by
            :func:`~repro.engine.fingerprint.spec_alias_key` (pure spec
            content);
-        2. **store lookup, no DAGs** -- each unique cell resolves its true
-           request fingerprint through the in-process spec-key memo or the
-           persistent ``{"alias_of": ...}`` entry written by any previous
-           sweep, then probes the store; hits are yielded immediately;
+        2. **plan, no DAGs** -- every unique cell is classified in one
+           batched store pass (:func:`~repro.engine.plan.build_sweep_plan`)
+           into store-hit / alias-hit / manifest-done / pending; done
+           cells are yielded immediately, and pending cells are claimed
+           against concurrent processes (a contended cell gets one more
+           store look -- ``dup_solves_avoided``);
         3. **lazy compute** -- pending cells are sharded *as specs*
-           (:meth:`Portfolio.submit_spec_shard`); workers materialize
-           inside their shard and report each cell's request fingerprint
-           back, which is persisted as the alias the next sweep's phase 2
-           will hit.
+           (:meth:`Portfolio.submit_spec_shard`) with a shard size picked
+           from the plan's pending count and measured hit rate; workers
+           materialize inside their shard and report each cell's request
+           fingerprint back, which is persisted as the alias the next
+           sweep's plan will hit.
         """
         start_time = time.perf_counter()
         stats = SweepStats(scenarios=len(specs))
@@ -532,44 +648,87 @@ class SweepService:
         stats.unique = len(unique_aliases)
         stats.duplicates = stats.scenarios - stats.unique
 
-        manifest_done = (self._load_manifest_done(manifest, method)
-                         if manifest else set())
+        manifest_state = (self._load_manifest_state(manifest, method)
+                          if manifest else ManifestState())
         done: set = set()
+        done_cells: Dict[str, Dict[str, str]] = {}
         store = self.store
 
-        pending: List[str] = []
+        # -- the incremental planning tier: classify every unique cell in
+        #    one batched store pass before any shard is formed.
+        plan = build_sweep_plan(
+            [(alias, specs[groups[alias][0]]) for alias in unique_aliases],
+            method, store=store, limits=self.limits, validate=self.validate,
+            manifest_done=manifest_state.tokens, **options)
+        self.last_plan = plan
+        cell_by_alias = {cell.alias: cell for cell in plan.cells}
+        claimed: List[str] = []
         try:
-            for alias in unique_aliases:
-                spec = specs[groups[alias][0]]
-                key = cached_spec_fingerprint(spec, method, limits=self.limits,
-                                              validate=self.validate, **options)
-                if key is None and store is not None:
-                    entry = store.get(alias)
-                    if entry is not None and isinstance(entry.get("alias_of"), str):
-                        key = entry["alias_of"]
-                        record_spec_fingerprint(spec, key, method,
-                                                limits=self.limits,
-                                                validate=self.validate,
-                                                **options)
-                report = (store.get_report(key)
-                          if key is not None and store is not None else None)
-                if report is None:
-                    pending.append(alias)
-                    continue
+            for cell in plan.done:
                 stats.store_hits += 1
-                if alias in manifest_done:
+                if cell.status == CELL_MANIFEST_DONE:
                     stats.resumed += 1
-                done.add(alias)
-                for index in groups[alias]:
-                    yield SweepResult(index=index, key=key, problem=None,
-                                      report=_clone_report(report, from_cache=True,
+                done.add(cell.alias)
+                done_cells[cell.alias] = {"cell": cell.digest,
+                                          "key": cell.key or ""}
+                for index in groups[cell.alias]:
+                    yield SweepResult(index=index, key=cell.key, problem=None,
+                                      report=_clone_report(cell.report,
+                                                           from_cache=True,
                                                            cache_tier="store"),
                                       source="store", spec=specs[index])
 
+            pending = [cell.alias for cell in plan.pending]
+
+            # -- cross-process dedup: claim each pending cell; a cell some
+            #    live process already claimed gets one more (batched) store
+            #    look before we solve it ourselves -- if the claimant
+            #    finished, this sweep short-circuits to its report.
+            if store is not None and pending:
+                contended = {alias for alias in pending
+                             if not store.claim_solve(alias)}
+                claimed = [alias for alias in pending
+                           if alias not in contended]
+                if contended:
+                    recheck = store.get_reports_many(list(contended))
+                    still_pending: List[str] = []
+                    for alias in pending:
+                        if alias not in contended:
+                            still_pending.append(alias)
+                            continue
+                        true_key, report = recheck.get(alias, (None, None))
+                        if report is None:
+                            # Claimant still running (or died mid-solve):
+                            # solving it ourselves stays correct, just not
+                            # deduplicated.
+                            still_pending.append(alias)
+                            continue
+                        cell = cell_by_alias[alias]
+                        if true_key is not None:
+                            record_spec_fingerprint(
+                                cell.spec, true_key, method,
+                                limits=self.limits, validate=self.validate,
+                                **options)
+                        stats.store_hits += 1
+                        stats.dup_solves_avoided += 1
+                        done.add(alias)
+                        done_cells[alias] = {"cell": cell.digest,
+                                             "key": true_key or ""}
+                        for index in groups[alias]:
+                            yield SweepResult(
+                                index=index, key=true_key or alias,
+                                problem=None,
+                                report=_clone_report(report, from_cache=True,
+                                                     cache_tier="store"),
+                                source="store", spec=specs[index])
+                    pending = still_pending
+
             if pending:
                 portfolio = self._warm_pool()
-                size = shard_size or Portfolio.shard_plan(
-                    len(pending), portfolio.worker_count(), self.oversubscription)
+                size = shard_size or recommend_shard_size(
+                    len(pending), portfolio.worker_count(),
+                    oversubscription=self.oversubscription,
+                    hit_rate=stats.store_hits / stats.unique if stats.unique else 0.0)
                 stats.shard_size = size
                 futures = {}
                 for shard in _chunk(pending, size):
@@ -604,6 +763,9 @@ class SweepService:
                             if report is not None:
                                 stats.computed += 1
                                 done.add(alias)
+                                done_cells[alias] = {
+                                    "cell": cell_by_alias[alias].digest,
+                                    "key": key or ""}
                                 source, err = "computed", None
                             else:
                                 stats.failed += 1
@@ -619,16 +781,22 @@ class SweepService:
                         if manifest:
                             self._write_manifest(manifest, method,
                                                  unique_aliases, done,
-                                                 completed=False)
+                                                 completed=False,
+                                                 cells=done_cells,
+                                                 stats=stats)
                 finally:
                     for future in futures:
                         future.cancel()
         finally:
             stats.wall_time = time.perf_counter() - start_time
+            if store is not None:
+                for alias in claimed:
+                    store.release_solve_claim(alias)
             if manifest:
                 completed = len(done) + stats.failed >= stats.unique
                 self._write_manifest(manifest, method, unique_aliases, done,
-                                     completed=completed)
+                                     completed=completed, cells=done_cells,
+                                     stats=stats)
         return stats
 
     def run(self, scenarios: Union[Sequence[Problem], Sequence[ScenarioSpec],

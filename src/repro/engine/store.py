@@ -693,6 +693,15 @@ class SolutionStore:
         # Read-side cross-process coherence: cached shards found stale
         # against their on-disk signature and reloaded mid-lookup.
         self.stale_shard_reloads = 0
+        # Batched planning reads: keys resolved through get_many (one
+        # shard resolution per distinct shard instead of per key).
+        self.batched_lookups = 0
+        # Cross-runner solve claims (the duplicate-compute guard): claims
+        # this handle acquired, claim attempts that found a live foreign
+        # holder, and claims taken over from a dead holder.
+        self.claims_acquired = 0
+        self.claims_contended = 0
+        self.stale_claims_recovered = 0
         os.makedirs(self._shard_dir, exist_ok=True)
         if self.locking:
             os.makedirs(self._lock_dir, exist_ok=True)
@@ -1099,6 +1108,83 @@ class SolutionStore:
             self.hits += 1
             return {k: v for k, v in entry.items() if k != "__seq__"}
 
+    def get_many(self, keys) -> Dict[str, Optional[Dict[str, Any]]]:
+        """Batched :meth:`get`: one shard resolution per distinct shard.
+
+        Looking keys up one by one pays the cross-process staleness
+        check (a ``stat`` against the shard's on-disk signature) once
+        per *missing key*; the batched pass pays it once per *shard*,
+        which is what makes whole-grid planning affordable.  Duplicate
+        keys are resolved once.  Returns ``{key: payload-or-None}`` with
+        the same hit/miss accounting as :meth:`get`.
+        """
+        results: Dict[str, Optional[Dict[str, Any]]] = {}
+        with self._lock:
+            by_shard: Dict[str, List[str]] = {}
+            for key in keys:
+                if key not in results:
+                    results[key] = None
+                    by_shard.setdefault(self._shard_id(key), []).append(key)
+            for shard_id, shard_keys in by_shard.items():
+                revalidated = not self.cache_shards
+                for key in shard_keys:
+                    entry = self._lookup_once(shard_id, key)
+                    if entry is None and not revalidated:
+                        # One signature check per shard: the first miss
+                        # revalidates against disk; later misses in the
+                        # same shard trust the (now fresh) cache.
+                        revalidated = True
+                        recorded = self._shard_sigs.get(shard_id)
+                        if recorded is not None and \
+                                self._shard_signature(shard_id) != recorded:
+                            self._invalidate_shard(shard_id)
+                            entry = self._lookup_once(shard_id, key)
+                            if entry is not None:
+                                self.stale_shard_reloads += 1
+                    self.batched_lookups += 1
+                    if entry is None:
+                        self.misses += 1
+                    else:
+                        self.hits += 1
+                        results[key] = {k: v for k, v in entry.items()
+                                        if k != "__seq__"}
+        return results
+
+    def get_reports_many(self, keys):
+        """Batched report fetch following alias indirection.
+
+        Returns ``{key: (resolved_key, report)}`` for every requested
+        key: ``resolved_key`` is the fingerprint the report lives under
+        (the alias target when the entry was a spec-alias), and
+        ``report`` is the decoded :class:`SolveReport` or ``None`` on a
+        miss (including an alias whose target has been lost).  Both
+        levels resolve through :meth:`get_many`, so a whole sweep plan
+        costs one pass over each touched shard.
+        """
+        entries = self.get_many(keys)
+        targets: Dict[str, str] = {}
+        for key, entry in entries.items():
+            if entry is not None and isinstance(entry.get("alias_of"), str):
+                targets[key] = entry["alias_of"]
+        resolved = self.get_many(set(targets.values())) if targets else {}
+        results = {}
+        for key, entry in entries.items():
+            if key in targets:
+                true_key = targets[key]
+                payload = resolved.get(true_key)
+            else:
+                true_key, payload = key, entry
+            if payload is None:
+                results[key] = (true_key if key in targets else None, None)
+                continue
+            try:
+                results[key] = (true_key, report_from_payload(payload))
+            except (KeyError, TypeError, ValueError, SyntaxError):
+                with self._lock:
+                    self.corrupt_shards += 1
+                results[key] = (true_key, None)
+        return results
+
     def put(self, key: str, payload: Dict[str, Any]) -> bool:
         """Persist ``payload`` under ``key`` (atomic); returns ``True``.
 
@@ -1229,6 +1315,82 @@ class SolutionStore:
             with self._lock:
                 self.corrupt_shards += 1
             return None
+
+    # ------------------------------------------------------------------
+    # solve claims (cross-runner duplicate-compute guard)
+    # ------------------------------------------------------------------
+    @property
+    def _claim_dir(self) -> str:
+        return os.path.join(self.root, "claims")
+
+    def _claim_path(self, key: str) -> str:
+        return os.path.join(self._claim_dir, f"{key}.claim")
+
+    def claim_solve(self, key: str) -> bool:
+        """Advisory claim on *computing* ``key``; ``True`` if acquired.
+
+        The duplicate-compute guard for re-routes racing a live primary:
+        a runner claims a pending cell before solving it, so a second
+        runner handed the same cell sees the live claim, waits for it
+        (:meth:`solve_claim_holder`) and then answers from the store
+        instead of solving again.  Claims are an O_EXCL pid-breadcrumb
+        file per key; a claim whose holder died is taken over
+        (``stale_claims_recovered``), and any filesystem trouble makes
+        the method return ``True`` -- claims only ever *avoid* work,
+        they must never block a solve.  No-op (always ``True``) when
+        ``locking=False``.
+        """
+        if not self.locking:
+            return True
+        path = self._claim_path(key)
+        for _attempt in range(2):
+            try:
+                os.makedirs(self._claim_dir, exist_ok=True)
+                fd = os.open(path,
+                             os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                holder = _read_breadcrumb(path)
+                if holder is not None and not _pid_alive(holder):
+                    try:
+                        os.unlink(path)
+                    except OSError:  # pragma: no cover - lost the race
+                        pass
+                    with self._lock:
+                        self.stale_claims_recovered += 1
+                    continue
+                with self._lock:
+                    self.claims_contended += 1
+                return False
+            except OSError:  # pragma: no cover - unclaimable filesystem
+                return True
+            try:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+            except OSError:  # pragma: no cover - breadcrumb best effort
+                pass
+            finally:
+                os.close(fd)
+            with self._lock:
+                self.claims_acquired += 1
+            return True
+        return True  # lost two takeover races: just solve
+
+    def release_solve_claim(self, key: str) -> None:
+        """Drop the claim on ``key`` (idempotent, never raises)."""
+        try:
+            os.unlink(self._claim_path(key))
+        except OSError:
+            pass
+
+    def solve_claim_holder(self, key: str) -> Optional[int]:
+        """The pid of a *live* claim holder for ``key``, else ``None``.
+
+        A recorded holder that is no longer running reads as no claim --
+        waiters poll this, and a SIGKILLed primary must not wedge them.
+        """
+        holder = _read_breadcrumb(self._claim_path(key))
+        if holder is not None and _pid_alive(holder):
+            return holder
+        return None
 
     def _maybe_gc(self) -> None:
         """Run :meth:`compact` if the configured entry cap is exceeded.
@@ -1521,6 +1683,15 @@ class SolutionStore:
             self.lock_acquires = self.lock_waits = self.lock_timeouts = 0
             self.stale_locks_recovered = self.compactions_skipped = 0
             self.stale_shard_reloads = 0
+            self.batched_lookups = 0
+            self.claims_acquired = self.claims_contended = 0
+            self.stale_claims_recovered = 0
+            if os.path.isdir(self._claim_dir):
+                for name in os.listdir(self._claim_dir):
+                    try:
+                        os.unlink(os.path.join(self._claim_dir, name))
+                    except OSError:
+                        pass
 
     def info(self) -> dict:
         """Statistics dict mirroring :meth:`LRUCache.info` plus store extras."""
@@ -1557,6 +1728,10 @@ class SolutionStore:
                 "stale_locks_recovered": self.stale_locks_recovered,
                 "compactions_skipped": self.compactions_skipped,
                 "stale_shard_reloads": self.stale_shard_reloads,
+                "batched_lookups": self.batched_lookups,
+                "claims_acquired": self.claims_acquired,
+                "claims_contended": self.claims_contended,
+                "stale_claims_recovered": self.stale_claims_recovered,
             }
 
     #: The numeric-counter subset of :meth:`info` exported to metrics
@@ -1571,7 +1746,8 @@ class SolutionStore:
         "alias_fast_hits", "binary_shard_opens", "scans", "scan_entries",
         "scan_alias_skips", "migrated_shards", "lock_acquires",
         "lock_waits", "lock_timeouts", "stale_locks_recovered",
-        "compactions_skipped", "stale_shard_reloads",
+        "compactions_skipped", "stale_shard_reloads", "batched_lookups",
+        "claims_acquired", "claims_contended", "stale_claims_recovered",
     )
 
     def counters(self) -> Dict[str, int]:

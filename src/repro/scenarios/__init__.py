@@ -41,16 +41,19 @@ from repro.scenarios.registry import (
 from repro.scenarios.spec import (
     Axis,
     BUDGET_RULE_NAMES,
+    GridDiff,
     OBJECTIVES,
     ScenarioGrid,
     ScenarioSpec,
     derive_cell_seed,
+    grid_diff,
     materialization_info,
     normalize_budget_rule,
     reset_materialization_counters,
 )
 from repro.scenarios.adversarial import (
     arc_dag_to_tradeoff_dag,
+    matching3d_gadget_dag,
     minresource_chain_dag,
     partition_gadget_dag,
 )
@@ -64,10 +67,11 @@ __all__ = [
     "get_generator", "generator_ids", "generator_specs", "validate_params",
     # specs + grids
     "ScenarioSpec", "ScenarioGrid", "Axis",
+    "GridDiff", "grid_diff",
     "BUDGET_RULE_NAMES", "OBJECTIVES", "normalize_budget_rule",
     "derive_cell_seed",
     "materialization_info", "reset_materialization_counters",
     # adversarial families
     "arc_dag_to_tradeoff_dag", "partition_gadget_dag",
-    "minresource_chain_dag",
+    "minresource_chain_dag", "matching3d_gadget_dag",
 ]

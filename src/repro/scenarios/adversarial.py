@@ -24,7 +24,11 @@ Two families are registered by :mod:`repro.scenarios.builtin`:
 * ``adversarial-minresource-chain`` -- the Theorem 4.4 / Figure 10 chained
   variable gadgets
   (:func:`repro.hardness.minresource_chain.build_variable_chain`): a single
-  unit of resource must walk the whole chain on time or pay big-M.
+  unit of resource must walk the whole chain on time or pay big-M;
+* ``adversarial-3dm`` -- the Theorem 4.5 numerical 3-dimensional matching
+  gadget (:func:`repro.hardness.matching3d.build_matching3d_dag`) over
+  seeded triple values: two cascaded bipartite matchers whose exclusive
+  choices must realise a perfect numerical matching or pay big-M.
 """
 
 from __future__ import annotations
@@ -42,7 +46,9 @@ __all__ = [
     "arc_dag_to_tradeoff_dag",
     "partition_gadget_dag",
     "minresource_chain_dag",
+    "matching3d_gadget_dag",
     "partition_values",
+    "matching3d_values",
 ]
 
 #: Job names for the unique terminals added around the converted arcs.
@@ -115,6 +121,51 @@ def partition_gadget_dag(num_values: int = 4, max_value: int = 7,
     if values is None:
         values = partition_values(num_values, max_value, seed)
     construction = build_partition_dag(PartitionInstance(tuple(values)))
+    return arc_dag_to_tradeoff_dag(construction.arc_dag)
+
+
+def matching3d_values(n: int, max_value: int, seed: int
+                      ) -> Tuple[Tuple[int, ...], Tuple[int, ...], Tuple[int, ...]]:
+    """Deterministic seeded triple values for the numerical 3DM gadget.
+
+    Draws ``n`` values per side in ``[1, max_value]`` and then raises the
+    last ``c`` element just enough to make the grand total divisible by
+    ``n`` -- the well-formedness condition
+    :class:`~repro.hardness.matching3d.Numerical3DMInstance` enforces.
+    """
+    check_positive(n, "n")
+    check_positive(max_value, "max_value")
+    rng = np.random.default_rng(seed)
+    a = [int(rng.integers(1, max_value + 1)) for _ in range(n)]
+    b = [int(rng.integers(1, max_value + 1)) for _ in range(n)]
+    c = [int(rng.integers(1, max_value + 1)) for _ in range(n)]
+    c[-1] += (-(sum(a) + sum(b) + sum(c))) % n
+    return tuple(a), tuple(b), tuple(c)
+
+
+def matching3d_gadget_dag(n: int = 2, max_value: int = 5, seed: int = 0,
+                          values: Optional[Tuple[Tuple[int, ...],
+                                                 Tuple[int, ...],
+                                                 Tuple[int, ...]]] = None
+                          ) -> TradeoffDAG:
+    """The Theorem 4.5 numerical 3DM reduction as an adversarial node DAG.
+
+    ``values`` overrides the seeded draw with explicit ``(a, b, c)``
+    triples (the explicit-instance hook used by tests); otherwise
+    :func:`matching3d_values` draws them from ``seed``.  The gadget
+    cascades two bipartite matchers (A-to-B, then AB-to-C); only a
+    resource routing that realises a perfect matching with every triple
+    summing to the target ``T`` reaches the designed makespan -- any
+    misrouted choice arc pays big-M.  Gadget size grows as ``n**2``
+    matcher arcs per stage, so keep ``n`` small inside grids.
+    """
+    from repro.hardness.matching3d import Numerical3DMInstance, build_matching3d_dag
+
+    if values is None:
+        values = matching3d_values(n, max_value, seed)
+    a, b, c = values
+    construction = build_matching3d_dag(
+        Numerical3DMInstance(tuple(a), tuple(b), tuple(c)))
     return arc_dag_to_tradeoff_dag(construction.arc_dag)
 
 

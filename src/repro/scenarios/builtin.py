@@ -140,6 +140,22 @@ def _build_adversarial_partition(**params: Any):
 
 
 @register_generator(
+    "adversarial-3dm",
+    summary="Theorem 4.5 numerical 3DM gadget: cascaded bipartite matchers",
+    families=("general",),
+    seeded=True,
+    adversarial=True,
+    params_schema={
+        "n": {"type": "int", "default": 2},
+        "max_value": {"type": "int", "default": 5},
+    })
+def _build_adversarial_3dm(**params: Any):
+    from repro.scenarios.adversarial import matching3d_gadget_dag
+
+    return matching3d_gadget_dag(**params)
+
+
+@register_generator(
     "adversarial-minresource-chain",
     summary="Theorem 4.4 chained variable gadgets: one unit must walk the chain",
     families=("general",),

@@ -45,6 +45,8 @@ __all__ = [
     "Axis",
     "ScenarioSpec",
     "ScenarioGrid",
+    "GridDiff",
+    "grid_diff",
     "BUDGET_RULE_NAMES",
     "OBJECTIVES",
     "normalize_budget_rule",
@@ -388,6 +390,19 @@ class ScenarioGrid:
             "objective": self.objective,
         }
 
+    def cells_by_digest(self) -> Dict[str, ScenarioSpec]:
+        """``{cell_digest: spec}`` over the expansion, first occurrence wins.
+
+        Duplicate digests (an unseeded generator collapsing the seed
+        axis) appear once -- this is the grid's *unique cell* view, the
+        unit :func:`grid_diff` and the sweep planner reason about.  No
+        DAG is built.
+        """
+        cells: Dict[str, ScenarioSpec] = {}
+        for spec in self.expand():
+            cells.setdefault(spec.cell_digest(), spec)
+        return cells
+
     @classmethod
     def from_payload(cls, payload: Mapping[str, Any]) -> "ScenarioGrid":
         """Inverse of :meth:`to_payload` (raises ``ValidationError``)."""
@@ -420,3 +435,79 @@ class ScenarioGrid:
                                payload.get("budget_rules", (("const", 0.0),))),
             objective=payload.get("objective", "min_makespan"),
         )
+
+
+@dataclass(frozen=True)
+class GridDiff:
+    """The cell-level difference between two grids (see :func:`grid_diff`).
+
+    ``gained`` and ``shared`` carry the *new* grid's spec for each
+    digest, ``lost`` the old grid's -- all in their grid's deterministic
+    expansion order, one entry per unique digest.
+    """
+
+    gained: Tuple[ScenarioSpec, ...]
+    lost: Tuple[ScenarioSpec, ...]
+    shared: Tuple[ScenarioSpec, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the grids describe identical cell sets."""
+        return not self.gained and not self.lost
+
+    def counts(self) -> Dict[str, int]:
+        """``{"gained": n, "lost": n, "shared": n}``."""
+        return {"gained": len(self.gained), "lost": len(self.lost),
+                "shared": len(self.shared)}
+
+
+def grid_diff(old: Union[ScenarioGrid, Sequence[ScenarioSpec]],
+              new: Union[ScenarioGrid, Sequence[ScenarioSpec]]) -> GridDiff:
+    """Cells gained / lost / shared between two grids, by cell digest.
+
+    Pure spec-level set arithmetic: grids expand into tiny spec records
+    and compare by :meth:`ScenarioSpec.cell_digest`, so diffing two
+    10k-cell grids builds **zero DAGs**.  An edited grid resubmitted to
+    the sweep layer therefore knows, before any store lookup, which
+    cells are genuinely new work (``gained``) and which it can expect
+    the cache tiers to answer (``shared``).  Accepts grids or plain
+    spec sequences.
+
+    >>> from repro.scenarios import Axis, ScenarioGrid, grid_diff
+    >>> def widths(*values):
+    ...     return ScenarioGrid(
+    ...         generators=({"generator": "fork-join",
+    ...                      "params": {"width": Axis(list(values)),
+    ...                                 "work": 4}},),
+    ...         budget_rules=(("const", 2.0),))
+    >>> diff = grid_diff(widths(2, 3), widths(3, 4))
+    >>> (len(diff.gained), len(diff.lost), len(diff.shared))
+    (1, 1, 1)
+    >>> diff.gained[0].params["width"], diff.lost[0].params["width"]
+    (4, 2)
+    >>> grid_diff(widths(2, 3), widths(2, 3)).is_empty
+    True
+    """
+    old_cells = _unique_cells(old)
+    new_cells = _unique_cells(new)
+    return GridDiff(
+        gained=tuple(spec for digest, spec in new_cells.items()
+                     if digest not in old_cells),
+        lost=tuple(spec for digest, spec in old_cells.items()
+                   if digest not in new_cells),
+        shared=tuple(spec for digest, spec in new_cells.items()
+                     if digest in old_cells),
+    )
+
+
+def _unique_cells(grid: Union[ScenarioGrid, Sequence[ScenarioSpec]]
+                  ) -> Dict[str, ScenarioSpec]:
+    if isinstance(grid, ScenarioGrid):
+        return grid.cells_by_digest()
+    cells: Dict[str, ScenarioSpec] = {}
+    for spec in grid:
+        require(isinstance(spec, ScenarioSpec),
+                f"grid_diff wants grids or ScenarioSpec sequences, "
+                f"got {type(spec).__name__}")
+        cells.setdefault(spec.cell_digest(), spec)
+    return cells

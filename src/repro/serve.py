@@ -785,8 +785,14 @@ async def _run_server(args: argparse.Namespace) -> None:
                          admission_limit=args.admission_limit,
                          runner_id=args.runner_id)
     await server.start()
+    resume = ""
+    if args.manifest:
+        # start() above loaded the v2 manifest; say how much of an
+        # interrupted sweep this runner will answer from disk.
+        resume = f", resume={service.resume_cells} cells"
     print(f"repro.serve: listening on {server.address} "
-          f"(executor={args.executor}, store={args.store or 'none'})",
+          f"(executor={args.executor}, store={args.store or 'none'}"
+          f"{resume})",
           flush=True)
     try:
         await server.serve_forever()
