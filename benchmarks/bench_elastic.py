@@ -1,0 +1,272 @@
+"""E21 -- elastic resizing: live join/leave with key-range prewarming.
+
+A live resize (:meth:`~repro.cluster.router.ClusterClient.add_runner` /
+``remove_runner``) must be a pure *where* change executed while the
+deployment is up: the ring diff (:func:`~repro.cluster.ring.moved_keys`)
+must move only the fair share of the key space, the joiner must be
+prewarmed with exactly its acquired key range *before* it takes traffic,
+and no cell may ever be recomputed because of a membership change.
+Three phases, all gated on machine-independent counters (wall clock is
+recorded, never gated):
+
+* **ring** -- the 3->4 ring diff itself: incremental splicing must be
+  entry-for-entry identical to a full rebuild, and the moved fraction of
+  the position space must stay within vnode slack of the ideal 1/4.
+* **join** -- a cold 3-runner sweep, then a live join with prewarming:
+  the resize must move at most ``ceil(cells/4)`` + slack cells, bulk-load
+  the joiner's range into its tier-1 LRU, and the post-join sweep must be
+  bit-identical with **zero** computes (every cell a memory or store
+  answer; ``prewarm_hits > 0`` proves the handoff tier worked).
+* **leave** -- a graceful leave mid-deployment: zero re-routes (planned,
+  not failover), bit-identical results from the survivors.
+
+Run standalone:  python benchmarks/bench_elastic.py [--quick] [--json PATH]
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import sys
+import tempfile
+
+from repro import Portfolio, clear_caches
+from repro.cluster import ClusterClient, HashRing, LocalCluster, moved_keys
+from repro.cluster.ring import RING_POSITIONS
+from repro.engine import set_solution_store
+from repro.engine.async_service import AsyncSweepService
+from repro.engine.store import report_to_payload
+
+from bench_common import emit, parse_json_flag, write_json_artifact
+from bench_cluster import GRID, RUNNERS
+
+KEY_SAMPLE = 2000
+QUICK_KEY_SAMPLE = 500
+JOINER = f"runner-{RUNNERS}"
+
+
+def _fresh_state():
+    clear_caches()
+    set_solution_store(None)
+
+
+def run_ring_phase(key_sample: int):
+    """The 3->4 diff: splice equivalence and minimal movement."""
+    incremental = HashRing([f"runner-{i}" for i in range(RUNNERS)])
+    incremental.add(JOINER)
+    rebuilt = HashRing([f"runner-{i}" for i in range(RUNNERS + 1)])
+    rebuilt._rebuild()
+    splice_equivalent = (
+        incremental._positions == rebuilt._positions
+        and incremental._owners == rebuilt._owners)
+
+    old = HashRing([f"runner-{i}" for i in range(RUNNERS)])
+    ranges = moved_keys(old, incremental)
+    moved_fraction = sum(r.span() for r in ranges) / RING_POSITIONS
+    keys = [f"key-{i:05d}" for i in range(key_sample)]
+    moved = sum(old.route(k) != incremental.route(k) for k in keys)
+    return {
+        "splice_equivalent": splice_equivalent,
+        "moved_ranges": len(ranges),
+        "moved_fraction": round(moved_fraction, 6),
+        "moved_fraction_ok": moved_fraction <= 1 / (RUNNERS + 1) + 0.05,
+        "acquired_by_joiner": all(r.new_owner == JOINER for r in ranges),
+        "sampled_moved_ok": moved <= math.ceil(key_sample / (RUNNERS + 1))
+        + math.ceil(key_sample * 0.05),
+    }
+
+
+def run_join_phase():
+    """Cold sweep, live join with prewarm, warm sweep: zero recompute."""
+
+    async def body():
+        async with LocalCluster(RUNNERS) as cluster:
+            client = ClusterClient(cluster.addresses())
+            before = await client.sweep_specs(GRID)
+            computed_before = (await client.metrics())["service"]["computed"]
+            # Cold the (process-shared) tier-1 LRU so the joiner's prewarm
+            # measures real work, as in a fresh multi-host process.
+            clear_caches()
+            address = await cluster.start_runner(JOINER)
+            outcome = await client.add_runner(address)
+            after = await client.sweep_specs(GRID)
+            computed_after = (await client.metrics())["service"]["computed"]
+            return before, outcome, after, client.stats, \
+                computed_after - computed_before
+
+    _fresh_state()
+    before, outcome, after, stats, recomputes = asyncio.run(body())
+    warm_answers = sum(r["source"] in ("store", "memory") for r in after)
+    return {
+        "cells": GRID.size(),
+        "ring_version": outcome["ring_version"],
+        "cells_moved": outcome["cells_moved"],
+        "moved_bound_ok": (outcome["cells_moved"]
+                           <= math.ceil(GRID.size() / (RUNNERS + 1)) + 2),
+        "prewarmed": outcome["warmed"],
+        "prewarmed_aliases": outcome["aliases"],
+        "prewarm_hits": stats.prewarm_hits,
+        "post_join_recomputes": recomputes,
+        "warm_hit_rate": round(warm_answers / len(after), 6),
+        "join_bit_identical": (
+            json.dumps([(r["key"], r["report"]) for r in after],
+                       sort_keys=True)
+            == json.dumps([(r["key"], r["report"]) for r in before],
+                          sort_keys=True)),
+        "joiner_serves": JOINER in {r["runner"] for r in after},
+        "affinity": round(stats.affinity(), 6),
+    }
+
+
+def run_leave_phase():
+    """Graceful leave: planned hand-back, no failover, identical bytes."""
+
+    async def body():
+        with tempfile.TemporaryDirectory(prefix="bench-elastic-") as tmp:
+            store_root = f"{tmp}/store"
+            service = AsyncSweepService(
+                store=store_root,
+                portfolio=Portfolio(executor="thread", max_workers=2))
+            async with service:
+                ticket = await service.submit_specs(GRID)
+                expected = [(r.key, report_to_payload(r.report, r.key))
+                            for r in await ticket.results()]
+            _fresh_state()
+            async with LocalCluster(RUNNERS,
+                                    store_root=store_root) as cluster:
+                client = ClusterClient(cluster.addresses())
+                await client.sweep_specs(GRID)
+                outcome = client.remove_runner("runner-0")
+                await cluster.stop_runner("runner-0", graceful=True)
+                final = await client.sweep_specs(GRID)
+                return expected, outcome, final, client.stats
+
+    _fresh_state()
+    expected, outcome, final, stats = asyncio.run(body())
+    return {
+        "leave_ring_version": outcome["ring_version"],
+        "leave_cells_moved": outcome["cells_moved"],
+        "leave_reroutes": stats.reroutes,
+        "leaver_retired": "runner-0" not in {r["runner"] for r in final},
+        "leave_bit_identical": (
+            json.dumps([(r["key"], r["report"]) for r in final],
+                       sort_keys=True)
+            == json.dumps(expected, sort_keys=True)),
+    }
+
+
+def run_comparison(key_sample: int):
+    stats = {"runners": RUNNERS, "grid_cells": GRID.size(),
+             "key_sample": key_sample}
+    stats.update(run_ring_phase(key_sample))
+    stats.update(run_join_phase())
+    stats.update(run_leave_phase())
+    return stats
+
+
+def check(stats) -> bool:
+    return (stats["splice_equivalent"]
+            and stats["moved_fraction_ok"]
+            and stats["acquired_by_joiner"]
+            and stats["sampled_moved_ok"]
+            # the join acceptance gate: minimal movement, warm handoff
+            and stats["ring_version"] == 1
+            and stats["moved_bound_ok"]
+            and stats["prewarmed"] > 0
+            and stats["prewarm_hits"] > 0
+            and stats["post_join_recomputes"] == 0
+            # >= 90% of the post-join sweep answered warm (tier 1/2)
+            and stats["warm_hit_rate"] >= 0.9
+            and stats["join_bit_identical"]
+            and stats["joiner_serves"]
+            and stats["affinity"] == 1.0
+            # graceful leave: planned, zero failover, identical bytes
+            and stats["leave_reroutes"] == 0
+            and stats["leaver_retired"]
+            and stats["leave_bit_identical"])
+
+
+def render(stats) -> str:
+    return "\n".join([
+        f"ring:  3->4 splice == rebuild: {stats['splice_equivalent']}; "
+        f"{stats['moved_ranges']} moved ranges covering "
+        f"{stats['moved_fraction']:.4f} of the key space "
+        f"(ideal {1 / (stats['runners'] + 1):.4f}), all acquired by the "
+        f"joiner: {stats['acquired_by_joiner']}",
+        f"join:  moved {stats['cells_moved']}/{stats['cells']} cells, "
+        f"prewarmed {stats['prewarmed']} reports + "
+        f"{stats['prewarmed_aliases']} aliases; post-join sweep: "
+        f"{stats['prewarm_hits']} memory answers, "
+        f"{stats['post_join_recomputes']} recomputes, warm hit rate "
+        f"{stats['warm_hit_rate']:.3f}, bit-identical: "
+        f"{stats['join_bit_identical']}",
+        f"leave: graceful hand-back moved {stats['leave_cells_moved']} "
+        f"cells with {stats['leave_reroutes']} re-routes; survivors "
+        f"bit-identical to the static run: "
+        f"{stats['leave_bit_identical']}",
+    ])
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (run in CI with --benchmark-disable)
+# ---------------------------------------------------------------------------
+
+def test_elastic_resize_prewarm_and_parity(benchmark):
+    stats = run_comparison(QUICK_KEY_SAMPLE)
+    emit("E21 / elastic resize -- minimal movement, prewarm, parity",
+         render(stats))
+    assert check(stats), stats
+    benchmark(lambda: stats["warm_hit_rate"])
+
+
+# ---------------------------------------------------------------------------
+# standalone mode
+# ---------------------------------------------------------------------------
+
+def main(argv) -> int:
+    quick = "--quick" in argv
+    json_path = parse_json_flag(
+        argv, "bench_elastic.py [--quick] [--json PATH]")
+
+    stats = run_comparison(QUICK_KEY_SAMPLE if quick else KEY_SAMPLE)
+    print(render(stats))
+
+    ok = check(stats)
+    print(f"\nelastic resize minimal, prewarmed, zero-recompute, "
+          f"bit-identical: {ok}")
+
+    if json_path:
+        write_json_artifact(json_path, {
+            "benchmark": "bench_elastic",
+            "quick": quick,
+            "runners": stats["runners"],
+            "grid_cells": stats["grid_cells"],
+            "splice_equivalent": stats["splice_equivalent"],
+            "moved_ranges": stats["moved_ranges"],
+            "moved_fraction": stats["moved_fraction"],
+            "moved_fraction_ok": stats["moved_fraction_ok"],
+            "acquired_by_joiner": stats["acquired_by_joiner"],
+            "ring_version": stats["ring_version"],
+            "cells_moved": stats["cells_moved"],
+            "moved_bound_ok": stats["moved_bound_ok"],
+            "prewarmed": stats["prewarmed"],
+            "prewarmed_aliases": stats["prewarmed_aliases"],
+            "prewarm_hits": stats["prewarm_hits"],
+            "post_join_recomputes": stats["post_join_recomputes"],
+            "warm_hit_rate": stats["warm_hit_rate"],
+            "join_bit_identical": stats["join_bit_identical"],
+            "joiner_serves": stats["joiner_serves"],
+            "affinity": stats["affinity"],
+            "leave_ring_version": stats["leave_ring_version"],
+            "leave_cells_moved": stats["leave_cells_moved"],
+            "leave_reroutes": stats["leave_reroutes"],
+            "leaver_retired": stats["leaver_retired"],
+            "leave_bit_identical": stats["leave_bit_identical"],
+            "ok": ok,
+        })
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -88,7 +88,7 @@ from repro.scenarios import (  # noqa: F401 -- re-export the scenario API
     register_generator,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 _engine_all = [
     "solve", "exact_reference", "normalize_problem",

@@ -7,7 +7,9 @@ N such processes into **one logical deployment** sharing a single
 
 * :class:`~repro.cluster.ring.HashRing` -- deterministic consistent
   hashing with virtual nodes; the same cell digest always routes to the
-  same runner, and a join/leave moves only the keys that must move.
+  same runner, and a join/leave moves only the keys that must move --
+  with :func:`~repro.cluster.ring.moved_keys` enumerating *exactly*
+  which ranges those are, the substrate of live resizing.
 * :class:`~repro.cluster.router.ClusterClient` -- the client-side router:
   groups a spec sweep by ring placement, fires per-runner sub-requests,
   reassembles streamed results in expansion order, fails over unanswered
@@ -29,12 +31,14 @@ store counters (``lock_timeouts``, ``stale_locks_recovered``,
 ``compactions_skipped``).  See ``docs/serving.md`` ("Running a cluster").
 """
 
-from repro.cluster.ring import HashRing
+from repro.cluster.ring import HashRing, MovedRange, moved_keys
 from repro.cluster.router import ClusterClient, ClusterStats, RouterServer, aggregate_metrics
 from repro.cluster.runners import LocalCluster, RunnerAddress
 
 __all__ = [
     "HashRing",
+    "MovedRange",
+    "moved_keys",
     "RunnerAddress",
     "LocalCluster",
     "ClusterClient",

@@ -15,9 +15,17 @@ Two deployment shapes:
       python -m repro.cluster --runner unix:/tmp/r0.sock \\
                               --runner unix:/tmp/r1.sock --port 7430
 
+``--spawn-transport tcp`` binds each spawned runner to a TCP port
+(``--spawn-base-port`` + index) instead of a unix socket -- the multi-host
+shape, where every runner is reachable by ``host:port`` from anywhere.
+
 The router listens on TCP (``--port``) or a unix socket (``--unix``) and
 speaks the single-server JSON-lines protocol (``docs/serving.md``), so
-every existing client works unchanged against the cluster.
+every existing client works unchanged against the cluster.  Once up, the
+deployment resizes **live**: send the router a ``resize`` op to join a
+freshly started runner (the router prewarms the joiner's key range before
+routing traffic to it) or to retire one, and ``ring`` to inspect the
+current membership -- see docs/serving.md ("Elastic scaling").
 """
 
 from __future__ import annotations
@@ -57,6 +65,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--spawn", type=int, metavar="N", default=0,
                         help="spawn N repro.serve runner subprocesses on "
                              "unix sockets (requires --store)")
+    parser.add_argument("--spawn-transport", choices=("unix", "tcp"),
+                        default="unix",
+                        help="socket family for --spawn runners: unix "
+                             "sockets (default) or TCP on 127.0.0.1 -- the "
+                             "multi-host shape")
+    parser.add_argument("--spawn-base-port", type=int, metavar="PORT",
+                        default=7441,
+                        help="first TCP port for --spawn-transport tcp "
+                             "(runner-i binds PORT+i; default 7441)")
     parser.add_argument("--store", metavar="DIR", default=None,
                         help="shared SolutionStore directory: required for "
                              "--spawn runners, and (either mode) lets the "
@@ -74,28 +91,42 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _spawn_runners(count: int, store: str, socket_dir: str, *,
+def _tcp_bound(port: int) -> bool:
+    """Is something accepting connections on ``127.0.0.1:port``?"""
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+        probe.settimeout(0.25)
+        return probe.connect_ex(("127.0.0.1", port)) == 0
+
+
+def _spawn_runners(addresses: Sequence[RunnerAddress], store: str, *,
                    executor: str, workers: Optional[int]
                    ) -> List[subprocess.Popen]:
-    """Start ``count`` serve subprocesses; blocks until sockets exist."""
+    """Start one serve subprocess per address; blocks until all bind."""
     processes: List[subprocess.Popen] = []
-    for i in range(count):
-        path = os.path.join(socket_dir, f"runner-{i}.sock")
-        command = [sys.executable, "-m", "repro.serve", "--unix", path,
+    for address in addresses:
+        command = [sys.executable, "-m", "repro.serve",
                    "--store", store, "--executor", executor,
-                   "--runner-id", f"runner-{i}"]
+                   "--runner-id", address.name]
+        if address.unix_socket:
+            command.extend(["--unix", address.unix_socket])
+        else:
+            command.extend(["--host", address.host,
+                            "--port", str(address.port)])
         if workers is not None:
             command.extend(["--workers", str(workers)])
         processes.append(subprocess.Popen(command))
     deadline = time.monotonic() + _SPAWN_WAIT
-    for i, process in enumerate(processes):
-        path = os.path.join(socket_dir, f"runner-{i}.sock")
-        while not os.path.exists(path):
+    for address, process in zip(addresses, processes):
+        while not (os.path.exists(address.unix_socket)
+                   if address.unix_socket else _tcp_bound(address.port)):
             require(process.poll() is None,
-                    f"runner-{i} exited with {process.returncode} "
+                    f"{address.name} exited with {process.returncode} "
                     "before binding its socket")
             require(time.monotonic() < deadline,
-                    f"runner-{i} did not bind {path} within {_SPAWN_WAIT}s")
+                    f"{address.name} did not bind {address.endpoint} "
+                    f"within {_SPAWN_WAIT}s")
             time.sleep(0.05)
     return processes
 
@@ -132,14 +163,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     socket_dir: Optional[tempfile.TemporaryDirectory] = None
     if args.spawn:
         require(args.store is not None, "--spawn requires --store DIR")
-        socket_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
-        processes = _spawn_runners(args.spawn, args.store, socket_dir.name,
+        if args.spawn_transport == "tcp":
+            addresses = [RunnerAddress(name=f"runner-{i}", host="127.0.0.1",
+                                       port=args.spawn_base_port + i)
+                         for i in range(args.spawn)]
+        else:
+            socket_dir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            addresses = [RunnerAddress(name=f"runner-{i}",
+                                       unix_socket=os.path.join(
+                                           socket_dir.name,
+                                           f"runner-{i}.sock"))
+                         for i in range(args.spawn)]
+        processes = _spawn_runners(addresses, args.store,
                                    executor=args.executor,
                                    workers=args.workers)
-        addresses = [RunnerAddress(name=f"runner-{i}",
-                                   unix_socket=os.path.join(
-                                       socket_dir.name, f"runner-{i}.sock"))
-                     for i in range(args.spawn)]
     else:
         addresses = [RunnerAddress.parse(spec) for spec in args.runner]
     try:

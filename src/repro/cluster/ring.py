@@ -14,22 +14,39 @@ Everything is derived from sha256 of stable strings: two
 :class:`HashRing` instances built from the same node names agree exactly,
 whether they live in the router process, a client library, or a test --
 there is no registration protocol to drift.
+
+Elastic resizes need two more affordances, both provided here:
+
+* rings are **versioned snapshots** -- :attr:`HashRing.version` bumps on
+  every membership change and :meth:`HashRing.copy` is cheap, so a router
+  can capture the pre-resize ring, mutate the live one, and reason about
+  the difference;
+* :func:`moved_keys` enumerates **exactly** the position ranges whose
+  owner differs between two rings (as :class:`MovedRange` records), which
+  is what lets a resize prove minimal movement and a joining runner
+  prewarm precisely its acquired key range -- everything outside the
+  returned ranges is untouched by construction.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.utils.validation import require
 
-__all__ = ["HashRing", "DEFAULT_VNODES"]
+__all__ = ["HashRing", "DEFAULT_VNODES", "MovedRange", "moved_keys",
+           "RING_POSITIONS"]
 
 #: Virtual nodes per runner.  128 keeps the per-runner share of a 3-5 node
 #: ring within a few percent of uniform while the ring stays tiny
 #: (hundreds of 8-byte positions) and O(log) to probe.
 DEFAULT_VNODES = 128
+
+#: Size of the position space (ring positions are 64-bit sha256 prefixes).
+RING_POSITIONS = 2 ** 64
 
 
 def _position(token: str) -> int:
@@ -42,9 +59,11 @@ class HashRing:
     """Deterministic consistent hashing over named nodes.
 
     Nodes are plain strings (runner names); keys are plain strings (spec
-    cell digests / request fingerprints).  The ring is cheap to copy and
-    rebuild -- mutation (:meth:`add` / :meth:`remove`) exists for
-    join/leave, not for performance.
+    cell digests / request fingerprints).  Mutation (:meth:`add` /
+    :meth:`remove`) is **incremental** -- only the joining/leaving node's
+    own vnode positions are spliced in or out, the other ``(n-1) *
+    vnodes`` entries are untouched -- and bumps :attr:`version`, so a
+    live resize costs O(vnodes · log) instead of a full rebuild.
     """
 
     def __init__(self, nodes: Iterable[str] = (), *,
@@ -55,8 +74,14 @@ class HashRing:
         #: Sorted vnode positions and the node owning each (parallel lists).
         self._positions: List[int] = []
         self._owners: List[str] = []
+        #: Membership mutations since construction: two rings built from
+        #: the same node list start at the same version (0), and every
+        #: live join/leave afterwards bumps it -- the resize epoch the
+        #: router reports as ``ring_version``.
+        self.version = 0
         for node in nodes:
             self.add(node)
+        self.version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -70,7 +95,40 @@ class HashRing:
     def __contains__(self, node: str) -> bool:
         return node in self._nodes
 
+    def copy(self) -> "HashRing":
+        """An independent snapshot (same placement, same version)."""
+        clone = HashRing(vnodes=self.vnodes)
+        clone._nodes = list(self._nodes)
+        clone._positions = list(self._positions)
+        clone._owners = list(self._owners)
+        clone.version = self.version
+        return clone
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-safe description; :meth:`from_payload` rebuilds it."""
+        return {"nodes": list(self._nodes), "vnodes": self.vnodes,
+                "version": self.version}
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "HashRing":
+        """Rebuild a ring shipped over the wire (placement-identical)."""
+        require(isinstance(payload, dict), "ring payload must be an object")
+        nodes = payload.get("nodes")
+        require(isinstance(nodes, list)
+                and all(isinstance(n, str) for n in nodes),
+                "ring payload needs a 'nodes' list of strings")
+        ring = cls(nodes, vnodes=int(payload.get("vnodes", DEFAULT_VNODES)))
+        ring.version = int(payload.get("version", 0))
+        return ring
+
     def _rebuild(self) -> None:
+        """Reference (re)construction: sort every node's vnodes at once.
+
+        Mutation no longer uses this -- :meth:`add`/:meth:`remove` splice
+        incrementally -- but it stays as the pinned equivalence oracle:
+        ``tests/test_cluster_elastic.py`` asserts an incrementally mutated
+        ring is entry-for-entry identical to a rebuilt one.
+        """
         pairs: List[Tuple[int, str]] = []
         for node in self._nodes:
             for i in range(self.vnodes):
@@ -81,30 +139,73 @@ class HashRing:
         self._positions = [p for p, _ in pairs]
         self._owners = [n for _, n in pairs]
 
+    def _splice_in(self, node: str) -> None:
+        """Insert ``node``'s vnodes, preserving the (position, name) order."""
+        for i in range(self.vnodes):
+            position = _position(f"{node}#{i}")
+            index = bisect.bisect_left(self._positions, position)
+            # Match _rebuild()'s tie order: equal positions sort by name.
+            while (index < len(self._positions)
+                   and self._positions[index] == position
+                   and self._owners[index] < node):
+                index += 1
+            self._positions.insert(index, position)
+            self._owners.insert(index, node)
+
+    def _splice_out(self, node: str) -> None:
+        """Remove ``node``'s vnodes; everyone else's entries stay put."""
+        for i in range(self.vnodes):
+            position = _position(f"{node}#{i}")
+            index = bisect.bisect_left(self._positions, position)
+            while (index < len(self._positions)
+                   and self._positions[index] == position):
+                if self._owners[index] == node:
+                    del self._positions[index]
+                    del self._owners[index]
+                    break
+                index += 1
+
     def add(self, node: str) -> None:
-        """Join one node (idempotent)."""
+        """Join one node (idempotent); bumps :attr:`version` on change."""
         require(isinstance(node, str) and bool(node),
                 "ring nodes must be non-empty strings")
         if node in self._nodes:
             return
         self._nodes.append(node)
-        self._rebuild()
+        self._splice_in(node)
+        self.version += 1
 
     def remove(self, node: str) -> None:
-        """Leave one node (idempotent)."""
+        """Leave one node (idempotent); bumps :attr:`version` on change."""
         if node not in self._nodes:
             return
         self._nodes.remove(node)
-        self._rebuild()
+        self._splice_out(node)
+        self.version += 1
 
     # ------------------------------------------------------------------
-    def route(self, key: str) -> str:
-        """The node owning ``key`` (the first vnode clockwise)."""
-        require(len(self._nodes) > 0, "cannot route on an empty ring")
-        index = bisect.bisect_right(self._positions, _position(key))
+    def owner_at(self, position: int) -> Optional[str]:
+        """The node owning an absolute ring ``position`` (``None`` when
+        empty).
+
+        A key hashing *exactly onto* a vnode position belongs to the next
+        position clockwise (``bisect_right`` semantics), matching
+        :meth:`route` bit for bit -- :func:`moved_keys` relies on the two
+        never disagreeing.
+        """
+        if not self._nodes:
+            return None
+        index = bisect.bisect_right(self._positions, position)
         if index == len(self._positions):  # wrap past 2**64
             index = 0
         return self._owners[index]
+
+    def route(self, key: str) -> str:
+        """The node owning ``key`` (the first vnode clockwise)."""
+        require(len(self._nodes) > 0, "cannot route on an empty ring")
+        owner = self.owner_at(_position(key))
+        assert owner is not None
+        return owner
 
     def preference(self, key: str, limit: Optional[int] = None) -> List[str]:
         """Distinct nodes in failover order for ``key``.
@@ -134,3 +235,86 @@ class HashRing:
         for key in keys:
             counts[self.route(key)] += 1
         return counts
+
+
+# ---------------------------------------------------------------------------
+# resize diffing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MovedRange:
+    """One maximal position interval whose owner changed across a resize.
+
+    ``start``/``end`` are *inclusive* 64-bit ring positions (wraparound
+    intervals are split at 0, so ``start <= end`` always holds); any key
+    hashing into the interval routed to ``old_owner`` before the resize
+    and routes to ``new_owner`` after it.  ``old_owner`` is ``None`` only
+    when the old ring was empty.
+    """
+
+    start: int
+    end: int
+    old_owner: Optional[str]
+    new_owner: str
+
+    def contains_position(self, position: int) -> bool:
+        return self.start <= position <= self.end
+
+    def contains(self, key: str) -> bool:
+        """Did ``key`` change owner in this range's resize?"""
+        return self.contains_position(_position(key))
+
+    def span(self) -> int:
+        """How many ring positions the interval covers."""
+        return self.end - self.start + 1
+
+
+def moved_keys(old: HashRing, new: HashRing) -> List[MovedRange]:
+    """Exactly the key ranges that change owner going from ``old`` to
+    ``new``.
+
+    The union of both rings' vnode positions cuts the circle into
+    elementary arcs on which both ownership functions are constant; each
+    arc whose owners differ is reported (wraparound arcs split at 0).  A
+    key is moved by the resize **iff** it falls in a returned range --
+    pinned against per-key ``route()`` comparison in the tests -- so the
+    total :meth:`MovedRange.span` over :data:`RING_POSITIONS` is the exact
+    moved fraction of the key space, and a joining runner's prewarm scan
+    (:meth:`repro.engine.store.SolutionStore.scan_routed`) touches nothing
+    outside these ranges.
+    """
+    boundaries = sorted(set(old._positions) | set(new._positions))
+    if not boundaries:
+        return []
+    ranges: List[MovedRange] = []
+
+    def emit(start: int, end: int) -> None:
+        if start > end:
+            return
+        old_owner = old.owner_at(start)
+        new_owner = new.owner_at(start)
+        if new_owner is not None and old_owner != new_owner:
+            ranges.append(MovedRange(start, end, old_owner, new_owner))
+
+    for index in range(len(boundaries) - 1):
+        emit(boundaries[index], boundaries[index + 1] - 1)
+    # The wrap arc past the last vnode: identical ownership on both sides
+    # of 0 (both resolve to each ring's first vnode), split for start<=end.
+    emit(boundaries[-1], RING_POSITIONS - 1)
+    emit(0, boundaries[0] - 1)
+    return ranges
+
+
+def moved_key_subset(ranges: Sequence[MovedRange],
+                     keys: Iterable[str]) -> List[str]:
+    """The subset of ``keys`` falling inside any of ``ranges``."""
+    if not ranges:
+        return []
+    starts = sorted((r.start, r.end) for r in ranges)
+    lows = [s for s, _ in starts]
+
+    def hit(position: int) -> bool:
+        index = bisect.bisect_right(lows, position) - 1
+        return index >= 0 and position <= starts[index][1]
+
+    return [key for key in keys if hit(_position(key))]

@@ -34,7 +34,8 @@ import json
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.cluster.ring import DEFAULT_VNODES, HashRing
+from repro.cluster.ring import (DEFAULT_VNODES, HashRing, moved_key_subset,
+                                moved_keys)
 from repro.cluster.runners import RunnerAddress
 from repro.engine.core import Problem, SolveLimits
 from repro.engine.fingerprint import spec_alias_key
@@ -89,6 +90,16 @@ class ClusterStats:
     runner_errors: int = 0
     #: ``metrics`` aggregation polls served.
     metrics_polls: int = 0
+    #: Resize epoch: the full-membership ring's version (0 until the
+    #: first live :meth:`ClusterClient.add_runner` / ``remove_runner``).
+    ring_version: int = 0
+    #: Cells of the most recent sweep whose owner changed across resizes
+    #: -- the live measure of the ring's minimal-movement property
+    #: (:func:`~repro.cluster.ring.moved_keys` over the retained keys).
+    cells_moved: int = 0
+    #: Cells answered from a runner's prewarmed memory tier
+    #: (``source: "memory"``) -- the warm-handoff payoff counter.
+    prewarm_hits: int = 0
 
     def affinity(self) -> float:
         """Fraction of cells answered by their ring primary (1.0 if none)."""
@@ -148,6 +159,10 @@ class ClusterClient:
         self.stats = ClusterStats()
         self._unhealthy: set = set()
         self._sub_ids = 0
+        #: Route keys of the most recent sweep, retained so a resize can
+        #: report how many of its cells actually changed owner
+        #: (``cells_moved``) without re-asking the caller.
+        self._last_keys: List[str] = []
 
     # ------------------------------------------------------------------
     # health / membership
@@ -213,6 +228,118 @@ class ClusterClient:
         return dict(zip(names, alive))
 
     # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+    def _account_resize(self, old_full: HashRing) -> int:
+        """Update resize stats after a membership change; returns the
+        number of last-sweep cells whose owner moved."""
+        self.stats.ring_version = self._full_ring.version
+        moved = 0
+        if self._last_keys:
+            ranges = moved_keys(old_full, self._full_ring)
+            moved = len(moved_key_subset(ranges, self._last_keys))
+            self.stats.cells_moved += moved
+        return moved
+
+    async def add_runner(self, address: Union[RunnerAddress, str], *,
+                         prewarm: bool = True,
+                         warm_limit: Optional[int] = None) -> Dict[str, Any]:
+        """Join one runner to the *running* cluster -- no restart.
+
+        Ordering is the warm-handoff contract: the runner is registered
+        and the full ring resized first, then (with ``prewarm``, the
+        default) the joiner is told to bulk-load its acquired key range
+        from the shared store via the ``warm_cache`` wire op, and only
+        after that warm completes does the *live* routing ring include it
+        -- the first cell routed to the joiner finds a warm LRU.  Sweeps
+        in flight are untouched: routing rounds capture their assignment
+        up front, so the resize applies between rounds.
+
+        A failed warm (connection error, no store on the runner) does not
+        fail the join; the runner simply takes traffic cold and the
+        shared store answers its misses.  Returns a summary dict
+        (``runner``, ``ring_version``, ``cells_moved``, ``warmed``,
+        ``aliases``).
+        """
+        if isinstance(address, str):
+            address = RunnerAddress.parse(address)
+        require(isinstance(address, RunnerAddress),
+                "add_runner() wants a RunnerAddress or a runner spec string")
+        require(address.name not in self.runners,
+                f"runner {address.name!r} is already registered")
+        old_full = self._full_ring.copy()
+        self.runners[address.name] = address
+        self._full_ring.add(address.name)
+        warm = {"warmed": 0, "aliases": 0}
+        if prewarm:
+            try:
+                warm = await self._warm_one(address.name, limit=warm_limit)
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    json.JSONDecodeError, ValidationError) as exc:
+                warm = {"warmed": 0, "aliases": 0,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        self.ring.add(address.name)
+        self._unhealthy.discard(address.name)
+        moved = self._account_resize(old_full)
+        return {"runner": address.name, "action": "add",
+                "ring_version": self.stats.ring_version,
+                "cells_moved": moved, "warmed": warm.get("warmed", 0),
+                "aliases": warm.get("aliases", 0),
+                **({"warm_error": warm["error"]} if "error" in warm else {})}
+
+    def remove_runner(self, name: str) -> Dict[str, Any]:
+        """Retire one runner from the running cluster (graceful leave).
+
+        The runner leaves both rings and the registry immediately, so no
+        *new* cells route to it; a sub-request already streaming from it
+        drains normally on the old assignment (routing rounds capture
+        their placement up front).  Its key range falls to the ring
+        successors, whose misses the shared store answers -- zero
+        recompute.  For a *killed* runner no call is needed at all: the
+        existing health-based failover re-routes unanswered cells.
+        """
+        require(name in self.runners, f"unknown runner {name!r}")
+        require(len(self.runners) > 1, "cannot remove the last runner")
+        old_full = self._full_ring.copy()
+        del self.runners[name]
+        self._full_ring.remove(name)
+        self.ring.remove(name)
+        self._unhealthy.discard(name)
+        moved = self._account_resize(old_full)
+        return {"runner": name, "action": "remove",
+                "ring_version": self.stats.ring_version,
+                "cells_moved": moved}
+
+    async def _warm_one(self, name: str, *,
+                        limit: Optional[int] = None) -> Dict[str, Any]:
+        """Tell one runner to prewarm its full-ring key range."""
+        address = self.runners[name]
+        reader, writer = await self._open(address)
+        try:
+            payload: Dict[str, Any] = {
+                "op": "warm_cache", "id": f"warm-{name}",
+                "ring": self._full_ring.to_payload(), "owner": name}
+            if limit is not None:
+                payload["limit"] = limit
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(),
+                                          self.request_timeout)
+            require(bool(line), "runner closed the connection mid-warm")
+            response = json.loads(line)
+            if response.get("error"):
+                raise ValidationError(
+                    f"runner {name!r} warm_cache error: {response['error']}")
+            return {"warmed": int(response.get("warmed", 0)),
+                    "aliases": int(response.get("aliases", 0))}
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
     # sweeps
     # ------------------------------------------------------------------
     def _next_failover(self, key: str, tried: set) -> Optional[str]:
@@ -248,6 +375,9 @@ class ClusterClient:
         require(all(isinstance(s, ScenarioSpec) for s in specs),
                 "sweep_specs() wants ScenarioSpecs (or a ScenarioGrid)")
         require(len(specs) > 0, "the sweep expands to zero cells")
+        # Retain the full sweep's route keys (planned-local cells
+        # included): a later resize measures cells_moved against them.
+        self._last_keys = [spec_route_key(spec) for spec in specs]
 
         answered = self._plan_local(specs, method, options or {}, on_line)
         pending = [i for i in range(len(specs)) if i not in answered]
@@ -332,6 +462,7 @@ class ClusterClient:
         payloads = list(payloads)
         require(len(payloads) > 0, "sweep requests need >= 1 scenario")
         keys = [payload_route_key(p) for p in payloads]
+        self._last_keys = list(keys)
         return await self._routed_sweep(
             op="sweep", field="scenarios", payloads=payloads, keys=keys,
             method=method, options=options, on_line=on_line)
@@ -357,6 +488,10 @@ class ClusterClient:
             results[index] = line
             if runner == primaries[index]:
                 self.stats.primary_cells += 1
+            if line.get("source") == "memory":
+                # Only the runners' prewarm tier emits this source: the
+                # cell was answered from a warmed LRU, no store round-trip.
+                self.stats.prewarm_hits += 1
             if on_line is not None:
                 on_line(index, line)
 
@@ -572,7 +707,10 @@ class RouterServer:
     single-server client -- :func:`repro.serve.request_sweep_spec`, the
     load harness -- talks to the whole cluster through one socket.  Sweep
     results stream back per cell as the runners answer, with indices
-    already rewritten to the client's cell order.
+    already rewritten to the client's cell order.  Two router-only ops
+    drive elastic scaling without a restart: ``resize`` (live
+    join/retire, see :meth:`_serve_resize`) and ``ring`` (the current
+    full-membership ring payload plus the healthy-runner list).
     """
 
     def __init__(self, client: ClusterClient, *,
@@ -688,6 +826,12 @@ class RouterServer:
                 stats["runners"] = {name: name not in self.client._unhealthy
                                     for name in self.client.runners}
                 await send({"id": request_id, "stats": stats})
+            elif op == "ring":
+                await send({"id": request_id,
+                            "ring": self.client._full_ring.to_payload(),
+                            "healthy": self.client.healthy})
+            elif op == "resize":
+                await self._serve_resize(request_id, request, send)
             elif op in ("sweep", "sweep_spec"):
                 await self._serve_sweep(request_id, op, request, send)
             else:
@@ -696,6 +840,43 @@ class RouterServer:
                 RuntimeError) as exc:
             await send({"id": request_id,
                         "error": f"{type(exc).__name__}: {exc}"})
+
+    async def _serve_resize(self, request_id: Any,
+                            request: Dict[str, Any], send) -> None:
+        """Serve one ``resize`` op: live membership change over the wire.
+
+        ``{"op": "resize", "action": "add", "runner": {"name": ...,
+        "unix_socket": ...}}`` (or ``"host"``/``"port"``, or a plain
+        ``unix:/path`` / ``host:port`` spec string) joins a runner with
+        store prewarming (``"prewarm": false`` skips it);
+        ``{"action": "remove", "runner": "name"}`` retires one
+        gracefully.  Replies with the client's resize summary
+        (``ring_version``, ``cells_moved``, warm counts).
+        """
+        action = request.get("action")
+        require(action in ("add", "remove"),
+                "resize requests need action 'add' or 'remove'")
+        runner = request.get("runner")
+        if action == "add":
+            if isinstance(runner, dict):
+                address = RunnerAddress(
+                    name=runner.get("name"),
+                    host=runner.get("host", "127.0.0.1"),
+                    port=runner.get("port"),
+                    unix_socket=runner.get("unix_socket"))
+            else:
+                require(isinstance(runner, str) and bool(runner),
+                        "resize add needs a 'runner' address object or spec")
+                address = RunnerAddress.parse(
+                    runner, name=request.get("name"))
+            outcome = await self.client.add_runner(
+                address, prewarm=bool(request.get("prewarm", True)),
+                warm_limit=request.get("limit"))
+        else:
+            require(isinstance(runner, str) and bool(runner),
+                    "resize remove needs the runner name")
+            outcome = self.client.remove_runner(runner)
+        await send({"id": request_id, **outcome})
 
     async def _serve_sweep(self, request_id: Any, op: str,
                            request: Dict[str, Any], send) -> None:

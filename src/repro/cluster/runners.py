@@ -79,7 +79,12 @@ class RunnerAddress:
 
 
 class LocalCluster:
-    """N in-process unix-socket serve runners over one shared store root.
+    """N in-process serve runners (unix-socket or TCP) over one store root.
+
+    Elastic membership: :meth:`start_runner` brings one more runner up on
+    the running cluster and :meth:`stop_runner` retires one (gracefully
+    or as a crash) -- the runner halves of the router's live
+    ``resize`` protocol.
 
     Parameters
     ----------
@@ -100,6 +105,12 @@ class LocalCluster:
         Per-runner store ``lock_timeout`` (seconds).
     admission_limit / queue_size / shard_size:
         Passed through to each runner's server/service.
+    transport:
+        ``"unix"`` (default) serves each runner on a unix socket;
+        ``"tcp"`` binds each runner to ``127.0.0.1`` on an OS-assigned
+        port -- the multi-host shape (every runner reachable by
+        ``host:port``), so the same elastic resize protocol exercised
+        over TCP is exactly what a real multi-machine deployment runs.
     """
 
     def __init__(self, size: int = 3, *,
@@ -110,9 +121,13 @@ class LocalCluster:
                  lock_timeout: float = 10.0,
                  admission_limit: Optional[int] = None,
                  queue_size: int = 64,
-                 shard_size: int = 1):
+                 shard_size: int = 1,
+                 transport: str = "unix"):
         require(size >= 1, "a cluster needs >= 1 runner")
+        require(transport in ("unix", "tcp"),
+                f"transport must be 'unix' or 'tcp', got {transport!r}")
         self.size = size
+        self.transport = transport
         self._tempdirs: List[tempfile.TemporaryDirectory] = []
         if store_root is None:
             owned = tempfile.TemporaryDirectory(prefix="repro-cluster-store-")
@@ -131,43 +146,115 @@ class LocalCluster:
         self.queue_size = queue_size
         self.shard_size = shard_size
         self.servers: Dict[str, SweepServer] = {}
+        self._names: List[str] = [f"runner-{i}" for i in range(size)]
+        #: Hard-stopped runners kept for service reaping at :meth:`aclose`.
+        self._aborted: List[SweepServer] = []
         self._started = False
 
     # ------------------------------------------------------------------
     @property
     def runner_names(self) -> List[str]:
-        return [f"runner-{i}" for i in range(self.size)]
+        """Current membership (grows/shrinks with the elastic calls)."""
+        return list(self._names)
 
     def _socket_path(self, name: str) -> str:
         return os.path.join(self.socket_dir, f"{name}.sock")
 
+    def address_of(self, name: str) -> RunnerAddress:
+        """One runner's :class:`RunnerAddress` under the cluster transport.
+
+        Unix-socket addresses are knowable before start; TCP addresses
+        only exist once the runner has bound its OS-assigned port.
+        """
+        if self.transport == "unix":
+            return RunnerAddress(name=name,
+                                 unix_socket=self._socket_path(name))
+        server = self.servers.get(name)
+        require(server is not None,
+                f"TCP runner {name!r} has no bound port until started")
+        return RunnerAddress(name=name, host=server.host, port=server.port)
+
     def addresses(self) -> List[RunnerAddress]:
-        """Every runner's :class:`RunnerAddress` (started or not)."""
-        return [RunnerAddress(name=name, unix_socket=self._socket_path(name))
-                for name in self.runner_names]
+        """Every current runner's :class:`RunnerAddress`.
+
+        In TCP mode only started runners are listed (their ports are
+        OS-assigned at bind time).
+        """
+        if self.transport == "unix":
+            return [self.address_of(name) for name in self._names]
+        return [self.address_of(name) for name in self._names
+                if name in self.servers]
+
+    async def _start_one(self, name: str) -> RunnerAddress:
+        store = SolutionStore(self.store_root,
+                              lock_timeout=self.lock_timeout)
+        service = AsyncSweepService(
+            store=store,
+            portfolio=Portfolio(executor=self.executor,
+                                max_workers=self.workers),
+            queue_size=self.queue_size,
+            shard_size=self.shard_size,
+            runner_id=name)
+        if self.transport == "unix":
+            server = SweepServer(service,
+                                 unix_socket=self._socket_path(name),
+                                 admission_limit=self.admission_limit,
+                                 runner_id=name)
+        else:
+            server = SweepServer(service, host="127.0.0.1", port=0,
+                                 admission_limit=self.admission_limit,
+                                 runner_id=name)
+        await server.start()
+        self.servers[name] = server
+        return self.address_of(name)
 
     async def start(self) -> "LocalCluster":
         """Start every runner (idempotent)."""
         if self._started:
             return self
-        for name in self.runner_names:
-            store = SolutionStore(self.store_root,
-                                  lock_timeout=self.lock_timeout)
-            service = AsyncSweepService(
-                store=store,
-                portfolio=Portfolio(executor=self.executor,
-                                    max_workers=self.workers),
-                queue_size=self.queue_size,
-                shard_size=self.shard_size,
-                runner_id=name)
-            server = SweepServer(service,
-                                 unix_socket=self._socket_path(name),
-                                 admission_limit=self.admission_limit,
-                                 runner_id=name)
-            await server.start()
-            self.servers[name] = server
+        for name in list(self._names):
+            await self._start_one(name)
         self._started = True
         return self
+
+    async def start_runner(self, name: str) -> RunnerAddress:
+        """Start one *additional* runner on the running cluster.
+
+        The runner side of an elastic join: a fresh store handle, service
+        and server come up on the shared root (same transport as the
+        rest) and its address is returned, ready to hand to
+        :meth:`ClusterClient.add_runner
+        <repro.cluster.router.ClusterClient.add_runner>`.  The new runner
+        serves nothing until the router resizes the ring toward it.
+        """
+        require(self._started, "start the cluster before adding runners")
+        require(name not in self.servers,
+                f"runner {name!r} is already running")
+        if name not in self._names:
+            self._names.append(name)
+        self.size = len(self._names)
+        return await self._start_one(name)
+
+    async def stop_runner(self, name: str, *, graceful: bool = True) -> None:
+        """Retire one runner: drain and close (graceful) or hard-kill.
+
+        Graceful is the planned-leave path (pair it with the router's
+        ``remove_runner`` *first* so no new cells route here); in-flight
+        requests drain before the listener closes.  ``graceful=False``
+        mimics a crash exactly like :meth:`kill` -- connections reset,
+        failover takes over -- but also removes the runner from the
+        membership list (the service is still reaped at :meth:`aclose`).
+        """
+        require(name in self.servers, f"unknown runner {name!r}")
+        if name in self._names:
+            self._names.remove(name)
+        self.size = len(self._names)
+        server = self.servers.pop(name)
+        if graceful:
+            await server.aclose()
+        else:
+            server.abort()
+            self._aborted.append(server)
 
     async def __aenter__(self) -> "LocalCluster":
         return await self.start()
@@ -188,9 +275,10 @@ class LocalCluster:
 
     async def aclose(self) -> None:
         """Close every runner and delete any owned temp directories."""
-        for server in self.servers.values():
+        for server in list(self.servers.values()) + self._aborted:
             await server.aclose()
         self.servers.clear()
+        self._aborted.clear()
         self._started = False
         for tempdir in self._tempdirs:
             tempdir.cleanup()

@@ -42,6 +42,7 @@ from repro.engine.certify import Certificate, certify_solution
 from repro.engine.core import (
     SolveLimits,
     SolveReport,
+    cached_solution,
     clear_caches,
     exact_reference,
     get_solution_store,
@@ -50,6 +51,7 @@ from repro.engine.core import (
     set_solution_store,
     solution_cache_info,
     solve,
+    warm_solution_cache,
 )
 from repro.engine.fingerprint import (
     UnserializableSolutionError,
@@ -124,4 +126,5 @@ __all__ = [
     "clear_caches", "solution_cache_info", "structure_cache_info",
     "SolutionStore", "STORE_SCHEMA_VERSION", "atomic_write_json",
     "set_solution_store", "get_solution_store",
+    "cached_solution", "warm_solution_cache",
 ]

@@ -68,15 +68,18 @@ from repro.engine.core import (
     SolveLimits,
     SolveReport,
     _clone_report,
+    cached_solution,
     get_solution_store,
     normalize_problem,
     request_key,
+    warm_solution_cache,
 )
 from repro.engine.fingerprint import record_spec_fingerprint, spec_alias_key
 from repro.engine.plan import CELL_MANIFEST_DONE, build_sweep_plan
 from repro.engine.portfolio import Portfolio
 from repro.engine.service import SweepResult, load_manifest_state, write_manifest
-from repro.engine.store import SolutionStore
+from repro.engine.store import (SolutionStore, _is_alias_payload,
+                                report_from_payload)
 from repro.scenarios import ScenarioGrid, ScenarioSpec
 from repro.utils.validation import ValidationError, require
 
@@ -123,6 +126,13 @@ class AsyncSweepStats:
     dup_solves_avoided: int = 0
     #: Manifest checkpoints that failed to land (write_manifest errors).
     manifest_write_errors: int = 0
+    #: Reports bulk-loaded into the tier-1 LRU by :meth:`warm_cache`
+    #: (elastic-resize prewarming), and alias mappings learned alongside.
+    prewarmed: int = 0
+    prewarmed_aliases: int = 0
+    #: Slots answered straight from prewarmed memory (``source="memory"``)
+    #: -- warm handoff working: a moved cell that never touched the store.
+    prewarm_hits: int = 0
 
     def summary(self) -> str:
         """One-line human-readable description (used by the benchmarks)."""
@@ -328,6 +338,14 @@ class AsyncSweepService:
         #: v2 per-cell identities (``{alias: {"cell", "key"}}``) of every
         #: completed spec cell -- what a restarted deployment resumes from.
         self._manifest_cells: Dict[str, Dict[str, str]] = {}
+        #: Prewarm state (:meth:`warm_cache`): alias key -> request
+        #: fingerprint mappings learned from warmed alias entries, and the
+        #: fingerprints whose reports were streamed into the tier-1 LRU.
+        #: Only keys in ``_prewarmed_keys`` are answered from memory at
+        #: submission time -- ordinary traffic keeps its store-first
+        #: contract (and its store counters) unchanged.
+        self._warm_keys: Dict[str, str] = {}
+        self._prewarmed_keys: set = set()
         self._closed = False
         self._started = False
 
@@ -399,6 +417,64 @@ class AsyncSweepService:
             "kernels": batch_kernel_info(),
             "materializations": materialization_info(),
         }
+
+    def warm_cache(self, ring: Any = None, owner: Optional[str] = None, *,
+                   limit: Optional[int] = None) -> Dict[str, int]:
+        """Bulk-load (part of) the store into the tier-1 LRU before traffic.
+
+        The runner side of an elastic-resize warm handoff (the
+        ``warm_cache`` wire op of :mod:`repro.serve`): with ``ring`` (any
+        object with ``route(key) -> node``; the router ships a
+        :class:`~repro.cluster.ring.HashRing` payload) and ``owner`` (this
+        runner's name), only the entries whose route key lands on
+        ``owner`` are streamed -- exactly the key range the runner is
+        acquiring, via the decode-free
+        :meth:`~repro.engine.store.SolutionStore.scan_routed` path.
+        Without a ring the whole store is warmed (single-runner restarts).
+
+        Report entries are decoded and installed in the LRU
+        (:func:`~repro.engine.core.warm_solution_cache`); alias entries
+        cost one dict insert each and let :meth:`submit_specs` resolve a
+        spec straight to its warmed fingerprint.  Warmed keys are then
+        answered with ``source="memory"`` at submission time, before any
+        plan or store probe -- that is the "zero-recompute handoff": the
+        first post-join sweep of a moved key range never leaves the
+        process.  ``limit`` caps the number of reports installed (alias
+        mappings are always collected; they are tiny).
+
+        Synchronous and idempotent; call it before the runner takes
+        traffic.  Returns ``{"warmed": installed, "aliases": learned}``.
+        """
+        store = self.store
+        if store is None:
+            return {"warmed": 0, "aliases": 0}
+        if ring is not None:
+            require(owner is not None,
+                    "warm_cache(ring=...) needs the owner runner name")
+            entries = store.scan_routed(ring, owner, include_aliases=True)
+        else:
+            entries = store.scan(include_aliases=True)
+        reports: List[Tuple[str, SolveReport]] = []
+        aliases = 0
+        for key, payload in entries:
+            if _is_alias_payload(payload):
+                self._warm_keys[key] = payload["alias_of"]
+                aliases += 1
+                continue
+            if limit is not None and len(reports) >= limit:
+                continue
+            try:
+                report = report_from_payload(payload)
+            except (KeyError, TypeError, ValueError):
+                # A foreign/corrupt payload shape is a skip, not a fault:
+                # the cell simply stays cold and the store still answers.
+                continue
+            reports.append((key, report))
+        warmed = warm_solution_cache(reports)
+        self._prewarmed_keys.update(key for key, _ in reports)
+        self.stats.prewarmed += warmed
+        self.stats.prewarmed_aliases += aliases
+        return {"warmed": warmed, "aliases": aliases}
 
     async def start(self) -> "AsyncSweepService":
         """Warm the pool and start the dispatcher (idempotent)."""
@@ -542,6 +618,16 @@ class AsyncSweepService:
                 self.stats.deduped += 1
                 entry.add_waiter(index, problem, slot)
                 continue
+            if key in self._prewarmed_keys:
+                report = cached_solution(key)
+                if report is not None:
+                    self.stats.prewarm_hits += 1
+                    if key in self._manifest_tokens:
+                        self.stats.resumed += 1
+                    slot.set_result(SweepResult(
+                        index=index, key=key, problem=problem,
+                        report=report, source="memory"))
+                    continue
             if key in fetched:
                 report = fetched[key]
             else:
@@ -617,8 +703,27 @@ class AsyncSweepService:
         aliases = [spec_alias_key(spec, method, limits=self.limits,
                                   validate=self.validate, **options)
                    for spec in specs]
+        # Prewarm tier: a cell whose alias was learned by warm_cache() and
+        # whose report sits in the warmed LRU is answered from memory
+        # before the plan is even built -- build_sweep_plan probes the
+        # store per cell, so resolving here (not after) is what makes a
+        # warm handoff skip the store round-trips too.
+        warm_answers: Dict[str, Tuple[str, SolveReport]] = {}
+        if self._warm_keys:
+            for alias in aliases:
+                if alias in warm_answers:
+                    continue
+                fingerprint = self._warm_keys.get(alias)
+                if (fingerprint is None
+                        or fingerprint not in self._prewarmed_keys):
+                    continue
+                report = cached_solution(fingerprint)
+                if report is not None:
+                    warm_answers[alias] = (fingerprint, report)
         unique: Dict[str, ScenarioSpec] = {}
         for alias, spec in zip(aliases, specs):
+            if alias in warm_answers:
+                continue
             unique.setdefault(alias, spec)
         plan = build_sweep_plan(list(unique.items()), method, store=store,
                                 limits=self.limits, validate=self.validate,
@@ -628,6 +733,25 @@ class AsyncSweepService:
             self.stats.requests += 1
             slot: asyncio.Future = loop.create_future()
             futures.append(slot)
+            warm = warm_answers.get(alias)
+            if warm is not None:
+                fingerprint, warm_report = warm
+                keys.append(fingerprint)
+                self.stats.prewarm_hits += 1
+                # The warmed answer carries everything a store hit would
+                # have taught us: memoize spec -> fingerprint and mark the
+                # manifest cell done, so restarts and grid diffs see it.
+                record_spec_fingerprint(spec, fingerprint, method,
+                                        limits=self.limits,
+                                        validate=self.validate, **options)
+                self._record_manifest_cell(alias, spec.cell_digest(),
+                                           fingerprint)
+                slot.set_result(SweepResult(
+                    index=index, key=fingerprint, problem=None,
+                    report=_clone_report(warm_report, from_cache=True,
+                                         cache_tier="memory"),
+                    source="memory", spec=spec))
+                continue
             cell = cell_by_alias[alias]
             inflight_key = cell.key if cell.key is not None else alias
             keys.append(inflight_key)

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
 from repro.core.dag import TradeoffDAG
 from repro.core.problem import MinMakespanProblem, MinResourceProblem, TradeoffSolution
@@ -65,6 +65,8 @@ __all__ = [
     "solution_cache_info",
     "set_solution_store",
     "get_solution_store",
+    "cached_solution",
+    "warm_solution_cache",
 ]
 
 Problem = Union[MinMakespanProblem, MinResourceProblem]
@@ -203,6 +205,42 @@ def set_solution_store(store: Union[SolutionStore, str, None]) -> Optional[Solut
 def get_solution_store() -> Optional[SolutionStore]:
     """The currently installed tier-2 store (``None`` when disabled)."""
     return _SOLUTION_STORE
+
+
+def cached_solution(cache_key: str) -> Optional[SolveReport]:
+    """The tier-1 LRU entry for ``cache_key``, as a cache-hit report.
+
+    Returns ``None`` on a miss; a hit comes back defensively copied with
+    ``from_cache=True`` / ``cache_tier="memory"``, exactly like the LRU
+    branch of :func:`solve`.  This is the read half of the elastic-resize
+    prewarm tier (:meth:`AsyncSweepService.warm_cache
+    <repro.engine.async_service.AsyncSweepService.warm_cache>` answers
+    moved cells from it before any plan or store probe).
+    """
+    cached = _SOLUTION_CACHE.get(cache_key)
+    if cached is None:
+        return None
+    return _clone_report(cached, from_cache=True, cache_tier="memory")
+
+
+def warm_solution_cache(items: Iterable[Tuple[str, SolveReport]]) -> int:
+    """Bulk-load ``(cache_key, report)`` pairs into the tier-1 LRU.
+
+    The write half of resize prewarming: a joining runner streams its
+    acquired key range out of the store (:meth:`SolutionStore.scan_routed
+    <repro.engine.store.SolutionStore.scan_routed>`) and installs the
+    decoded reports here so its first post-join sweep hits warm memory.
+    Entries already cached are left untouched (their LRU recency
+    included); each installed report is defensively copied the same way
+    :func:`solve` stores its own results.  Returns the number of entries
+    actually installed.
+    """
+    count = 0
+    for key, report in items:
+        if _SOLUTION_CACHE.get(key) is None:
+            _SOLUTION_CACHE.put(key, _clone_report(report, from_cache=False))
+            count += 1
+    return count
 
 
 def normalize_problem(problem: Optional[Problem] = None, *,

@@ -680,6 +680,13 @@ class SolutionStore:
         self.scan_entries = 0
         self.scan_alias_skips = 0
         self.migrated_shards = 0
+        # Ring-filtered scan traffic (elastic prewarming): scan_routed
+        # calls, entries yielded because their route key landed on the
+        # requested owner, and entries filtered out without being
+        # decoded further.
+        self.routed_scans = 0
+        self.routed_entries = 0
+        self.routed_skips = 0
         # Cross-process locking accounting (the cluster bench gates on
         # these): acquisitions, contended acquisitions, acquisitions that
         # timed out (degraded to a lock-free write), takeovers from a
@@ -1645,6 +1652,104 @@ class SolutionStore:
             self.scan_entries += 1
             yield key, payload
 
+    def scan_routed(self, ring: Any, owner: str, *,
+                    include_aliases: bool = True) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """Stream only the entries whose route key lands on ``owner``.
+
+        The prewarm feeder for an elastic resize: a joining runner calls
+        this (via the ``warm_cache`` wire op) to bulk-load exactly its
+        acquired key range into the tier-1 LRU before taking traffic.
+        ``ring`` is anything with a ``route(key) -> node`` method --
+        typically :class:`repro.cluster.ring.HashRing`, duck-typed so the
+        engine never imports the cluster package.
+
+        Routing keys: a report entry routes by its own store key (the
+        request fingerprint); an **alias** entry routes by its *target*
+        fingerprint, so an alias and the report it points at always land
+        on -- and prewarm into -- the same runner.  On packed v2 shards
+        the filter is decode-free for rejected report entries (the route
+        key is the record-table key; only accepted payloads are JSON-
+        decoded) and alias targets come straight off the blob, exactly the
+        :meth:`scan` fast path.  Alias payloads are yielded as
+        ``{"alias_of": target}``.
+
+        ``routed_scans`` / ``routed_entries`` / ``routed_skips`` count the
+        traffic; skips are entries owned by someone else.
+        """
+        with self._lock:
+            self.routed_scans += 1
+            for shard_id in self._shard_ids():
+                if (not (self.cache_shards and shard_id in self._shards)
+                        and self._shard_files(shard_id) == (False, True)):
+                    yield from self._scan_binary_routed(
+                        shard_id, ring, owner,
+                        include_aliases=include_aliases)
+                    continue
+                if self.cache_shards and shard_id in self._shards:
+                    source = self._shards[shard_id]
+                else:
+                    source = self._load_shard(shard_id)
+                for key, entry in sorted(source.items()):
+                    payload = {k: v for k, v in entry.items()
+                               if k != "__seq__"}
+                    if _is_alias_payload(payload):
+                        if not include_aliases:
+                            self.scan_alias_skips += 1
+                            continue
+                        target = payload.get("alias_of")
+                        route_key = target if isinstance(target, str) else key
+                        payload = {"alias_of": target}
+                    else:
+                        route_key = key
+                    if ring.route(route_key) != owner:
+                        self.routed_skips += 1
+                        continue
+                    self.routed_entries += 1
+                    yield key, payload
+
+    def _scan_binary_routed(self, shard_id: str, ring: Any, owner: str, *,
+                            include_aliases: bool) -> Iterator[Tuple[str, Dict[str, Any]]]:
+        """One packed shard's slice of :meth:`scan_routed` (decode-free
+        rejection: non-owned report entries never have their blob read)."""
+        reader = self._reader(shard_id)
+        if reader is None:
+            return
+        for index in range(reader.count):
+            try:
+                key, _seq, offset, length, flags = reader.record(index)
+            except (struct.error, UnicodeDecodeError):
+                self.corrupt_shards += 1
+                continue
+            if flags & _FLAG_ALIAS:
+                if not include_aliases:
+                    self.scan_alias_skips += 1
+                    continue
+                try:
+                    target = reader.blob(offset, length).decode("utf-8")
+                except (_ShardCorrupt, UnicodeDecodeError):
+                    self.corrupt_shards += 1
+                    continue
+                if ring.route(target) != owner:
+                    self.routed_skips += 1
+                    continue
+                self.routed_entries += 1
+                yield key, {"alias_of": target}
+                continue
+            if ring.route(key) != owner:
+                self.routed_skips += 1
+                continue
+            try:
+                payload = json.loads(reader.blob(offset, length).decode("utf-8"))
+                self.payload_decodes += 1
+                if not isinstance(payload, dict):
+                    raise ValueError("payload is not an object")
+            except (_ShardCorrupt, UnicodeDecodeError,
+                    json.JSONDecodeError, ValueError):
+                self.corrupt_shards += 1
+                continue
+            self.routed_entries += 1
+            yield key, payload
+
     def refresh(self) -> None:
         """Drop the in-memory shard cache (re-read other processes' writes)."""
         with self._lock:
@@ -1680,6 +1785,7 @@ class SolutionStore:
             self.alias_fast_hits = self.binary_shard_opens = 0
             self.scans = self.scan_entries = self.scan_alias_skips = 0
             self.migrated_shards = 0
+            self.routed_scans = self.routed_entries = self.routed_skips = 0
             self.lock_acquires = self.lock_waits = self.lock_timeouts = 0
             self.stale_locks_recovered = self.compactions_skipped = 0
             self.stale_shard_reloads = 0
@@ -1721,6 +1827,9 @@ class SolutionStore:
                 "scan_entries": self.scan_entries,
                 "scan_alias_skips": self.scan_alias_skips,
                 "migrated_shards": self.migrated_shards,
+                "routed_scans": self.routed_scans,
+                "routed_entries": self.routed_entries,
+                "routed_skips": self.routed_skips,
                 "locking": self.locking,
                 "lock_acquires": self.lock_acquires,
                 "lock_waits": self.lock_waits,
@@ -1744,7 +1853,8 @@ class SolutionStore:
         "compactions", "corrupt_shards", "schema_mismatches",
         "skipped_writes", "full_shard_parses", "payload_decodes",
         "alias_fast_hits", "binary_shard_opens", "scans", "scan_entries",
-        "scan_alias_skips", "migrated_shards", "lock_acquires",
+        "scan_alias_skips", "migrated_shards", "routed_scans",
+        "routed_entries", "routed_skips", "lock_acquires",
         "lock_waits", "lock_timeouts", "stale_locks_recovered",
         "compactions_skipped", "stale_shard_reloads", "batched_lookups",
         "claims_acquired", "claims_contended", "stale_claims_recovered",

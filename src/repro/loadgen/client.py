@@ -162,6 +162,14 @@ class LoadClient:
     server: one persistent connection per runner, each arrival routed by
     consistent hash of its cell's spec digest (``connections`` is then
     ignored -- the cluster topology decides the connection count).
+
+    Cluster membership is **live**: :meth:`add_runner` and
+    :meth:`remove_runner` may be called while :meth:`run` is replaying
+    (from another task on the same loop).  Arrivals fired after the call
+    route on the resized ring; a removed runner's in-flight requests
+    finish on their existing connection, which is retired -- closed at
+    the end of the replay, not yanked -- so a graceful leave never
+    manufactures client-visible failures.
     """
 
     def __init__(self, *, host: str = "127.0.0.1",
@@ -182,6 +190,11 @@ class LoadClient:
                 "LoadClient needs port=, unix_socket= or cluster=")
         self.cluster = list(cluster) if cluster is not None else None
         self._ring: Optional[HashRing] = None
+        #: Live per-runner connections while a cluster replay is running
+        #: (``None`` outside :meth:`run`); :meth:`remove_runner` parks a
+        #: leaver's connection in ``_retired`` until the replay ends.
+        self._by_runner: Optional[Dict[str, _Connection]] = None
+        self._retired: List[_Connection] = []
         if self.cluster is not None:
             require(len(self.cluster) >= 1, "cluster= needs >= 1 runner")
             names = [r.name for r in self.cluster]
@@ -216,6 +229,44 @@ class LoadClient:
         assert self._ring is not None
         return self._ring.route(spec.cell_digest())
 
+    # -- live membership -----------------------------------------------
+    async def add_runner(self, address: RunnerAddress) -> None:
+        """Join one runner mid-replay (or before it): resize the client
+        ring and, if a replay is live, open its persistent connection now
+        so the very next arrival can route to it.
+
+        Call this *after* the cluster router has prewarmed/admitted the
+        runner (:meth:`ClusterClient.add_runner
+        <repro.cluster.router.ClusterClient.add_runner>`), so traffic
+        only shifts once the runner is warm.
+        """
+        require(self.cluster is not None,
+                "add_runner needs a cluster-mode client")
+        assert self._ring is not None
+        require(address.name not in {r.name for r in self.cluster},
+                f"runner {address.name!r} is already in the cluster")
+        if self._by_runner is not None:
+            self._by_runner[address.name] = await self._open(address)
+        self.cluster.append(address)
+        self._ring.add(address.name)
+
+    def remove_runner(self, name: str) -> None:
+        """Retire one runner mid-replay: resize the ring so no *new*
+        arrival routes to it; its in-flight requests finish on the
+        existing connection, which is closed when the replay ends.
+        """
+        require(self.cluster is not None,
+                "remove_runner needs a cluster-mode client")
+        assert self._ring is not None
+        require(name in {r.name for r in self.cluster},
+                f"unknown runner {name!r}")
+        require(len(self.cluster) > 1,
+                "cannot remove the last runner from the cluster")
+        self.cluster = [r for r in self.cluster if r.name != name]
+        self._ring.remove(name)
+        if self._by_runner is not None:
+            self._retired.append(self._by_runner.pop(name))
+
     # ------------------------------------------------------------------
     async def run(self, schedule: ArrivalSchedule,
                   specs: Sequence[ScenarioSpec]) -> List[RequestOutcome]:
@@ -233,13 +284,15 @@ class LoadClient:
         if self.cluster is not None:
             # One persistent connection per runner; arrivals route by the
             # cell's ring placement (the cluster router's placement law),
-            # so each cell's traffic keeps hitting its warm runner.
-            by_runner = {address.name: await self._open(address)
-                         for address in self.cluster}
-            conns = list(by_runner.values())
+            # so each cell's traffic keeps hitting its warm runner.  The
+            # map lives on the instance so add_runner/remove_runner can
+            # resize it mid-replay.
+            self._by_runner = {address.name: await self._open(address)
+                               for address in self.cluster}
 
             def pick(index: int, cell: int) -> _Connection:
-                return by_runner[self._route(specs[cell])]
+                assert self._by_runner is not None
+                return self._by_runner[self._route(specs[cell])]
         else:
             conns = [await self._open() for _ in range(self.connections)]
 
@@ -268,6 +321,11 @@ class LoadClient:
         finally:
             for task in tasks:
                 task.cancel()
+            if self.cluster is not None:
+                live = self._by_runner or {}
+                conns = list(live.values()) + self._retired
+                self._by_runner = None
+                self._retired = []
             for conn in conns:
                 await conn.aclose()
         outcomes.sort(key=lambda outcome: outcome.index)

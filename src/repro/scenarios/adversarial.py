@@ -28,7 +28,12 @@ Two families are registered by :mod:`repro.scenarios.builtin`:
 * ``adversarial-3dm`` -- the Theorem 4.5 numerical 3-dimensional matching
   gadget (:func:`repro.hardness.matching3d.build_matching3d_dag`) over
   seeded triple values: two cascaded bipartite matchers whose exclusive
-  choices must realise a perfect numerical matching or pay big-M.
+  choices must realise a perfect numerical matching or pay big-M;
+* ``adversarial-sat`` -- the Theorem 4.1 / Lemma 4.2 1-in-3SAT reduction
+  (:func:`repro.hardness.gadgets_general.build_theorem41_dag`) over seeded
+  formulas: variable and clause gadgets whose exclusive choices encode a
+  truth assignment, reaching the target makespan iff exactly one literal
+  per clause is satisfied.
 """
 
 from __future__ import annotations
@@ -47,8 +52,10 @@ __all__ = [
     "partition_gadget_dag",
     "minresource_chain_dag",
     "matching3d_gadget_dag",
+    "sat_gadget_dag",
     "partition_values",
     "matching3d_values",
+    "sat_values",
 ]
 
 #: Job names for the unique terminals added around the converted arcs.
@@ -166,6 +173,58 @@ def matching3d_gadget_dag(n: int = 2, max_value: int = 5, seed: int = 0,
     a, b, c = values
     construction = build_matching3d_dag(
         Numerical3DMInstance(tuple(a), tuple(b), tuple(c)))
+    return arc_dag_to_tradeoff_dag(construction.arc_dag)
+
+
+def sat_values(num_variables: int, num_clauses: int, seed: int
+               ) -> Tuple[Tuple[int, int, int], ...]:
+    """Deterministic seeded clauses for the 1-in-3SAT gadget.
+
+    Even seeds plant a 1-in-3 satisfying assignment
+    (:func:`repro.hardness.sat.satisfiable_one_in_three_sat`); odd seeds
+    draw uniformly random clauses
+    (:func:`repro.hardness.sat.random_one_in_three_sat`), so sweeps over a
+    seed axis see both yes-instances and unconstrained formulas of the
+    reduction.
+    """
+    check_positive(num_variables, "num_variables")
+    check_positive(num_clauses, "num_clauses")
+    from repro.hardness.sat import (
+        random_one_in_three_sat,
+        satisfiable_one_in_three_sat,
+    )
+
+    if seed % 2 == 0:
+        instance, _ = satisfiable_one_in_three_sat(num_variables,
+                                                   num_clauses, seed)
+    else:
+        instance = random_one_in_three_sat(num_variables, num_clauses, seed)
+    return tuple(instance.clauses)
+
+
+def sat_gadget_dag(num_variables: int = 3, num_clauses: int = 2,
+                   seed: int = 0,
+                   clauses: Optional[Tuple[Tuple[int, int, int], ...]] = None
+                   ) -> TradeoffDAG:
+    """The Theorem 4.1 / Lemma 4.2 1-in-3SAT reduction as a node DAG.
+
+    ``clauses`` overrides the seeded draw with explicit signed-literal
+    triples (the explicit-instance hook used by tests); otherwise
+    :func:`sat_values` draws them from ``seed``.  With budget ``n + 2m``
+    the optimum makespan is the Lemma 4.2 target (1) iff the formula is
+    1-in-3 satisfiable -- every truth assignment is an exclusive routing
+    of the variable gadgets, and any clause without exactly one true
+    literal pays big-M.  Gadget size is ``6n + 10m`` vertices, so keep
+    ``num_variables``/``num_clauses`` small inside grids.
+    """
+    from repro.hardness.gadgets_general import build_theorem41_dag
+    from repro.hardness.sat import OneInThreeSatInstance
+
+    if clauses is None:
+        clauses = sat_values(num_variables, num_clauses, seed)
+    instance = OneInThreeSatInstance(num_variables,
+                                     tuple(tuple(c) for c in clauses))
+    construction = build_theorem41_dag(instance)
     return arc_dag_to_tradeoff_dag(construction.arc_dag)
 
 

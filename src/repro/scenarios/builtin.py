@@ -156,6 +156,22 @@ def _build_adversarial_3dm(**params: Any):
 
 
 @register_generator(
+    "adversarial-sat",
+    summary="Theorem 4.1 1-in-3SAT gadget: variable/clause exclusive choices",
+    families=("general",),
+    seeded=True,
+    adversarial=True,
+    params_schema={
+        "num_variables": {"type": "int", "default": 3},
+        "num_clauses": {"type": "int", "default": 2},
+    })
+def _build_adversarial_sat(**params: Any):
+    from repro.scenarios.adversarial import sat_gadget_dag
+
+    return sat_gadget_dag(**params)
+
+
+@register_generator(
     "adversarial-minresource-chain",
     summary="Theorem 4.4 chained variable gadgets: one unit must walk the chain",
     families=("general",),

@@ -110,6 +110,7 @@ __all__ = [
     "request_sweep",
     "request_sweep_spec",
     "request_metrics",
+    "request_warm_cache",
     "main",
 ]
 
@@ -511,6 +512,8 @@ class SweepServer:
                 await self._serve_sweep(request_id, request, send)
             elif op == "sweep_spec":
                 await self._serve_sweep_spec(request_id, request, send)
+            elif op == "warm_cache":
+                await self._serve_warm_cache(request_id, request, send)
             else:
                 self.stats.protocol_errors += 1
                 await send({"id": request_id, "error": f"unknown op {op!r}"})
@@ -585,6 +588,39 @@ class SweepServer:
         await self._relay_ticket(
             request_id, ticket, send,
             extra_fields=lambda index: {"cell": specs[index].cell_digest()})
+
+    async def _serve_warm_cache(self, request_id: Any,
+                                request: Dict[str, Any], send) -> None:
+        """Serve one ``warm_cache`` op: prewarm this runner's key range.
+
+        The wire entry point of an elastic-resize warm handoff: the router
+        sends its ring payload plus this runner's name before routing any
+        traffic here, and the runner bulk-loads exactly that ring share
+        from the store into its tier-1 LRU
+        (:meth:`~repro.engine.async_service.AsyncSweepService.warm_cache`).
+        Without a ring the whole store is warmed.  Replies one line:
+        ``{"id", "warmed", "aliases"}``.
+        """
+        ring_payload = request.get("ring")
+        owner = request.get("owner")
+        ring = None
+        if ring_payload is not None:
+            # Imported here, not at module level: the cluster package's
+            # router already imports this module for the wire helpers.
+            from repro.cluster.ring import HashRing
+
+            ring = HashRing.from_payload(ring_payload)
+            require(isinstance(owner, str) and bool(owner),
+                    "warm_cache with a ring needs the 'owner' runner name")
+        limit = request.get("limit")
+        require(limit is None or (isinstance(limit, int) and limit >= 0),
+                "'limit' must be a non-negative integer")
+        outcome = self.service.warm_cache(ring, owner, limit=limit)
+        reply = {"id": request_id, "warmed": outcome["warmed"],
+                 "aliases": outcome["aliases"]}
+        if self.runner_id is not None:
+            reply["runner"] = self.runner_id
+        await send(reply)
 
 
 # ---------------------------------------------------------------------------
@@ -714,6 +750,51 @@ async def request_metrics(*, host: str = "127.0.0.1",
         require(isinstance(response.get("metrics"), dict),
                 "metrics reply must carry a 'metrics' object")
         return response["metrics"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def request_warm_cache(*, host: str = "127.0.0.1",
+                             port: Optional[int] = None,
+                             unix_socket: Optional[str] = None,
+                             ring: Optional[Dict[str, Any]] = None,
+                             owner: Optional[str] = None,
+                             limit: Optional[int] = None,
+                             request_id: str = "warm-1") -> Dict[str, Any]:
+    """One-shot asyncio client for the ``warm_cache`` op.
+
+    ``ring`` is a :meth:`HashRing.to_payload
+    <repro.cluster.ring.HashRing.to_payload>` dict and ``owner`` the
+    target runner's name; both omitted warms the server's whole store.
+    Returns the reply dict (``{"warmed": ..., "aliases": ...}``).  Raises
+    :class:`ValidationError` on a server-reported error.
+    """
+    payload: Dict[str, Any] = {"op": "warm_cache", "id": request_id}
+    if ring is not None:
+        payload["ring"] = ring
+        payload["owner"] = owner
+    if limit is not None:
+        payload["limit"] = limit
+    if unix_socket:
+        reader, writer = await asyncio.open_unix_connection(unix_socket)
+    else:
+        require(port is not None, "the client helpers need port= or unix_socket=")
+        reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        require(bool(line), "server closed the connection mid-request")
+        response = json.loads(line)
+        if response.get("error"):
+            raise ValidationError(f"server error: {response['error']}")
+        require("warmed" in response,
+                "warm_cache reply must carry a 'warmed' count")
+        return response
     finally:
         writer.close()
         try:

@@ -74,7 +74,7 @@ def test_module_imports_and_has_docstring(module_name):
 
 
 def test_version_exposed():
-    assert repro.__version__ == "1.9.0"
+    assert repro.__version__ == "1.10.0"
 
 
 def test_top_level_reexports_core_api():
